@@ -1,0 +1,9 @@
+//! `wizard-baselines`: the comparison systems of the paper's evaluation,
+//! rebuilt as faithful cost models over the same substrate (§5.6, §5.7,
+//! §6.4). See DESIGN.md for the substitution table.
+
+#![warn(missing_docs)]
+
+pub mod dbi;
+pub mod jvmti;
+pub mod wasabi;

@@ -1,0 +1,87 @@
+//! Criterion micro-benchmarks of the engine mechanisms the paper's design
+//! leans on: dispatch-table switching, bytecode overwriting, probe
+//! insertion/removal, and FrameAccessor materialization.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wizard_engine::store::Linker;
+use wizard_engine::{ClosureProbe, CountProbe, EngineConfig, Process, Value};
+use wizard_suites::{polybench_suite, Scale};
+
+fn bench_process() -> (Process, u32) {
+    let bench = &polybench_suite(Scale::Test)[2]; // gesummv: loop-dense
+    let p = Process::new(bench.module.clone(), EngineConfig::interpreter(), &Linker::new())
+        .expect("instantiates");
+    (p, bench.n as u32)
+}
+
+/// Zero-overhead-when-off: uninstrumented interpreter run vs a run after a
+/// global probe was inserted and removed again (the dispatch table must be
+/// switched back, costing nothing).
+fn dispatch_table_switch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dispatch-table");
+    g.measurement_time(Duration::from_secs(3)).sample_size(20);
+    let (mut p, n) = bench_process();
+    g.bench_function("uninstrumented", |b| {
+        b.iter(|| p.invoke_export("run", &[Value::I32(n as i32)]).unwrap());
+    });
+    let id = p.add_global_probe(ClosureProbe::shared(|_| {})).unwrap();
+    p.remove_probe(id).unwrap();
+    g.bench_function("after-global-probe-removed", |b| {
+        b.iter(|| p.invoke_export("run", &[Value::I32(n as i32)]).unwrap());
+    });
+    g.finish();
+}
+
+/// Bytecode overwriting: probe insertion and removal are O(1).
+fn probe_insert_remove(c: &mut Criterion) {
+    let mut g = c.benchmark_group("probe-churn");
+    g.measurement_time(Duration::from_secs(3)).sample_size(30);
+    let (mut p, _) = bench_process();
+    let func = p.module().export_func("run").unwrap();
+    g.bench_function("insert+remove local probe", |b| {
+        b.iter(|| {
+            let id = p.add_local_probe_val(func, 0, CountProbe::new()).unwrap();
+            p.remove_probe(id).unwrap();
+        });
+    });
+    g.finish();
+}
+
+/// Probe fire paths: empty generic probe vs counter probe in the
+/// interpreter (per-fire cost).
+fn probe_fire_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("probe-fire");
+    g.measurement_time(Duration::from_secs(3)).sample_size(20);
+    let cases: [(&str, fn(&mut Process, u32)); 3] = [
+        ("generic-empty", |p: &mut Process, f: u32| {
+            p.add_local_probe_val(f, 0, wizard_engine::EmptyProbe).unwrap();
+        }),
+        ("count", |p: &mut Process, f: u32| {
+            p.add_local_probe_val(f, 0, CountProbe::new()).unwrap();
+        }),
+        ("accessor-touching", |p: &mut Process, f: u32| {
+            p.add_local_probe(
+                f,
+                0,
+                ClosureProbe::shared(|ctx| {
+                    let _ = ctx.accessor();
+                }),
+            )
+            .unwrap();
+        }),
+    ];
+    for (label, attach) in cases {
+        let (mut p, n) = bench_process();
+        let func = p.module().export_func("run").unwrap();
+        attach(&mut p, func);
+        g.bench_function(label, |b| {
+            b.iter(|| p.invoke_export("run", &[Value::I32(n as i32)]).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(micro, dispatch_table_switch, probe_insert_remove, probe_fire_paths);
+criterion_main!(micro);

@@ -1,0 +1,43 @@
+//! Criterion benchmarks of instrumented execution across tiers — the
+//! per-mechanism view behind Figures 3 and 4: local vs global probes in
+//! the interpreter, and generic vs intrinsified probes in the JIT.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wizard_bench::{measure, Analysis, System};
+use wizard_suites::{polybench_suite, Scale};
+
+fn tiers_and_mechanisms(c: &mut Criterion) {
+    std::env::set_var("WIZARD_RUNS", "1");
+    let bench = polybench_suite(Scale::Test)
+        .into_iter()
+        .find(|b| b.name == "gemm")
+        .expect("gemm exists");
+    let mut g = c.benchmark_group("gemm-instrumented");
+    g.measurement_time(Duration::from_secs(3)).sample_size(10);
+    for (label, system, analysis) in [
+        ("interp-uninstr", System::Interp, Analysis::None),
+        ("interp-hotness-local", System::Interp, Analysis::Hotness),
+        ("interp-hotness-global", System::InterpGlobal, Analysis::Hotness),
+        ("jit-uninstr", System::JitIntrinsified, Analysis::None),
+        ("jit-hotness-generic", System::Jit, Analysis::Hotness),
+        ("jit-hotness-intrinsified", System::JitIntrinsified, Analysis::Hotness),
+        ("jit-branch-generic", System::Jit, Analysis::Branch),
+        ("jit-branch-intrinsified", System::JitIntrinsified, Analysis::Branch),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let m = match analysis {
+                    Analysis::None => wizard_bench::baseline(&bench, system),
+                    a => measure(&bench, system, a),
+                };
+                m.checksum
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(probes, tiers_and_mechanisms);
+criterion_main!(probes);

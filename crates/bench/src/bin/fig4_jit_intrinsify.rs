@@ -1,0 +1,49 @@
+//! Figure 4: relative execution time of the hotness and branch monitors
+//! in the JIT tier, with and without probe intrinsification, across
+//! PolyBench (ratios relative to uninstrumented JIT execution).
+
+use wizard_bench::{baseline, measure, relative, Analysis, System};
+use wizard_suites::polybench_suite;
+
+fn main() {
+    let suite = polybench_suite(wizard_bench::scale());
+    println!("=== Figure 4: JIT with and without intrinsification (PolyBench) ===");
+    println!(
+        "{:<16} {:>14} {:>14} {:>14} {:>14} {:>12}",
+        "benchmark", "hot(intrins)", "hot(JIT)", "br(intrins)", "br(JIT)", "probe fires"
+    );
+    let mut ranges: [Vec<f64>; 4] = Default::default();
+    for b in &suite {
+        let base = baseline(b, System::JitIntrinsified);
+        let hi = measure(b, System::JitIntrinsified, Analysis::Hotness);
+        let hj = measure(b, System::Jit, Analysis::Hotness);
+        let bi = measure(b, System::JitIntrinsified, Analysis::Branch);
+        let bj = measure(b, System::Jit, Analysis::Branch);
+        assert_eq!(hi.checksum, base.checksum, "{}: perturbed", b.name);
+        let r = [
+            relative(&hi, &base),
+            relative(&hj, &base),
+            relative(&bi, &base),
+            relative(&bj, &base),
+        ];
+        for (acc, v) in ranges.iter_mut().zip(r) {
+            acc.push(v);
+        }
+        println!(
+            "{:<16} {:>13.2}x {:>13.2}x {:>13.2}x {:>13.2}x {:>12}",
+            b.name, r[0], r[1], r[2], r[3], hi.fires
+        );
+    }
+    let rng = |v: &[f64]| {
+        (v.iter().copied().fold(f64::INFINITY, f64::min), v.iter().copied().fold(0.0f64, f64::max))
+    };
+    println!("\n=== §5.3 summary ===");
+    let (a, b) = rng(&ranges[1]);
+    println!("hotness JIT (paper 7-134x):             {a:.1}-{b:.1}x");
+    let (a, b) = rng(&ranges[0]);
+    println!("hotness JIT intrinsified (paper 2.2-7.7x): {a:.1}-{b:.1}x");
+    let (a, b) = rng(&ranges[3]);
+    println!("branch JIT (paper 1.0-16.6x):           {a:.1}-{b:.1}x");
+    let (a, b) = rng(&ranges[2]);
+    println!("branch JIT intrinsified (paper 1.0-2.8x):  {a:.1}-{b:.1}x");
+}

@@ -1,0 +1,293 @@
+//! Per-function code objects: in-place mutable bytecode (the substrate for
+//! *bytecode overwriting*), validation metadata, and the compiled-code slot.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use wizard_wasm::module::FuncIdx;
+use wizard_wasm::opcodes as op;
+use wizard_wasm::types::ValType;
+use wizard_wasm::validate::FuncMeta;
+
+use crate::jit::Compiled;
+
+/// A function's bytecode as shared, in-place mutable bytes.
+///
+/// Local probes overwrite a single opcode byte with [`op::PROBE`]; immediates
+/// are never touched, so all other offsets remain valid — the property that
+/// makes overwriting vastly simpler than bytecode injection (paper §4.2).
+#[derive(Debug, Clone)]
+pub struct CodeBytes {
+    cells: Rc<[Cell<u8>]>,
+}
+
+impl CodeBytes {
+    /// Wraps a bytecode vector.
+    pub fn new(bytes: &[u8]) -> CodeBytes {
+        CodeBytes { cells: bytes.iter().map(|b| Cell::new(*b)).collect() }
+    }
+
+    /// Code length in bytes.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` if the body is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Reads the byte at `pc`.
+    #[inline]
+    pub fn byte(&self, pc: usize) -> u8 {
+        self.cells[pc].get()
+    }
+
+    /// Overwrites the byte at `pc`.
+    #[inline]
+    pub fn set(&self, pc: usize, b: u8) {
+        self.cells[pc].set(b);
+    }
+
+    /// Copies the current bytes out (used by the JIT compiler and tests).
+    pub fn snapshot(&self) -> Vec<u8> {
+        self.cells.iter().map(Cell::get).collect()
+    }
+
+    /// Reads an unsigned LEB128 u32 at `pos`, returning `(value, next pos)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed encodings — impossible for validated code.
+    #[inline]
+    pub fn read_u32(&self, pos: usize) -> (u32, usize) {
+        let mut result: u32 = 0;
+        let mut shift = 0u32;
+        let mut p = pos;
+        loop {
+            let byte = self.cells[p].get();
+            p += 1;
+            result |= u32::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return (result, p);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Reads a signed LEB128 i32 at `pos`.
+    #[inline]
+    pub fn read_i32(&self, pos: usize) -> (i32, usize) {
+        let mut result: i32 = 0;
+        let mut shift = 0u32;
+        let mut p = pos;
+        loop {
+            let byte = self.cells[p].get();
+            p += 1;
+            result |= i32::from(byte & 0x7f) << shift;
+            shift += 7;
+            if byte & 0x80 == 0 {
+                if shift < 32 && byte & 0x40 != 0 {
+                    result |= -1i32 << shift;
+                }
+                return (result, p);
+            }
+        }
+    }
+
+    /// Reads a signed LEB128 i64 at `pos`.
+    #[inline]
+    pub fn read_i64(&self, pos: usize) -> (i64, usize) {
+        let mut result: i64 = 0;
+        let mut shift = 0u32;
+        let mut p = pos;
+        loop {
+            let byte = self.cells[p].get();
+            p += 1;
+            result |= i64::from(byte & 0x7f) << shift;
+            shift += 7;
+            if byte & 0x80 == 0 {
+                if shift < 64 && byte & 0x40 != 0 {
+                    result |= -1i64 << shift;
+                }
+                return (result, p);
+            }
+        }
+    }
+
+    /// Reads 4 little-endian bytes at `pos`.
+    #[inline]
+    pub fn read_f32_bits(&self, pos: usize) -> (u32, usize) {
+        let mut v = 0u32;
+        for i in 0..4 {
+            v |= u32::from(self.cells[pos + i].get()) << (8 * i);
+        }
+        (v, pos + 4)
+    }
+
+    /// Reads 8 little-endian bytes at `pos`.
+    #[inline]
+    pub fn read_f64_bits(&self, pos: usize) -> (u64, usize) {
+        let mut v = 0u64;
+        for i in 0..8 {
+            v |= u64::from(self.cells[pos + i].get()) << (8 * i);
+        }
+        (v, pos + 8)
+    }
+}
+
+/// The engine's per-function code object.
+#[derive(Debug)]
+pub struct FuncCode {
+    /// Global function index.
+    pub func: FuncIdx,
+    /// In-place mutable bytecode.
+    pub bytes: CodeBytes,
+    /// Original opcodes of probe-overwritten locations.
+    pub orig: RefCell<HashMap<u32, u8>>,
+    /// Branch side table and other validation metadata.
+    pub meta: Rc<FuncMeta>,
+    /// Types of params followed by declared locals.
+    pub local_types: Rc<[ValType]>,
+    /// Number of parameters.
+    pub num_params: u32,
+    /// Number of results (0 or 1).
+    pub num_results: u32,
+    /// Instrumentation version; bumped whenever probes are inserted or
+    /// removed in this function, invalidating compiled code (paper §4.5).
+    pub version: Cell<u32>,
+    /// Compiled (JIT-tier) code, if any and still valid.
+    pub compiled: RefCell<Option<Rc<Compiled>>>,
+    /// Hotness counter driving tier-up.
+    pub hotness: Cell<u32>,
+}
+
+impl FuncCode {
+    /// Installs the probe opcode at `pc`, saving the original byte.
+    /// Idempotent: installing twice keeps the original original.
+    pub fn install_probe_byte(&self, pc: u32) {
+        let cur = self.bytes.byte(pc as usize);
+        if cur == op::PROBE {
+            return;
+        }
+        self.orig.borrow_mut().insert(pc, cur);
+        self.bytes.set(pc as usize, op::PROBE);
+    }
+
+    /// Restores the original opcode at `pc` (when the last probe at the
+    /// location is removed).
+    pub fn restore_byte(&self, pc: u32) {
+        if let Some(orig) = self.orig.borrow_mut().remove(&pc) {
+            self.bytes.set(pc as usize, orig);
+        }
+    }
+
+    /// The original opcode at `pc`: the saved byte if overwritten, else the
+    /// current byte.
+    #[inline]
+    pub fn orig_opcode(&self, pc: u32) -> u8 {
+        let cur = self.bytes.byte(pc as usize);
+        if cur != op::PROBE {
+            return cur;
+        }
+        *self
+            .orig
+            .borrow()
+            .get(&pc)
+            .expect("probe byte present implies saved original")
+    }
+
+    /// Invalidates compiled code and bumps the instrumentation version.
+    pub fn invalidate(&self) {
+        self.version.set(self.version.get() + 1);
+        *self.compiled.borrow_mut() = None;
+    }
+
+    /// Total local slots (params + declared locals).
+    pub fn num_slots(&self) -> u32 {
+        self.local_types.len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wizard_wasm::validate::FuncMeta;
+
+    fn code(bytes: &[u8]) -> FuncCode {
+        FuncCode {
+            func: 0,
+            bytes: CodeBytes::new(bytes),
+            orig: RefCell::new(HashMap::new()),
+            meta: Rc::new(FuncMeta::default()),
+            local_types: Rc::from(vec![].into_boxed_slice()),
+            num_params: 0,
+            num_results: 0,
+            version: Cell::new(0),
+            compiled: RefCell::new(None),
+            hotness: Cell::new(0),
+        }
+    }
+
+    #[test]
+    fn overwrite_and_restore() {
+        let c = code(&[op::NOP, op::I32_CONST, 5, op::END]);
+        c.install_probe_byte(1);
+        assert_eq!(c.bytes.byte(1), op::PROBE);
+        assert_eq!(c.orig_opcode(1), op::I32_CONST);
+        // Immediate untouched.
+        assert_eq!(c.bytes.byte(2), 5);
+        c.restore_byte(1);
+        assert_eq!(c.bytes.byte(1), op::I32_CONST);
+        assert_eq!(c.orig_opcode(1), op::I32_CONST);
+    }
+
+    #[test]
+    fn double_install_keeps_original() {
+        let c = code(&[op::NOP, op::END]);
+        c.install_probe_byte(0);
+        c.install_probe_byte(0);
+        assert_eq!(c.orig_opcode(0), op::NOP);
+        c.restore_byte(0);
+        assert_eq!(c.bytes.byte(0), op::NOP);
+    }
+
+    #[test]
+    fn invalidate_bumps_version_and_drops_compiled() {
+        let c = code(&[op::END]);
+        assert_eq!(c.version.get(), 0);
+        c.invalidate();
+        assert_eq!(c.version.get(), 1);
+        assert!(c.compiled.borrow().is_none());
+    }
+
+    #[test]
+    fn leb_readers_match_encoder() {
+        let mut buf = vec![0u8];
+        wizard_wasm::leb128::write_u32(&mut buf, 624485);
+        wizard_wasm::leb128::write_i32(&mut buf, -99999);
+        wizard_wasm::leb128::write_i64(&mut buf, -(1i64 << 40));
+        let c = CodeBytes::new(&buf);
+        let (a, p) = c.read_u32(1);
+        assert_eq!(a, 624485);
+        let (b, p) = c.read_i32(p);
+        assert_eq!(b, -99999);
+        let (d, p) = c.read_i64(p);
+        assert_eq!(d, -(1i64 << 40));
+        assert_eq!(p, buf.len());
+    }
+
+    #[test]
+    fn float_bit_readers() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&1.5f32.to_le_bytes());
+        buf.extend_from_slice(&(-2.25f64).to_le_bytes());
+        let c = CodeBytes::new(&buf);
+        let (f32_bits, p) = c.read_f32_bits(0);
+        assert_eq!(f32::from_bits(f32_bits), 1.5);
+        let (f64_bits, p2) = c.read_f64_bits(p);
+        assert_eq!(f64::from_bits(f64_bits), -2.25);
+        assert_eq!(p2, 12);
+    }
+}

@@ -1,0 +1,708 @@
+//! The engine facade: configuration, instantiation, invocation, and the
+//! public dynamic-instrumentation API.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use wizard_wasm::module::{ConstExpr, FuncIdx, ImportDesc, Module};
+use wizard_wasm::opcodes as op;
+use wizard_wasm::types::{FuncType, GlobalType, ValType};
+use wizard_wasm::validate::{validate, ValidateError};
+
+use crate::code::{CodeBytes, FuncCode};
+use crate::exec::{Exec, Exit};
+use crate::frame::Tier;
+use crate::interp;
+use crate::jit;
+use crate::probe::{Pending, Probe, ProbeId, ProbeRef, ProbeRegistry, Site};
+use crate::store::{HostFn, Linker, Memory, Table};
+use crate::trap::Trap;
+use crate::value::{Slot, Value};
+
+/// Which execution tiers the engine uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Interpreter only (the paper's "Wizard (Interpreter)" configuration).
+    InterpOnly,
+    /// JIT only: functions are compiled on first call; frame modifications
+    /// and global probes are rejected (paper §4.6).
+    JitOnly,
+    /// Dynamic tiering: start interpreting, tier up hot functions with
+    /// on-stack replacement at loop headers.
+    #[default]
+    Tiered,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Tier policy.
+    pub mode: ExecMode,
+    /// Call/backedge count at which a function tiers up (Tiered mode).
+    pub tierup_threshold: u32,
+    /// Intrinsify [`CountProbe`](crate::probe::CountProbe)s in compiled
+    /// code (the paper's `intrinsifyCountProbe` flag).
+    pub intrinsify_count: bool,
+    /// Intrinsify top-of-stack operand probes (`intrinsifyOperandProbe`).
+    pub intrinsify_operand: bool,
+    /// Maximum Wasm call depth.
+    pub max_call_depth: usize,
+    /// Maximum unified value-stack slots.
+    pub max_value_stack: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            mode: ExecMode::Tiered,
+            tierup_threshold: 50,
+            intrinsify_count: true,
+            intrinsify_operand: true,
+            max_call_depth: 10_000,
+            max_value_stack: 1 << 22,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Interpreter-only configuration.
+    pub fn interpreter() -> EngineConfig {
+        EngineConfig { mode: ExecMode::InterpOnly, ..EngineConfig::default() }
+    }
+
+    /// JIT-only configuration with intrinsification enabled
+    /// (the artifact's `fast-count` binary).
+    pub fn jit() -> EngineConfig {
+        EngineConfig { mode: ExecMode::JitOnly, ..EngineConfig::default() }
+    }
+
+    /// JIT-only configuration with intrinsification disabled
+    /// (the artifact's `base` binary running JIT).
+    pub fn jit_no_intrinsics() -> EngineConfig {
+        EngineConfig {
+            mode: ExecMode::JitOnly,
+            intrinsify_count: false,
+            intrinsify_operand: false,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// Default dynamic-tiering configuration.
+    pub fn tiered() -> EngineConfig {
+        EngineConfig::default()
+    }
+}
+
+/// Counters the engine maintains about instrumentation and tiering
+/// activity (the paper's figures annotate probe-fire counts).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Probe fires dispatched through the runtime (generic local probes and
+    /// global probes; intrinsified fires are not runtime-dispatched and are
+    /// counted by the monitors themselves).
+    pub probe_fires: u64,
+    /// Global-probe fires (subset of `probe_fires`).
+    pub global_fires: u64,
+    /// Functions compiled to the JIT tier.
+    pub compiles: u64,
+    /// Tier-up transitions (OSR entries).
+    pub tier_ups: u64,
+    /// Deoptimizations (frame transfers back to the interpreter, including
+    /// frame-modification deopts).
+    pub deopts: u64,
+}
+
+/// Error instantiating a module.
+#[derive(Debug)]
+pub enum LinkError {
+    /// The module failed validation.
+    Validate(ValidateError),
+    /// An import could not be resolved.
+    UnresolvedImport(String, String),
+    /// An import kind is not supported by this engine.
+    UnsupportedImport(String, String, &'static str),
+    /// An imported global's provided value has the wrong type.
+    GlobalTypeMismatch(String, String),
+    /// A data or element segment was out of bounds.
+    SegmentOutOfBounds(&'static str),
+    /// The start function trapped.
+    StartTrapped(Trap),
+}
+
+impl core::fmt::Display for LinkError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LinkError::Validate(e) => write!(f, "{e}"),
+            LinkError::UnresolvedImport(m, n) => write!(f, "unresolved import {m}.{n}"),
+            LinkError::UnsupportedImport(m, n, k) => {
+                write!(f, "unsupported import kind {k} for {m}.{n}")
+            }
+            LinkError::GlobalTypeMismatch(m, n) => {
+                write!(f, "imported global {m}.{n} has mismatched type")
+            }
+            LinkError::SegmentOutOfBounds(k) => write!(f, "{k} segment out of bounds"),
+            LinkError::StartTrapped(t) => write!(f, "start function trapped: {t}"),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+impl From<ValidateError> for LinkError {
+    fn from(e: ValidateError) -> LinkError {
+        LinkError::Validate(e)
+    }
+}
+
+/// Error from the dynamic instrumentation API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProbeError {
+    /// The function index does not name a locally-defined function.
+    NotALocalFunction(FuncIdx),
+    /// The pc does not fall on an instruction boundary.
+    InvalidPc(FuncIdx, u32),
+    /// Global probes require the interpreter, unavailable in JIT-only mode.
+    GlobalProbesNeedInterpreter,
+    /// No probe with this id is installed.
+    UnknownProbe,
+}
+
+impl core::fmt::Display for ProbeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ProbeError::NotALocalFunction(i) => {
+                write!(f, "function {i} is imported or out of range")
+            }
+            ProbeError::InvalidPc(func, pc) => {
+                write!(f, "pc {pc} is not an instruction boundary in function {func}")
+            }
+            ProbeError::GlobalProbesNeedInterpreter => {
+                f.write_str("global probes require an interpreter tier (not JIT-only)")
+            }
+            ProbeError::UnknownProbe => f.write_str("unknown probe id"),
+        }
+    }
+}
+
+impl std::error::Error for ProbeError {}
+
+/// An instantiated module together with its execution and instrumentation
+/// state — the engine's top-level object.
+///
+/// # Examples
+///
+/// ```
+/// use wizard_engine::{EngineConfig, Process};
+/// use wizard_engine::store::Linker;
+/// use wizard_engine::value::Value;
+/// use wizard_wasm::builder::{FuncBuilder, ModuleBuilder};
+/// use wizard_wasm::types::ValType::I32;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut mb = ModuleBuilder::new();
+/// let mut f = FuncBuilder::new(&[I32], &[I32]);
+/// f.local_get(0).i32_const(1).i32_add();
+/// mb.add_func("inc", f);
+/// let module = mb.build()?;
+///
+/// let mut process = Process::new(module, EngineConfig::default(), &Linker::new())?;
+/// let r = process.invoke_export("inc", &[Value::I32(41)])?;
+/// assert_eq!(r, vec![Value::I32(42)]);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Process {
+    pub(crate) module: Rc<Module>,
+    pub(crate) config: EngineConfig,
+    pub(crate) code: Vec<Rc<FuncCode>>,
+    pub(crate) host: Vec<HostFn>,
+    pub(crate) memory: Option<Memory>,
+    pub(crate) table: Table,
+    pub(crate) globals: Vec<u64>,
+    pub(crate) global_types: Vec<GlobalType>,
+    pub(crate) func_types: Vec<FuncType>,
+    pub(crate) probes: ProbeRegistry,
+    pub(crate) global_mode: bool,
+    pub(crate) stats: EngineStats,
+    /// Lazily computed instruction-boundary sets per local function.
+    instr_starts: RefCell<HashMap<usize, Rc<std::collections::BTreeSet<u32>>>>,
+}
+
+impl Process {
+    /// Validates, links and instantiates `module`, running data/element
+    /// segment initialization and the start function.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LinkError`] on validation failure, unresolved imports,
+    /// out-of-bounds segments, or a trapping start function.
+    pub fn new(module: Module, config: EngineConfig, linker: &Linker) -> Result<Process, LinkError> {
+        let meta = validate(&module)?;
+        let module = Rc::new(module);
+        let n_imp = module.num_imported_funcs();
+
+        // Resolve imports.
+        let mut host: Vec<HostFn> = Vec::new();
+        let mut imported_globals: Vec<(GlobalType, Value)> = Vec::new();
+        for imp in &module.imports {
+            match &imp.desc {
+                ImportDesc::Func(_) => {
+                    let f = linker
+                        .resolve_func(&imp.module, &imp.name)
+                        .ok_or_else(|| {
+                            LinkError::UnresolvedImport(imp.module.clone(), imp.name.clone())
+                        })?;
+                    host.push(f);
+                }
+                ImportDesc::Global(g) => {
+                    let v = linker
+                        .resolve_global(&imp.module, &imp.name)
+                        .ok_or_else(|| {
+                            LinkError::UnresolvedImport(imp.module.clone(), imp.name.clone())
+                        })?;
+                    if v.ty() != g.value {
+                        return Err(LinkError::GlobalTypeMismatch(
+                            imp.module.clone(),
+                            imp.name.clone(),
+                        ));
+                    }
+                    imported_globals.push((*g, v));
+                }
+                ImportDesc::Memory(_) => {
+                    return Err(LinkError::UnsupportedImport(
+                        imp.module.clone(),
+                        imp.name.clone(),
+                        "memory",
+                    ));
+                }
+                ImportDesc::Table(_) => {
+                    return Err(LinkError::UnsupportedImport(
+                        imp.module.clone(),
+                        imp.name.clone(),
+                        "table",
+                    ));
+                }
+            }
+        }
+
+        // Function types across the whole index space.
+        let mut func_types = Vec::with_capacity(module.num_funcs() as usize);
+        for i in 0..module.num_funcs() {
+            func_types.push(module.func_type(i).expect("validated").clone());
+        }
+
+        // Globals: imported first, then module-defined.
+        let mut global_types: Vec<GlobalType> = Vec::new();
+        let mut globals: Vec<u64> = Vec::new();
+        for (g, v) in &imported_globals {
+            global_types.push(*g);
+            globals.push(v.to_slot().0);
+        }
+        for g in &module.globals {
+            global_types.push(g.ty);
+            let v = eval_const(&g.init, &globals, &global_types);
+            globals.push(v);
+        }
+
+        // Code objects.
+        let mut code = Vec::with_capacity(module.funcs.len());
+        for (i, (f, m)) in module.funcs.iter().zip(meta.funcs.iter()).enumerate() {
+            let ty = &module.types[f.type_idx as usize];
+            let mut local_types: Vec<ValType> = ty.params.clone();
+            local_types.extend(f.body.flat_locals());
+            code.push(Rc::new(FuncCode {
+                func: n_imp + i as u32,
+                bytes: CodeBytes::new(&f.body.code),
+                orig: RefCell::new(HashMap::new()),
+                meta: Rc::new(m.clone()),
+                local_types: Rc::from(local_types.into_boxed_slice()),
+                num_params: ty.params.len() as u32,
+                num_results: ty.results.len() as u32,
+                version: Cell::new(0),
+                compiled: RefCell::new(None),
+                hotness: Cell::new(0),
+            }));
+        }
+
+        // Memory + data segments.
+        let mut memory = module.memory0().map(|m| Memory::new(m.limits));
+        for d in &module.data {
+            let off = eval_const(&d.offset, &globals, &global_types) as u32;
+            memory
+                .as_mut()
+                .expect("validated: data requires memory")
+                .init(off, &d.bytes)
+                .map_err(|_| LinkError::SegmentOutOfBounds("data"))?;
+        }
+
+        // Table + element segments.
+        let mut table = module
+            .table0()
+            .map_or_else(Table::default, |t| Table::new(t.limits));
+        for e in &module.elems {
+            let off = eval_const(&e.offset, &globals, &global_types) as u32;
+            table
+                .init(off, &e.funcs)
+                .map_err(|_| LinkError::SegmentOutOfBounds("element"))?;
+        }
+
+        let mut p = Process {
+            module,
+            config,
+            code,
+            host,
+            memory,
+            table,
+            globals,
+            global_types,
+            func_types,
+            probes: ProbeRegistry::default(),
+            global_mode: false,
+            stats: EngineStats::default(),
+            instr_starts: RefCell::new(HashMap::new()),
+        };
+        if let Some(s) = p.module.start {
+            p.invoke(s, &[]).map_err(LinkError::StartTrapped)?;
+        }
+        Ok(p)
+    }
+
+    /// The module under execution.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Engine activity counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Resets the activity counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = EngineStats::default();
+    }
+
+    /// Read-only view of linear memory (if the module has one).
+    pub fn memory(&self) -> Option<&[u8]> {
+        self.memory.as_ref().map(Memory::data)
+    }
+
+    /// Reads a global by index.
+    pub fn global(&self, idx: u32) -> Option<Value> {
+        let ty = self.global_types.get(idx as usize)?;
+        Some(Value::from_slot(Slot(self.globals[idx as usize]), ty.value))
+    }
+
+    /// Invokes an exported function by name.
+    ///
+    /// # Errors
+    ///
+    /// Traps as [`Process::invoke`]; unknown exports trap with
+    /// [`Trap::Host`].
+    pub fn invoke_export(&mut self, name: &str, args: &[Value]) -> Result<Vec<Value>, Trap> {
+        let idx = self
+            .module
+            .export_func(name)
+            .ok_or_else(|| Trap::Host(format!("no exported function {name:?}")))?;
+        self.invoke(idx, args)
+    }
+
+    /// Invokes function `func` with `args`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Trap`] if execution traps; all frames are unwound and
+    /// their accessors invalidated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `args` do not match the function's parameter types.
+    pub fn invoke(&mut self, func: FuncIdx, args: &[Value]) -> Result<Vec<Value>, Trap> {
+        let ty = self.func_types[func as usize].clone();
+        assert_eq!(
+            args.iter().map(Value::ty).collect::<Vec<_>>(),
+            ty.params,
+            "argument types must match the function signature"
+        );
+        let mut ex = Exec::new(self);
+        for a in args {
+            ex.values.push(a.to_slot().0);
+        }
+        match ex.do_call(func, Tier::Interp) {
+            Ok(()) | Err(crate::exec::Sig::Switch) => {}
+            Err(crate::exec::Sig::Trap(t)) => return Err(t),
+            Err(crate::exec::Sig::Done) => unreachable!("entry call cannot signal done"),
+        }
+        while !ex.frames.is_empty() {
+            let tier = ex.frames.last().expect("non-empty").tier;
+            let r = match tier {
+                Tier::Interp => interp::run_frame(&mut ex),
+                Tier::Jit => jit::run_frame(&mut ex),
+            };
+            match r {
+                Ok(Exit::Done) => break,
+                Ok(Exit::Redispatch) => {}
+                Err(t) => {
+                    ex.unwind();
+                    return Err(t);
+                }
+            }
+        }
+        let results: Vec<Value> = ty
+            .results
+            .iter()
+            .enumerate()
+            .map(|(i, t)| Value::from_slot(Slot(ex.values[i]), *t))
+            .collect();
+        Ok(results)
+    }
+
+    // ---- instrumentation API ----
+
+    /// Inserts a probe at `(func, pc)`, overwriting the instruction's opcode
+    /// byte and invalidating compiled code for the function.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `func` is imported/unknown or `pc` is not an instruction
+    /// boundary.
+    pub fn add_local_probe(
+        &mut self,
+        func: FuncIdx,
+        pc: u32,
+        probe: ProbeRef,
+    ) -> Result<ProbeId, ProbeError> {
+        self.check_location(func, pc)?;
+        let id = self.probes.fresh_id();
+        self.apply_instrumentation(Pending::InsertLocal(id, func, pc, probe));
+        Ok(id)
+    }
+
+    /// Convenience: inserts an owned probe value.
+    ///
+    /// # Errors
+    ///
+    /// As [`Process::add_local_probe`].
+    pub fn add_local_probe_val(
+        &mut self,
+        func: FuncIdx,
+        pc: u32,
+        probe: impl Probe,
+    ) -> Result<ProbeId, ProbeError> {
+        self.add_local_probe(func, pc, Rc::new(RefCell::new(probe)))
+    }
+
+    /// Inserts a global probe, switching the interpreter to the
+    /// instrumented dispatch table. JIT code is *not* discarded; execution
+    /// returns to the interpreter until the probe is removed (paper §4.1).
+    ///
+    /// # Errors
+    ///
+    /// Fails in JIT-only mode, which has no interpreter to run global
+    /// probes in.
+    pub fn add_global_probe(&mut self, probe: ProbeRef) -> Result<ProbeId, ProbeError> {
+        if self.config.mode == ExecMode::JitOnly {
+            return Err(ProbeError::GlobalProbesNeedInterpreter);
+        }
+        let id = self.probes.fresh_id();
+        self.apply_instrumentation(Pending::InsertGlobal(id, probe));
+        Ok(id)
+    }
+
+    /// Convenience: inserts an owned global probe value.
+    ///
+    /// # Errors
+    ///
+    /// As [`Process::add_global_probe`].
+    pub fn add_global_probe_val(&mut self, probe: impl Probe) -> Result<ProbeId, ProbeError> {
+        self.add_global_probe(Rc::new(RefCell::new(probe)))
+    }
+
+    /// Removes a probe by id. Removing the last probe at a location
+    /// restores the original opcode byte; removing the last global probe
+    /// switches the dispatch table back.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the id is unknown.
+    pub fn remove_probe(&mut self, id: ProbeId) -> Result<(), ProbeError> {
+        if !self.probes_contains(id) {
+            return Err(ProbeError::UnknownProbe);
+        }
+        self.apply_instrumentation(Pending::Remove(id));
+        Ok(())
+    }
+
+    fn probes_contains(&self, id: ProbeId) -> bool {
+        self.probes.contains(id)
+    }
+
+    /// `true` while at least one global probe is installed.
+    pub fn in_global_mode(&self) -> bool {
+        self.global_mode
+    }
+
+    /// Number of distinct locations with local probes.
+    pub fn probed_location_count(&self) -> usize {
+        self.probes.local_site_count()
+    }
+
+    /// Validates that `(func, pc)` names an instruction boundary of a local
+    /// function.
+    pub(crate) fn check_location(&self, func: FuncIdx, pc: u32) -> Result<(), ProbeError> {
+        let n_imp = self.module.num_imported_funcs();
+        if func < n_imp || func >= self.module.num_funcs() {
+            return Err(ProbeError::NotALocalFunction(func));
+        }
+        let lf = (func - n_imp) as usize;
+        let starts = self.instr_starts_for(lf);
+        if !starts.contains(&pc) {
+            return Err(ProbeError::InvalidPc(func, pc));
+        }
+        Ok(())
+    }
+
+    fn instr_starts_for(&self, lf: usize) -> Rc<std::collections::BTreeSet<u32>> {
+        if let Some(s) = self.instr_starts.borrow().get(&lf) {
+            return Rc::clone(s);
+        }
+        let fc = &self.code[lf];
+        let mut clean = fc.bytes.snapshot();
+        for (pc, orig) in fc.orig.borrow().iter() {
+            clean[*pc as usize] = *orig;
+        }
+        let mut set = std::collections::BTreeSet::new();
+        for item in wizard_wasm::instr::InstrIter::new(&clean) {
+            let i = item.expect("validated code decodes");
+            set.insert(i.pc);
+        }
+        let rc = Rc::new(set);
+        self.instr_starts.borrow_mut().insert(lf, Rc::clone(&rc));
+        rc
+    }
+
+    /// Ensures `lf` has valid compiled code (compiling against current
+    /// instrumentation).
+    pub(crate) fn ensure_compiled(&mut self, lf: usize) {
+        if self.code[lf].compiled.borrow().is_some() {
+            return;
+        }
+        let compiled = jit::compile(&self.code[lf], &self.probes, &self.config);
+        self.stats.compiles += 1;
+        *self.code[lf].compiled.borrow_mut() = Some(Rc::new(compiled));
+    }
+
+    /// Applies one instrumentation change (immediately; deferral during
+    /// probe dispatch is handled by the pending queue in `exec`).
+    pub(crate) fn apply_instrumentation(&mut self, p: Pending) {
+        match p {
+            Pending::InsertGlobal(id, probe) => {
+                self.probes.insert_global(id, probe);
+                self.global_mode = true;
+            }
+            Pending::InsertLocal(id, func, pc, probe) => {
+                let n_imp = self.module.num_imported_funcs();
+                assert!(
+                    func >= n_imp && func < self.module.num_funcs(),
+                    "local probe target must be a locally-defined function"
+                );
+                let created = self.probes.insert_local(id, func, pc, probe);
+                let fc = &self.code[(func - n_imp) as usize];
+                if created {
+                    fc.install_probe_byte(pc);
+                }
+                // Compiled code is specialized to the probe list at compile
+                // time, so any change invalidates it (paper §4.6).
+                fc.invalidate();
+            }
+            Pending::Remove(id) => {
+                if let Some((site, emptied)) = self.probes.remove(id) {
+                    match site {
+                        Site::Global => {
+                            if !self.probes.has_global() {
+                                self.global_mode = false;
+                            }
+                        }
+                        Site::Local(func, pc) => {
+                            let n_imp = self.module.num_imported_funcs();
+                            let fc = &self.code[(func - n_imp) as usize];
+                            if emptied {
+                                fc.restore_byte(pc);
+                            }
+                            fc.invalidate();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The probe opcode currently at `(func, pc)`? Used by tests to verify
+    /// bytecode overwriting behavior.
+    pub fn has_probe_byte(&self, func: FuncIdx, pc: u32) -> bool {
+        let n_imp = self.module.num_imported_funcs();
+        if func < n_imp {
+            return false;
+        }
+        let fc = &self.code[(func - n_imp) as usize];
+        (pc as usize) < fc.bytes.len() && fc.bytes.byte(pc as usize) == op::PROBE
+    }
+
+    /// `true` if the function currently has valid compiled (JIT-tier) code.
+    pub fn is_compiled(&self, func: FuncIdx) -> bool {
+        let n_imp = self.module.num_imported_funcs();
+        if func < n_imp {
+            return false;
+        }
+        self.code[(func - n_imp) as usize].compiled.borrow().is_some()
+    }
+
+    /// Returns a textual listing of the compiled micro-ops of `func`,
+    /// compiling it if needed — the Figure-2 "generated code" view.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `func` is not a local function.
+    pub fn compiled_listing(&mut self, func: FuncIdx) -> Result<String, ProbeError> {
+        let n_imp = self.module.num_imported_funcs();
+        if func < n_imp || func >= self.module.num_funcs() {
+            return Err(ProbeError::NotALocalFunction(func));
+        }
+        let lf = (func - n_imp) as usize;
+        self.ensure_compiled(lf);
+        let compiled = self.code[lf].compiled.borrow().clone().expect("just compiled");
+        let mut out = String::new();
+        for (ip, o) in compiled.ops.iter().enumerate() {
+            let pc = compiled.ip_to_pc[ip];
+            out.push_str(&format!("{ip:>4} (pc {pc:>4}): {o:?}\n"));
+        }
+        Ok(out)
+    }
+}
+
+impl core::fmt::Debug for Process {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Process")
+            .field("funcs", &self.module.num_funcs())
+            .field("global_mode", &self.global_mode)
+            .field("probes", &self.probes)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+fn eval_const(e: &ConstExpr, globals: &[u64], _types: &[GlobalType]) -> u64 {
+    match e {
+        ConstExpr::I32(v) => Slot::from_i32(*v).0,
+        ConstExpr::I64(v) => Slot::from_i64(*v).0,
+        ConstExpr::F32(v) => Slot::from_f32(*v).0,
+        ConstExpr::F64(v) => Slot::from_f64(*v).0,
+        ConstExpr::GlobalGet(i) => globals[*i as usize],
+    }
+}

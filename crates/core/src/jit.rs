@@ -1,0 +1,606 @@
+//! The JIT tier: a pre-decoded micro-op compiler and executor.
+//!
+//! This stands in for Wizard's baseline JIT (which emits x86-64). Bytecode
+//! is compiled once into a dense array of micro-ops with pre-resolved
+//! immediates and branch targets, executed by a tight dispatch loop — the
+//! same structural role machine code plays in the paper:
+//!
+//! * local probes are *compiled into* the code at their sites;
+//! * a generic probe site requires a state checkpoint and a runtime call
+//!   (paper Figure 2, second column);
+//! * intrinsified `CountProbe`s compile to an inline counter increment and
+//!   intrinsified operand probes to a direct top-of-stack call (Figure 2,
+//!   third and fourth columns) — no FrameAccessor reification;
+//! * inserting/removing probes bumps the function's instrumentation
+//!   version, invalidating compiled code; executing frames deoptimize back
+//!   to the interpreter in place (paper §4.5–4.6, strategy 4).
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use wizard_wasm::instr::{Imm, InstrIter};
+use wizard_wasm::opcodes as op;
+use wizard_wasm::validate::{SideEntry, Target};
+
+use crate::code::FuncCode;
+use crate::exec::{Exec, Exit, Sig};
+use crate::frame::Tier;
+use crate::numeric;
+use crate::probe::{Location, ProbeKind, ProbeRef, ProbeRegistry};
+use crate::trap::Trap;
+use crate::value::Slot;
+use crate::EngineConfig;
+
+/// A resolved branch target in compiled code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JTarget {
+    /// Destination op index.
+    pub ip: u32,
+    /// Values carried across the branch.
+    pub keep: u32,
+    /// Operand height (above the frame's operand base) to truncate to.
+    pub height: u32,
+}
+
+/// One compiled micro-op.
+#[derive(Clone)]
+pub enum Op {
+    /// Push a constant slot.
+    Const(u64),
+    /// Push local `n`.
+    LocalGet(u32),
+    /// Pop into local `n`.
+    LocalSet(u32),
+    /// Copy top of stack into local `n`.
+    LocalTee(u32),
+    /// Push global `n`.
+    GlobalGet(u32),
+    /// Pop into global `n`.
+    GlobalSet(u32),
+    /// Pop and discard.
+    Drop,
+    /// Ternary select.
+    Select,
+    /// Binary numeric op (shared semantics with the interpreter).
+    Bin(u8),
+    /// Unary numeric op.
+    Un(u8),
+    /// Memory load with constant offset.
+    Load {
+        /// Original opcode (selects width/signedness).
+        op: u8,
+        /// Constant offset.
+        offset: u32,
+    },
+    /// Memory store with constant offset.
+    Store {
+        /// Original opcode.
+        op: u8,
+        /// Constant offset.
+        offset: u32,
+    },
+    /// `memory.size`.
+    MemorySize,
+    /// `memory.grow`.
+    MemoryGrow,
+    /// Unconditional branch.
+    Br(JTarget),
+    /// Branch if popped i32 is non-zero (`br_if`).
+    BrIf(JTarget),
+    /// Branch if popped i32 is zero (`if` false edge).
+    BrIfZero(JTarget),
+    /// `br_table`: targets then default (last).
+    BrTable(Box<[JTarget]>),
+    /// Explicit return.
+    Return,
+    /// Direct call.
+    Call {
+        /// Callee function index.
+        callee: u32,
+        /// Bytecode pc of the instruction after the call (frame resume point).
+        ret_pc: u32,
+    },
+    /// Indirect call through the table.
+    CallIndirect {
+        /// Expected type index.
+        type_idx: u32,
+        /// Bytecode resume pc.
+        ret_pc: u32,
+    },
+    /// `unreachable`.
+    Unreachable,
+    /// Generic probe site: checkpoint state and fire through the runtime
+    /// (Figure 2, "generic probe").
+    Probe {
+        /// Bytecode pc of the probed instruction.
+        pc: u32,
+    },
+    /// Intrinsified counter probe: inline increment, no call (Figure 2,
+    /// "counter probe").
+    CountBump {
+        /// The shared counter.
+        cell: Rc<Cell<u64>>,
+    },
+    /// Intrinsified top-of-stack operand probe: direct call with the
+    /// operand value, no FrameAccessor (Figure 2, "operand probe").
+    OperandProbe {
+        /// The probe to fire.
+        probe: ProbeRef,
+        /// Bytecode pc of the probed instruction.
+        pc: u32,
+    },
+}
+
+impl core::fmt::Debug for Op {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Op::Const(v) => write!(f, "const {v:#x}"),
+            Op::LocalGet(i) => write!(f, "local.get {i}"),
+            Op::LocalSet(i) => write!(f, "local.set {i}"),
+            Op::LocalTee(i) => write!(f, "local.tee {i}"),
+            Op::GlobalGet(i) => write!(f, "global.get {i}"),
+            Op::GlobalSet(i) => write!(f, "global.set {i}"),
+            Op::Drop => f.write_str("drop"),
+            Op::Select => f.write_str("select"),
+            Op::Bin(b) => f.write_str(op::name(*b)),
+            Op::Un(b) => f.write_str(op::name(*b)),
+            Op::Load { op: b, offset } => write!(f, "{} +{offset}", op::name(*b)),
+            Op::Store { op: b, offset } => write!(f, "{} +{offset}", op::name(*b)),
+            Op::MemorySize => f.write_str("memory.size"),
+            Op::MemoryGrow => f.write_str("memory.grow"),
+            Op::Br(t) => write!(f, "br -> ip {} (keep {}, h {})", t.ip, t.keep, t.height),
+            Op::BrIf(t) => write!(f, "br_if -> ip {} (keep {}, h {})", t.ip, t.keep, t.height),
+            Op::BrIfZero(t) => {
+                write!(f, "br_if_zero -> ip {} (keep {}, h {})", t.ip, t.keep, t.height)
+            }
+            Op::BrTable(ts) => {
+                write!(f, "br_table [")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{}", t.ip)?;
+                }
+                write!(f, "]")
+            }
+            Op::Return => f.write_str("return"),
+            Op::Call { callee, .. } => write!(f, "call {callee}"),
+            Op::CallIndirect { type_idx, .. } => write!(f, "call_indirect (type {type_idx})"),
+            Op::Unreachable => f.write_str("unreachable"),
+            Op::Probe { pc } => write!(
+                f,
+                "probe.generic pc={pc}  ; checkpoint state, runtime call, FrameAccessor available"
+            ),
+            Op::CountBump { .. } => {
+                f.write_str("count.bump          ; intrinsified: inline counter increment")
+            }
+            Op::OperandProbe { pc, .. } => write!(
+                f,
+                "probe.operand pc={pc} ; intrinsified: direct call with top-of-stack"
+            ),
+        }
+    }
+}
+
+/// A function compiled to micro-ops.
+#[derive(Debug)]
+pub struct Compiled {
+    /// Instrumentation version this code was specialized against.
+    pub version: u32,
+    /// The op stream.
+    pub ops: Vec<Op>,
+    /// Bytecode pc for each op (deoptimization metadata).
+    pub ip_to_pc: Vec<u32>,
+    /// OSR entry points: loop-header pc → op index *after* that pc's probe
+    /// ops (so tier-up does not re-fire probes the interpreter already ran).
+    pub osr_entry: HashMap<u32, u32>,
+}
+
+/// Compiles `fc` to micro-ops, baking in the currently-installed probes.
+pub(crate) fn compile(fc: &FuncCode, probes: &ProbeRegistry, config: &EngineConfig) -> Compiled {
+    // Decode from a cleaned snapshot: probe bytes replaced by originals.
+    let mut clean = fc.bytes.snapshot();
+    for (pc, orig) in fc.orig.borrow().iter() {
+        clean[*pc as usize] = *orig;
+    }
+    let mut ops: Vec<Op> = Vec::with_capacity(clean.len());
+    let mut ip_to_pc: Vec<u32> = Vec::with_capacity(clean.len());
+    let mut pc_to_ip: HashMap<u32, u32> = HashMap::new();
+    let mut osr_entry: HashMap<u32, u32> = HashMap::new();
+
+    let side_br = |pc: u32| -> Target {
+        match fc.meta.side.get(&pc) {
+            Some(SideEntry::Br(t) | SideEntry::IfFalse(t) | SideEntry::ElseSkip(t)) => *t,
+            other => unreachable!("missing side entry at {pc}: {other:?}"),
+        }
+    };
+    let jt = |t: Target| JTarget { ip: t.target_pc, keep: t.arity, height: t.height };
+
+    for item in InstrIter::new(&clean) {
+        let instr = item.expect("validated code decodes");
+        let pc = instr.pc;
+        pc_to_ip.insert(pc, ops.len() as u32);
+        // Probe site: intrinsify if every probe at the site supports it,
+        // otherwise fall back to a single generic probe op that dispatches
+        // the whole site list through the runtime.
+        if let Some(list) = probes.locals_at(fc.func, pc) {
+            let all_intrinsic = list.iter().all(|(_, p)| match p.borrow().kind() {
+                ProbeKind::Count => config.intrinsify_count,
+                ProbeKind::Operand => config.intrinsify_operand,
+                ProbeKind::Generic => false,
+            });
+            if all_intrinsic {
+                for (_, p) in list.iter() {
+                    let kind = p.borrow().kind();
+                    match kind {
+                        ProbeKind::Count => {
+                            let cell = p.borrow().count_cell().expect("count probe has cell");
+                            ops.push(Op::CountBump { cell });
+                        }
+                        ProbeKind::Operand => {
+                            ops.push(Op::OperandProbe { probe: Rc::clone(p), pc });
+                        }
+                        ProbeKind::Generic => unreachable!("checked all_intrinsic"),
+                    }
+                    ip_to_pc.push(pc);
+                }
+            } else {
+                ops.push(Op::Probe { pc });
+                ip_to_pc.push(pc);
+            }
+        }
+        if instr.op == op::LOOP {
+            osr_entry.insert(pc, ops.len() as u32);
+        }
+        let emitted: Option<Op> = match instr.op {
+            op::NOP | op::BLOCK | op::LOOP | op::END => None,
+            op::UNREACHABLE => Some(Op::Unreachable),
+            op::BR => Some(Op::Br(jt(side_br(pc)))),
+            op::BR_IF => Some(Op::BrIf(jt(side_br(pc)))),
+            op::IF => Some(Op::BrIfZero(jt(side_br(pc)))),
+            op::ELSE => Some(Op::Br(jt(side_br(pc)))),
+            op::BR_TABLE => match fc.meta.side.get(&pc) {
+                Some(SideEntry::Table(entries)) => {
+                    Some(Op::BrTable(entries.iter().map(|t| jt(*t)).collect()))
+                }
+                other => unreachable!("missing br_table side entry: {other:?}"),
+            },
+            op::RETURN => Some(Op::Return),
+            op::CALL => match instr.imm {
+                Imm::Idx(callee) => Some(Op::Call { callee, ret_pc: next_pc(&clean, pc) }),
+                _ => unreachable!(),
+            },
+            op::CALL_INDIRECT => match instr.imm {
+                Imm::CallIndirect { type_idx, .. } => {
+                    Some(Op::CallIndirect { type_idx, ret_pc: next_pc(&clean, pc) })
+                }
+                _ => unreachable!(),
+            },
+            op::DROP => Some(Op::Drop),
+            op::SELECT => Some(Op::Select),
+            op::LOCAL_GET => Some(Op::LocalGet(idx(&instr.imm))),
+            op::LOCAL_SET => Some(Op::LocalSet(idx(&instr.imm))),
+            op::LOCAL_TEE => Some(Op::LocalTee(idx(&instr.imm))),
+            op::GLOBAL_GET => Some(Op::GlobalGet(idx(&instr.imm))),
+            op::GLOBAL_SET => Some(Op::GlobalSet(idx(&instr.imm))),
+            op::MEMORY_SIZE => Some(Op::MemorySize),
+            op::MEMORY_GROW => Some(Op::MemoryGrow),
+            op::I32_CONST => match instr.imm {
+                Imm::I32(v) => Some(Op::Const(Slot::from_i32(v).0)),
+                _ => unreachable!(),
+            },
+            op::I64_CONST => match instr.imm {
+                Imm::I64(v) => Some(Op::Const(Slot::from_i64(v).0)),
+                _ => unreachable!(),
+            },
+            op::F32_CONST => match instr.imm {
+                Imm::F32(v) => Some(Op::Const(Slot::from_f32(v).0)),
+                _ => unreachable!(),
+            },
+            op::F64_CONST => match instr.imm {
+                Imm::F64(v) => Some(Op::Const(Slot::from_f64(v).0)),
+                _ => unreachable!(),
+            },
+            b if op::is_load(b) => match instr.imm {
+                Imm::Mem { offset, .. } => Some(Op::Load { op: b, offset }),
+                _ => unreachable!(),
+            },
+            b if op::is_store(b) => match instr.imm {
+                Imm::Mem { offset, .. } => Some(Op::Store { op: b, offset }),
+                _ => unreachable!(),
+            },
+            b if numeric::is_binop(b) => Some(Op::Bin(b)),
+            b if numeric::is_unop(b) => Some(Op::Un(b)),
+            b => unreachable!("unhandled opcode {b:#04x} in validated code"),
+        };
+        if let Some(o) = emitted {
+            ops.push(o);
+            ip_to_pc.push(pc);
+        }
+    }
+
+    // Resolve branch targets: JTarget.ip currently holds a bytecode pc.
+    let end_ip = ops.len() as u32;
+    let map = |t: &mut JTarget| {
+        t.ip = pc_to_ip.get(&t.ip).copied().unwrap_or(end_ip);
+    };
+    for o in &mut ops {
+        match o {
+            Op::Br(t) | Op::BrIf(t) | Op::BrIfZero(t) => map(t),
+            Op::BrTable(ts) => {
+                for t in ts.iter_mut() {
+                    map(t);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    Compiled { version: fc.version.get(), ops, ip_to_pc, osr_entry }
+}
+
+fn idx(imm: &Imm) -> u32 {
+    match imm {
+        Imm::Idx(v) => *v,
+        _ => unreachable!("decoder invariant"),
+    }
+}
+
+fn next_pc(clean: &[u8], pc: u32) -> u32 {
+    let (_, next) = wizard_wasm::instr::decode_at(clean, pc as usize).expect("validated");
+    next as u32
+}
+
+impl Exec<'_> {
+    /// Branch value shuffle shared with the interpreter's `do_branch`, but
+    /// without touching the pc.
+    #[inline]
+    fn branch_values(&mut self, keep: u32, height: u32) {
+        let keep = keep as usize;
+        let dest = self.opbase + height as usize;
+        let src = self.values.len() - keep;
+        if src != dest {
+            for k in 0..keep {
+                self.values[dest + k] = self.values[src + k];
+            }
+            self.values.truncate(dest + keep);
+        }
+    }
+}
+
+/// Runs the current (JIT-tier) frame until the invocation finishes, the
+/// frame deoptimizes, or a trap unwinds.
+#[allow(clippy::too_many_lines)]
+pub(crate) fn run_frame(ex: &mut Exec) -> Result<Exit, Trap> {
+    'frames: loop {
+        let (lf, start_ip, expect_version) = {
+            let f = ex.frames.last().expect("frame");
+            debug_assert_eq!(f.tier, Tier::Jit);
+            (f.lf, f.cip, f.code_version)
+        };
+        let Some(compiled) = ex.proc.code[lf].compiled.borrow().clone() else {
+            // Code was invalidated while this frame was suspended: deopt.
+            deopt_here(ex);
+            return Ok(Exit::Redispatch);
+        };
+        if compiled.version != expect_version {
+            deopt_here(ex);
+            return Ok(Exit::Redispatch);
+        }
+        let func = ex.func;
+        let mut ip = start_ip;
+        loop {
+            if ip >= compiled.ops.len() {
+                // Fell off the end: return.
+                ex.frames.last_mut().expect("frame").cip = ip;
+                match ex.do_return(Tier::Jit) {
+                    Ok(()) => continue 'frames,
+                    Err(Sig::Done) => return Ok(Exit::Done),
+                    Err(Sig::Switch) => return Ok(Exit::Redispatch),
+                    Err(Sig::Trap(t)) => return Err(t),
+                }
+            }
+            match &compiled.ops[ip] {
+                Op::Const(v) => ex.values.push(*v),
+                Op::LocalGet(i) => {
+                    let v = ex.values[ex.base + *i as usize];
+                    ex.values.push(v);
+                }
+                Op::LocalSet(i) => {
+                    let v = ex.pop();
+                    ex.values[ex.base + *i as usize] = v.0;
+                }
+                Op::LocalTee(i) => {
+                    let v = ex.peek();
+                    ex.values[ex.base + *i as usize] = v.0;
+                }
+                Op::GlobalGet(i) => {
+                    let v = ex.proc.globals[*i as usize];
+                    ex.values.push(v);
+                }
+                Op::GlobalSet(i) => {
+                    let v = ex.pop();
+                    ex.proc.globals[*i as usize] = v.0;
+                }
+                Op::Drop => {
+                    ex.pop();
+                }
+                Op::Select => {
+                    let c = ex.pop().i32();
+                    let v2 = ex.pop();
+                    let v1 = ex.pop();
+                    ex.push(if c != 0 { v1 } else { v2 });
+                }
+                Op::Bin(b) => {
+                    let rhs = ex.pop();
+                    let lhs = ex.pop();
+                    match numeric::binop(*b, lhs, rhs) {
+                        Ok(v) => ex.push(v),
+                        Err(t) => return trap(ex, t),
+                    }
+                }
+                Op::Un(b) => {
+                    let a = ex.pop();
+                    match numeric::unop(*b, a) {
+                        Ok(v) => ex.push(v),
+                        Err(t) => return trap(ex, t),
+                    }
+                }
+                Op::Load { op: b, offset } => {
+                    let addr = ex.pop().u32();
+                    let mem = ex.proc.memory.as_ref().expect("validated");
+                    match numeric::do_load(mem, *b, addr, *offset) {
+                        Ok(v) => ex.push(v),
+                        Err(t) => return trap(ex, t),
+                    }
+                }
+                Op::Store { op: b, offset } => {
+                    let val = ex.pop();
+                    let addr = ex.pop().u32();
+                    let mem = ex.proc.memory.as_mut().expect("validated");
+                    if let Err(t) = numeric::do_store(mem, *b, addr, *offset, val) {
+                        return trap(ex, t);
+                    }
+                }
+                Op::MemorySize => {
+                    let pages = ex.proc.memory.as_ref().expect("validated").pages();
+                    ex.push(Slot::from_u32(pages));
+                }
+                Op::MemoryGrow => {
+                    let delta = ex.pop().u32();
+                    let r = ex.proc.memory.as_mut().expect("validated").grow(delta);
+                    ex.push(Slot::from_i32(r));
+                }
+                Op::Br(t) => {
+                    ex.branch_values(t.keep, t.height);
+                    ip = t.ip as usize;
+                    continue;
+                }
+                Op::BrIf(t) => {
+                    let c = ex.pop().i32();
+                    if c != 0 {
+                        ex.branch_values(t.keep, t.height);
+                        ip = t.ip as usize;
+                        continue;
+                    }
+                }
+                Op::BrIfZero(t) => {
+                    let c = ex.pop().i32();
+                    if c == 0 {
+                        ex.branch_values(t.keep, t.height);
+                        ip = t.ip as usize;
+                        continue;
+                    }
+                }
+                Op::BrTable(ts) => {
+                    let i = ex.pop().u32() as usize;
+                    let t = ts[i.min(ts.len() - 1)];
+                    ex.branch_values(t.keep, t.height);
+                    ip = t.ip as usize;
+                    continue;
+                }
+                Op::Return => {
+                    ex.frames.last_mut().expect("frame").cip = ip + 1;
+                    match ex.do_return(Tier::Jit) {
+                        Ok(()) => continue 'frames,
+                        Err(Sig::Done) => return Ok(Exit::Done),
+                        Err(Sig::Switch) => return Ok(Exit::Redispatch),
+                        Err(Sig::Trap(t)) => return Err(t),
+                    }
+                }
+                Op::Call { callee, ret_pc } => {
+                    ex.pc = *ret_pc as usize;
+                    {
+                        let f = ex.frames.last_mut().expect("frame");
+                        f.cip = ip + 1;
+                        f.pc = *ret_pc as usize;
+                    }
+                    match ex.do_call(*callee, Tier::Jit) {
+                        Ok(()) => continue 'frames,
+                        Err(Sig::Switch) => return Ok(Exit::Redispatch),
+                        Err(Sig::Trap(t)) => return trap(ex, t),
+                        Err(Sig::Done) => unreachable!("call cannot finish invocation"),
+                    }
+                }
+                Op::CallIndirect { type_idx, ret_pc } => {
+                    ex.pc = *ret_pc as usize;
+                    {
+                        let f = ex.frames.last_mut().expect("frame");
+                        f.cip = ip + 1;
+                        f.pc = *ret_pc as usize;
+                    }
+                    match ex.do_call_indirect(*type_idx, Tier::Jit) {
+                        Ok(()) => continue 'frames,
+                        Err(Sig::Switch) => return Ok(Exit::Redispatch),
+                        Err(Sig::Trap(t)) => return trap(ex, t),
+                        Err(Sig::Done) => unreachable!("call cannot finish invocation"),
+                    }
+                }
+                Op::Unreachable => return trap(ex, Trap::Unreachable),
+                Op::CountBump { cell } => {
+                    // Fully-inlined counter: the intrinsified fast path.
+                    cell.set(cell.get() + 1);
+                }
+                Op::OperandProbe { probe, pc } => {
+                    // Direct call with the top-of-stack value; no runtime
+                    // dispatch, no FrameAccessor.
+                    let top = ex.peek();
+                    probe.borrow_mut().fire_operand(Location { func, pc: *pc }, top);
+                }
+                Op::Probe { pc } => {
+                    // Generic probe site: checkpoint (sync pc/cip), then fire
+                    // through the same runtime path as the interpreter.
+                    let pcv = *pc;
+                    ex.pc = pcv as usize;
+                    {
+                        let f = ex.frames.last_mut().expect("frame");
+                        f.cip = ip + 1;
+                        f.pc = pcv as usize;
+                    }
+                    ex.fire_local_probes(pcv);
+                    // Consistency checks: instrumentation changes or frame
+                    // modification force deoptimization of this frame only
+                    // (paper §4.6, strategy 4).
+                    let deopt_needed = {
+                        let f = ex.frames.last().expect("frame");
+                        ex.proc.code[lf].version.get() != compiled.version
+                            || f.deopt_requested
+                            || ex.proc.global_mode
+                    };
+                    if deopt_needed {
+                        let f = ex.frames.last_mut().expect("frame");
+                        f.tier = Tier::Interp;
+                        f.pc = pcv as usize;
+                        f.deopt_requested = false;
+                        // The probes at this pc already fired; suppress the
+                        // interpreter's re-fire if the probe byte remains.
+                        if ex.proc.code[lf].bytes.byte(pcv as usize) == op::PROBE {
+                            ex.skip_probe = Some(Location { func, pc: pcv });
+                        }
+                        ex.proc.stats.deopts += 1;
+                        ex.load_cur();
+                        return Ok(Exit::Redispatch);
+                    }
+                }
+            }
+            ip += 1;
+        }
+    }
+}
+
+/// Deoptimizes the current frame in place to the interpreter (its `pc` is
+/// already a valid bytecode resume point — frames suspend only at sync
+/// points).
+fn deopt_here(ex: &mut Exec) {
+    let f = ex.frames.last_mut().expect("frame");
+    f.tier = Tier::Interp;
+    f.deopt_requested = false;
+    ex.proc.stats.deopts += 1;
+    ex.load_cur();
+}
+
+fn trap(ex: &mut Exec, t: Trap) -> Result<Exit, Trap> {
+    let _ = ex;
+    Err(t)
+}

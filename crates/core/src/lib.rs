@@ -1,0 +1,88 @@
+//! `wizard-engine`: a multi-tier WebAssembly engine with flexible,
+//! non-intrusive dynamic instrumentation — the primary contribution of
+//! Titzer et al., *Flexible Non-intrusive Dynamic Instrumentation for
+//! WebAssembly* (ASPLOS 2024), reproduced in Rust.
+//!
+//! # Architecture
+//!
+//! * **In-place interpreter** ([`interp`](crate)): executes original
+//!   bytecode through a 256-entry dispatch table of handler function
+//!   pointers, with a precomputed branch side table. Global probes are
+//!   implemented by *switching the dispatch table pointer* — zero overhead
+//!   when disabled.
+//! * **Local probes** are implemented by *bytecode overwriting*: the probed
+//!   instruction's opcode byte is replaced by a reserved probe opcode, and
+//!   the original is kept on the side — zero overhead for uninstrumented
+//!   instructions, O(1) insertion/removal, and offsets stay valid.
+//! * **JIT tier** ([`jit`]): functions are compiled to pre-decoded
+//!   micro-ops; local probes are compiled into the code. `CountProbe`s and
+//!   top-of-stack operand probes can be *intrinsified* — inlined or called
+//!   directly without reifying a FrameAccessor.
+//! * **Consistency** ([`probe`], [`exec`]): insertion order is firing
+//!   order; inserts/removals during an event are deferred to its end; frame
+//!   modifications deoptimize exactly the modified frame back to the
+//!   interpreter (strategy 4 of §4.6); probe changes invalidate compiled
+//!   code and existing frames deoptimize at the next safe point.
+//! * **FrameAccessor** ([`frame`], [`exec::ProbeCtx`]): probes receive
+//!   program state through a façade over the live frame, with validity
+//!   protection against dangling access.
+//!
+//! # Quick start
+//!
+//! ```
+//! use wizard_engine::{CountProbe, EngineConfig, Process};
+//! use wizard_engine::store::Linker;
+//! use wizard_engine::value::Value;
+//! use wizard_wasm::builder::{FuncBuilder, ModuleBuilder};
+//! use wizard_wasm::types::ValType::I32;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Build a module with a loop.
+//! let mut mb = ModuleBuilder::new();
+//! let mut f = FuncBuilder::new(&[I32], &[I32]);
+//! let i = f.local(I32);
+//! let acc = f.local(I32);
+//! f.for_range(i, 0, |f| {
+//!     f.local_get(acc).local_get(i).i32_add().local_set(acc);
+//! });
+//! f.local_get(acc);
+//! mb.add_func("sum", f);
+//! let module = mb.build()?;
+//!
+//! // Instantiate and attach a counter probe at pc 0 of the function.
+//! let mut process = Process::new(module, EngineConfig::default(), &Linker::new())?;
+//! let func = process.module().export_func("sum").unwrap();
+//! let probe = CountProbe::new();
+//! let counter = probe.cell();
+//! process.add_local_probe_val(func, 0, probe)?;
+//!
+//! let r = process.invoke(func, &[Value::I32(10)])?;
+//! assert_eq!(r, vec![Value::I32(45)]);
+//! assert_eq!(counter.get(), 1); // entry instruction executed once
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod code;
+mod engine;
+pub mod exec;
+pub mod frame;
+mod interp;
+pub mod jit;
+pub mod numeric;
+pub mod probe;
+pub mod store;
+pub mod trap;
+pub mod value;
+
+pub use engine::{EngineConfig, EngineStats, ExecMode, LinkError, ProbeError, Process};
+pub use exec::{FrameModError, FrameView, ProbeCtx};
+pub use frame::{FrameAccessor, Tier};
+pub use probe::{
+    ClosureProbe, CountProbe, EmptyOperandProbe, EmptyProbe, Location, Probe, ProbeId, ProbeKind,
+    ProbeRef,
+};
+pub use trap::Trap;
+pub use value::{Slot, Value};

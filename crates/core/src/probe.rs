@@ -1,0 +1,377 @@
+//! The probe framework: the paper's core instrumentation primitive.
+//!
+//! A [`Probe`] is M-code — monitor logic executed by the engine when an
+//! event fires. *Global probes* fire before every instruction; *local
+//! probes* fire before a specific `(func, pc)` location. The
+//! [`ProbeRegistry`] maintains probe lists with the paper's §2.4.1
+//! consistency guarantees:
+//!
+//! * **insertion order is firing order** — lists are ordered;
+//! * **deferred inserts on same event** — the list for a firing event is
+//!   snapshotted before dispatch (lists are copy-on-write);
+//! * **deferred removal on same event** — removals requested while firing
+//!   are queued and applied when the event's dispatch completes.
+
+use std::cell::Cell;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use wizard_wasm::module::FuncIdx;
+
+use crate::exec::ProbeCtx;
+use crate::value::Slot;
+
+/// A code location: function index and byte offset within the body.
+///
+/// Together with the module (one per process) this is the paper's
+/// `(module, funcdecl, pc)` location triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Location {
+    /// Function index.
+    pub func: FuncIdx,
+    /// Byte offset of the instruction within the function body.
+    pub pc: u32,
+}
+
+impl core::fmt::Display for Location {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "func[{}]+{}", self.func, self.pc)
+    }
+}
+
+/// Classifies a probe for JIT intrinsification (paper §4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeKind {
+    /// Arbitrary M-code: requires a full state checkpoint and a runtime
+    /// call when compiled.
+    Generic,
+    /// A pure counter: the JIT inlines the increment, no call at all.
+    Count,
+    /// M-code that only needs the top-of-stack operand: the JIT passes the
+    /// value directly, skipping FrameAccessor reification.
+    Operand,
+}
+
+/// M-code attached to an execution event.
+///
+/// Implementations are free-form; the engine calls [`Probe::fire`] with a
+/// [`ProbeCtx`] granting access to the program location, the
+/// [`FrameAccessor`](crate::frame::FrameAccessor) machinery, and dynamic
+/// probe insertion/removal.
+pub trait Probe: 'static {
+    /// Fires the probe before the instruction at `ctx.location()` executes.
+    fn fire(&mut self, ctx: &mut ProbeCtx<'_, '_>);
+
+    /// The intrinsification class of this probe. Defaults to
+    /// [`ProbeKind::Generic`]; probes overriding this must uphold the
+    /// corresponding contract ([`Probe::count_cell`] / [`Probe::fire_operand`]).
+    fn kind(&self) -> ProbeKind {
+        ProbeKind::Generic
+    }
+
+    /// For [`ProbeKind::Count`] probes: the counter cell the JIT increments
+    /// inline.
+    fn count_cell(&self) -> Option<Rc<Cell<u64>>> {
+        None
+    }
+
+    /// For [`ProbeKind::Operand`] probes: fired with the top-of-stack slot
+    /// directly from compiled code.
+    fn fire_operand(&mut self, loc: Location, top: Slot) {
+        let _ = (loc, top);
+    }
+}
+
+/// Shared handle to a probe.
+pub type ProbeRef = Rc<RefCell<dyn Probe>>;
+
+/// Identifier of an inserted probe, used for removal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProbeId(pub(crate) u64);
+
+/// A counter probe: increments a shared counter each time its location is
+/// reached. Fully inlined by the JIT when count intrinsification is on
+/// (paper Figure 2, right column).
+#[derive(Debug, Clone, Default)]
+pub struct CountProbe {
+    cell: Rc<Cell<u64>>,
+}
+
+impl CountProbe {
+    /// Creates a counter probe with a fresh counter.
+    pub fn new() -> CountProbe {
+        CountProbe::default()
+    }
+
+    /// The current count.
+    pub fn count(&self) -> u64 {
+        self.cell.get()
+    }
+
+    /// A shared handle to the counter (e.g. for reports).
+    pub fn cell(&self) -> Rc<Cell<u64>> {
+        Rc::clone(&self.cell)
+    }
+}
+
+impl Probe for CountProbe {
+    fn fire(&mut self, _ctx: &mut ProbeCtx<'_, '_>) {
+        self.cell.set(self.cell.get() + 1);
+    }
+
+    fn kind(&self) -> ProbeKind {
+        ProbeKind::Count
+    }
+
+    fn count_cell(&self) -> Option<Rc<Cell<u64>>> {
+        Some(Rc::clone(&self.cell))
+    }
+}
+
+/// A probe with an empty `fire` body. Used to measure pure probe-dispatch
+/// overhead (T_PD) in the paper's Figure-5 decomposition.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EmptyProbe;
+
+impl Probe for EmptyProbe {
+    fn fire(&mut self, _ctx: &mut ProbeCtx<'_, '_>) {}
+}
+
+/// An empty probe that *claims* operand intrinsifiability — the intrinsified
+/// analogue of [`EmptyProbe`] for decomposition experiments.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EmptyOperandProbe;
+
+impl Probe for EmptyOperandProbe {
+    fn fire(&mut self, _ctx: &mut ProbeCtx<'_, '_>) {}
+
+    fn kind(&self) -> ProbeKind {
+        ProbeKind::Operand
+    }
+
+    fn fire_operand(&mut self, _loc: Location, _top: Slot) {}
+}
+
+/// Wraps a closure as a generic probe.
+pub struct ClosureProbe<F: FnMut(&mut ProbeCtx<'_, '_>) + 'static> {
+    f: F,
+}
+
+impl<F: FnMut(&mut ProbeCtx<'_, '_>) + 'static> ClosureProbe<F> {
+    /// Creates a probe from a closure.
+    pub fn new(f: F) -> ClosureProbe<F> {
+        ClosureProbe { f }
+    }
+
+    /// Boxes a closure into a [`ProbeRef`].
+    pub fn shared(f: F) -> ProbeRef {
+        Rc::new(RefCell::new(ClosureProbe { f }))
+    }
+}
+
+impl<F: FnMut(&mut ProbeCtx<'_, '_>) + 'static> Probe for ClosureProbe<F> {
+    fn fire(&mut self, ctx: &mut ProbeCtx<'_, '_>) {
+        (self.f)(ctx);
+    }
+}
+
+impl<F: FnMut(&mut ProbeCtx<'_, '_>) + 'static> core::fmt::Debug for ClosureProbe<F> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("ClosureProbe")
+    }
+}
+
+/// An ordered probe list entry.
+pub(crate) type Entry = (ProbeId, ProbeRef);
+
+/// Where a probe is attached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Site {
+    Global,
+    Local(FuncIdx, u32),
+}
+
+/// A deferred instrumentation request, queued while an event is firing.
+pub(crate) enum Pending {
+    InsertGlobal(ProbeId, ProbeRef),
+    InsertLocal(ProbeId, FuncIdx, u32, ProbeRef),
+    Remove(ProbeId),
+}
+
+/// Maintains global and local probe lists with consistent snapshots.
+#[derive(Default)]
+pub(crate) struct ProbeRegistry {
+    next_id: u64,
+    global: Rc<Vec<Entry>>,
+    local: HashMap<(FuncIdx, u32), Rc<Vec<Entry>>>,
+    sites: HashMap<ProbeId, Site>,
+    pub(crate) pending: Vec<Pending>,
+    /// Nonzero while an event's probe list is being dispatched.
+    pub(crate) firing: u32,
+}
+
+impl ProbeRegistry {
+    pub fn fresh_id(&mut self) -> ProbeId {
+        self.next_id += 1;
+        ProbeId(self.next_id)
+    }
+
+    pub fn has_global(&self) -> bool {
+        !self.global.is_empty()
+    }
+
+    /// Snapshot of the global probe list (cheap Rc clone).
+    pub fn globals(&self) -> Rc<Vec<Entry>> {
+        Rc::clone(&self.global)
+    }
+
+    /// Snapshot of the local probe list at a location.
+    pub fn locals_at(&self, func: FuncIdx, pc: u32) -> Option<Rc<Vec<Entry>>> {
+        self.local.get(&(func, pc)).map(Rc::clone)
+    }
+
+    /// Inserts a global probe (immediate; callers must be outside firing or
+    /// have routed through the pending queue).
+    pub fn insert_global(&mut self, id: ProbeId, probe: ProbeRef) {
+        let mut list = (*self.global).clone();
+        list.push((id, probe));
+        self.global = Rc::new(list);
+        self.sites.insert(id, Site::Global);
+    }
+
+    /// Inserts a local probe; returns `true` if this created the site (the
+    /// caller must then install the probe byte).
+    pub fn insert_local(&mut self, id: ProbeId, func: FuncIdx, pc: u32, probe: ProbeRef) -> bool {
+        let entry = self.local.entry((func, pc));
+        let created = matches!(entry, std::collections::hash_map::Entry::Vacant(_));
+        let list = entry.or_insert_with(|| Rc::new(Vec::new()));
+        let mut new_list = (**list).clone();
+        new_list.push((id, probe));
+        *list = Rc::new(new_list);
+        self.sites.insert(id, Site::Local(func, pc));
+        created
+    }
+
+    /// Removes a probe by id; returns its site and whether the site became
+    /// empty (the caller must then restore the probe byte).
+    pub fn remove(&mut self, id: ProbeId) -> Option<(Site, bool)> {
+        let site = self.sites.remove(&id)?;
+        match site {
+            Site::Global => {
+                let mut list = (*self.global).clone();
+                list.retain(|(pid, _)| *pid != id);
+                let emptied = list.is_empty();
+                self.global = Rc::new(list);
+                Some((site, emptied))
+            }
+            Site::Local(f, pc) => {
+                let Some(list) = self.local.get_mut(&(f, pc)) else {
+                    return Some((site, false));
+                };
+                let mut new_list = (**list).clone();
+                new_list.retain(|(pid, _)| *pid != id);
+                let emptied = new_list.is_empty();
+                if emptied {
+                    self.local.remove(&(f, pc));
+                } else {
+                    *list = Rc::new(new_list);
+                }
+                Some((site, emptied))
+            }
+        }
+    }
+
+    /// Number of distinct probed local sites (for diagnostics).
+    pub fn local_site_count(&self) -> usize {
+        self.local.len()
+    }
+
+    /// `true` if a probe with this id is installed.
+    pub fn contains(&self, id: ProbeId) -> bool {
+        self.sites.contains_key(&id)
+    }
+}
+
+impl core::fmt::Debug for ProbeRegistry {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ProbeRegistry")
+            .field("global_probes", &self.global.len())
+            .field("local_sites", &self.local.len())
+            .field("firing", &self.firing)
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty_ref() -> ProbeRef {
+        Rc::new(RefCell::new(EmptyProbe))
+    }
+
+    #[test]
+    fn insertion_order_is_list_order() {
+        let mut r = ProbeRegistry::default();
+        let a = r.fresh_id();
+        let b = r.fresh_id();
+        r.insert_local(a, 0, 4, empty_ref());
+        r.insert_local(b, 0, 4, empty_ref());
+        let list = r.locals_at(0, 4).unwrap();
+        assert_eq!(list[0].0, a);
+        assert_eq!(list[1].0, b);
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_mutation() {
+        let mut r = ProbeRegistry::default();
+        let a = r.fresh_id();
+        r.insert_local(a, 0, 4, empty_ref());
+        let snap = r.locals_at(0, 4).unwrap();
+        let b = r.fresh_id();
+        r.insert_local(b, 0, 4, empty_ref());
+        // The earlier snapshot still has one entry (copy-on-write).
+        assert_eq!(snap.len(), 1);
+        assert_eq!(r.locals_at(0, 4).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn remove_reports_emptied_site() {
+        let mut r = ProbeRegistry::default();
+        let a = r.fresh_id();
+        let b = r.fresh_id();
+        r.insert_local(a, 1, 2, empty_ref());
+        r.insert_local(b, 1, 2, empty_ref());
+        let (site, emptied) = r.remove(a).unwrap();
+        assert_eq!(site, Site::Local(1, 2));
+        assert!(!emptied);
+        let (_, emptied) = r.remove(b).unwrap();
+        assert!(emptied);
+        assert!(r.locals_at(1, 2).is_none());
+        assert!(r.remove(b).is_none());
+    }
+
+    #[test]
+    fn global_list_lifecycle() {
+        let mut r = ProbeRegistry::default();
+        assert!(!r.has_global());
+        let a = r.fresh_id();
+        r.insert_global(a, empty_ref());
+        assert!(r.has_global());
+        let (site, emptied) = r.remove(a).unwrap();
+        assert_eq!(site, Site::Global);
+        assert!(emptied);
+        assert!(!r.has_global());
+    }
+
+    #[test]
+    fn count_probe_kind_and_cell() {
+        let p = CountProbe::new();
+        assert_eq!(p.kind(), ProbeKind::Count);
+        let cell = p.count_cell().unwrap();
+        cell.set(5);
+        assert_eq!(p.count(), 5);
+    }
+}

@@ -1,0 +1,280 @@
+//! Runtime state owned by a process: linear memory, the function table,
+//! globals, and host (imported) functions.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use wizard_wasm::module::FuncIdx;
+use wizard_wasm::types::{Limits, PAGE_SIZE};
+
+use crate::trap::Trap;
+use crate::value::Value;
+
+/// Hard cap on memory size (pages) when a module declares no maximum.
+pub const DEFAULT_MAX_PAGES: u32 = 4096; // 256 MiB
+
+/// A linear memory instance.
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    bytes: Vec<u8>,
+    max_pages: u32,
+}
+
+impl Memory {
+    /// Creates a memory from its declared limits.
+    pub fn new(limits: Limits) -> Memory {
+        let max_pages = limits.max.unwrap_or(DEFAULT_MAX_PAGES).min(65536);
+        Memory { bytes: vec![0; limits.min as usize * PAGE_SIZE], max_pages }
+    }
+
+    /// Current size in pages.
+    pub fn pages(&self) -> u32 {
+        (self.bytes.len() / PAGE_SIZE) as u32
+    }
+
+    /// Current size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// `true` if the memory has zero pages.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Grows by `delta` pages; returns the previous page count, or `-1` if
+    /// the request exceeds the maximum.
+    pub fn grow(&mut self, delta: u32) -> i32 {
+        let old = self.pages();
+        let new = u64::from(old) + u64::from(delta);
+        if new > u64::from(self.max_pages) {
+            return -1;
+        }
+        self.bytes.resize(new as usize * PAGE_SIZE, 0);
+        old as i32
+    }
+
+    /// Raw byte view (for monitors and host functions).
+    pub fn data(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Mutable raw byte view.
+    pub fn data_mut(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+
+    /// Reads `N` bytes at `addr + offset` with bounds checking.
+    #[inline]
+    pub fn read<const N: usize>(&self, addr: u32, offset: u32) -> Result<[u8; N], Trap> {
+        let ea = u64::from(addr) + u64::from(offset);
+        let end = ea + N as u64;
+        if end > self.bytes.len() as u64 {
+            return Err(Trap::MemoryOutOfBounds);
+        }
+        let start = ea as usize;
+        Ok(self.bytes[start..start + N].try_into().expect("length checked"))
+    }
+
+    /// Writes `N` bytes at `addr + offset` with bounds checking.
+    #[inline]
+    pub fn write<const N: usize>(
+        &mut self,
+        addr: u32,
+        offset: u32,
+        data: [u8; N],
+    ) -> Result<(), Trap> {
+        let ea = u64::from(addr) + u64::from(offset);
+        let end = ea + N as u64;
+        if end > self.bytes.len() as u64 {
+            return Err(Trap::MemoryOutOfBounds);
+        }
+        let start = ea as usize;
+        self.bytes[start..start + N].copy_from_slice(&data);
+        Ok(())
+    }
+
+    /// Copies a data segment during instantiation.
+    pub fn init(&mut self, offset: u32, data: &[u8]) -> Result<(), Trap> {
+        let end = u64::from(offset) + data.len() as u64;
+        if end > self.bytes.len() as u64 {
+            return Err(Trap::MemoryOutOfBounds);
+        }
+        self.bytes[offset as usize..offset as usize + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+}
+
+/// The funcref table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    elems: Vec<Option<FuncIdx>>,
+}
+
+impl Table {
+    /// Creates a table from its limits.
+    pub fn new(limits: Limits) -> Table {
+        Table { elems: vec![None; limits.min as usize] }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// `true` if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// The function at `index`, if in range and initialized.
+    pub fn get(&self, index: u32) -> Result<FuncIdx, Trap> {
+        match self.elems.get(index as usize) {
+            Some(Some(f)) => Ok(*f),
+            Some(None) => Err(Trap::UndefinedElement),
+            None => Err(Trap::UndefinedElement),
+        }
+    }
+
+    /// Installs an element segment during instantiation.
+    pub fn init(&mut self, offset: u32, funcs: &[FuncIdx]) -> Result<(), Trap> {
+        let end = u64::from(offset) + funcs.len() as u64;
+        if end > self.elems.len() as u64 {
+            return Err(Trap::UndefinedElement);
+        }
+        for (i, f) in funcs.iter().enumerate() {
+            self.elems[offset as usize + i] = Some(*f);
+        }
+        Ok(())
+    }
+}
+
+/// The state handed to host functions: access to the guest's memory.
+#[derive(Debug)]
+pub struct HostCtx<'a> {
+    /// The guest memory, if the module has one.
+    pub memory: Option<&'a mut Memory>,
+}
+
+/// A host (imported) function.
+pub type HostFn = Rc<dyn Fn(&mut HostCtx<'_>, &[Value]) -> Result<Vec<Value>, Trap>>;
+
+/// Resolves module imports to host implementations at instantiation time.
+///
+/// # Examples
+///
+/// ```
+/// use wizard_engine::store::Linker;
+/// use wizard_engine::value::Value;
+///
+/// let mut linker = Linker::new();
+/// linker.func("env", "print_i32", |_ctx, args| {
+///     println!("{:?}", args);
+///     Ok(vec![])
+/// });
+/// ```
+#[derive(Clone, Default)]
+pub struct Linker {
+    funcs: HashMap<(String, String), HostFn>,
+    globals: HashMap<(String, String), Value>,
+}
+
+impl Linker {
+    /// Creates an empty linker.
+    pub fn new() -> Linker {
+        Linker::default()
+    }
+
+    /// Registers a host function under `(module, name)`.
+    pub fn func(
+        &mut self,
+        module: &str,
+        name: &str,
+        f: impl Fn(&mut HostCtx<'_>, &[Value]) -> Result<Vec<Value>, Trap> + 'static,
+    ) -> &mut Self {
+        self.funcs.insert((module.into(), name.into()), Rc::new(f));
+        self
+    }
+
+    /// Registers an imported global's value.
+    pub fn global(&mut self, module: &str, name: &str, v: Value) -> &mut Self {
+        self.globals.insert((module.into(), name.into()), v);
+        self
+    }
+
+    /// Looks up a host function.
+    pub fn resolve_func(&self, module: &str, name: &str) -> Option<HostFn> {
+        self.funcs.get(&(module.to_string(), name.to_string())).cloned()
+    }
+
+    /// Looks up an imported global value.
+    pub fn resolve_global(&self, module: &str, name: &str) -> Option<Value> {
+        self.globals.get(&(module.to_string(), name.to_string())).copied()
+    }
+}
+
+impl core::fmt::Debug for Linker {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Linker")
+            .field("funcs", &self.funcs.keys().collect::<Vec<_>>())
+            .field("globals", &self.globals.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_grow_respects_max() {
+        let mut m = Memory::new(Limits::bounded(1, 2));
+        assert_eq!(m.pages(), 1);
+        assert_eq!(m.grow(1), 1);
+        assert_eq!(m.pages(), 2);
+        assert_eq!(m.grow(1), -1);
+        assert_eq!(m.pages(), 2);
+    }
+
+    #[test]
+    fn memory_bounds_checked_reads_writes() {
+        let mut m = Memory::new(Limits::at_least(1));
+        m.write::<4>(0, 0, 42u32.to_le_bytes()).unwrap();
+        assert_eq!(u32::from_le_bytes(m.read::<4>(0, 0).unwrap()), 42);
+        // Last valid 4-byte slot.
+        let last = (PAGE_SIZE - 4) as u32;
+        assert!(m.write::<4>(last, 0, [0; 4]).is_ok());
+        assert_eq!(m.read::<4>(last, 1).unwrap_err(), Trap::MemoryOutOfBounds);
+        // addr+offset overflow does not wrap.
+        assert_eq!(m.read::<8>(u32::MAX, u32::MAX).unwrap_err(), Trap::MemoryOutOfBounds);
+    }
+
+    #[test]
+    fn memory_init_bounds() {
+        let mut m = Memory::new(Limits::at_least(1));
+        assert!(m.init(10, b"abc").is_ok());
+        assert_eq!(&m.data()[10..13], b"abc");
+        assert!(m.init(PAGE_SIZE as u32 - 1, b"xy").is_err());
+    }
+
+    #[test]
+    fn table_get_and_init() {
+        let mut t = Table::new(Limits::at_least(3));
+        assert_eq!(t.get(0).unwrap_err(), Trap::UndefinedElement);
+        t.init(1, &[7, 8]).unwrap();
+        assert_eq!(t.get(1).unwrap(), 7);
+        assert_eq!(t.get(2).unwrap(), 8);
+        assert_eq!(t.get(3).unwrap_err(), Trap::UndefinedElement);
+        assert!(t.init(2, &[1, 2]).is_err());
+    }
+
+    #[test]
+    fn linker_resolution() {
+        let mut l = Linker::new();
+        l.func("env", "f", |_, _| Ok(vec![Value::I32(1)]));
+        l.global("env", "g", Value::I64(9));
+        assert!(l.resolve_func("env", "f").is_some());
+        assert!(l.resolve_func("env", "missing").is_none());
+        assert_eq!(l.resolve_global("env", "g"), Some(Value::I64(9)));
+    }
+}

@@ -1,0 +1,72 @@
+//! Traps: WebAssembly's fault model.
+
+/// A runtime trap. Execution of the current invocation is aborted and all
+/// Wasm frames are unwound (invalidating their FrameAccessors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trap {
+    /// `unreachable` was executed.
+    Unreachable,
+    /// A memory access was out of bounds.
+    MemoryOutOfBounds,
+    /// Integer division by zero.
+    DivisionByZero,
+    /// Integer overflow (e.g. `i32::MIN / -1`).
+    IntegerOverflow,
+    /// Float-to-int conversion of NaN or an out-of-range value.
+    InvalidConversion,
+    /// `call_indirect` through a null or out-of-bounds table entry.
+    UndefinedElement,
+    /// `call_indirect` signature mismatch.
+    IndirectCallTypeMismatch,
+    /// The call stack exceeded the configured limit.
+    StackOverflow,
+    /// The operand/locals value stack exceeded the configured limit.
+    ValueStackOverflow,
+    /// An imported host function reported an error.
+    Host(String),
+}
+
+impl core::fmt::Display for Trap {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Trap::Unreachable => f.write_str("unreachable executed"),
+            Trap::MemoryOutOfBounds => f.write_str("out of bounds memory access"),
+            Trap::DivisionByZero => f.write_str("integer divide by zero"),
+            Trap::IntegerOverflow => f.write_str("integer overflow"),
+            Trap::InvalidConversion => f.write_str("invalid conversion to integer"),
+            Trap::UndefinedElement => f.write_str("undefined table element"),
+            Trap::IndirectCallTypeMismatch => f.write_str("indirect call type mismatch"),
+            Trap::StackOverflow => f.write_str("call stack exhausted"),
+            Trap::ValueStackOverflow => f.write_str("value stack exhausted"),
+            Trap::Host(msg) => write!(f, "host error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let all = [
+            Trap::Unreachable,
+            Trap::MemoryOutOfBounds,
+            Trap::DivisionByZero,
+            Trap::IntegerOverflow,
+            Trap::InvalidConversion,
+            Trap::UndefinedElement,
+            Trap::IndirectCallTypeMismatch,
+            Trap::StackOverflow,
+            Trap::ValueStackOverflow,
+            Trap::Host("x".into()),
+        ];
+        for t in all {
+            let s = t.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+}

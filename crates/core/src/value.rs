@@ -1,0 +1,248 @@
+//! Runtime value representation.
+//!
+//! Like a real engine, execution state is *virtualized*: the unified
+//! locals+operand stack holds untagged 64-bit slots (validation guarantees
+//! type soundness), and typed [`Value`]s appear only at API boundaries —
+//! host calls, invocation arguments/results, and the FrameAccessor.
+
+use wizard_wasm::types::ValType;
+
+/// A typed WebAssembly value, used at API boundaries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// 32-bit integer.
+    I32(i32),
+    /// 64-bit integer.
+    I64(i64),
+    /// 32-bit float.
+    F32(f32),
+    /// 64-bit float.
+    F64(f64),
+}
+
+impl Value {
+    /// The type of this value.
+    pub fn ty(&self) -> ValType {
+        match self {
+            Value::I32(_) => ValType::I32,
+            Value::I64(_) => ValType::I64,
+            Value::F32(_) => ValType::F32,
+            Value::F64(_) => ValType::F64,
+        }
+    }
+
+    /// Encodes this value into an untagged stack slot.
+    pub fn to_slot(self) -> Slot {
+        match self {
+            Value::I32(v) => Slot(v as u32 as u64),
+            Value::I64(v) => Slot(v as u64),
+            Value::F32(v) => Slot(u64::from(v.to_bits())),
+            Value::F64(v) => Slot(v.to_bits()),
+        }
+    }
+
+    /// Decodes a slot with a known type.
+    pub fn from_slot(slot: Slot, ty: ValType) -> Value {
+        match ty {
+            ValType::I32 => Value::I32(slot.i32()),
+            ValType::I64 => Value::I64(slot.i64()),
+            ValType::F32 => Value::F32(slot.f32()),
+            ValType::F64 => Value::F64(slot.f64()),
+        }
+    }
+
+    /// The zero value of type `ty`.
+    pub fn zero(ty: ValType) -> Value {
+        match ty {
+            ValType::I32 => Value::I32(0),
+            ValType::I64 => Value::I64(0),
+            ValType::F32 => Value::F32(0.0),
+            ValType::F64 => Value::F64(0.0),
+        }
+    }
+
+    /// Extracts an `i32`, if that is the payload type.
+    pub fn as_i32(&self) -> Option<i32> {
+        match self {
+            Value::I32(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extracts an `i64`, if that is the payload type.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extracts an `f32`, if that is the payload type.
+    pub fn as_f32(&self) -> Option<f32> {
+        match self {
+            Value::F32(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extracts an `f64`, if that is the payload type.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+impl core::fmt::Display for Value {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Value::I32(v) => write!(f, "{v}:i32"),
+            Value::I64(v) => write!(f, "{v}:i64"),
+            Value::F32(v) => write!(f, "{v}:f32"),
+            Value::F64(v) => write!(f, "{v}:f64"),
+        }
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Value {
+        Value::I32(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::I64(v)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::F32(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+
+/// An untagged 64-bit stack slot — the engine's internal value currency.
+///
+/// Operand-stack entries observed through the FrameAccessor are returned as
+/// slots because the engine does not track operand types at runtime; the
+/// observing monitor knows the type from the instruction context (exactly as
+/// in the paper's branch and memory monitors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Slot(pub u64);
+
+impl Slot {
+    /// Reads the slot as `i32`.
+    pub fn i32(self) -> i32 {
+        self.0 as u32 as i32
+    }
+
+    /// Reads the slot as `u32`.
+    pub fn u32(self) -> u32 {
+        self.0 as u32
+    }
+
+    /// Reads the slot as `i64`.
+    pub fn i64(self) -> i64 {
+        self.0 as i64
+    }
+
+    /// Reads the slot as `u64`.
+    pub fn u64(self) -> u64 {
+        self.0
+    }
+
+    /// Reads the slot as `f32`.
+    pub fn f32(self) -> f32 {
+        f32::from_bits(self.0 as u32)
+    }
+
+    /// Reads the slot as `f64`.
+    pub fn f64(self) -> f64 {
+        f64::from_bits(self.0)
+    }
+
+    /// Creates a slot from an `i32`.
+    pub fn from_i32(v: i32) -> Slot {
+        Slot(v as u32 as u64)
+    }
+
+    /// Creates a slot from an `i64`.
+    pub fn from_i64(v: i64) -> Slot {
+        Slot(v as u64)
+    }
+
+    /// Creates a slot from a `u32`.
+    pub fn from_u32(v: u32) -> Slot {
+        Slot(u64::from(v))
+    }
+
+    /// Creates a slot from a `u64`.
+    pub fn from_u64(v: u64) -> Slot {
+        Slot(v)
+    }
+
+    /// Creates a slot from an `f32`.
+    pub fn from_f32(v: f32) -> Slot {
+        Slot(u64::from(v.to_bits()))
+    }
+
+    /// Creates a slot from an `f64`.
+    pub fn from_f64(v: f64) -> Slot {
+        Slot(v.to_bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_slot_roundtrip() {
+        let cases = [
+            Value::I32(-5),
+            Value::I64(i64::MIN),
+            Value::F32(3.5),
+            Value::F64(-0.0),
+        ];
+        for v in cases {
+            let s = v.to_slot();
+            assert_eq!(Value::from_slot(s, v.ty()), v);
+        }
+    }
+
+    #[test]
+    fn i32_slot_is_zero_extended() {
+        let s = Value::I32(-1).to_slot();
+        assert_eq!(s.0, 0xffff_ffff);
+        assert_eq!(s.i32(), -1);
+        assert_eq!(s.u32(), u32::MAX);
+    }
+
+    #[test]
+    fn nan_bits_preserved() {
+        let bits = 0x7ff8_0000_0000_0001u64;
+        let s = Slot(bits);
+        assert!(s.f64().is_nan());
+        assert_eq!(Slot::from_f64(s.f64()).0, bits);
+    }
+
+    #[test]
+    fn zero_values() {
+        assert_eq!(Value::zero(ValType::I32), Value::I32(0));
+        assert_eq!(Value::zero(ValType::F64), Value::F64(0.0));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::I32(7).to_string(), "7:i32");
+        assert_eq!(Value::F64(1.5).to_string(), "1.5:f64");
+    }
+}

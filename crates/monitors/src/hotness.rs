@@ -1,0 +1,162 @@
+//! The **Hotness** monitor: counts every instruction executed (paper §3).
+//!
+//! The local-probe variant inserts a [`CountProbe`] at every instruction —
+//! the paper's representative "many simple probes" workload, and the one
+//! the JIT fully intrinsifies. The global-probe variant demonstrates
+//! emulating local probes with a single global probe (paper §2.1/§5.2) at
+//! the cost of an M-state lookup per instruction.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use wizard_engine::{ClosureProbe, CountProbe, Location, ProbeError, Process};
+
+use crate::util::{all_sites, func_label};
+use crate::{Monitor, ProbeMode};
+
+/// Counts executions of every instruction.
+#[derive(Debug, Default)]
+pub struct HotnessMonitor {
+    mode: ProbeMode,
+    counters: Vec<(Location, Rc<Cell<u64>>)>,
+    global_counts: Rc<RefCell<HashMap<Location, u64>>>,
+    labels: HashMap<u32, String>,
+}
+
+impl HotnessMonitor {
+    /// Creates the local-probe variant.
+    pub fn new() -> HotnessMonitor {
+        HotnessMonitor::default()
+    }
+
+    /// Creates a variant with an explicit probe mode.
+    pub fn with_mode(mode: ProbeMode) -> HotnessMonitor {
+        HotnessMonitor { mode, ..HotnessMonitor::default() }
+    }
+
+    /// Total instruction executions observed.
+    pub fn total(&self) -> u64 {
+        match self.mode {
+            ProbeMode::Local => self.counters.iter().map(|(_, c)| c.get()).sum(),
+            ProbeMode::Global => self.global_counts.borrow().values().sum(),
+        }
+    }
+
+    /// Per-location counts, hottest first.
+    pub fn counts(&self) -> Vec<(Location, u64)> {
+        let mut v: Vec<(Location, u64)> = match self.mode {
+            ProbeMode::Local => {
+                self.counters.iter().map(|(l, c)| (*l, c.get())).collect()
+            }
+            ProbeMode::Global => {
+                self.global_counts.borrow().iter().map(|(l, c)| (*l, *c)).collect()
+            }
+        };
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+impl Monitor for HotnessMonitor {
+    fn attach(&mut self, process: &mut Process) -> Result<(), ProbeError> {
+        for (f, _) in all_sites(process.module()) {
+            self.labels
+                .entry(f)
+                .or_insert_with(|| func_label(process.module(), f));
+        }
+        match self.mode {
+            ProbeMode::Local => {
+                for (func, instr) in all_sites(process.module()) {
+                    let probe = CountProbe::new();
+                    let cell = probe.cell();
+                    process.add_local_probe_val(func, instr.pc, probe)?;
+                    self.counters.push((Location { func, pc: instr.pc }, cell));
+                }
+            }
+            ProbeMode::Global => {
+                let counts = Rc::clone(&self.global_counts);
+                process.add_global_probe(ClosureProbe::shared(move |ctx| {
+                    *counts.borrow_mut().entry(ctx.location()).or_insert(0) += 1;
+                }))?;
+            }
+        }
+        Ok(())
+    }
+
+    fn report(&self) -> String {
+        let mut out = String::from("hotness report (top 20 locations)\n");
+        for (loc, n) in self.counts().into_iter().take(20) {
+            let label = self
+                .labels
+                .get(&loc.func)
+                .map_or_else(|| format!("func[{}]", loc.func), Clone::clone);
+            out.push_str(&format!("  {label}+{:<6} {n}\n", loc.pc));
+        }
+        out.push_str(&format!("total instruction executions: {}\n", self.total()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wizard_engine::{EngineConfig, Value};
+    use wizard_engine::store::Linker;
+    use wizard_wasm::builder::{FuncBuilder, ModuleBuilder};
+    use wizard_wasm::types::ValType::I32;
+
+    fn sum_process(config: EngineConfig) -> Process {
+        let mut mb = ModuleBuilder::new();
+        let mut f = FuncBuilder::new(&[I32], &[I32]);
+        let i = f.local(I32);
+        let acc = f.local(I32);
+        f.for_range(i, 0, |f| {
+            f.local_get(acc).local_get(i).i32_add().local_set(acc);
+        });
+        f.local_get(acc);
+        mb.add_func("sum", f);
+        Process::new(mb.build().unwrap(), config, &Linker::new()).unwrap()
+    }
+
+    #[test]
+    fn local_and_global_variants_agree() {
+        let mut totals = Vec::new();
+        for mode in [ProbeMode::Local, ProbeMode::Global] {
+            let mut p = sum_process(EngineConfig::interpreter());
+            let mut m = HotnessMonitor::with_mode(mode);
+            m.attach(&mut p).unwrap();
+            p.invoke_export("sum", &[Value::I32(25)]).unwrap();
+            totals.push(m.total());
+        }
+        assert_eq!(totals[0], totals[1], "local and global hotness must agree");
+        assert!(totals[0] > 100);
+    }
+
+    #[test]
+    fn intrinsified_jit_matches_interpreter() {
+        let mut totals = Vec::new();
+        for config in [EngineConfig::interpreter(), EngineConfig::jit(), EngineConfig::jit_no_intrinsics()] {
+            let mut p = sum_process(config);
+            let mut m = HotnessMonitor::new();
+            m.attach(&mut p).unwrap();
+            p.invoke_export("sum", &[Value::I32(25)]).unwrap();
+            totals.push(m.total());
+        }
+        assert_eq!(totals[0], totals[1]);
+        assert_eq!(totals[0], totals[2]);
+    }
+
+    #[test]
+    fn report_lists_hot_locations() {
+        let mut p = sum_process(EngineConfig::interpreter());
+        let mut m = HotnessMonitor::new();
+        m.attach(&mut p).unwrap();
+        p.invoke_export("sum", &[Value::I32(5)]).unwrap();
+        let r = m.report();
+        assert!(r.contains("sum+"));
+        assert!(r.contains("total instruction executions"));
+        let counts = m.counts();
+        assert!(counts[0].1 >= counts.last().unwrap().1, "sorted descending");
+    }
+}

@@ -1,0 +1,84 @@
+//! `wizard-monitors`: the Monitor Zoo (paper §3).
+//!
+//! A *monitor* is a self-contained analysis that observes an application's
+//! execution through probes. Every monitor here is built purely from the
+//! engine's public instrumentation API — global probes, local probes, and
+//! the FrameAccessor — demonstrating the paper's thesis that a small, fully
+//! programmable primitive supports a wide range of analyses:
+//!
+//! | Monitor | Mechanism |
+//! |---|---|
+//! | [`TraceMonitor`] | one global probe |
+//! | [`CoverageMonitor`] | self-removing local probe per instruction |
+//! | [`LoopMonitor`] | `CountProbe` per loop header |
+//! | [`HotnessMonitor`] | `CountProbe` per instruction (or one global probe) |
+//! | [`BranchMonitor`] | operand probe per branch (or one global probe) |
+//! | [`MemoryMonitor`] | local probe per load/store, FrameAccessor operands |
+//! | [`CallsMonitor`] | local probe per callsite, table resolution |
+//! | [`CallTreeMonitor`] | the [`entry_exit`] library + wall-clock time |
+//! | [`Debugger`] | breakpoints, stepping, frame modification |
+//!
+//! All monitors implement [`Monitor`]: `attach` installs the probes,
+//! `report` renders a post-execution report.
+
+#![warn(missing_docs)]
+
+pub mod after_instr;
+pub mod branch;
+pub mod calls;
+pub mod calltree;
+pub mod coverage;
+pub mod debugger;
+pub mod entry_exit;
+pub mod hotness;
+pub mod loops;
+pub mod memory;
+pub mod trace;
+pub mod util;
+
+pub use after_instr::run_after_instruction;
+pub use branch::BranchMonitor;
+pub use calls::CallsMonitor;
+pub use calltree::CallTreeMonitor;
+pub use coverage::CoverageMonitor;
+pub use debugger::Debugger;
+pub use hotness::HotnessMonitor;
+pub use loops::LoopMonitor;
+pub use memory::MemoryMonitor;
+pub use trace::TraceMonitor;
+
+use wizard_engine::{ProbeError, Process};
+
+/// Whether a monitor implements its instrumentation with per-location
+/// local probes or a single global probe (the paper's Figure-3 comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProbeMode {
+    /// Sparse local probes at the locations of interest.
+    #[default]
+    Local,
+    /// One global probe filtering every executed instruction.
+    Global,
+}
+
+/// A self-contained dynamic analysis attachable to a process.
+pub trait Monitor {
+    /// Installs this monitor's probes into `process`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ProbeError`]s from the instrumentation API.
+    fn attach(&mut self, process: &mut Process) -> Result<(), ProbeError>;
+
+    /// Renders the post-execution report.
+    fn report(&self) -> String;
+}
+
+/// Attaches a monitor (convenience free function mirroring Wizard's
+/// `--monitors=` flag handling).
+///
+/// # Errors
+///
+/// Propagates [`ProbeError`]s from the monitor.
+pub fn attach(monitor: &mut dyn Monitor, process: &mut Process) -> Result<(), ProbeError> {
+    monitor.attach(process)
+}

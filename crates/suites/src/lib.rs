@@ -1,0 +1,127 @@
+//! `wizard-suites`: the paper's benchmark programs as Wasm module
+//! generators — PolyBench/C, Ostrich-style, libsodium-style, and a
+//! Richards-style scheduler (for the JVMTI comparison).
+//!
+//! Every kernel is real WebAssembly produced by the `wizard-wasm`
+//! assembler DSL and validated by its type checker; there is no C
+//! toolchain in the loop (see DESIGN.md for the substitution table).
+//! All kernels export `run(n: i32)` returning a checksum, so correctness
+//! can be established differentially across engine tiers and baseline
+//! systems.
+
+#![warn(missing_docs)]
+
+pub mod dsl;
+pub mod libsodium;
+pub mod ostrich;
+pub mod polybench;
+pub mod richards;
+
+use wizard_wasm::module::Module;
+
+/// Problem-size presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// Tiny inputs for unit tests.
+    Test,
+    /// Default benchmarking size (sub-second per kernel in the interpreter).
+    #[default]
+    Small,
+    /// Larger runs for more stable timing.
+    Medium,
+}
+
+/// One benchmark program: a module exporting `run(n) -> checksum`.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Suite name: `polybench`, `ostrich`, or `libsodium`.
+    pub suite: &'static str,
+    /// Program name (matching the paper's figure labels).
+    pub name: &'static str,
+    /// The compiled-to-Wasm program.
+    pub module: Module,
+    /// The `run` argument at the chosen scale.
+    pub n: i32,
+}
+
+/// The PolyBench suite at `scale`.
+pub fn polybench_suite(scale: Scale) -> Vec<Benchmark> {
+    let (n, n3) = match scale {
+        Scale::Test => (8, 5),
+        Scale::Small => (18, 8),
+        Scale::Medium => (28, 12),
+    };
+    polybench::all()
+        .into_iter()
+        .map(|(name, module)| Benchmark {
+            suite: "polybench",
+            name,
+            module,
+            n: if polybench::is_cubic(name) { n3 } else { n },
+        })
+        .collect()
+}
+
+/// The Ostrich-style suite at `scale`.
+pub fn ostrich_suite(scale: Scale) -> Vec<Benchmark> {
+    let n = match scale {
+        Scale::Test => 1,
+        Scale::Small => 2,
+        Scale::Medium => 4,
+    };
+    ostrich::all()
+        .into_iter()
+        .map(|(name, module)| Benchmark { suite: "ostrich", name, module, n })
+        .collect()
+}
+
+/// The libsodium-style suite at `scale`.
+pub fn libsodium_suite(scale: Scale) -> Vec<Benchmark> {
+    let n = match scale {
+        Scale::Test => 1,
+        Scale::Small => 2,
+        Scale::Medium => 4,
+    };
+    libsodium::all()
+        .into_iter()
+        .map(|(name, module)| Benchmark { suite: "libsodium", name, module, n })
+        .collect()
+}
+
+/// All three suites, concatenated.
+pub fn all_suites(scale: Scale) -> Vec<Benchmark> {
+    let mut v = polybench_suite(scale);
+    v.extend(libsodium_suite(scale));
+    v.extend(ostrich_suite(scale));
+    v
+}
+
+/// The Richards-style scheduler benchmark (used by the JVMTI experiment).
+pub fn richards_benchmark(loops: i32) -> Benchmark {
+    Benchmark { suite: "richards", name: "richards", module: richards::module(), n: loops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_registries_are_complete() {
+        let pb = polybench_suite(Scale::Test);
+        assert_eq!(pb.len(), 29);
+        assert!(pb.iter().any(|b| b.name == "floyd-warshall"));
+        let os = ostrich_suite(Scale::Test);
+        assert_eq!(os.len(), 10);
+        let ls = libsodium_suite(Scale::Test);
+        assert_eq!(ls.len(), 10);
+        assert_eq!(all_suites(Scale::Test).len(), 49);
+    }
+
+    #[test]
+    fn cubic_kernels_get_smaller_sizes() {
+        let pb = polybench_suite(Scale::Small);
+        let heat = pb.iter().find(|b| b.name == "heat-3d").unwrap();
+        let gemm = pb.iter().find(|b| b.name == "gemm").unwrap();
+        assert!(heat.n < gemm.n);
+    }
+}

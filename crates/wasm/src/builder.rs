@@ -1,0 +1,836 @@
+//! An assembler-style API for constructing WebAssembly modules in Rust.
+//!
+//! Benchmark suites and tests use this builder instead of a C toolchain:
+//! the emitted bytecode is real Wasm, checked by [`crate::validate`].
+
+use crate::instr::{encode, Imm};
+use crate::module::{
+    ConstExpr, DataSegment, ElemSegment, Export, FuncBody, FuncDecl, FuncIdx, Global, GlobalIdx,
+    Import, ImportDesc, LocalIdx, Module, TypeIdx,
+};
+use crate::opcodes as op;
+use crate::types::{
+    BlockType, ExternKind, FuncType, GlobalType, Limits, MemoryType, TableType, ValType,
+};
+use crate::validate::{validate, ModuleMeta, ValidateError};
+
+/// Incrementally builds a [`Module`].
+///
+/// # Examples
+///
+/// ```
+/// use wizard_wasm::builder::{FuncBuilder, ModuleBuilder};
+/// use wizard_wasm::types::ValType::I32;
+///
+/// let mut mb = ModuleBuilder::new();
+/// let mut f = FuncBuilder::new(&[I32, I32], &[I32]);
+/// f.local_get(0).local_get(1).i32_add();
+/// mb.add_func("add", f);
+/// let module = mb.build().unwrap();
+/// assert!(module.export_func("add").is_some());
+/// ```
+#[derive(Debug, Default)]
+pub struct ModuleBuilder {
+    module: Module,
+    declared: Vec<bool>,
+}
+
+impl ModuleBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> ModuleBuilder {
+        ModuleBuilder::default()
+    }
+
+    /// Interns a function signature, deduplicating identical ones.
+    pub fn sig(&mut self, params: &[ValType], results: &[ValType]) -> TypeIdx {
+        let ty = FuncType::new(params, results);
+        if let Some(i) = self.module.types.iter().position(|t| *t == ty) {
+            return i as TypeIdx;
+        }
+        self.module.types.push(ty);
+        (self.module.types.len() - 1) as TypeIdx
+    }
+
+    /// Imports a function. All imports must be declared before the first
+    /// local function is added (Wasm index-space rule).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a local function has already been declared.
+    pub fn import_func(
+        &mut self,
+        module: &str,
+        name: &str,
+        params: &[ValType],
+        results: &[ValType],
+    ) -> FuncIdx {
+        assert!(
+            self.module.funcs.is_empty(),
+            "imports must precede local function declarations"
+        );
+        let t = self.sig(params, results);
+        self.module.imports.push(Import {
+            module: module.into(),
+            name: name.into(),
+            desc: ImportDesc::Func(t),
+        });
+        let idx = self.module.num_imported_funcs() - 1;
+        self.set_name(idx, name);
+        idx
+    }
+
+    /// Declares a function signature and reserves its index, allowing
+    /// forward references (e.g. mutual recursion). The body must later be
+    /// supplied with [`ModuleBuilder::define_func`].
+    pub fn declare_func(&mut self, name: &str, params: &[ValType], results: &[ValType]) -> FuncIdx {
+        let t = self.sig(params, results);
+        self.module.funcs.push(FuncDecl { type_idx: t, body: FuncBody::default() });
+        self.declared.push(false);
+        let idx = self.module.num_imported_funcs() + self.module.funcs.len() as u32 - 1;
+        self.set_name(idx, name);
+        idx
+    }
+
+    /// Supplies the body for a previously declared function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is not a declared local function, if it was already
+    /// defined, or if the builder's signature disagrees with the declaration.
+    pub fn define_func(&mut self, idx: FuncIdx, f: FuncBuilder) {
+        let n_imp = self.module.num_imported_funcs();
+        assert!(idx >= n_imp, "cannot define an imported function");
+        let local = (idx - n_imp) as usize;
+        assert!(!self.declared[local], "function {idx} defined twice");
+        let decl_ty = &self.module.types[self.module.funcs[local].type_idx as usize];
+        assert_eq!(decl_ty.params, f.params, "parameter mismatch for func {idx}");
+        assert_eq!(decl_ty.results, f.results, "result mismatch for func {idx}");
+        self.module.funcs[local].body = f.into_body();
+        self.declared[local] = true;
+    }
+
+    /// Declares and defines a function in one step, exporting it by `name`.
+    pub fn add_func(&mut self, name: &str, f: FuncBuilder) -> FuncIdx {
+        let idx = self.declare_func(name, &f.params.clone(), &f.results.clone());
+        self.define_func(idx, f);
+        self.export(name, ExternKind::Func, idx);
+        idx
+    }
+
+    /// Like [`ModuleBuilder::add_func`] but without exporting.
+    pub fn add_private_func(&mut self, name: &str, f: FuncBuilder) -> FuncIdx {
+        let idx = self.declare_func(name, &f.params.clone(), &f.results.clone());
+        self.define_func(idx, f);
+        idx
+    }
+
+    /// Adds a memory with `min` pages (and no maximum).
+    pub fn memory(&mut self, min: u32) -> &mut Self {
+        self.module.memories.push(MemoryType { limits: Limits::at_least(min) });
+        self
+    }
+
+    /// Adds a memory with explicit limits.
+    pub fn memory_bounded(&mut self, min: u32, max: u32) -> &mut Self {
+        self.module.memories.push(MemoryType { limits: Limits::bounded(min, max) });
+        self
+    }
+
+    /// Adds a mutable or immutable global and returns its index.
+    pub fn global(&mut self, value: ValType, mutable: bool, init: ConstExpr) -> GlobalIdx {
+        self.module.globals.push(Global { ty: GlobalType { value, mutable }, init });
+        let n_imported = self
+            .module
+            .imports
+            .iter()
+            .filter(|i| matches!(i.desc, ImportDesc::Global(_)))
+            .count() as u32;
+        n_imported + self.module.globals.len() as u32 - 1
+    }
+
+    /// Adds a funcref table with `min` elements.
+    pub fn table(&mut self, min: u32) -> &mut Self {
+        self.module.tables.push(TableType { limits: Limits::at_least(min) });
+        self
+    }
+
+    /// Adds an element segment at constant `offset`.
+    pub fn elem(&mut self, offset: i32, funcs: &[FuncIdx]) -> &mut Self {
+        self.module.elems.push(ElemSegment {
+            table: 0,
+            offset: ConstExpr::I32(offset),
+            funcs: funcs.to_vec(),
+        });
+        self
+    }
+
+    /// Adds a data segment at constant `offset`.
+    pub fn data(&mut self, offset: i32, bytes: &[u8]) -> &mut Self {
+        self.module.data.push(DataSegment {
+            memory: 0,
+            offset: ConstExpr::I32(offset),
+            bytes: bytes.to_vec(),
+        });
+        self
+    }
+
+    /// Adds an export.
+    pub fn export(&mut self, name: &str, kind: ExternKind, index: u32) -> &mut Self {
+        self.module.exports.push(Export { name: name.into(), kind, index });
+        self
+    }
+
+    /// Sets the start function.
+    pub fn start(&mut self, idx: FuncIdx) -> &mut Self {
+        self.module.start = Some(idx);
+        self
+    }
+
+    fn set_name(&mut self, idx: FuncIdx, name: &str) {
+        let i = idx as usize;
+        if self.module.names.len() <= i {
+            self.module.names.resize(i + 1, None);
+        }
+        self.module.names[i] = Some(name.to_string());
+    }
+
+    /// Finishes and validates the module.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidateError`] if the module does not type-check.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a declared function was never defined.
+    pub fn build(self) -> Result<Module, ValidateError> {
+        let (m, _) = self.build_with_meta()?;
+        Ok(m)
+    }
+
+    /// Finishes, validates, and also returns the validation metadata.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidateError`] if the module does not type-check.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a declared function was never defined.
+    pub fn build_with_meta(self) -> Result<(Module, ModuleMeta), ValidateError> {
+        for (i, defined) in self.declared.iter().enumerate() {
+            assert!(
+                *defined,
+                "function at local index {i} was declared but never defined"
+            );
+        }
+        let meta = validate(&self.module)?;
+        Ok((self.module, meta))
+    }
+
+    /// Returns the module without validating (for negative tests).
+    pub fn build_unchecked(self) -> Module {
+        self.module
+    }
+}
+
+/// Builds the body of one function, emitting raw bytecode.
+///
+/// The final `end` is appended automatically by [`FuncBuilder::into_body`].
+#[derive(Debug, Clone)]
+pub struct FuncBuilder {
+    params: Vec<ValType>,
+    results: Vec<ValType>,
+    locals: Vec<ValType>,
+    code: Vec<u8>,
+}
+
+macro_rules! simple_ops {
+    ($($(#[$doc:meta])* $method:ident => $opcode:expr;)*) => {
+        $(
+            $(#[$doc])*
+            pub fn $method(&mut self) -> &mut Self {
+                self.code.push($opcode);
+                self
+            }
+        )*
+    };
+}
+
+impl FuncBuilder {
+    /// Creates a builder for a function with the given signature.
+    pub fn new(params: &[ValType], results: &[ValType]) -> FuncBuilder {
+        FuncBuilder {
+            params: params.to_vec(),
+            results: results.to_vec(),
+            locals: Vec::new(),
+            code: Vec::new(),
+        }
+    }
+
+    /// Declares one local and returns its index (params come first).
+    pub fn local(&mut self, t: ValType) -> LocalIdx {
+        self.locals.push(t);
+        (self.params.len() + self.locals.len() - 1) as LocalIdx
+    }
+
+    /// Declares `n` locals of type `t`, returning the first index.
+    pub fn locals(&mut self, n: u32, t: ValType) -> LocalIdx {
+        let first = self.local(t);
+        for _ in 1..n {
+            self.local(t);
+        }
+        first
+    }
+
+    /// Current byte offset (pc of the next emitted instruction).
+    pub fn pc(&self) -> u32 {
+        self.code.len() as u32
+    }
+
+    /// Emits a bare opcode byte (no immediates).
+    pub fn op(&mut self, opcode: u8) -> &mut Self {
+        self.code.push(opcode);
+        self
+    }
+
+    /// Emits an arbitrary instruction.
+    pub fn instr(&mut self, opcode: u8, imm: &Imm) -> &mut Self {
+        encode(opcode, imm, &mut self.code);
+        self
+    }
+
+    // ---- constants ----
+
+    /// `i32.const`.
+    pub fn i32_const(&mut self, v: i32) -> &mut Self {
+        self.instr(op::I32_CONST, &Imm::I32(v))
+    }
+
+    /// `i64.const`.
+    pub fn i64_const(&mut self, v: i64) -> &mut Self {
+        self.instr(op::I64_CONST, &Imm::I64(v))
+    }
+
+    /// `f32.const`.
+    pub fn f32_const(&mut self, v: f32) -> &mut Self {
+        self.instr(op::F32_CONST, &Imm::F32(v))
+    }
+
+    /// `f64.const`.
+    pub fn f64_const(&mut self, v: f64) -> &mut Self {
+        self.instr(op::F64_CONST, &Imm::F64(v))
+    }
+
+    // ---- variables ----
+
+    /// `local.get`.
+    pub fn local_get(&mut self, i: LocalIdx) -> &mut Self {
+        self.instr(op::LOCAL_GET, &Imm::Idx(i))
+    }
+
+    /// `local.set`.
+    pub fn local_set(&mut self, i: LocalIdx) -> &mut Self {
+        self.instr(op::LOCAL_SET, &Imm::Idx(i))
+    }
+
+    /// `local.tee`.
+    pub fn local_tee(&mut self, i: LocalIdx) -> &mut Self {
+        self.instr(op::LOCAL_TEE, &Imm::Idx(i))
+    }
+
+    /// `global.get`.
+    pub fn global_get(&mut self, i: GlobalIdx) -> &mut Self {
+        self.instr(op::GLOBAL_GET, &Imm::Idx(i))
+    }
+
+    /// `global.set`.
+    pub fn global_set(&mut self, i: GlobalIdx) -> &mut Self {
+        self.instr(op::GLOBAL_SET, &Imm::Idx(i))
+    }
+
+    // ---- control ----
+
+    /// `block` with result type.
+    pub fn block(&mut self, bt: BlockType) -> &mut Self {
+        self.instr(op::BLOCK, &Imm::Block(bt))
+    }
+
+    /// `loop` with result type.
+    pub fn loop_(&mut self, bt: BlockType) -> &mut Self {
+        self.instr(op::LOOP, &Imm::Block(bt))
+    }
+
+    /// `if` with result type.
+    pub fn if_(&mut self, bt: BlockType) -> &mut Self {
+        self.instr(op::IF, &Imm::Block(bt))
+    }
+
+    /// `else`.
+    pub fn else_(&mut self) -> &mut Self {
+        self.op(op::ELSE)
+    }
+
+    /// `end`.
+    pub fn end(&mut self) -> &mut Self {
+        self.op(op::END)
+    }
+
+    /// `br`.
+    pub fn br(&mut self, depth: u32) -> &mut Self {
+        self.instr(op::BR, &Imm::Idx(depth))
+    }
+
+    /// `br_if`.
+    pub fn br_if(&mut self, depth: u32) -> &mut Self {
+        self.instr(op::BR_IF, &Imm::Idx(depth))
+    }
+
+    /// `br_table`.
+    pub fn br_table(&mut self, targets: &[u32], default: u32) -> &mut Self {
+        self.instr(op::BR_TABLE, &Imm::BrTable { targets: targets.to_vec(), default })
+    }
+
+    /// `call`.
+    pub fn call(&mut self, f: FuncIdx) -> &mut Self {
+        self.instr(op::CALL, &Imm::Idx(f))
+    }
+
+    /// `call_indirect` on table 0.
+    pub fn call_indirect(&mut self, type_idx: TypeIdx) -> &mut Self {
+        self.instr(op::CALL_INDIRECT, &Imm::CallIndirect { type_idx, table: 0 })
+    }
+
+    // ---- memory ----
+
+    /// Emits a load instruction with the given memarg.
+    pub fn load(&mut self, opcode: u8, align: u32, offset: u32) -> &mut Self {
+        debug_assert!(op::is_load(opcode));
+        self.instr(opcode, &Imm::Mem { align, offset })
+    }
+
+    /// Emits a store instruction with the given memarg.
+    pub fn store(&mut self, opcode: u8, align: u32, offset: u32) -> &mut Self {
+        debug_assert!(op::is_store(opcode));
+        self.instr(opcode, &Imm::Mem { align, offset })
+    }
+
+    /// `i32.load` with natural alignment.
+    pub fn i32_load(&mut self, offset: u32) -> &mut Self {
+        self.load(op::I32_LOAD, 2, offset)
+    }
+
+    /// `i32.store` with natural alignment.
+    pub fn i32_store(&mut self, offset: u32) -> &mut Self {
+        self.store(op::I32_STORE, 2, offset)
+    }
+
+    /// `i64.load` with natural alignment.
+    pub fn i64_load(&mut self, offset: u32) -> &mut Self {
+        self.load(op::I64_LOAD, 3, offset)
+    }
+
+    /// `i64.store` with natural alignment.
+    pub fn i64_store(&mut self, offset: u32) -> &mut Self {
+        self.store(op::I64_STORE, 3, offset)
+    }
+
+    /// `f64.load` with natural alignment.
+    pub fn f64_load(&mut self, offset: u32) -> &mut Self {
+        self.load(op::F64_LOAD, 3, offset)
+    }
+
+    /// `f64.store` with natural alignment.
+    pub fn f64_store(&mut self, offset: u32) -> &mut Self {
+        self.store(op::F64_STORE, 3, offset)
+    }
+
+    /// `f32.load` with natural alignment.
+    pub fn f32_load(&mut self, offset: u32) -> &mut Self {
+        self.load(op::F32_LOAD, 2, offset)
+    }
+
+    /// `f32.store` with natural alignment.
+    pub fn f32_store(&mut self, offset: u32) -> &mut Self {
+        self.store(op::F32_STORE, 2, offset)
+    }
+
+    /// `i32.load8_u` with natural alignment.
+    pub fn i32_load8_u(&mut self, offset: u32) -> &mut Self {
+        self.load(op::I32_LOAD8_U, 0, offset)
+    }
+
+    /// `i32.store8`.
+    pub fn i32_store8(&mut self, offset: u32) -> &mut Self {
+        self.store(op::I32_STORE8, 0, offset)
+    }
+
+    /// `memory.size`.
+    pub fn memory_size(&mut self) -> &mut Self {
+        self.instr(op::MEMORY_SIZE, &Imm::MemIdx(0))
+    }
+
+    /// `memory.grow`.
+    pub fn memory_grow(&mut self) -> &mut Self {
+        self.instr(op::MEMORY_GROW, &Imm::MemIdx(0))
+    }
+
+    simple_ops! {
+        /// `unreachable`.
+        unreachable => op::UNREACHABLE;
+        /// `nop`.
+        nop => op::NOP;
+        /// `return`.
+        return_ => op::RETURN;
+        /// `drop`.
+        drop_ => op::DROP;
+        /// `select`.
+        select => op::SELECT;
+        /// `i32.eqz`.
+        i32_eqz => op::I32_EQZ;
+        /// `i32.eq`.
+        i32_eq => op::I32_EQ;
+        /// `i32.ne`.
+        i32_ne => op::I32_NE;
+        /// `i32.lt_s`.
+        i32_lt_s => op::I32_LT_S;
+        /// `i32.lt_u`.
+        i32_lt_u => op::I32_LT_U;
+        /// `i32.gt_s`.
+        i32_gt_s => op::I32_GT_S;
+        /// `i32.gt_u`.
+        i32_gt_u => op::I32_GT_U;
+        /// `i32.le_s`.
+        i32_le_s => op::I32_LE_S;
+        /// `i32.ge_s`.
+        i32_ge_s => op::I32_GE_S;
+        /// `i32.ge_u`.
+        i32_ge_u => op::I32_GE_U;
+        /// `i32.add`.
+        i32_add => op::I32_ADD;
+        /// `i32.sub`.
+        i32_sub => op::I32_SUB;
+        /// `i32.mul`.
+        i32_mul => op::I32_MUL;
+        /// `i32.div_s`.
+        i32_div_s => op::I32_DIV_S;
+        /// `i32.div_u`.
+        i32_div_u => op::I32_DIV_U;
+        /// `i32.rem_s`.
+        i32_rem_s => op::I32_REM_S;
+        /// `i32.rem_u`.
+        i32_rem_u => op::I32_REM_U;
+        /// `i32.and`.
+        i32_and => op::I32_AND;
+        /// `i32.or`.
+        i32_or => op::I32_OR;
+        /// `i32.xor`.
+        i32_xor => op::I32_XOR;
+        /// `i32.shl`.
+        i32_shl => op::I32_SHL;
+        /// `i32.shr_s`.
+        i32_shr_s => op::I32_SHR_S;
+        /// `i32.shr_u`.
+        i32_shr_u => op::I32_SHR_U;
+        /// `i32.rotl`.
+        i32_rotl => op::I32_ROTL;
+        /// `i64.eqz`.
+        i64_eqz => op::I64_EQZ;
+        /// `i64.eq`.
+        i64_eq => op::I64_EQ;
+        /// `i64.ne`.
+        i64_ne => op::I64_NE;
+        /// `i64.lt_s`.
+        i64_lt_s => op::I64_LT_S;
+        /// `i64.lt_u`.
+        i64_lt_u => op::I64_LT_U;
+        /// `i64.gt_s`.
+        i64_gt_s => op::I64_GT_S;
+        /// `i64.ge_s`.
+        i64_ge_s => op::I64_GE_S;
+        /// `i64.add`.
+        i64_add => op::I64_ADD;
+        /// `i64.sub`.
+        i64_sub => op::I64_SUB;
+        /// `i64.mul`.
+        i64_mul => op::I64_MUL;
+        /// `i64.div_u`.
+        i64_div_u => op::I64_DIV_U;
+        /// `i64.rem_u`.
+        i64_rem_u => op::I64_REM_U;
+        /// `i64.and`.
+        i64_and => op::I64_AND;
+        /// `i64.or`.
+        i64_or => op::I64_OR;
+        /// `i64.xor`.
+        i64_xor => op::I64_XOR;
+        /// `i64.shl`.
+        i64_shl => op::I64_SHL;
+        /// `i64.shr_u`.
+        i64_shr_u => op::I64_SHR_U;
+        /// `i64.rotl`.
+        i64_rotl => op::I64_ROTL;
+        /// `i64.rotr`.
+        i64_rotr => op::I64_ROTR;
+        /// `f32.add`.
+        f32_add => op::F32_ADD;
+        /// `f32.sub`.
+        f32_sub => op::F32_SUB;
+        /// `f32.mul`.
+        f32_mul => op::F32_MUL;
+        /// `f32.div`.
+        f32_div => op::F32_DIV;
+        /// `f64.abs`.
+        f64_abs => op::F64_ABS;
+        /// `f64.neg`.
+        f64_neg => op::F64_NEG;
+        /// `f64.sqrt`.
+        f64_sqrt => op::F64_SQRT;
+        /// `f64.add`.
+        f64_add => op::F64_ADD;
+        /// `f64.sub`.
+        f64_sub => op::F64_SUB;
+        /// `f64.mul`.
+        f64_mul => op::F64_MUL;
+        /// `f64.div`.
+        f64_div => op::F64_DIV;
+        /// `f64.min`.
+        f64_min => op::F64_MIN;
+        /// `f64.max`.
+        f64_max => op::F64_MAX;
+        /// `f64.lt`.
+        f64_lt => op::F64_LT;
+        /// `f64.gt`.
+        f64_gt => op::F64_GT;
+        /// `f64.le`.
+        f64_le => op::F64_LE;
+        /// `f64.ge`.
+        f64_ge => op::F64_GE;
+        /// `f64.eq`.
+        f64_eq => op::F64_EQ;
+        /// `i32.wrap_i64`.
+        i32_wrap_i64 => op::I32_WRAP_I64;
+        /// `i64.extend_i32_s`.
+        i64_extend_i32_s => op::I64_EXTEND_I32_S;
+        /// `i64.extend_i32_u`.
+        i64_extend_i32_u => op::I64_EXTEND_I32_U;
+        /// `f64.convert_i32_s`.
+        f64_convert_i32_s => op::F64_CONVERT_I32_S;
+        /// `f64.convert_i32_u`.
+        f64_convert_i32_u => op::F64_CONVERT_I32_U;
+        /// `f64.convert_i64_s`.
+        f64_convert_i64_s => op::F64_CONVERT_I64_S;
+        /// `f64.convert_i64_u`.
+        f64_convert_i64_u => op::F64_CONVERT_I64_U;
+        /// `i64.extend8_s`.
+        i64_extend8_s => op::I64_EXTEND8_S;
+        /// `i32.trunc_f64_s`.
+        i32_trunc_f64_s => op::I32_TRUNC_F64_S;
+        /// `f32.convert_i32_s`.
+        f32_convert_i32_s => op::F32_CONVERT_I32_S;
+        /// `f64.promote_f32`.
+        f64_promote_f32 => op::F64_PROMOTE_F32;
+        /// `f32.demote_f64`.
+        f32_demote_f64 => op::F32_DEMOTE_F64;
+        /// `i64.reinterpret_f64`.
+        i64_reinterpret_f64 => op::I64_REINTERPRET_F64;
+        /// `f64.reinterpret_i64`.
+        f64_reinterpret_i64 => op::F64_REINTERPRET_I64;
+    }
+
+    // ---- structured helpers ----
+
+    /// Emits `for (i = 0; i < limit_local; i++) { body }` where `i` and
+    /// `limit_local` are i32 locals. The body executes inside two extra
+    /// nesting levels (an exit `block` and the `loop`).
+    pub fn for_range(
+        &mut self,
+        i: LocalIdx,
+        limit_local: LocalIdx,
+        body: impl FnOnce(&mut Self),
+    ) -> &mut Self {
+        self.i32_const(0).local_set(i);
+        self.block(BlockType::Empty);
+        self.loop_(BlockType::Empty);
+        self.local_get(i).local_get(limit_local).i32_ge_s().br_if(1);
+        body(self);
+        self.local_get(i).i32_const(1).i32_add().local_set(i);
+        self.br(0);
+        self.end();
+        self.end();
+        self
+    }
+
+    /// Emits `for (i = 0; i < n; i++) { body }` for a constant bound.
+    pub fn for_const(&mut self, i: LocalIdx, n: i32, body: impl FnOnce(&mut Self)) -> &mut Self {
+        self.i32_const(0).local_set(i);
+        self.block(BlockType::Empty);
+        self.loop_(BlockType::Empty);
+        self.local_get(i).i32_const(n).i32_ge_s().br_if(1);
+        body(self);
+        self.local_get(i).i32_const(1).i32_add().local_set(i);
+        self.br(0);
+        self.end();
+        self.end();
+        self
+    }
+
+    /// Emits `for (i = start_local; i < limit_local; i++) { body }`.
+    pub fn for_range_from(
+        &mut self,
+        i: LocalIdx,
+        start_local: LocalIdx,
+        limit_local: LocalIdx,
+        body: impl FnOnce(&mut Self),
+    ) -> &mut Self {
+        self.local_get(start_local).local_set(i);
+        self.block(BlockType::Empty);
+        self.loop_(BlockType::Empty);
+        self.local_get(i).local_get(limit_local).i32_ge_s().br_if(1);
+        body(self);
+        self.local_get(i).i32_const(1).i32_add().local_set(i);
+        self.br(0);
+        self.end();
+        self.end();
+        self
+    }
+
+    /// Emits a `while (cond) { body }` loop. `cond` must leave one i32.
+    pub fn while_loop(
+        &mut self,
+        cond: impl FnOnce(&mut Self),
+        body: impl FnOnce(&mut Self),
+    ) -> &mut Self {
+        self.block(BlockType::Empty);
+        self.loop_(BlockType::Empty);
+        cond(self);
+        self.i32_eqz().br_if(1);
+        body(self);
+        self.br(0);
+        self.end();
+        self.end();
+        self
+    }
+
+    /// Consumes the builder, producing the function body with final `end`.
+    pub fn into_body(mut self) -> FuncBody {
+        self.code.push(op::END);
+        // Run-length encode the locals.
+        let mut rle: Vec<(u32, ValType)> = Vec::new();
+        for t in &self.locals {
+            match rle.last_mut() {
+                Some((n, lt)) if lt == t => *n += 1,
+                _ => rle.push((1, *t)),
+            }
+        }
+        FuncBody { locals: rle, code: self.code }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ValType::{F64, I32};
+    use crate::validate::SideEntry;
+
+    #[test]
+    fn build_add_function() {
+        let mut mb = ModuleBuilder::new();
+        let mut f = FuncBuilder::new(&[I32, I32], &[I32]);
+        f.local_get(0).local_get(1).i32_add();
+        let idx = mb.add_func("add", f);
+        let m = mb.build().unwrap();
+        assert_eq!(m.export_func("add"), Some(idx));
+        assert_eq!(m.func_type(idx).unwrap().results, vec![I32]);
+    }
+
+    #[test]
+    fn sig_dedup() {
+        let mut mb = ModuleBuilder::new();
+        let a = mb.sig(&[I32], &[I32]);
+        let b = mb.sig(&[I32], &[I32]);
+        let c = mb.sig(&[F64], &[]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn for_const_loop_validates_and_has_header() {
+        let mut mb = ModuleBuilder::new();
+        let mut f = FuncBuilder::new(&[], &[I32]);
+        let i = f.local(I32);
+        let acc = f.local(I32);
+        f.for_const(i, 10, |f| {
+            f.local_get(acc).local_get(i).i32_add().local_set(acc);
+        });
+        f.local_get(acc);
+        mb.add_func("sum", f);
+        let (m, meta) = mb.build_with_meta().unwrap();
+        assert_eq!(meta.funcs.len(), 1);
+        assert_eq!(meta.funcs[0].loop_headers.len(), 1);
+        let _ = m;
+    }
+
+    #[test]
+    fn forward_declaration_allows_mutual_recursion() {
+        let mut mb = ModuleBuilder::new();
+        let even = mb.declare_func("even", &[I32], &[I32]);
+        let odd = mb.declare_func("odd", &[I32], &[I32]);
+        let mut fe = FuncBuilder::new(&[I32], &[I32]);
+        fe.local_get(0).i32_eqz().if_(BlockType::Value(I32));
+        fe.i32_const(1);
+        fe.else_();
+        fe.local_get(0).i32_const(1).i32_sub().call(odd);
+        fe.end();
+        mb.define_func(even, fe);
+        let mut fo = FuncBuilder::new(&[I32], &[I32]);
+        fo.local_get(0).i32_eqz().if_(BlockType::Value(I32));
+        fo.i32_const(0);
+        fo.else_();
+        fo.local_get(0).i32_const(1).i32_sub().call(even);
+        fo.end();
+        mb.define_func(odd, fo);
+        mb.export("even", ExternKind::Func, even);
+        assert!(mb.build().is_ok());
+    }
+
+    #[test]
+    fn if_else_sidetable_targets() {
+        let mut mb = ModuleBuilder::new();
+        let mut f = FuncBuilder::new(&[I32], &[I32]);
+        let if_pc = f.pc();
+        f.local_get(0); // pc 0
+        let if_pc = if_pc + 2; // after local.get 0
+        f.if_(BlockType::Value(I32));
+        let else_body = f.pc();
+        f.i32_const(1);
+        let else_pc = f.pc();
+        f.else_();
+        f.i32_const(2);
+        f.end();
+        let after_end = f.pc(); // pc() already includes the `end` byte
+        mb.add_func("sel", f);
+        let (_m, meta) = mb.build_with_meta().unwrap();
+        let side = &meta.funcs[0].side;
+        match side.get(&if_pc) {
+            Some(SideEntry::IfFalse(t)) => {
+                // False edge jumps to the else body start (after `else` byte).
+                assert_eq!(t.target_pc, else_pc + 1);
+                let _ = else_body;
+            }
+            other => panic!("expected IfFalse, got {other:?}"),
+        }
+        match side.get(&else_pc) {
+            Some(SideEntry::ElseSkip(t)) => assert_eq!(t.target_pc, after_end),
+            other => panic!("expected ElseSkip, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "declared but never defined")]
+    fn undefined_declared_func_panics() {
+        let mut mb = ModuleBuilder::new();
+        mb.declare_func("f", &[], &[]);
+        let _ = mb.build();
+    }
+}

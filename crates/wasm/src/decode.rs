@@ -1,0 +1,414 @@
+//! Decoding of the WebAssembly binary format into a [`Module`].
+
+use crate::leb128;
+use crate::module::{
+    ConstExpr, CustomSection, DataSegment, ElemSegment, Export, FuncBody, FuncDecl, Global,
+    Import, ImportDesc, Module,
+};
+use crate::opcodes as op;
+use crate::types::{
+    ExternKind, FuncType, GlobalType, Limits, MemoryType, TableType, ValType,
+};
+
+/// Error decoding a binary module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Byte offset within the binary where the error was detected.
+    pub offset: usize,
+    /// Human-readable cause.
+    pub msg: String,
+}
+
+impl core::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "decode error at byte {}: {}", self.offset, self.msg)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn err(&self, msg: impl Into<String>) -> DecodeError {
+        DecodeError { offset: self.pos, msg: msg.into() }
+    }
+
+    fn byte(&mut self) -> Result<u8, DecodeError> {
+        let b = *self.buf.get(self.pos).ok_or_else(|| self.err("unexpected end"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let (v, p) = leb128::read_u32(self.buf, self.pos)
+            .map_err(|e| DecodeError { offset: e.offset, msg: "bad LEB128 u32".into() })?;
+        self.pos = p;
+        Ok(v)
+    }
+
+    fn i32(&mut self) -> Result<i32, DecodeError> {
+        let (v, p) = leb128::read_i32(self.buf, self.pos)
+            .map_err(|e| DecodeError { offset: e.offset, msg: "bad LEB128 i32".into() })?;
+        self.pos = p;
+        Ok(v)
+    }
+
+    fn i64(&mut self) -> Result<i64, DecodeError> {
+        let (v, p) = leb128::read_i64(self.buf, self.pos)
+            .map_err(|e| DecodeError { offset: e.offset, msg: "bad LEB128 i64".into() })?;
+        self.pos = p;
+        Ok(v)
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let s = self
+            .buf
+            .get(self.pos..self.pos + n)
+            .ok_or_else(|| self.err("unexpected end"))?;
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn name(&mut self) -> Result<String, DecodeError> {
+        let n = self.u32()? as usize;
+        let bytes = self.bytes(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| self.err("name is not UTF-8"))
+    }
+
+    fn val_type(&mut self) -> Result<ValType, DecodeError> {
+        let b = self.byte()?;
+        ValType::from_byte(b).ok_or_else(|| self.err(format!("bad value type {b:#x}")))
+    }
+
+    fn limits(&mut self) -> Result<Limits, DecodeError> {
+        match self.byte()? {
+            0x00 => Ok(Limits { min: self.u32()?, max: None }),
+            0x01 => {
+                let min = self.u32()?;
+                let max = self.u32()?;
+                Ok(Limits { min, max: Some(max) })
+            }
+            b => Err(self.err(format!("bad limits flag {b:#x}"))),
+        }
+    }
+
+    fn const_expr(&mut self) -> Result<ConstExpr, DecodeError> {
+        let opcode = self.byte()?;
+        let e = match opcode {
+            op::I32_CONST => ConstExpr::I32(self.i32()?),
+            op::I64_CONST => ConstExpr::I64(self.i64()?),
+            op::F32_CONST => {
+                let b: [u8; 4] = self.bytes(4)?.try_into().expect("len 4");
+                ConstExpr::F32(f32::from_le_bytes(b))
+            }
+            op::F64_CONST => {
+                let b: [u8; 8] = self.bytes(8)?.try_into().expect("len 8");
+                ConstExpr::F64(f64::from_le_bytes(b))
+            }
+            op::GLOBAL_GET => ConstExpr::GlobalGet(self.u32()?),
+            b => return Err(self.err(format!("unsupported const expr opcode {b:#x}"))),
+        };
+        let end = self.byte()?;
+        if end != op::END {
+            return Err(self.err("const expr not terminated by end"));
+        }
+        Ok(e)
+    }
+}
+
+/// Decodes a binary WebAssembly module.
+///
+/// This performs structural decoding only; call [`crate::validate::validate`]
+/// on the result to type-check it.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on malformed input.
+pub fn decode(bytes: &[u8]) -> Result<Module, DecodeError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    if r.bytes(4)? != b"\0asm" {
+        return Err(r.err("bad magic"));
+    }
+    if r.bytes(4)? != 1u32.to_le_bytes() {
+        return Err(r.err("unsupported version"));
+    }
+    let mut m = Module::new();
+    let mut last_section = 0u8;
+    while r.pos < bytes.len() {
+        let id = r.byte()?;
+        let size = r.u32()? as usize;
+        let end = r.pos + size;
+        if end > bytes.len() {
+            return Err(r.err("section extends past end of module"));
+        }
+        if id != 0 {
+            if id <= last_section {
+                return Err(r.err(format!("section {id} out of order")));
+            }
+            last_section = id;
+        }
+        match id {
+            0 => {
+                let start = r.pos;
+                let name = r.name()?;
+                let remaining = end - r.pos;
+                let payload = r.bytes(remaining)?.to_vec();
+                m.customs.push(CustomSection { name, bytes: payload });
+                debug_assert!(r.pos == end, "custom section fully consumed from {start}");
+            }
+            1 => {
+                let n = r.u32()?;
+                for _ in 0..n {
+                    if r.byte()? != 0x60 {
+                        return Err(r.err("bad functype tag"));
+                    }
+                    let np = r.u32()?;
+                    let mut params = Vec::with_capacity(np as usize);
+                    for _ in 0..np {
+                        params.push(r.val_type()?);
+                    }
+                    let nr = r.u32()?;
+                    let mut results = Vec::with_capacity(nr as usize);
+                    for _ in 0..nr {
+                        results.push(r.val_type()?);
+                    }
+                    m.types.push(FuncType { params, results });
+                }
+            }
+            2 => {
+                let n = r.u32()?;
+                for _ in 0..n {
+                    let module = r.name()?;
+                    let name = r.name()?;
+                    let desc = match r.byte()? {
+                        0x00 => ImportDesc::Func(r.u32()?),
+                        0x01 => {
+                            if r.byte()? != 0x70 {
+                                return Err(r.err("only funcref tables supported"));
+                            }
+                            ImportDesc::Table(TableType { limits: r.limits()? })
+                        }
+                        0x02 => ImportDesc::Memory(MemoryType { limits: r.limits()? }),
+                        0x03 => {
+                            let value = r.val_type()?;
+                            let mutable = match r.byte()? {
+                                0 => false,
+                                1 => true,
+                                b => return Err(r.err(format!("bad mutability {b:#x}"))),
+                            };
+                            ImportDesc::Global(GlobalType { value, mutable })
+                        }
+                        b => return Err(r.err(format!("bad import kind {b:#x}"))),
+                    };
+                    m.imports.push(Import { module, name, desc });
+                }
+            }
+            3 => {
+                let n = r.u32()?;
+                for _ in 0..n {
+                    let t = r.u32()?;
+                    m.funcs.push(FuncDecl { type_idx: t, body: FuncBody::default() });
+                }
+            }
+            4 => {
+                let n = r.u32()?;
+                for _ in 0..n {
+                    if r.byte()? != 0x70 {
+                        return Err(r.err("only funcref tables supported"));
+                    }
+                    m.tables.push(TableType { limits: r.limits()? });
+                }
+            }
+            5 => {
+                let n = r.u32()?;
+                for _ in 0..n {
+                    m.memories.push(MemoryType { limits: r.limits()? });
+                }
+            }
+            6 => {
+                let n = r.u32()?;
+                for _ in 0..n {
+                    let value = r.val_type()?;
+                    let mutable = match r.byte()? {
+                        0 => false,
+                        1 => true,
+                        b => return Err(r.err(format!("bad mutability {b:#x}"))),
+                    };
+                    let init = r.const_expr()?;
+                    m.globals.push(Global { ty: GlobalType { value, mutable }, init });
+                }
+            }
+            7 => {
+                let n = r.u32()?;
+                for _ in 0..n {
+                    let name = r.name()?;
+                    let kind = match r.byte()? {
+                        0x00 => ExternKind::Func,
+                        0x01 => ExternKind::Table,
+                        0x02 => ExternKind::Memory,
+                        0x03 => ExternKind::Global,
+                        b => return Err(r.err(format!("bad export kind {b:#x}"))),
+                    };
+                    let index = r.u32()?;
+                    m.exports.push(Export { name, kind, index });
+                }
+            }
+            8 => {
+                m.start = Some(r.u32()?);
+            }
+            9 => {
+                let n = r.u32()?;
+                for _ in 0..n {
+                    let table = r.u32()?;
+                    if table != 0 {
+                        return Err(r.err("element segment table index must be 0"));
+                    }
+                    let offset = r.const_expr()?;
+                    let nf = r.u32()?;
+                    let mut funcs = Vec::with_capacity(nf as usize);
+                    for _ in 0..nf {
+                        funcs.push(r.u32()?);
+                    }
+                    m.elems.push(ElemSegment { table, offset, funcs });
+                }
+            }
+            10 => {
+                let n = r.u32()? as usize;
+                if n != m.funcs.len() {
+                    return Err(r.err("code count does not match function count"));
+                }
+                for i in 0..n {
+                    let size = r.u32()? as usize;
+                    let body_end = r.pos + size;
+                    let nl = r.u32()?;
+                    let mut locals = Vec::with_capacity(nl as usize);
+                    let mut total: u64 = 0;
+                    for _ in 0..nl {
+                        let count = r.u32()?;
+                        let t = r.val_type()?;
+                        total += u64::from(count);
+                        if total > 100_000 {
+                            return Err(r.err("too many locals"));
+                        }
+                        locals.push((count, t));
+                    }
+                    if body_end < r.pos || body_end > bytes.len() {
+                        return Err(r.err("bad code body size"));
+                    }
+                    let code = r.bytes(body_end - r.pos)?.to_vec();
+                    m.funcs[i].body = FuncBody { locals, code };
+                }
+            }
+            11 => {
+                let n = r.u32()?;
+                for _ in 0..n {
+                    let memory = r.u32()?;
+                    if memory != 0 {
+                        return Err(r.err("data segment memory index must be 0"));
+                    }
+                    let offset = r.const_expr()?;
+                    let nb = r.u32()? as usize;
+                    let bytes = r.bytes(nb)?.to_vec();
+                    m.data.push(DataSegment { memory, offset, bytes });
+                }
+            }
+            b => return Err(r.err(format!("unknown section id {b}"))),
+        }
+        if r.pos != end {
+            return Err(r.err(format!("section {id} size mismatch")));
+        }
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{FuncBuilder, ModuleBuilder};
+    use crate::encode::encode;
+    use crate::types::ValType::{F64, I32, I64};
+
+    fn sample_module() -> Module {
+        let mut mb = ModuleBuilder::new();
+        mb.memory(1);
+        mb.table(4);
+        let g = mb.global(I64, true, ConstExpr::I64(42));
+        let callee = {
+            let mut f = FuncBuilder::new(&[I32], &[I32]);
+            f.local_get(0).i32_const(1).i32_add();
+            mb.add_private_func("inc", f)
+        };
+        let mut f = FuncBuilder::new(&[I32, F64], &[I32]);
+        let tmp = f.local(I32);
+        f.local_get(0).call(callee).local_set(tmp);
+        f.global_get(g).i64_const(1).i64_add().global_set(g);
+        f.local_get(tmp).i32_const(7).i32_store(16);
+        f.local_get(tmp);
+        let main = mb.add_func("main", f);
+        mb.elem(0, &[callee, main]);
+        mb.data(8, b"hello");
+        mb.build().unwrap()
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let m = sample_module();
+        let bytes = encode(&m);
+        let m2 = decode(&bytes).unwrap();
+        // Names are not preserved (no name section emitted), so compare
+        // piecewise.
+        assert_eq!(m.types, m2.types);
+        assert_eq!(m.imports, m2.imports);
+        assert_eq!(m.funcs, m2.funcs);
+        assert_eq!(m.tables, m2.tables);
+        assert_eq!(m.memories, m2.memories);
+        assert_eq!(m.globals, m2.globals);
+        assert_eq!(m.exports, m2.exports);
+        assert_eq!(m.elems, m2.elems);
+        assert_eq!(m.data, m2.data);
+        // And the decoded module validates.
+        crate::validate::validate(&m2).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(decode(b"\0elf\x01\0\0\0").is_err());
+        assert!(decode(b"\0as").is_err());
+    }
+
+    #[test]
+    fn out_of_order_sections_rejected() {
+        let m = sample_module();
+        let bytes = encode(&m);
+        // Find the memory section (id 5) and type section (id 1) — craft a
+        // module with a duplicate section id to trigger the ordering check.
+        let mut dup = bytes.clone();
+        // Append a second (empty) type section at the end: id 1, size 1, count 0.
+        dup.extend_from_slice(&[1, 1, 0]);
+        assert!(decode(&dup).is_err());
+    }
+
+    #[test]
+    fn truncated_module_rejected() {
+        let m = sample_module();
+        let bytes = encode(&m);
+        for cut in [bytes.len() - 1, bytes.len() / 2, 9] {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn custom_sections_roundtrip() {
+        let mut m = sample_module();
+        m.customs.push(CustomSection { name: "producers".into(), bytes: vec![1, 2, 3] });
+        let bytes = encode(&m);
+        let m2 = decode(&bytes).unwrap();
+        assert_eq!(m2.customs.len(), 1);
+        assert_eq!(m2.customs[0].name, "producers");
+        assert_eq!(m2.customs[0].bytes, vec![1, 2, 3]);
+    }
+}

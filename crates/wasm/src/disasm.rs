@@ -1,0 +1,84 @@
+//! A small disassembler for function bodies, used by the tracing monitor,
+//! the debugger REPL, and the Figure-2 code-generation harness.
+
+use crate::instr::{Imm, Instr, InstrIter};
+use crate::opcodes as op;
+
+/// Formats one instruction as text, e.g. `i32.const 5` or `br_table [0 1] 2`.
+pub fn format_instr(i: &Instr) -> String {
+    let mnemonic = op::name(i.op);
+    match &i.imm {
+        Imm::None => mnemonic.to_string(),
+        Imm::Block(bt) => match bt.result() {
+            None => mnemonic.to_string(),
+            Some(t) => format!("{mnemonic} (result {t})"),
+        },
+        Imm::Idx(v) => format!("{mnemonic} {v}"),
+        Imm::CallIndirect { type_idx, table } => {
+            format!("{mnemonic} (type {type_idx}) (table {table})")
+        }
+        Imm::BrTable { targets, default } => {
+            let ts: Vec<String> = targets.iter().map(u32::to_string).collect();
+            format!("{mnemonic} [{}] {default}", ts.join(" "))
+        }
+        Imm::Mem { align, offset } => format!("{mnemonic} align={align} offset={offset}"),
+        Imm::MemIdx(_) => mnemonic.to_string(),
+        Imm::I32(v) => format!("{mnemonic} {v}"),
+        Imm::I64(v) => format!("{mnemonic} {v}"),
+        Imm::F32(v) => format!("{mnemonic} {v}"),
+        Imm::F64(v) => format!("{mnemonic} {v}"),
+    }
+}
+
+/// Disassembles a whole function body, one indented instruction per line.
+pub fn disassemble(code: &[u8]) -> String {
+    let mut out = String::new();
+    let mut indent = 0usize;
+    for item in InstrIter::new(code) {
+        let Ok(i) = item else {
+            out.push_str("  <decode error>\n");
+            break;
+        };
+        if matches!(i.op, op::END | op::ELSE) {
+            indent = indent.saturating_sub(1);
+        }
+        out.push_str(&format!("{:>5}: {}{}\n", i.pc, "  ".repeat(indent), format_instr(&i)));
+        if matches!(i.op, op::BLOCK | op::LOOP | op::IF | op::ELSE) {
+            indent += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::types::{BlockType, ValType};
+
+    #[test]
+    fn disassembles_structured_code() {
+        let mut f = FuncBuilder::new(&[ValType::I32], &[ValType::I32]);
+        f.local_get(0).if_(BlockType::Value(ValType::I32));
+        f.i32_const(1);
+        f.else_();
+        f.i32_const(2);
+        f.end();
+        let body = f.into_body();
+        let text = disassemble(&body.code);
+        assert!(text.contains("local.get 0"));
+        assert!(text.contains("if (result i32)"));
+        assert!(text.contains("i32.const 2"));
+        assert!(text.lines().count() >= 6);
+    }
+
+    #[test]
+    fn format_br_table() {
+        let i = Instr {
+            pc: 0,
+            op: crate::opcodes::BR_TABLE,
+            imm: Imm::BrTable { targets: vec![0, 1], default: 2 },
+        };
+        assert_eq!(format_instr(&i), "br_table [0 1] 2");
+    }
+}

@@ -1,0 +1,238 @@
+//! Encoding of a [`Module`] to the WebAssembly binary format.
+
+use crate::leb128::{write_i32, write_i64, write_u32};
+use crate::module::{ConstExpr, ImportDesc, Module};
+use crate::opcodes as op;
+use crate::types::{ExternKind, Limits};
+
+/// Encodes `module` into the `.wasm` binary format.
+pub fn encode(module: &Module) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1024);
+    out.extend_from_slice(b"\0asm");
+    out.extend_from_slice(&1u32.to_le_bytes());
+
+    // Section 1: types.
+    if !module.types.is_empty() {
+        section(&mut out, 1, |buf| {
+            write_u32(buf, module.types.len() as u32);
+            for t in &module.types {
+                buf.push(0x60);
+                write_u32(buf, t.params.len() as u32);
+                for p in &t.params {
+                    buf.push(p.byte());
+                }
+                write_u32(buf, t.results.len() as u32);
+                for r in &t.results {
+                    buf.push(r.byte());
+                }
+            }
+        });
+    }
+
+    // Section 2: imports.
+    if !module.imports.is_empty() {
+        section(&mut out, 2, |buf| {
+            write_u32(buf, module.imports.len() as u32);
+            for imp in &module.imports {
+                name(buf, &imp.module);
+                name(buf, &imp.name);
+                match &imp.desc {
+                    ImportDesc::Func(t) => {
+                        buf.push(0x00);
+                        write_u32(buf, *t);
+                    }
+                    ImportDesc::Table(t) => {
+                        buf.push(0x01);
+                        buf.push(0x70);
+                        limits(buf, t.limits);
+                    }
+                    ImportDesc::Memory(m) => {
+                        buf.push(0x02);
+                        limits(buf, m.limits);
+                    }
+                    ImportDesc::Global(g) => {
+                        buf.push(0x03);
+                        buf.push(g.value.byte());
+                        buf.push(u8::from(g.mutable));
+                    }
+                }
+            }
+        });
+    }
+
+    // Section 3: function declarations.
+    if !module.funcs.is_empty() {
+        section(&mut out, 3, |buf| {
+            write_u32(buf, module.funcs.len() as u32);
+            for f in &module.funcs {
+                write_u32(buf, f.type_idx);
+            }
+        });
+    }
+
+    // Section 4: tables.
+    if !module.tables.is_empty() {
+        section(&mut out, 4, |buf| {
+            write_u32(buf, module.tables.len() as u32);
+            for t in &module.tables {
+                buf.push(0x70);
+                limits(buf, t.limits);
+            }
+        });
+    }
+
+    // Section 5: memories.
+    if !module.memories.is_empty() {
+        section(&mut out, 5, |buf| {
+            write_u32(buf, module.memories.len() as u32);
+            for m in &module.memories {
+                limits(buf, m.limits);
+            }
+        });
+    }
+
+    // Section 6: globals.
+    if !module.globals.is_empty() {
+        section(&mut out, 6, |buf| {
+            write_u32(buf, module.globals.len() as u32);
+            for g in &module.globals {
+                buf.push(g.ty.value.byte());
+                buf.push(u8::from(g.ty.mutable));
+                const_expr(buf, &g.init);
+            }
+        });
+    }
+
+    // Section 7: exports.
+    if !module.exports.is_empty() {
+        section(&mut out, 7, |buf| {
+            write_u32(buf, module.exports.len() as u32);
+            for e in &module.exports {
+                name(buf, &e.name);
+                buf.push(match e.kind {
+                    ExternKind::Func => 0x00,
+                    ExternKind::Table => 0x01,
+                    ExternKind::Memory => 0x02,
+                    ExternKind::Global => 0x03,
+                });
+                write_u32(buf, e.index);
+            }
+        });
+    }
+
+    // Section 8: start.
+    if let Some(s) = module.start {
+        section(&mut out, 8, |buf| {
+            write_u32(buf, s);
+        });
+    }
+
+    // Section 9: element segments.
+    if !module.elems.is_empty() {
+        section(&mut out, 9, |buf| {
+            write_u32(buf, module.elems.len() as u32);
+            for e in &module.elems {
+                write_u32(buf, e.table);
+                const_expr(buf, &e.offset);
+                write_u32(buf, e.funcs.len() as u32);
+                for f in &e.funcs {
+                    write_u32(buf, *f);
+                }
+            }
+        });
+    }
+
+    // Section 10: code.
+    if !module.funcs.is_empty() {
+        section(&mut out, 10, |buf| {
+            write_u32(buf, module.funcs.len() as u32);
+            for f in &module.funcs {
+                let mut body = Vec::new();
+                write_u32(&mut body, f.body.locals.len() as u32);
+                for (n, t) in &f.body.locals {
+                    write_u32(&mut body, *n);
+                    body.push(t.byte());
+                }
+                body.extend_from_slice(&f.body.code);
+                write_u32(buf, body.len() as u32);
+                buf.extend_from_slice(&body);
+            }
+        });
+    }
+
+    // Section 11: data segments.
+    if !module.data.is_empty() {
+        section(&mut out, 11, |buf| {
+            write_u32(buf, module.data.len() as u32);
+            for d in &module.data {
+                write_u32(buf, d.memory);
+                const_expr(buf, &d.offset);
+                write_u32(buf, d.bytes.len() as u32);
+                buf.extend_from_slice(&d.bytes);
+            }
+        });
+    }
+
+    // Custom sections, appended at the end.
+    for c in &module.customs {
+        section(&mut out, 0, |buf| {
+            name(buf, &c.name);
+            buf.extend_from_slice(&c.bytes);
+        });
+    }
+
+    out
+}
+
+fn section(out: &mut Vec<u8>, id: u8, fill: impl FnOnce(&mut Vec<u8>)) {
+    let mut payload = Vec::new();
+    fill(&mut payload);
+    out.push(id);
+    write_u32(out, payload.len() as u32);
+    out.extend_from_slice(&payload);
+}
+
+fn name(out: &mut Vec<u8>, s: &str) {
+    write_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn limits(out: &mut Vec<u8>, l: Limits) {
+    match l.max {
+        None => {
+            out.push(0x00);
+            write_u32(out, l.min);
+        }
+        Some(max) => {
+            out.push(0x01);
+            write_u32(out, l.min);
+            write_u32(out, max);
+        }
+    }
+}
+
+fn const_expr(out: &mut Vec<u8>, e: &ConstExpr) {
+    match e {
+        ConstExpr::I32(v) => {
+            out.push(op::I32_CONST);
+            write_i32(out, *v);
+        }
+        ConstExpr::I64(v) => {
+            out.push(op::I64_CONST);
+            write_i64(out, *v);
+        }
+        ConstExpr::F32(v) => {
+            out.push(op::F32_CONST);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        ConstExpr::F64(v) => {
+            out.push(op::F64_CONST);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        ConstExpr::GlobalGet(i) => {
+            out.push(op::GLOBAL_GET);
+            write_u32(out, *i);
+        }
+    }
+    out.push(op::END);
+}

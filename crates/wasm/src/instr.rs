@@ -1,0 +1,351 @@
+//! Structured decoding of individual instructions from raw bytecode.
+//!
+//! The engine interprets bytecode in place; this module provides the shared
+//! instruction cursor used by the validator, the JIT compiler, the bytecode
+//! rewriter, and monitors that enumerate probe sites.
+
+use crate::leb128;
+use crate::opcodes as op;
+use crate::types::{BlockType, ValType};
+
+/// Immediate operands of a decoded instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Imm {
+    /// No immediates.
+    None,
+    /// Block type of `block` / `loop` / `if`.
+    Block(BlockType),
+    /// A single index immediate (label, local, global, function).
+    Idx(u32),
+    /// `call_indirect` immediates.
+    CallIndirect {
+        /// Expected function type index.
+        type_idx: u32,
+        /// Table index (MVP: 0).
+        table: u32,
+    },
+    /// `br_table` immediates.
+    BrTable {
+        /// Branch targets.
+        targets: Vec<u32>,
+        /// Default target.
+        default: u32,
+    },
+    /// Memory access immediates.
+    Mem {
+        /// log2 of the alignment hint.
+        align: u32,
+        /// Constant byte offset.
+        offset: u32,
+    },
+    /// Memory index immediate of `memory.size` / `memory.grow` (MVP: 0).
+    MemIdx(u32),
+    /// `i32.const` payload.
+    I32(i32),
+    /// `i64.const` payload.
+    I64(i64),
+    /// `f32.const` payload.
+    F32(f32),
+    /// `f64.const` payload.
+    F64(f64),
+}
+
+/// One decoded instruction with its location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instr {
+    /// Byte offset of the opcode within the function body.
+    pub pc: u32,
+    /// The opcode byte.
+    pub op: u8,
+    /// Decoded immediates.
+    pub imm: Imm,
+}
+
+/// Error decoding an instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstrError {
+    /// Offset of the offending instruction.
+    pub pc: u32,
+    /// Human-readable cause.
+    pub msg: String,
+}
+
+impl core::fmt::Display for InstrError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "instruction decode error at pc={}: {}", self.pc, self.msg)
+    }
+}
+
+impl std::error::Error for InstrError {}
+
+fn err(pc: usize, msg: impl Into<String>) -> InstrError {
+    InstrError { pc: pc as u32, msg: msg.into() }
+}
+
+fn read_block_type(code: &[u8], pos: usize, at: usize) -> Result<(BlockType, usize), InstrError> {
+    let b = *code.get(pos).ok_or_else(|| err(at, "truncated block type"))?;
+    if b == 0x40 {
+        return Ok((BlockType::Empty, pos + 1));
+    }
+    match ValType::from_byte(b) {
+        Some(t) => Ok((BlockType::Value(t), pos + 1)),
+        None => Err(err(at, format!("unsupported block type byte {b:#x}"))),
+    }
+}
+
+/// Decodes the instruction at byte offset `pc` in `code`.
+///
+/// Returns the instruction and the offset of the next instruction.
+///
+/// # Errors
+///
+/// Returns [`InstrError`] on truncated or invalid encodings, including the
+/// engine-reserved probe byte (which is not valid module bytecode).
+pub fn decode_at(code: &[u8], pc: usize) -> Result<(Instr, usize), InstrError> {
+    let opcode = *code.get(pc).ok_or_else(|| err(pc, "pc out of bounds"))?;
+    let kind = op::imm_kind(opcode)
+        .ok_or_else(|| err(pc, format!("invalid opcode {opcode:#04x}")))?;
+    let mut pos = pc + 1;
+    let lerr = |_| err(pc, "truncated immediate");
+    let imm = match kind {
+        op::ImmKind::None => Imm::None,
+        op::ImmKind::BlockType => {
+            let (bt, p) = read_block_type(code, pos, pc)?;
+            pos = p;
+            Imm::Block(bt)
+        }
+        op::ImmKind::Index => {
+            let (v, p) = leb128::read_u32(code, pos).map_err(lerr)?;
+            pos = p;
+            Imm::Idx(v)
+        }
+        op::ImmKind::CallIndirect => {
+            let (type_idx, p) = leb128::read_u32(code, pos).map_err(lerr)?;
+            let (table, p) = leb128::read_u32(code, p).map_err(lerr)?;
+            pos = p;
+            Imm::CallIndirect { type_idx, table }
+        }
+        op::ImmKind::BrTable => {
+            let (n, p) = leb128::read_u32(code, pos).map_err(lerr)?;
+            if n > 65536 {
+                return Err(err(pc, "br_table too large"));
+            }
+            let mut targets = Vec::with_capacity(n as usize);
+            let mut p = p;
+            for _ in 0..n {
+                let (t, np) = leb128::read_u32(code, p).map_err(lerr)?;
+                targets.push(t);
+                p = np;
+            }
+            let (default, p) = leb128::read_u32(code, p).map_err(lerr)?;
+            pos = p;
+            Imm::BrTable { targets, default }
+        }
+        op::ImmKind::MemArg => {
+            let (align, p) = leb128::read_u32(code, pos).map_err(lerr)?;
+            let (offset, p) = leb128::read_u32(code, p).map_err(lerr)?;
+            pos = p;
+            Imm::Mem { align, offset }
+        }
+        op::ImmKind::MemIndex => {
+            let b = *code.get(pos).ok_or_else(|| err(pc, "truncated memory index"))?;
+            pos += 1;
+            Imm::MemIdx(u32::from(b))
+        }
+        op::ImmKind::ConstI32 => {
+            let (v, p) = leb128::read_i32(code, pos).map_err(lerr)?;
+            pos = p;
+            Imm::I32(v)
+        }
+        op::ImmKind::ConstI64 => {
+            let (v, p) = leb128::read_i64(code, pos).map_err(lerr)?;
+            pos = p;
+            Imm::I64(v)
+        }
+        op::ImmKind::ConstF32 => {
+            let bytes: [u8; 4] = code
+                .get(pos..pos + 4)
+                .ok_or_else(|| err(pc, "truncated f32"))?
+                .try_into()
+                .expect("slice len 4");
+            pos += 4;
+            Imm::F32(f32::from_le_bytes(bytes))
+        }
+        op::ImmKind::ConstF64 => {
+            let bytes: [u8; 8] = code
+                .get(pos..pos + 8)
+                .ok_or_else(|| err(pc, "truncated f64"))?
+                .try_into()
+                .expect("slice len 8");
+            pos += 8;
+            Imm::F64(f64::from_le_bytes(bytes))
+        }
+    };
+    Ok((Instr { pc: pc as u32, op: opcode, imm }, pos))
+}
+
+/// An iterator over the instructions of a function body.
+///
+/// Yields `Result` items so that decoding errors surface where they occur.
+#[derive(Debug, Clone)]
+pub struct InstrIter<'a> {
+    code: &'a [u8],
+    pos: usize,
+    failed: bool,
+}
+
+impl<'a> InstrIter<'a> {
+    /// Creates an iterator over `code` starting at offset 0.
+    pub fn new(code: &'a [u8]) -> InstrIter<'a> {
+        InstrIter { code, pos: 0, failed: false }
+    }
+
+    /// Current byte offset (the pc of the next instruction yielded).
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+}
+
+impl<'a> Iterator for InstrIter<'a> {
+    type Item = Result<Instr, InstrError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed || self.pos >= self.code.len() {
+            return None;
+        }
+        match decode_at(self.code, self.pos) {
+            Ok((instr, next)) => {
+                self.pos = next;
+                Some(Ok(instr))
+            }
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Encodes a single instruction to bytes (the inverse of [`decode_at`]);
+/// used by the builder and the bytecode rewriter.
+pub fn encode(instr_op: u8, imm: &Imm, out: &mut Vec<u8>) {
+    out.push(instr_op);
+    match imm {
+        Imm::None => {}
+        Imm::Block(bt) => match bt {
+            BlockType::Empty => out.push(0x40),
+            BlockType::Value(t) => out.push(t.byte()),
+        },
+        Imm::Idx(v) => leb128::write_u32(out, *v),
+        Imm::CallIndirect { type_idx, table } => {
+            leb128::write_u32(out, *type_idx);
+            leb128::write_u32(out, *table);
+        }
+        Imm::BrTable { targets, default } => {
+            leb128::write_u32(out, targets.len() as u32);
+            for t in targets {
+                leb128::write_u32(out, *t);
+            }
+            leb128::write_u32(out, *default);
+        }
+        Imm::Mem { align, offset } => {
+            leb128::write_u32(out, *align);
+            leb128::write_u32(out, *offset);
+        }
+        Imm::MemIdx(v) => out.push(*v as u8),
+        Imm::I32(v) => leb128::write_i32(out, *v),
+        Imm::I64(v) => leb128::write_i64(out, *v),
+        Imm::F32(v) => out.extend_from_slice(&v.to_le_bytes()),
+        Imm::F64(v) => out.extend_from_slice(&v.to_le_bytes()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcodes as op;
+
+    #[test]
+    fn decode_simple_sequence() {
+        // i32.const 5; i32.const -1; i32.add; end
+        let code = [0x41, 0x05, 0x41, 0x7f, 0x6a, 0x0b];
+        let instrs: Vec<Instr> =
+            InstrIter::new(&code).collect::<Result<_, _>>().unwrap();
+        assert_eq!(instrs.len(), 4);
+        assert_eq!(instrs[0].imm, Imm::I32(5));
+        assert_eq!(instrs[1].imm, Imm::I32(-1));
+        assert_eq!(instrs[2].op, op::I32_ADD);
+        assert_eq!(instrs[2].pc, 4);
+        assert_eq!(instrs[3].op, op::END);
+    }
+
+    #[test]
+    fn decode_br_table() {
+        let mut code = vec![op::BR_TABLE];
+        crate::leb128::write_u32(&mut code, 2);
+        crate::leb128::write_u32(&mut code, 0);
+        crate::leb128::write_u32(&mut code, 1);
+        crate::leb128::write_u32(&mut code, 2);
+        let (i, next) = decode_at(&code, 0).unwrap();
+        assert_eq!(i.imm, Imm::BrTable { targets: vec![0, 1], default: 2 });
+        assert_eq!(next, code.len());
+    }
+
+    #[test]
+    fn decode_memarg_and_consts() {
+        let mut code = vec![op::F64_LOAD, 0x03, 0x10];
+        code.push(op::F64_CONST);
+        code.extend_from_slice(&2.5f64.to_le_bytes());
+        let (i, next) = decode_at(&code, 0).unwrap();
+        assert_eq!(i.imm, Imm::Mem { align: 3, offset: 16 });
+        let (i2, _) = decode_at(&code, next).unwrap();
+        assert_eq!(i2.imm, Imm::F64(2.5));
+    }
+
+    #[test]
+    fn probe_byte_rejected() {
+        assert!(decode_at(&[op::PROBE], 0).is_err());
+    }
+
+    #[test]
+    fn truncated_immediate_rejected() {
+        assert!(decode_at(&[op::I32_CONST], 0).is_err());
+        assert!(decode_at(&[op::F32_CONST, 1, 2], 0).is_err());
+        assert!(decode_at(&[op::BLOCK], 0).is_err());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let cases: Vec<(u8, Imm)> = vec![
+            (op::NOP, Imm::None),
+            (op::BLOCK, Imm::Block(BlockType::Value(ValType::F32))),
+            (op::BR, Imm::Idx(3)),
+            (op::CALL_INDIRECT, Imm::CallIndirect { type_idx: 7, table: 0 }),
+            (op::BR_TABLE, Imm::BrTable { targets: vec![9, 0, 2], default: 1 }),
+            (op::I64_STORE, Imm::Mem { align: 3, offset: 1024 }),
+            (op::MEMORY_GROW, Imm::MemIdx(0)),
+            (op::I32_CONST, Imm::I32(-123456)),
+            (op::I64_CONST, Imm::I64(i64::MIN)),
+            (op::F32_CONST, Imm::F32(1.5)),
+            (op::F64_CONST, Imm::F64(-0.0)),
+        ];
+        for (opcode, imm) in cases {
+            let mut buf = Vec::new();
+            encode(opcode, &imm, &mut buf);
+            let (got, next) = decode_at(&buf, 0).unwrap();
+            assert_eq!(got.op, opcode);
+            assert_eq!(next, buf.len());
+            // NaN-free payloads compare equal.
+            assert_eq!(got.imm, imm);
+        }
+    }
+
+    #[test]
+    fn iterator_stops_after_error() {
+        let code = [op::NOP, 0xfe, op::NOP];
+        let mut it = InstrIter::new(&code);
+        assert!(it.next().unwrap().is_ok());
+        assert!(it.next().unwrap().is_err());
+        assert!(it.next().is_none());
+    }
+}

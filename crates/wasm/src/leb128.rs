@@ -1,0 +1,263 @@
+//! LEB128 variable-length integer encoding/decoding, as used throughout the
+//! WebAssembly binary format and in-place interpreted bytecode.
+
+/// Error produced when a LEB128 value is malformed or truncated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LebError {
+    /// Byte offset at which decoding started.
+    pub offset: usize,
+}
+
+impl core::fmt::Display for LebError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "malformed LEB128 integer at offset {}", self.offset)
+    }
+}
+
+impl std::error::Error for LebError {}
+
+/// Reads an unsigned LEB128 `u32` from `buf` at `pos`.
+///
+/// Returns the value and the position of the first byte after the integer.
+///
+/// # Errors
+///
+/// Returns [`LebError`] if the encoding is truncated or exceeds 32 bits.
+pub fn read_u32(buf: &[u8], pos: usize) -> Result<(u32, usize), LebError> {
+    let mut result: u32 = 0;
+    let mut shift = 0u32;
+    let mut p = pos;
+    loop {
+        let byte = *buf.get(p).ok_or(LebError { offset: pos })?;
+        p += 1;
+        if shift == 28 && byte & 0xf0 != 0 {
+            return Err(LebError { offset: pos });
+        }
+        result |= u32::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok((result, p));
+        }
+        shift += 7;
+        if shift > 28 {
+            return Err(LebError { offset: pos });
+        }
+    }
+}
+
+/// Reads an unsigned LEB128 `u64` from `buf` at `pos`.
+///
+/// # Errors
+///
+/// Returns [`LebError`] if the encoding is truncated or exceeds 64 bits.
+pub fn read_u64(buf: &[u8], pos: usize) -> Result<(u64, usize), LebError> {
+    let mut result: u64 = 0;
+    let mut shift = 0u32;
+    let mut p = pos;
+    loop {
+        let byte = *buf.get(p).ok_or(LebError { offset: pos })?;
+        p += 1;
+        if shift == 63 && byte & 0x7e != 0 {
+            return Err(LebError { offset: pos });
+        }
+        result |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok((result, p));
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(LebError { offset: pos });
+        }
+    }
+}
+
+/// Reads a signed LEB128 `i32` from `buf` at `pos`.
+///
+/// # Errors
+///
+/// Returns [`LebError`] if the encoding is truncated or exceeds 32 bits.
+pub fn read_i32(buf: &[u8], pos: usize) -> Result<(i32, usize), LebError> {
+    let mut result: i32 = 0;
+    let mut shift = 0u32;
+    let mut p = pos;
+    loop {
+        let byte = *buf.get(p).ok_or(LebError { offset: pos })?;
+        p += 1;
+        result |= (i32::from(byte & 0x7f)) << shift;
+        shift += 7;
+        if byte & 0x80 == 0 {
+            if shift < 32 && byte & 0x40 != 0 {
+                result |= -1i32 << shift;
+            }
+            return Ok((result, p));
+        }
+        if shift >= 35 {
+            return Err(LebError { offset: pos });
+        }
+    }
+}
+
+/// Reads a signed LEB128 `i64` from `buf` at `pos`.
+///
+/// # Errors
+///
+/// Returns [`LebError`] if the encoding is truncated or exceeds 64 bits.
+pub fn read_i64(buf: &[u8], pos: usize) -> Result<(i64, usize), LebError> {
+    let mut result: i64 = 0;
+    let mut shift = 0u32;
+    let mut p = pos;
+    loop {
+        let byte = *buf.get(p).ok_or(LebError { offset: pos })?;
+        p += 1;
+        result |= (i64::from(byte & 0x7f)) << shift;
+        shift += 7;
+        if byte & 0x80 == 0 {
+            if shift < 64 && byte & 0x40 != 0 {
+                result |= -1i64 << shift;
+            }
+            return Ok((result, p));
+        }
+        if shift >= 70 {
+            return Err(LebError { offset: pos });
+        }
+    }
+}
+
+/// Appends an unsigned LEB128 `u32` to `out`.
+pub fn write_u32(out: &mut Vec<u8>, mut v: u32) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends an unsigned LEB128 `u64` to `out`.
+pub fn write_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends a signed LEB128 `i32` to `out`.
+pub fn write_i32(out: &mut Vec<u8>, mut v: i32) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        let sign = byte & 0x40 != 0;
+        if (v == 0 && !sign) || (v == -1 && sign) {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends a signed LEB128 `i64` to `out`.
+pub fn write_i64(out: &mut Vec<u8>, mut v: i64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        let sign = byte & 0x40 != 0;
+        if (v == 0 && !sign) || (v == -1 && sign) {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Returns the encoded length in bytes of `v` as unsigned LEB128.
+pub fn len_u32(v: u32) -> usize {
+    match v {
+        0..=0x7f => 1,
+        0x80..=0x3fff => 2,
+        0x4000..=0x1f_ffff => 3,
+        0x20_0000..=0xfff_ffff => 4,
+        _ => 5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u32_roundtrip_boundaries() {
+        for v in [0u32, 1, 0x7f, 0x80, 0x3fff, 0x4000, u32::MAX] {
+            let mut buf = Vec::new();
+            write_u32(&mut buf, v);
+            assert_eq!(buf.len(), len_u32(v));
+            let (got, end) = read_u32(&buf, 0).unwrap();
+            assert_eq!(got, v);
+            assert_eq!(end, buf.len());
+        }
+    }
+
+    #[test]
+    fn i32_roundtrip_boundaries() {
+        for v in [0i32, 1, -1, 63, 64, -64, -65, i32::MAX, i32::MIN] {
+            let mut buf = Vec::new();
+            write_i32(&mut buf, v);
+            let (got, end) = read_i32(&buf, 0).unwrap();
+            assert_eq!(got, v);
+            assert_eq!(end, buf.len());
+        }
+    }
+
+    #[test]
+    fn i64_roundtrip_boundaries() {
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN, 1 << 40, -(1 << 40)] {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            let (got, end) = read_i64(&buf, 0).unwrap();
+            assert_eq!(got, v);
+            assert_eq!(end, buf.len());
+        }
+    }
+
+    #[test]
+    fn u64_roundtrip_boundaries() {
+        for v in [0u64, 1, 0x7f, 0x80, u64::MAX, 1 << 63] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let (got, end) = read_u64(&buf, 0).unwrap();
+            assert_eq!(got, v);
+            assert_eq!(end, buf.len());
+        }
+    }
+
+    #[test]
+    fn truncated_is_error() {
+        assert!(read_u32(&[0x80], 0).is_err());
+        assert!(read_u32(&[], 0).is_err());
+        assert!(read_i32(&[0xff, 0xff], 0).is_err());
+        assert!(read_u64(&[0x80; 11], 0).is_err());
+    }
+
+    #[test]
+    fn overlong_u32_is_error() {
+        // 6-byte u32 encoding is invalid.
+        assert!(read_u32(&[0x80, 0x80, 0x80, 0x80, 0x80, 0x01], 0).is_err());
+        // High bits set beyond 32 bits.
+        assert!(read_u32(&[0xff, 0xff, 0xff, 0xff, 0x7f], 0).is_err());
+    }
+
+    #[test]
+    fn nonzero_offset() {
+        let mut buf = vec![0xaa, 0xbb];
+        write_u32(&mut buf, 624485);
+        let (got, end) = read_u32(&buf, 2).unwrap();
+        assert_eq!(got, 624485);
+        assert_eq!(end, buf.len());
+    }
+}

@@ -1,0 +1,57 @@
+//! `wizard-wasm`: the WebAssembly substrate for the `wizard-rs` workspace.
+//!
+//! This crate contains everything needed to *represent* WebAssembly modules:
+//!
+//! * [`types`] — value, function, memory, table and global types;
+//! * [`opcodes`] — MVP (+ sign extension) opcode constants, including the
+//!   engine-reserved probe byte used for bytecode overwriting;
+//! * [`module`] — the in-memory module IR with raw bytecode bodies;
+//! * [`instr`] — a structured instruction cursor over raw bytecode;
+//! * [`builder`] — an assembler DSL for writing modules in Rust;
+//! * [`encode`] / [`decode`] — the binary format codec;
+//! * [`validate`] — the type checker, fused with branch side-table
+//!   construction (the metadata that makes in-place interpretation fast);
+//! * [`disasm`] — a disassembler for tracing and debugging.
+//!
+//! The execution engine and instrumentation framework live in
+//! `wizard-engine`; this crate is deliberately engine-agnostic so that the
+//! static bytecode rewriter and the baseline systems share the same
+//! foundation.
+//!
+//! # Examples
+//!
+//! Build, encode, decode and validate a module:
+//!
+//! ```
+//! use wizard_wasm::builder::{FuncBuilder, ModuleBuilder};
+//! use wizard_wasm::types::ValType::I32;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut mb = ModuleBuilder::new();
+//! let mut f = FuncBuilder::new(&[I32], &[I32]);
+//! f.local_get(0).i32_const(2).i32_mul();
+//! mb.add_func("double", f);
+//! let module = mb.build()?;
+//!
+//! let bytes = wizard_wasm::encode::encode(&module);
+//! let again = wizard_wasm::decode::decode(&bytes)?;
+//! wizard_wasm::validate::validate(&again)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod decode;
+pub mod disasm;
+pub mod encode;
+pub mod instr;
+pub mod leb128;
+pub mod module;
+pub mod opcodes;
+pub mod types;
+pub mod validate;
+
+pub use module::Module;
+pub use types::ValType;

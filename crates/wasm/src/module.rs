@@ -1,0 +1,390 @@
+//! The in-memory representation of a WebAssembly module.
+//!
+//! Function bodies are kept as raw bytecode (`Vec<u8>`), which is the form
+//! the engine interprets *in place* and the form local probes overwrite.
+
+use crate::types::{ExternKind, FuncType, GlobalType, MemoryType, TableType, ValType};
+
+/// Index of a function type within [`Module::types`].
+pub type TypeIdx = u32;
+/// Index of a function (imports first, then local functions).
+pub type FuncIdx = u32;
+/// Index of a global.
+pub type GlobalIdx = u32;
+/// Index of a local variable (params first).
+pub type LocalIdx = u32;
+
+/// An import declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Import {
+    /// Module namespace, e.g. `"env"`.
+    pub module: String,
+    /// Item name within the namespace.
+    pub name: String,
+    /// What is imported.
+    pub desc: ImportDesc,
+}
+
+/// The descriptor of an imported entity.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ImportDesc {
+    /// A function with the given type index.
+    Func(TypeIdx),
+    /// A table.
+    Table(TableType),
+    /// A memory.
+    Memory(MemoryType),
+    /// A global.
+    Global(GlobalType),
+}
+
+impl ImportDesc {
+    /// The extern kind of this import.
+    pub fn kind(&self) -> ExternKind {
+        match self {
+            ImportDesc::Func(_) => ExternKind::Func,
+            ImportDesc::Table(_) => ExternKind::Table,
+            ImportDesc::Memory(_) => ExternKind::Memory,
+            ImportDesc::Global(_) => ExternKind::Global,
+        }
+    }
+}
+
+/// An export declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Export {
+    /// Exported name.
+    pub name: String,
+    /// Kind of the exported entity.
+    pub kind: ExternKind,
+    /// Index into the respective index space.
+    pub index: u32,
+}
+
+/// A constant initializer expression (MVP: single const or `global.get`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConstExpr {
+    /// `i32.const`.
+    I32(i32),
+    /// `i64.const`.
+    I64(i64),
+    /// `f32.const`.
+    F32(f32),
+    /// `f64.const`.
+    F64(f64),
+    /// `global.get` of an imported immutable global.
+    GlobalGet(GlobalIdx),
+}
+
+impl ConstExpr {
+    /// The value type this expression evaluates to, given the module's
+    /// global types (needed for `global.get`).
+    pub fn val_type(&self, global_types: &[GlobalType]) -> Option<ValType> {
+        match self {
+            ConstExpr::I32(_) => Some(ValType::I32),
+            ConstExpr::I64(_) => Some(ValType::I64),
+            ConstExpr::F32(_) => Some(ValType::F32),
+            ConstExpr::F64(_) => Some(ValType::F64),
+            ConstExpr::GlobalGet(i) => global_types.get(*i as usize).map(|g| g.value),
+        }
+    }
+}
+
+/// A module-defined global variable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Global {
+    /// Its type and mutability.
+    pub ty: GlobalType,
+    /// Initializer.
+    pub init: ConstExpr,
+}
+
+/// The body of a locally-defined function.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FuncBody {
+    /// Run-length encoded local declarations (count, type), excluding params.
+    pub locals: Vec<(u32, ValType)>,
+    /// Raw bytecode of the function expression, including the final `end`.
+    ///
+    /// Instruction locations (`pc`) are byte offsets into this vector; this
+    /// is the `(module, func, pc)` location space used by local probes.
+    pub code: Vec<u8>,
+}
+
+impl FuncBody {
+    /// Total number of declared locals (excluding params).
+    pub fn local_count(&self) -> u32 {
+        self.locals.iter().map(|(n, _)| *n).sum()
+    }
+
+    /// Expands the run-length encoded locals into a flat type list.
+    pub fn flat_locals(&self) -> Vec<ValType> {
+        let mut out = Vec::with_capacity(self.local_count() as usize);
+        for &(n, t) in &self.locals {
+            for _ in 0..n {
+                out.push(t);
+            }
+        }
+        out
+    }
+}
+
+/// A locally-defined function: its type index and body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncDecl {
+    /// Index into [`Module::types`].
+    pub type_idx: TypeIdx,
+    /// The function body.
+    pub body: FuncBody,
+}
+
+/// An element segment initializing a table with function indices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElemSegment {
+    /// Table being initialized (MVP: always 0).
+    pub table: u32,
+    /// Start offset expression.
+    pub offset: ConstExpr,
+    /// Function indices to place.
+    pub funcs: Vec<FuncIdx>,
+}
+
+/// A data segment initializing linear memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataSegment {
+    /// Memory being initialized (MVP: always 0).
+    pub memory: u32,
+    /// Start offset expression.
+    pub offset: ConstExpr,
+    /// Bytes to copy.
+    pub bytes: Vec<u8>,
+}
+
+/// A custom section preserved verbatim through decode/encode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CustomSection {
+    /// Section name.
+    pub name: String,
+    /// Raw payload.
+    pub bytes: Vec<u8>,
+}
+
+/// A complete WebAssembly module.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Module {
+    /// Function type table.
+    pub types: Vec<FuncType>,
+    /// Imports, in declaration order.
+    pub imports: Vec<Import>,
+    /// Locally-defined functions.
+    pub funcs: Vec<FuncDecl>,
+    /// Locally-defined tables.
+    pub tables: Vec<TableType>,
+    /// Locally-defined memories.
+    pub memories: Vec<MemoryType>,
+    /// Locally-defined globals.
+    pub globals: Vec<Global>,
+    /// Exports.
+    pub exports: Vec<Export>,
+    /// Optional start function.
+    pub start: Option<FuncIdx>,
+    /// Element segments.
+    pub elems: Vec<ElemSegment>,
+    /// Data segments.
+    pub data: Vec<DataSegment>,
+    /// Custom sections (preserved, not interpreted).
+    pub customs: Vec<CustomSection>,
+    /// Optional debug names for functions, indexed by [`FuncIdx`]
+    /// (covering both imported and local functions).
+    pub names: Vec<Option<String>>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new() -> Module {
+        Module::default()
+    }
+
+    /// Number of imported functions (they occupy indices `0..n`).
+    pub fn num_imported_funcs(&self) -> u32 {
+        self.imports
+            .iter()
+            .filter(|i| matches!(i.desc, ImportDesc::Func(_)))
+            .count() as u32
+    }
+
+    /// Total number of functions: imports plus local definitions.
+    pub fn num_funcs(&self) -> u32 {
+        self.num_imported_funcs() + self.funcs.len() as u32
+    }
+
+    /// The type of function `idx`, spanning imports and local functions.
+    pub fn func_type(&self, idx: FuncIdx) -> Option<&FuncType> {
+        let n_imp = self.num_imported_funcs();
+        let type_idx = if idx < n_imp {
+            let mut seen = 0;
+            let mut found = None;
+            for imp in &self.imports {
+                if let ImportDesc::Func(t) = imp.desc {
+                    if seen == idx {
+                        found = Some(t);
+                        break;
+                    }
+                    seen += 1;
+                }
+            }
+            found?
+        } else {
+            self.funcs.get((idx - n_imp) as usize)?.type_idx
+        };
+        self.types.get(type_idx as usize)
+    }
+
+    /// The body of locally-defined function `idx` (a global function index).
+    ///
+    /// Returns `None` for imported functions or out-of-range indices.
+    pub fn func_body(&self, idx: FuncIdx) -> Option<&FuncBody> {
+        let n_imp = self.num_imported_funcs();
+        if idx < n_imp {
+            return None;
+        }
+        self.funcs.get((idx - n_imp) as usize).map(|f| &f.body)
+    }
+
+    /// `true` if `idx` refers to an imported function.
+    pub fn is_imported_func(&self, idx: FuncIdx) -> bool {
+        idx < self.num_imported_funcs()
+    }
+
+    /// The debug or export name for function `idx`, if known.
+    pub fn func_name(&self, idx: FuncIdx) -> Option<&str> {
+        if let Some(Some(n)) = self.names.get(idx as usize) {
+            return Some(n);
+        }
+        self.exports
+            .iter()
+            .find(|e| e.kind == ExternKind::Func && e.index == idx)
+            .map(|e| e.name.as_str())
+    }
+
+    /// Looks up an exported function by name.
+    pub fn export_func(&self, name: &str) -> Option<FuncIdx> {
+        self.exports
+            .iter()
+            .find(|e| e.kind == ExternKind::Func && e.name == name)
+            .map(|e| e.index)
+    }
+
+    /// Types of all globals (imported first, then local), used for constant
+    /// expression checking.
+    pub fn global_types(&self) -> Vec<GlobalType> {
+        let mut out = Vec::new();
+        for imp in &self.imports {
+            if let ImportDesc::Global(g) = imp.desc {
+                out.push(g);
+            }
+        }
+        out.extend(self.globals.iter().map(|g| g.ty));
+        out
+    }
+
+    /// The memory type at index 0, spanning imports and local definitions.
+    pub fn memory0(&self) -> Option<MemoryType> {
+        for imp in &self.imports {
+            if let ImportDesc::Memory(m) = imp.desc {
+                return Some(m);
+            }
+        }
+        self.memories.first().copied()
+    }
+
+    /// The table type at index 0, spanning imports and local definitions.
+    pub fn table0(&self) -> Option<TableType> {
+        for imp in &self.imports {
+            if let ImportDesc::Table(t) = imp.desc {
+                return Some(t);
+            }
+        }
+        self.tables.first().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Limits;
+
+    fn module_with_import() -> Module {
+        let mut m = Module::new();
+        m.types.push(FuncType::new(&[ValType::I32], &[]));
+        m.types.push(FuncType::new(&[], &[ValType::I64]));
+        m.imports.push(Import {
+            module: "env".into(),
+            name: "log".into(),
+            desc: ImportDesc::Func(0),
+        });
+        m.funcs.push(FuncDecl {
+            type_idx: 1,
+            body: FuncBody { locals: vec![(2, ValType::F64)], code: vec![0x0b] },
+        });
+        m.exports.push(Export { name: "main".into(), kind: ExternKind::Func, index: 1 });
+        m
+    }
+
+    #[test]
+    fn func_index_space_spans_imports() {
+        let m = module_with_import();
+        assert_eq!(m.num_imported_funcs(), 1);
+        assert_eq!(m.num_funcs(), 2);
+        assert_eq!(m.func_type(0).unwrap().params, vec![ValType::I32]);
+        assert_eq!(m.func_type(1).unwrap().results, vec![ValType::I64]);
+        assert!(m.func_type(2).is_none());
+        assert!(m.is_imported_func(0));
+        assert!(!m.is_imported_func(1));
+    }
+
+    #[test]
+    fn func_body_only_for_local_funcs() {
+        let m = module_with_import();
+        assert!(m.func_body(0).is_none());
+        assert_eq!(m.func_body(1).unwrap().local_count(), 2);
+    }
+
+    #[test]
+    fn export_lookup() {
+        let m = module_with_import();
+        assert_eq!(m.export_func("main"), Some(1));
+        assert_eq!(m.export_func("nope"), None);
+        assert_eq!(m.func_name(1), Some("main"));
+    }
+
+    #[test]
+    fn flat_locals_expands_runs() {
+        let b = FuncBody {
+            locals: vec![(2, ValType::I32), (1, ValType::F32)],
+            code: vec![0x0b],
+        };
+        assert_eq!(b.flat_locals(), vec![ValType::I32, ValType::I32, ValType::F32]);
+    }
+
+    #[test]
+    fn memory0_prefers_import() {
+        let mut m = Module::new();
+        m.memories.push(MemoryType { limits: Limits::at_least(2) });
+        assert_eq!(m.memory0().unwrap().limits.min, 2);
+        m.imports.push(Import {
+            module: "env".into(),
+            name: "mem".into(),
+            desc: ImportDesc::Memory(MemoryType { limits: Limits::at_least(7) }),
+        });
+        assert_eq!(m.memory0().unwrap().limits.min, 7);
+    }
+
+    #[test]
+    fn const_expr_types() {
+        let globals = vec![GlobalType { value: ValType::F32, mutable: false }];
+        assert_eq!(ConstExpr::I32(1).val_type(&globals), Some(ValType::I32));
+        assert_eq!(ConstExpr::GlobalGet(0).val_type(&globals), Some(ValType::F32));
+        assert_eq!(ConstExpr::GlobalGet(9).val_type(&globals), None);
+    }
+}

@@ -1,0 +1,528 @@
+//! Opcode constants for the WebAssembly MVP (plus sign-extension operators)
+//! and the engine-reserved probe opcode used for bytecode overwriting.
+
+#![allow(missing_docs)]
+
+// Control instructions.
+pub const UNREACHABLE: u8 = 0x00;
+pub const NOP: u8 = 0x01;
+pub const BLOCK: u8 = 0x02;
+pub const LOOP: u8 = 0x03;
+pub const IF: u8 = 0x04;
+pub const ELSE: u8 = 0x05;
+pub const END: u8 = 0x0b;
+pub const BR: u8 = 0x0c;
+pub const BR_IF: u8 = 0x0d;
+pub const BR_TABLE: u8 = 0x0e;
+pub const RETURN: u8 = 0x0f;
+pub const CALL: u8 = 0x10;
+pub const CALL_INDIRECT: u8 = 0x11;
+
+// Parametric instructions.
+pub const DROP: u8 = 0x1a;
+pub const SELECT: u8 = 0x1b;
+
+// Variable instructions.
+pub const LOCAL_GET: u8 = 0x20;
+pub const LOCAL_SET: u8 = 0x21;
+pub const LOCAL_TEE: u8 = 0x22;
+pub const GLOBAL_GET: u8 = 0x23;
+pub const GLOBAL_SET: u8 = 0x24;
+
+// Memory instructions.
+pub const I32_LOAD: u8 = 0x28;
+pub const I64_LOAD: u8 = 0x29;
+pub const F32_LOAD: u8 = 0x2a;
+pub const F64_LOAD: u8 = 0x2b;
+pub const I32_LOAD8_S: u8 = 0x2c;
+pub const I32_LOAD8_U: u8 = 0x2d;
+pub const I32_LOAD16_S: u8 = 0x2e;
+pub const I32_LOAD16_U: u8 = 0x2f;
+pub const I64_LOAD8_S: u8 = 0x30;
+pub const I64_LOAD8_U: u8 = 0x31;
+pub const I64_LOAD16_S: u8 = 0x32;
+pub const I64_LOAD16_U: u8 = 0x33;
+pub const I64_LOAD32_S: u8 = 0x34;
+pub const I64_LOAD32_U: u8 = 0x35;
+pub const I32_STORE: u8 = 0x36;
+pub const I64_STORE: u8 = 0x37;
+pub const F32_STORE: u8 = 0x38;
+pub const F64_STORE: u8 = 0x39;
+pub const I32_STORE8: u8 = 0x3a;
+pub const I32_STORE16: u8 = 0x3b;
+pub const I64_STORE8: u8 = 0x3c;
+pub const I64_STORE16: u8 = 0x3d;
+pub const I64_STORE32: u8 = 0x3e;
+pub const MEMORY_SIZE: u8 = 0x3f;
+pub const MEMORY_GROW: u8 = 0x40;
+
+// Constants.
+pub const I32_CONST: u8 = 0x41;
+pub const I64_CONST: u8 = 0x42;
+pub const F32_CONST: u8 = 0x43;
+pub const F64_CONST: u8 = 0x44;
+
+// i32 comparisons.
+pub const I32_EQZ: u8 = 0x45;
+pub const I32_EQ: u8 = 0x46;
+pub const I32_NE: u8 = 0x47;
+pub const I32_LT_S: u8 = 0x48;
+pub const I32_LT_U: u8 = 0x49;
+pub const I32_GT_S: u8 = 0x4a;
+pub const I32_GT_U: u8 = 0x4b;
+pub const I32_LE_S: u8 = 0x4c;
+pub const I32_LE_U: u8 = 0x4d;
+pub const I32_GE_S: u8 = 0x4e;
+pub const I32_GE_U: u8 = 0x4f;
+
+// i64 comparisons.
+pub const I64_EQZ: u8 = 0x50;
+pub const I64_EQ: u8 = 0x51;
+pub const I64_NE: u8 = 0x52;
+pub const I64_LT_S: u8 = 0x53;
+pub const I64_LT_U: u8 = 0x54;
+pub const I64_GT_S: u8 = 0x55;
+pub const I64_GT_U: u8 = 0x56;
+pub const I64_LE_S: u8 = 0x57;
+pub const I64_LE_U: u8 = 0x58;
+pub const I64_GE_S: u8 = 0x59;
+pub const I64_GE_U: u8 = 0x5a;
+
+// f32 comparisons.
+pub const F32_EQ: u8 = 0x5b;
+pub const F32_NE: u8 = 0x5c;
+pub const F32_LT: u8 = 0x5d;
+pub const F32_GT: u8 = 0x5e;
+pub const F32_LE: u8 = 0x5f;
+pub const F32_GE: u8 = 0x60;
+
+// f64 comparisons.
+pub const F64_EQ: u8 = 0x61;
+pub const F64_NE: u8 = 0x62;
+pub const F64_LT: u8 = 0x63;
+pub const F64_GT: u8 = 0x64;
+pub const F64_LE: u8 = 0x65;
+pub const F64_GE: u8 = 0x66;
+
+// i32 arithmetic.
+pub const I32_CLZ: u8 = 0x67;
+pub const I32_CTZ: u8 = 0x68;
+pub const I32_POPCNT: u8 = 0x69;
+pub const I32_ADD: u8 = 0x6a;
+pub const I32_SUB: u8 = 0x6b;
+pub const I32_MUL: u8 = 0x6c;
+pub const I32_DIV_S: u8 = 0x6d;
+pub const I32_DIV_U: u8 = 0x6e;
+pub const I32_REM_S: u8 = 0x6f;
+pub const I32_REM_U: u8 = 0x70;
+pub const I32_AND: u8 = 0x71;
+pub const I32_OR: u8 = 0x72;
+pub const I32_XOR: u8 = 0x73;
+pub const I32_SHL: u8 = 0x74;
+pub const I32_SHR_S: u8 = 0x75;
+pub const I32_SHR_U: u8 = 0x76;
+pub const I32_ROTL: u8 = 0x77;
+pub const I32_ROTR: u8 = 0x78;
+
+// i64 arithmetic.
+pub const I64_CLZ: u8 = 0x79;
+pub const I64_CTZ: u8 = 0x7a;
+pub const I64_POPCNT: u8 = 0x7b;
+pub const I64_ADD: u8 = 0x7c;
+pub const I64_SUB: u8 = 0x7d;
+pub const I64_MUL: u8 = 0x7e;
+pub const I64_DIV_S: u8 = 0x7f;
+pub const I64_DIV_U: u8 = 0x80;
+pub const I64_REM_S: u8 = 0x81;
+pub const I64_REM_U: u8 = 0x82;
+pub const I64_AND: u8 = 0x83;
+pub const I64_OR: u8 = 0x84;
+pub const I64_XOR: u8 = 0x85;
+pub const I64_SHL: u8 = 0x86;
+pub const I64_SHR_S: u8 = 0x87;
+pub const I64_SHR_U: u8 = 0x88;
+pub const I64_ROTL: u8 = 0x89;
+pub const I64_ROTR: u8 = 0x8a;
+
+// f32 arithmetic.
+pub const F32_ABS: u8 = 0x8b;
+pub const F32_NEG: u8 = 0x8c;
+pub const F32_CEIL: u8 = 0x8d;
+pub const F32_FLOOR: u8 = 0x8e;
+pub const F32_TRUNC: u8 = 0x8f;
+pub const F32_NEAREST: u8 = 0x90;
+pub const F32_SQRT: u8 = 0x91;
+pub const F32_ADD: u8 = 0x92;
+pub const F32_SUB: u8 = 0x93;
+pub const F32_MUL: u8 = 0x94;
+pub const F32_DIV: u8 = 0x95;
+pub const F32_MIN: u8 = 0x96;
+pub const F32_MAX: u8 = 0x97;
+pub const F32_COPYSIGN: u8 = 0x98;
+
+// f64 arithmetic.
+pub const F64_ABS: u8 = 0x99;
+pub const F64_NEG: u8 = 0x9a;
+pub const F64_CEIL: u8 = 0x9b;
+pub const F64_FLOOR: u8 = 0x9c;
+pub const F64_TRUNC: u8 = 0x9d;
+pub const F64_NEAREST: u8 = 0x9e;
+pub const F64_SQRT: u8 = 0x9f;
+pub const F64_ADD: u8 = 0xa0;
+pub const F64_SUB: u8 = 0xa1;
+pub const F64_MUL: u8 = 0xa2;
+pub const F64_DIV: u8 = 0xa3;
+pub const F64_MIN: u8 = 0xa4;
+pub const F64_MAX: u8 = 0xa5;
+pub const F64_COPYSIGN: u8 = 0xa6;
+
+// Conversions.
+pub const I32_WRAP_I64: u8 = 0xa7;
+pub const I32_TRUNC_F32_S: u8 = 0xa8;
+pub const I32_TRUNC_F32_U: u8 = 0xa9;
+pub const I32_TRUNC_F64_S: u8 = 0xaa;
+pub const I32_TRUNC_F64_U: u8 = 0xab;
+pub const I64_EXTEND_I32_S: u8 = 0xac;
+pub const I64_EXTEND_I32_U: u8 = 0xad;
+pub const I64_TRUNC_F32_S: u8 = 0xae;
+pub const I64_TRUNC_F32_U: u8 = 0xaf;
+pub const I64_TRUNC_F64_S: u8 = 0xb0;
+pub const I64_TRUNC_F64_U: u8 = 0xb1;
+pub const F32_CONVERT_I32_S: u8 = 0xb2;
+pub const F32_CONVERT_I32_U: u8 = 0xb3;
+pub const F32_CONVERT_I64_S: u8 = 0xb4;
+pub const F32_CONVERT_I64_U: u8 = 0xb5;
+pub const F32_DEMOTE_F64: u8 = 0xb6;
+pub const F64_CONVERT_I32_S: u8 = 0xb7;
+pub const F64_CONVERT_I32_U: u8 = 0xb8;
+pub const F64_CONVERT_I64_S: u8 = 0xb9;
+pub const F64_CONVERT_I64_U: u8 = 0xba;
+pub const F64_PROMOTE_F32: u8 = 0xbb;
+pub const I32_REINTERPRET_F32: u8 = 0xbc;
+pub const I64_REINTERPRET_F64: u8 = 0xbd;
+pub const F32_REINTERPRET_I32: u8 = 0xbe;
+pub const F64_REINTERPRET_I64: u8 = 0xbf;
+
+// Sign-extension operators.
+pub const I32_EXTEND8_S: u8 = 0xc0;
+pub const I32_EXTEND16_S: u8 = 0xc1;
+pub const I64_EXTEND8_S: u8 = 0xc2;
+pub const I64_EXTEND16_S: u8 = 0xc3;
+pub const I64_EXTEND32_S: u8 = 0xc4;
+
+/// Engine-reserved probe opcode used for *bytecode overwriting* (see the
+/// paper, §4.2). Illegal in valid WebAssembly; the engine overwrites the
+/// original opcode of a probed instruction with this byte and keeps the
+/// original on the side.
+pub const PROBE: u8 = 0xe0;
+
+/// The shape of the immediate operand(s) following an opcode byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImmKind {
+    /// No immediates.
+    None,
+    /// A block type byte (`block`, `loop`, `if`).
+    BlockType,
+    /// A single LEB128 u32 index (labels, locals, globals, functions).
+    Index,
+    /// Two LEB128 u32s: type index + table index (`call_indirect`).
+    CallIndirect,
+    /// A branch table: vector of labels plus a default label.
+    BrTable,
+    /// align + offset memargs (loads/stores).
+    MemArg,
+    /// A single zero byte (`memory.size` / `memory.grow`).
+    MemIndex,
+    /// Signed LEB128 i32.
+    ConstI32,
+    /// Signed LEB128 i64.
+    ConstI64,
+    /// 4 little-endian bytes.
+    ConstF32,
+    /// 8 little-endian bytes.
+    ConstF64,
+}
+
+/// Classifies the immediates of `op`, or `None` if the opcode is not part of
+/// the supported instruction set.
+pub fn imm_kind(op: u8) -> Option<ImmKind> {
+    use ImmKind::*;
+    Some(match op {
+        UNREACHABLE | NOP | ELSE | END | RETURN | DROP | SELECT => None,
+        BLOCK | LOOP | IF => BlockType,
+        BR | BR_IF | CALL | LOCAL_GET | LOCAL_SET | LOCAL_TEE | GLOBAL_GET | GLOBAL_SET => Index,
+        BR_TABLE => BrTable,
+        CALL_INDIRECT => CallIndirect,
+        I32_LOAD..=I64_STORE32 => MemArg,
+        MEMORY_SIZE | MEMORY_GROW => MemIndex,
+        I32_CONST => ConstI32,
+        I64_CONST => ConstI64,
+        F32_CONST => ConstF32,
+        F64_CONST => ConstF64,
+        I32_EQZ..=I64_EXTEND32_S => None,
+        _ => return Option::None,
+    })
+}
+
+/// Returns `true` if `op` is a recognized opcode of the supported set
+/// (excluding the engine-reserved [`PROBE`] byte).
+pub fn is_valid(op: u8) -> bool {
+    imm_kind(op).is_some()
+}
+
+/// Returns the mnemonic for `op` (for tracing and disassembly).
+pub fn name(op: u8) -> &'static str {
+    match op {
+        UNREACHABLE => "unreachable",
+        NOP => "nop",
+        BLOCK => "block",
+        LOOP => "loop",
+        IF => "if",
+        ELSE => "else",
+        END => "end",
+        BR => "br",
+        BR_IF => "br_if",
+        BR_TABLE => "br_table",
+        RETURN => "return",
+        CALL => "call",
+        CALL_INDIRECT => "call_indirect",
+        DROP => "drop",
+        SELECT => "select",
+        LOCAL_GET => "local.get",
+        LOCAL_SET => "local.set",
+        LOCAL_TEE => "local.tee",
+        GLOBAL_GET => "global.get",
+        GLOBAL_SET => "global.set",
+        I32_LOAD => "i32.load",
+        I64_LOAD => "i64.load",
+        F32_LOAD => "f32.load",
+        F64_LOAD => "f64.load",
+        I32_LOAD8_S => "i32.load8_s",
+        I32_LOAD8_U => "i32.load8_u",
+        I32_LOAD16_S => "i32.load16_s",
+        I32_LOAD16_U => "i32.load16_u",
+        I64_LOAD8_S => "i64.load8_s",
+        I64_LOAD8_U => "i64.load8_u",
+        I64_LOAD16_S => "i64.load16_s",
+        I64_LOAD16_U => "i64.load16_u",
+        I64_LOAD32_S => "i64.load32_s",
+        I64_LOAD32_U => "i64.load32_u",
+        I32_STORE => "i32.store",
+        I64_STORE => "i64.store",
+        F32_STORE => "f32.store",
+        F64_STORE => "f64.store",
+        I32_STORE8 => "i32.store8",
+        I32_STORE16 => "i32.store16",
+        I64_STORE8 => "i64.store8",
+        I64_STORE16 => "i64.store16",
+        I64_STORE32 => "i64.store32",
+        MEMORY_SIZE => "memory.size",
+        MEMORY_GROW => "memory.grow",
+        I32_CONST => "i32.const",
+        I64_CONST => "i64.const",
+        F32_CONST => "f32.const",
+        F64_CONST => "f64.const",
+        I32_EQZ => "i32.eqz",
+        I32_EQ => "i32.eq",
+        I32_NE => "i32.ne",
+        I32_LT_S => "i32.lt_s",
+        I32_LT_U => "i32.lt_u",
+        I32_GT_S => "i32.gt_s",
+        I32_GT_U => "i32.gt_u",
+        I32_LE_S => "i32.le_s",
+        I32_LE_U => "i32.le_u",
+        I32_GE_S => "i32.ge_s",
+        I32_GE_U => "i32.ge_u",
+        I64_EQZ => "i64.eqz",
+        I64_EQ => "i64.eq",
+        I64_NE => "i64.ne",
+        I64_LT_S => "i64.lt_s",
+        I64_LT_U => "i64.lt_u",
+        I64_GT_S => "i64.gt_s",
+        I64_GT_U => "i64.gt_u",
+        I64_LE_S => "i64.le_s",
+        I64_LE_U => "i64.le_u",
+        I64_GE_S => "i64.ge_s",
+        I64_GE_U => "i64.ge_u",
+        F32_EQ => "f32.eq",
+        F32_NE => "f32.ne",
+        F32_LT => "f32.lt",
+        F32_GT => "f32.gt",
+        F32_LE => "f32.le",
+        F32_GE => "f32.ge",
+        F64_EQ => "f64.eq",
+        F64_NE => "f64.ne",
+        F64_LT => "f64.lt",
+        F64_GT => "f64.gt",
+        F64_LE => "f64.le",
+        F64_GE => "f64.ge",
+        I32_CLZ => "i32.clz",
+        I32_CTZ => "i32.ctz",
+        I32_POPCNT => "i32.popcnt",
+        I32_ADD => "i32.add",
+        I32_SUB => "i32.sub",
+        I32_MUL => "i32.mul",
+        I32_DIV_S => "i32.div_s",
+        I32_DIV_U => "i32.div_u",
+        I32_REM_S => "i32.rem_s",
+        I32_REM_U => "i32.rem_u",
+        I32_AND => "i32.and",
+        I32_OR => "i32.or",
+        I32_XOR => "i32.xor",
+        I32_SHL => "i32.shl",
+        I32_SHR_S => "i32.shr_s",
+        I32_SHR_U => "i32.shr_u",
+        I32_ROTL => "i32.rotl",
+        I32_ROTR => "i32.rotr",
+        I64_CLZ => "i64.clz",
+        I64_CTZ => "i64.ctz",
+        I64_POPCNT => "i64.popcnt",
+        I64_ADD => "i64.add",
+        I64_SUB => "i64.sub",
+        I64_MUL => "i64.mul",
+        I64_DIV_S => "i64.div_s",
+        I64_DIV_U => "i64.div_u",
+        I64_REM_S => "i64.rem_s",
+        I64_REM_U => "i64.rem_u",
+        I64_AND => "i64.and",
+        I64_OR => "i64.or",
+        I64_XOR => "i64.xor",
+        I64_SHL => "i64.shl",
+        I64_SHR_S => "i64.shr_s",
+        I64_SHR_U => "i64.shr_u",
+        I64_ROTL => "i64.rotl",
+        I64_ROTR => "i64.rotr",
+        F32_ABS => "f32.abs",
+        F32_NEG => "f32.neg",
+        F32_CEIL => "f32.ceil",
+        F32_FLOOR => "f32.floor",
+        F32_TRUNC => "f32.trunc",
+        F32_NEAREST => "f32.nearest",
+        F32_SQRT => "f32.sqrt",
+        F32_ADD => "f32.add",
+        F32_SUB => "f32.sub",
+        F32_MUL => "f32.mul",
+        F32_DIV => "f32.div",
+        F32_MIN => "f32.min",
+        F32_MAX => "f32.max",
+        F32_COPYSIGN => "f32.copysign",
+        F64_ABS => "f64.abs",
+        F64_NEG => "f64.neg",
+        F64_CEIL => "f64.ceil",
+        F64_FLOOR => "f64.floor",
+        F64_TRUNC => "f64.trunc",
+        F64_NEAREST => "f64.nearest",
+        F64_SQRT => "f64.sqrt",
+        F64_ADD => "f64.add",
+        F64_SUB => "f64.sub",
+        F64_MUL => "f64.mul",
+        F64_DIV => "f64.div",
+        F64_MIN => "f64.min",
+        F64_MAX => "f64.max",
+        F64_COPYSIGN => "f64.copysign",
+        I32_WRAP_I64 => "i32.wrap_i64",
+        I32_TRUNC_F32_S => "i32.trunc_f32_s",
+        I32_TRUNC_F32_U => "i32.trunc_f32_u",
+        I32_TRUNC_F64_S => "i32.trunc_f64_s",
+        I32_TRUNC_F64_U => "i32.trunc_f64_u",
+        I64_EXTEND_I32_S => "i64.extend_i32_s",
+        I64_EXTEND_I32_U => "i64.extend_i32_u",
+        I64_TRUNC_F32_S => "i64.trunc_f32_s",
+        I64_TRUNC_F32_U => "i64.trunc_f32_u",
+        I64_TRUNC_F64_S => "i64.trunc_f64_s",
+        I64_TRUNC_F64_U => "i64.trunc_f64_u",
+        F32_CONVERT_I32_S => "f32.convert_i32_s",
+        F32_CONVERT_I32_U => "f32.convert_i32_u",
+        F32_CONVERT_I64_S => "f32.convert_i64_s",
+        F32_CONVERT_I64_U => "f32.convert_i64_u",
+        F32_DEMOTE_F64 => "f32.demote_f64",
+        F64_CONVERT_I32_S => "f64.convert_i32_s",
+        F64_CONVERT_I32_U => "f64.convert_i32_u",
+        F64_CONVERT_I64_S => "f64.convert_i64_s",
+        F64_CONVERT_I64_U => "f64.convert_i64_u",
+        F64_PROMOTE_F32 => "f64.promote_f32",
+        I32_REINTERPRET_F32 => "i32.reinterpret_f32",
+        I64_REINTERPRET_F64 => "i64.reinterpret_f64",
+        F32_REINTERPRET_I32 => "f32.reinterpret_i32",
+        F64_REINTERPRET_I64 => "f64.reinterpret_i64",
+        I32_EXTEND8_S => "i32.extend8_s",
+        I32_EXTEND16_S => "i32.extend16_s",
+        I64_EXTEND8_S => "i64.extend8_s",
+        I64_EXTEND16_S => "i64.extend16_s",
+        I64_EXTEND32_S => "i64.extend32_s",
+        PROBE => "<probe>",
+        _ => "<invalid>",
+    }
+}
+
+/// Returns `true` for instructions that transfer control (branch family,
+/// `return`, `unreachable`); used by analyses and the rewriter.
+pub fn is_branch(op: u8) -> bool {
+    matches!(op, BR | BR_IF | BR_TABLE | IF)
+}
+
+/// Returns `true` for memory access instructions (loads and stores).
+pub fn is_memory_access(op: u8) -> bool {
+    (I32_LOAD..=I64_STORE32).contains(&op)
+}
+
+/// Returns `true` for load instructions.
+pub fn is_load(op: u8) -> bool {
+    (I32_LOAD..=I64_LOAD32_U).contains(&op)
+}
+
+/// Returns `true` for store instructions.
+pub fn is_store(op: u8) -> bool {
+    (I32_STORE..=I64_STORE32).contains(&op)
+}
+
+/// Returns `true` for direct and indirect call instructions.
+pub fn is_call(op: u8) -> bool {
+    matches!(op, CALL | CALL_INDIRECT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_valid_opcode_has_a_name() {
+        let mut count = 0;
+        for op in 0u8..=0xff {
+            if is_valid(op) {
+                assert_ne!(name(op), "<invalid>", "opcode {op:#x}");
+                count += 1;
+            }
+        }
+        // MVP + sign extension: 13 control + 2 parametric + 5 variable
+        // + 25 memory + 4 const + 123 numeric/conversion + 5 sign-ext.
+        assert_eq!(count, 177);
+    }
+
+    #[test]
+    fn probe_opcode_is_not_valid_wasm() {
+        assert!(!is_valid(PROBE));
+        assert_eq!(name(PROBE), "<probe>");
+    }
+
+    #[test]
+    fn classification_helpers() {
+        assert!(is_branch(BR_IF));
+        assert!(!is_branch(CALL));
+        assert!(is_memory_access(F64_STORE));
+        assert!(is_load(I64_LOAD32_U));
+        assert!(!is_load(I32_STORE));
+        assert!(is_store(I32_STORE8));
+        assert!(is_call(CALL_INDIRECT));
+    }
+
+    #[test]
+    fn imm_kinds() {
+        assert_eq!(imm_kind(BLOCK), Some(ImmKind::BlockType));
+        assert_eq!(imm_kind(BR_TABLE), Some(ImmKind::BrTable));
+        assert_eq!(imm_kind(I32_LOAD), Some(ImmKind::MemArg));
+        assert_eq!(imm_kind(I32_ADD), Some(ImmKind::None));
+        assert_eq!(imm_kind(0xfe), None);
+        assert_eq!(imm_kind(PROBE), None);
+    }
+}

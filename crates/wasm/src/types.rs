@@ -1,0 +1,210 @@
+//! Core WebAssembly type definitions: value types, function types, limits and
+//! the types of module-level entities.
+
+/// A WebAssembly value type (core MVP numeric types).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ValType {
+    /// 32-bit integer.
+    I32,
+    /// 64-bit integer.
+    I64,
+    /// 32-bit IEEE-754 float.
+    F32,
+    /// 64-bit IEEE-754 float.
+    F64,
+}
+
+impl ValType {
+    /// The binary-format byte for this value type.
+    pub fn byte(self) -> u8 {
+        match self {
+            ValType::I32 => 0x7f,
+            ValType::I64 => 0x7e,
+            ValType::F32 => 0x7d,
+            ValType::F64 => 0x7c,
+        }
+    }
+
+    /// Decodes a value type from its binary-format byte.
+    pub fn from_byte(b: u8) -> Option<ValType> {
+        match b {
+            0x7f => Some(ValType::I32),
+            0x7e => Some(ValType::I64),
+            0x7d => Some(ValType::F32),
+            0x7c => Some(ValType::F64),
+            _ => None,
+        }
+    }
+}
+
+impl core::fmt::Display for ValType {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            ValType::I32 => "i32",
+            ValType::I64 => "i64",
+            ValType::F32 => "f32",
+            ValType::F64 => "f64",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The type of a structured control block: either empty or a single result.
+///
+/// This crate targets the Wasm MVP, which predates multi-value block types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BlockType {
+    /// `[] -> []`.
+    #[default]
+    Empty,
+    /// `[] -> [t]`.
+    Value(ValType),
+}
+
+impl BlockType {
+    /// Number of result values the block produces.
+    pub fn arity(self) -> u32 {
+        match self {
+            BlockType::Empty => 0,
+            BlockType::Value(_) => 1,
+        }
+    }
+
+    /// The result type, if any.
+    pub fn result(self) -> Option<ValType> {
+        match self {
+            BlockType::Empty => None,
+            BlockType::Value(t) => Some(t),
+        }
+    }
+}
+
+/// A function signature: parameter and result types.
+///
+/// MVP restriction: at most one result.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct FuncType {
+    /// Parameter types, in order.
+    pub params: Vec<ValType>,
+    /// Result types (0 or 1 in the MVP).
+    pub results: Vec<ValType>,
+}
+
+impl FuncType {
+    /// Creates a function type from parameter and result slices.
+    pub fn new(params: &[ValType], results: &[ValType]) -> FuncType {
+        FuncType { params: params.to_vec(), results: results.to_vec() }
+    }
+}
+
+impl core::fmt::Display for FuncType {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "[")?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "] -> [")?;
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Size limits for memories and tables, in units of pages / elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Limits {
+    /// Initial size.
+    pub min: u32,
+    /// Optional maximum size.
+    pub max: Option<u32>,
+}
+
+impl Limits {
+    /// Creates limits with only a minimum.
+    pub fn at_least(min: u32) -> Limits {
+        Limits { min, max: None }
+    }
+
+    /// Creates limits with a minimum and maximum.
+    pub fn bounded(min: u32, max: u32) -> Limits {
+        Limits { min, max: Some(max) }
+    }
+}
+
+/// The type of a global variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GlobalType {
+    /// The value type stored in the global.
+    pub value: ValType,
+    /// Whether the global may be mutated.
+    pub mutable: bool,
+}
+
+/// The type of a memory (limits in 64 KiB pages).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemoryType {
+    /// Page limits.
+    pub limits: Limits,
+}
+
+/// The type of a table (MVP: always `funcref` elements).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TableType {
+    /// Element count limits.
+    pub limits: Limits,
+}
+
+/// WebAssembly page size in bytes (64 KiB).
+pub const PAGE_SIZE: usize = 65536;
+
+/// Kind of an import or export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExternKind {
+    /// A function.
+    Func,
+    /// A table.
+    Table,
+    /// A memory.
+    Memory,
+    /// A global.
+    Global,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valtype_byte_roundtrip() {
+        for t in [ValType::I32, ValType::I64, ValType::F32, ValType::F64] {
+            assert_eq!(ValType::from_byte(t.byte()), Some(t));
+        }
+        assert_eq!(ValType::from_byte(0x40), None);
+    }
+
+    #[test]
+    fn blocktype_arity() {
+        assert_eq!(BlockType::Empty.arity(), 0);
+        assert_eq!(BlockType::Value(ValType::F64).arity(), 1);
+        assert_eq!(BlockType::Value(ValType::I32).result(), Some(ValType::I32));
+    }
+
+    #[test]
+    fn functype_display() {
+        let t = FuncType::new(&[ValType::I32, ValType::F64], &[ValType::I64]);
+        assert_eq!(t.to_string(), "[i32 f64] -> [i64]");
+    }
+
+    #[test]
+    fn limits_constructors() {
+        assert_eq!(Limits::at_least(3), Limits { min: 3, max: None });
+        assert_eq!(Limits::bounded(1, 5), Limits { min: 1, max: Some(5) });
+    }
+}

@@ -1,0 +1,871 @@
+//! Module validation (type checking) fused with *branch side-table*
+//! construction.
+//!
+//! The side table is the metadata that makes in-place interpretation fast
+//! (Titzer, OOPSLA'22): for every control-transfer instruction it records the
+//! target pc, the number of values carried, and the operand-stack height to
+//! truncate to. The engine's interpreter and JIT both consume it, as does the
+//! bytecode rewriter (to rebuild structured code).
+
+use std::collections::HashMap;
+
+use crate::instr::{decode_at, Imm};
+use crate::module::{ConstExpr, FuncIdx, ImportDesc, Module};
+use crate::opcodes as op;
+use crate::types::{BlockType, ExternKind, FuncType, GlobalType, ValType};
+
+/// A resolved control-transfer destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Target {
+    /// Destination pc (byte offset in the function body).
+    pub target_pc: u32,
+    /// Number of operand values carried across the branch (0 or 1 in MVP).
+    pub arity: u32,
+    /// Operand-stack height (above the frame's operand base) to truncate to
+    /// before pushing the carried values.
+    pub height: u32,
+}
+
+/// A side-table entry attached to the pc of a control instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SideEntry {
+    /// `br` target, or `br_if` taken-branch target.
+    Br(Target),
+    /// `br_table`: one target per label, default last.
+    Table(Vec<Target>),
+    /// `if`: destination when the condition is false (else-body start, or
+    /// after `end` when there is no else).
+    IfFalse(Target),
+    /// `else`: unconditional skip to after the matching `end` (taken when the
+    /// then-branch falls through into `else`).
+    ElseSkip(Target),
+}
+
+/// Per-function metadata produced by validation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FuncMeta {
+    /// Side table keyed by instruction pc.
+    pub side: HashMap<u32, SideEntry>,
+    /// pcs of `loop` opcodes (loop headers), in code order.
+    pub loop_headers: Vec<u32>,
+    /// Maximum operand-stack height reached (conservative).
+    pub max_height: u32,
+    /// Total slots for params + locals.
+    pub num_slots: u32,
+}
+
+/// Validation error with location information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateError {
+    /// Function index, if the error is inside a function body.
+    pub func: Option<FuncIdx>,
+    /// pc within the function body, if applicable.
+    pub pc: Option<u32>,
+    /// Human-readable cause.
+    pub msg: String,
+}
+
+impl core::fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match (self.func, self.pc) {
+            (Some(fx), Some(pc)) => write!(f, "validation error in func {fx} at pc={pc}: {}", self.msg),
+            (Some(fx), None) => write!(f, "validation error in func {fx}: {}", self.msg),
+            _ => write!(f, "validation error: {}", self.msg),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+fn merr(msg: impl Into<String>) -> ValidateError {
+    ValidateError { func: None, pc: None, msg: msg.into() }
+}
+
+/// The result of validating a whole module: per-function metadata for all
+/// locally-defined functions, indexed in local-function order.
+#[derive(Debug, Clone, Default)]
+pub struct ModuleMeta {
+    /// Metadata for `module.funcs[i]`.
+    pub funcs: Vec<FuncMeta>,
+}
+
+/// Validates a module and computes branch side tables.
+///
+/// # Errors
+///
+/// Returns the first [`ValidateError`] encountered.
+pub fn validate(module: &Module) -> Result<ModuleMeta, ValidateError> {
+    validate_module_level(module)?;
+    let mut metas = Vec::with_capacity(module.funcs.len());
+    let n_imp = module.num_imported_funcs();
+    for (i, f) in module.funcs.iter().enumerate() {
+        let fidx = n_imp + i as u32;
+        let ty = module
+            .types
+            .get(f.type_idx as usize)
+            .ok_or_else(|| merr(format!("func {fidx}: bad type index {}", f.type_idx)))?;
+        let meta = FuncValidator::new(module, fidx, ty, f.body.flat_locals())
+            .run(&f.body.code)
+            .map_err(|mut e| {
+                e.func = Some(fidx);
+                e
+            })?;
+        metas.push(meta);
+    }
+    Ok(ModuleMeta { funcs: metas })
+}
+
+fn validate_module_level(m: &Module) -> Result<(), ValidateError> {
+    for (i, t) in m.types.iter().enumerate() {
+        if t.results.len() > 1 {
+            return Err(merr(format!("type {i}: multi-value results not supported")));
+        }
+    }
+    let mut n_mem = m.memories.len();
+    let mut n_table = m.tables.len();
+    for imp in &m.imports {
+        match &imp.desc {
+            ImportDesc::Func(t) => {
+                if *t as usize >= m.types.len() {
+                    return Err(merr(format!("import {}.{}: bad type index", imp.module, imp.name)));
+                }
+            }
+            ImportDesc::Memory(_) => n_mem += 1,
+            ImportDesc::Table(_) => n_table += 1,
+            ImportDesc::Global(_) => {}
+        }
+    }
+    if n_mem > 1 {
+        return Err(merr("at most one memory is supported"));
+    }
+    if n_table > 1 {
+        return Err(merr("at most one table is supported"));
+    }
+    for mem in &m.memories {
+        if let Some(max) = mem.limits.max {
+            if max < mem.limits.min {
+                return Err(merr("memory max < min"));
+            }
+        }
+        if mem.limits.min > 65536 {
+            return Err(merr("memory min exceeds 4GiB"));
+        }
+    }
+    for t in &m.tables {
+        if let Some(max) = t.limits.max {
+            if max < t.limits.min {
+                return Err(merr("table max < min"));
+            }
+        }
+    }
+    let imported_globals: Vec<GlobalType> = m
+        .imports
+        .iter()
+        .filter_map(|i| match i.desc {
+            ImportDesc::Global(g) => Some(g),
+            _ => None,
+        })
+        .collect();
+    for (i, g) in m.globals.iter().enumerate() {
+        check_const_expr(&g.init, g.ty.value, &imported_globals)
+            .map_err(|msg| merr(format!("global {i}: {msg}")))?;
+    }
+    let mut seen = std::collections::HashSet::new();
+    for e in &m.exports {
+        if !seen.insert(e.name.as_str()) {
+            return Err(merr(format!("duplicate export name {:?}", e.name)));
+        }
+        let limit = match e.kind {
+            ExternKind::Func => m.num_funcs(),
+            ExternKind::Table => n_table as u32,
+            ExternKind::Memory => n_mem as u32,
+            ExternKind::Global => imported_globals.len() as u32 + m.globals.len() as u32,
+        };
+        if e.index >= limit {
+            return Err(merr(format!("export {:?}: index {} out of range", e.name, e.index)));
+        }
+    }
+    if let Some(s) = m.start {
+        let ty = m.func_type(s).ok_or_else(|| merr("start: bad function index"))?;
+        if !ty.params.is_empty() || !ty.results.is_empty() {
+            return Err(merr("start function must have type [] -> []"));
+        }
+    }
+    for (i, e) in m.elems.iter().enumerate() {
+        if e.table as usize >= n_table {
+            return Err(merr(format!("elem {i}: no table")));
+        }
+        check_const_expr(&e.offset, ValType::I32, &imported_globals)
+            .map_err(|msg| merr(format!("elem {i}: {msg}")))?;
+        for f in &e.funcs {
+            if *f >= m.num_funcs() {
+                return Err(merr(format!("elem {i}: bad func index {f}")));
+            }
+        }
+    }
+    for (i, d) in m.data.iter().enumerate() {
+        if d.memory as usize >= n_mem {
+            return Err(merr(format!("data {i}: no memory")));
+        }
+        check_const_expr(&d.offset, ValType::I32, &imported_globals)
+            .map_err(|msg| merr(format!("data {i}: {msg}")))?;
+    }
+    Ok(())
+}
+
+fn check_const_expr(
+    e: &ConstExpr,
+    expect: ValType,
+    imported_globals: &[GlobalType],
+) -> Result<(), String> {
+    let got = match e {
+        ConstExpr::I32(_) => ValType::I32,
+        ConstExpr::I64(_) => ValType::I64,
+        ConstExpr::F32(_) => ValType::F32,
+        ConstExpr::F64(_) => ValType::F64,
+        ConstExpr::GlobalGet(i) => {
+            let g = imported_globals
+                .get(*i as usize)
+                .ok_or_else(|| format!("global.get {i} does not name an imported global"))?;
+            if g.mutable {
+                return Err("global.get initializer must reference an immutable global".into());
+            }
+            g.value
+        }
+    };
+    if got != expect {
+        return Err(format!("initializer type {got} does not match {expect}"));
+    }
+    Ok(())
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MaybeType {
+    Known(ValType),
+    Unknown,
+}
+
+impl MaybeType {
+    fn matches(self, t: ValType) -> bool {
+        match self {
+            MaybeType::Known(k) => k == t,
+            MaybeType::Unknown => true,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Ctrl {
+    opcode: u8,
+    bt: BlockType,
+    height: u32,
+    unreachable: bool,
+    /// pcs of side entries whose target must be patched when this label's
+    /// `end` is reached: (instr pc, index within a Table entry or 0).
+    patches: Vec<(u32, usize)>,
+    /// For `if`: pc of the `if` opcode, so the false-edge can be patched at
+    /// `else` / `end`.
+    pc: u32,
+    saw_else: bool,
+}
+
+impl Ctrl {
+    /// Arity of a branch *to* this label.
+    fn br_arity(&self) -> u32 {
+        if self.opcode == op::LOOP {
+            0
+        } else {
+            self.bt.arity()
+        }
+    }
+
+    fn br_type(&self) -> Option<ValType> {
+        if self.opcode == op::LOOP {
+            None
+        } else {
+            self.bt.result()
+        }
+    }
+}
+
+struct FuncValidator<'m> {
+    module: &'m Module,
+    fidx: FuncIdx,
+    results: Vec<ValType>,
+    locals: Vec<ValType>,
+    stack: Vec<MaybeType>,
+    ctrls: Vec<Ctrl>,
+    meta: FuncMeta,
+    pc: u32,
+}
+
+impl<'m> FuncValidator<'m> {
+    fn new(module: &'m Module, fidx: FuncIdx, ty: &FuncType, extra_locals: Vec<ValType>) -> Self {
+        let mut locals = ty.params.clone();
+        locals.extend(extra_locals);
+        let num_slots = locals.len() as u32;
+        FuncValidator {
+            module,
+            fidx,
+            results: ty.results.clone(),
+            locals,
+            stack: Vec::new(),
+            ctrls: Vec::new(),
+            meta: FuncMeta { num_slots, ..FuncMeta::default() },
+            pc: 0,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ValidateError {
+        ValidateError { func: Some(self.fidx), pc: Some(self.pc), msg: msg.into() }
+    }
+
+    fn push(&mut self, t: ValType) {
+        self.stack.push(MaybeType::Known(t));
+        self.meta.max_height = self.meta.max_height.max(self.stack.len() as u32);
+    }
+
+    fn cur_height_limit(&self) -> usize {
+        self.ctrls.last().map_or(0, |c| c.height as usize)
+    }
+
+    fn pop_any(&mut self) -> Result<MaybeType, ValidateError> {
+        let limit = self.cur_height_limit();
+        if self.stack.len() <= limit {
+            if self.ctrls.last().is_some_and(|c| c.unreachable) {
+                return Ok(MaybeType::Unknown);
+            }
+            return Err(self.err("operand stack underflow"));
+        }
+        Ok(self.stack.pop().expect("non-empty"))
+    }
+
+    fn pop_expect(&mut self, t: ValType) -> Result<(), ValidateError> {
+        let got = self.pop_any()?;
+        if !got.matches(t) {
+            return Err(self.err(format!("expected {t}, found {got:?}")));
+        }
+        Ok(())
+    }
+
+    fn label(&self, depth: u32) -> Result<&Ctrl, ValidateError> {
+        let n = self.ctrls.len();
+        if (depth as usize) >= n {
+            return Err(self.err(format!("branch depth {depth} out of range")));
+        }
+        Ok(&self.ctrls[n - 1 - depth as usize])
+    }
+
+    fn mark_unreachable(&mut self) {
+        let limit = self.cur_height_limit();
+        self.stack.truncate(limit);
+        if let Some(c) = self.ctrls.last_mut() {
+            c.unreachable = true;
+        }
+    }
+
+    /// Checks branch operands and returns the (possibly unpatched) target.
+    fn branch_target(&mut self, depth: u32) -> Result<(Target, bool), ValidateError> {
+        let (arity, ty, height, is_loop, loop_pc) = {
+            let l = self.label(depth)?;
+            (l.br_arity(), l.br_type(), l.height, l.opcode == op::LOOP, l.pc)
+        };
+        if let Some(t) = ty {
+            self.pop_expect(t)?;
+            // Branches peek rather than consume for fall-through paths
+            // (br_if, br_table); the caller restores if needed.
+            self.stack.push(MaybeType::Known(t));
+        }
+        let target = if is_loop {
+            Target { target_pc: loop_pc, arity, height }
+        } else {
+            Target { target_pc: u32::MAX, arity, height }
+        };
+        Ok((target, !is_loop))
+    }
+
+    fn record_patch(&mut self, depth: u32, instr_pc: u32, slot: usize) {
+        let n = self.ctrls.len();
+        self.ctrls[n - 1 - depth as usize].patches.push((instr_pc, slot));
+    }
+
+    fn run(mut self, code: &[u8]) -> Result<FuncMeta, ValidateError> {
+        if code.is_empty() {
+            return Err(self.err("empty function body"));
+        }
+        // The implicit function-level block.
+        let func_bt = match self.results.first() {
+            None => BlockType::Empty,
+            Some(t) => BlockType::Value(*t),
+        };
+        self.ctrls.push(Ctrl {
+            opcode: op::BLOCK,
+            bt: func_bt,
+            height: 0,
+            unreachable: false,
+            patches: Vec::new(),
+            pc: 0,
+            saw_else: false,
+        });
+        let mut pos = 0usize;
+        let mut done = false;
+        while pos < code.len() {
+            if done {
+                return Err(self.err("trailing bytes after function end"));
+            }
+            let (instr, next) =
+                decode_at(code, pos).map_err(|e| ValidateError {
+                    func: Some(self.fidx),
+                    pc: Some(e.pc),
+                    msg: e.msg,
+                })?;
+            self.pc = instr.pc;
+            self.step(&instr, next as u32, &mut done)?;
+            pos = next;
+        }
+        if !done {
+            return Err(self.err("function body missing final end"));
+        }
+        if self.stack.len() != self.results.len() {
+            return Err(self.err(format!(
+                "function leaves {} values, expected {}",
+                self.stack.len(),
+                self.results.len()
+            )));
+        }
+        Ok(self.meta)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn step(
+        &mut self,
+        instr: &crate::instr::Instr,
+        next_pc: u32,
+        done: &mut bool,
+    ) -> Result<(), ValidateError> {
+        use crate::opcodes::*;
+        let o = instr.op;
+        match o {
+            UNREACHABLE => self.mark_unreachable(),
+            NOP => {}
+            BLOCK | LOOP => {
+                let bt = match instr.imm {
+                    Imm::Block(bt) => bt,
+                    _ => unreachable!("decoder invariant"),
+                };
+                if o == LOOP {
+                    self.meta.loop_headers.push(instr.pc);
+                }
+                self.ctrls.push(Ctrl {
+                    opcode: o,
+                    bt,
+                    height: self.stack.len() as u32,
+                    unreachable: false,
+                    patches: Vec::new(),
+                    pc: instr.pc,
+                    saw_else: false,
+                });
+            }
+            IF => {
+                let bt = match instr.imm {
+                    Imm::Block(bt) => bt,
+                    _ => unreachable!("decoder invariant"),
+                };
+                self.pop_expect(ValType::I32)?;
+                let height = self.stack.len() as u32;
+                self.meta.side.insert(
+                    instr.pc,
+                    SideEntry::IfFalse(Target { target_pc: u32::MAX, arity: 0, height }),
+                );
+                self.ctrls.push(Ctrl {
+                    opcode: IF,
+                    bt,
+                    height,
+                    unreachable: false,
+                    patches: Vec::new(),
+                    pc: instr.pc,
+                    saw_else: false,
+                });
+            }
+            ELSE => {
+                let (bt, height, if_pc) = {
+                    let c = self.ctrls.last().ok_or_else(|| self.err("else outside if"))?;
+                    if c.opcode != IF || c.saw_else {
+                        return Err(self.err("else without matching if"));
+                    }
+                    (c.bt, c.height, c.pc)
+                };
+                // Then-branch must produce the block results.
+                self.check_block_exit(bt, height)?;
+                // Patch the if's false edge to the else-body start.
+                if let Some(SideEntry::IfFalse(t)) = self.meta.side.get_mut(&if_pc) {
+                    t.target_pc = next_pc;
+                }
+                // The else arm skips to after `end`; patched at END.
+                self.meta.side.insert(
+                    instr.pc,
+                    SideEntry::ElseSkip(Target { target_pc: u32::MAX, arity: bt.arity(), height }),
+                );
+                let c = self.ctrls.last_mut().expect("checked above");
+                c.saw_else = true;
+                c.unreachable = false;
+                let h = height as usize;
+                self.stack.truncate(h);
+                // Register the skip for end patching.
+                let pc = instr.pc;
+                self.ctrls.last_mut().expect("ctrl").patches.push((pc, 0));
+            }
+            END => {
+                let c = self.ctrls.pop().ok_or_else(|| self.err("unbalanced end"))?;
+                self.check_block_exit_with(&c)?;
+                if c.opcode == IF && !c.saw_else && c.bt != BlockType::Empty {
+                    return Err(self.err("if with result requires else"));
+                }
+                // Patch forward branches to this label.
+                for (pc, slot) in &c.patches {
+                    match self.meta.side.get_mut(pc) {
+                        Some(SideEntry::Br(t)) if *slot == 0 => t.target_pc = next_pc,
+                        Some(SideEntry::Table(ts)) => {
+                            if let Some(t) = ts.get_mut(*slot) {
+                                t.target_pc = next_pc;
+                            }
+                        }
+                        Some(SideEntry::ElseSkip(t)) => t.target_pc = next_pc,
+                        Some(SideEntry::IfFalse(t)) => t.target_pc = next_pc,
+                        _ => {}
+                    }
+                }
+                // If with no else: false edge goes after end.
+                if c.opcode == IF && !c.saw_else {
+                    if let Some(SideEntry::IfFalse(t)) = self.meta.side.get_mut(&c.pc) {
+                        if t.target_pc == u32::MAX {
+                            t.target_pc = next_pc;
+                        }
+                    }
+                }
+                // Push results for the enclosing block.
+                self.stack.truncate(c.height as usize);
+                if let Some(t) = c.bt.result() {
+                    self.push(t);
+                }
+                if self.ctrls.is_empty() {
+                    *done = true;
+                }
+            }
+            BR => {
+                let depth = idx(&instr.imm);
+                let (target, needs_patch) = self.branch_target(depth)?;
+                if let Some(t) = self.label(depth)?.br_type() {
+                    self.pop_expect(t)?;
+                }
+                self.meta.side.insert(instr.pc, SideEntry::Br(target));
+                if needs_patch {
+                    self.record_patch(depth, instr.pc, 0);
+                }
+                self.mark_unreachable();
+            }
+            BR_IF => {
+                let depth = idx(&instr.imm);
+                self.pop_expect(ValType::I32)?;
+                let (target, needs_patch) = self.branch_target(depth)?;
+                self.meta.side.insert(instr.pc, SideEntry::Br(target));
+                if needs_patch {
+                    self.record_patch(depth, instr.pc, 0);
+                }
+                // Fall-through keeps the (peeked) operand types unchanged.
+            }
+            BR_TABLE => {
+                let (targets, default) = match &instr.imm {
+                    Imm::BrTable { targets, default } => (targets.clone(), *default),
+                    _ => unreachable!("decoder invariant"),
+                };
+                self.pop_expect(ValType::I32)?;
+                let default_arity = self.label(default)?.br_arity();
+                let mut entries = Vec::with_capacity(targets.len() + 1);
+                for (slot, depth) in targets.iter().chain(std::iter::once(&default)).enumerate() {
+                    let l = self.label(*depth)?;
+                    if l.br_arity() != default_arity {
+                        return Err(self.err("br_table targets have inconsistent arity"));
+                    }
+                    let (target, needs_patch) = self.branch_target(*depth)?;
+                    entries.push(target);
+                    if needs_patch {
+                        self.record_patch(*depth, instr.pc, slot);
+                    }
+                }
+                if default_arity == 1 {
+                    let t = self.label(default)?.br_type().expect("arity 1");
+                    self.pop_expect(t)?;
+                }
+                self.meta.side.insert(instr.pc, SideEntry::Table(entries));
+                self.mark_unreachable();
+            }
+            RETURN => {
+                for t in self.results.clone().iter().rev() {
+                    self.pop_expect(*t)?;
+                }
+                self.mark_unreachable();
+            }
+            CALL => {
+                let f = idx(&instr.imm);
+                let ty = self
+                    .module
+                    .func_type(f)
+                    .ok_or_else(|| self.err(format!("call to unknown function {f}")))?
+                    .clone();
+                for t in ty.params.iter().rev() {
+                    self.pop_expect(*t)?;
+                }
+                for t in &ty.results {
+                    self.push(*t);
+                }
+            }
+            CALL_INDIRECT => {
+                let (type_idx, table) = match instr.imm {
+                    Imm::CallIndirect { type_idx, table } => (type_idx, table),
+                    _ => unreachable!("decoder invariant"),
+                };
+                if table != 0 || self.module.table0().is_none() {
+                    return Err(self.err("call_indirect requires table 0"));
+                }
+                let ty = self
+                    .module
+                    .types
+                    .get(type_idx as usize)
+                    .ok_or_else(|| self.err("call_indirect: bad type index"))?
+                    .clone();
+                self.pop_expect(ValType::I32)?;
+                for t in ty.params.iter().rev() {
+                    self.pop_expect(*t)?;
+                }
+                for t in &ty.results {
+                    self.push(*t);
+                }
+            }
+            DROP => {
+                self.pop_any()?;
+            }
+            SELECT => {
+                self.pop_expect(ValType::I32)?;
+                let a = self.pop_any()?;
+                let b = self.pop_any()?;
+                match (a, b) {
+                    (MaybeType::Known(x), MaybeType::Known(y)) if x != y => {
+                        return Err(self.err("select operands differ in type"));
+                    }
+                    (MaybeType::Known(x), _) => self.push(x),
+                    (_, MaybeType::Known(y)) => self.push(y),
+                    _ => self.stack.push(MaybeType::Unknown),
+                }
+            }
+            LOCAL_GET => {
+                let t = self.local_type(idx(&instr.imm))?;
+                self.push(t);
+            }
+            LOCAL_SET => {
+                let t = self.local_type(idx(&instr.imm))?;
+                self.pop_expect(t)?;
+            }
+            LOCAL_TEE => {
+                let t = self.local_type(idx(&instr.imm))?;
+                self.pop_expect(t)?;
+                self.push(t);
+            }
+            GLOBAL_GET => {
+                let g = self.global_type(idx(&instr.imm))?;
+                self.push(g.value);
+            }
+            GLOBAL_SET => {
+                let g = self.global_type(idx(&instr.imm))?;
+                if !g.mutable {
+                    return Err(self.err("global.set of immutable global"));
+                }
+                self.pop_expect(g.value)?;
+            }
+            MEMORY_SIZE => {
+                self.require_memory()?;
+                self.push(ValType::I32);
+            }
+            MEMORY_GROW => {
+                self.require_memory()?;
+                self.pop_expect(ValType::I32)?;
+                self.push(ValType::I32);
+            }
+            I32_CONST => self.push(ValType::I32),
+            I64_CONST => self.push(ValType::I64),
+            F32_CONST => self.push(ValType::F32),
+            F64_CONST => self.push(ValType::F64),
+            _ if op::is_memory_access(o) => {
+                self.require_memory()?;
+                let (align, _) = match instr.imm {
+                    Imm::Mem { align, offset } => (align, offset),
+                    _ => unreachable!("decoder invariant"),
+                };
+                let (addr_ty, val_ty, natural) = mem_access_type(o);
+                if align > natural {
+                    return Err(self.err("alignment exceeds natural alignment"));
+                }
+                if op::is_store(o) {
+                    self.pop_expect(val_ty)?;
+                    self.pop_expect(addr_ty)?;
+                } else {
+                    self.pop_expect(addr_ty)?;
+                    self.push(val_ty);
+                }
+            }
+            _ => {
+                // Numeric operations: uniform signature table.
+                let (pops, push) = numeric_sig(o).ok_or_else(|| {
+                    self.err(format!("unsupported opcode {:#04x} ({})", o, op::name(o)))
+                })?;
+                for t in pops.iter().rev() {
+                    self.pop_expect(*t)?;
+                }
+                if let Some(t) = push {
+                    self.push(t);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn local_type(&self, i: u32) -> Result<ValType, ValidateError> {
+        self.locals
+            .get(i as usize)
+            .copied()
+            .ok_or_else(|| self.err(format!("local index {i} out of range")))
+    }
+
+    fn global_type(&self, i: u32) -> Result<GlobalType, ValidateError> {
+        self.module
+            .global_types()
+            .get(i as usize)
+            .copied()
+            .ok_or_else(|| self.err(format!("global index {i} out of range")))
+    }
+
+    fn require_memory(&self) -> Result<(), ValidateError> {
+        if self.module.memory0().is_none() {
+            return Err(self.err("instruction requires a memory"));
+        }
+        Ok(())
+    }
+
+    fn check_block_exit(&mut self, bt: BlockType, height: u32) -> Result<(), ValidateError> {
+        if let Some(t) = bt.result() {
+            self.pop_expect(t)?;
+            self.stack.push(MaybeType::Known(t));
+        }
+        let unreachable = self.ctrls.last().is_some_and(|c| c.unreachable);
+        let expect = height + bt.arity();
+        if !unreachable && self.stack.len() as u32 != expect {
+            return Err(self.err(format!(
+                "block exit stack height {} != expected {}",
+                self.stack.len(),
+                expect
+            )));
+        }
+        Ok(())
+    }
+
+    fn check_block_exit_with(&mut self, c: &Ctrl) -> Result<(), ValidateError> {
+        if !c.unreachable {
+            if let Some(t) = c.bt.result() {
+                let limit = c.height as usize;
+                if self.stack.len() <= limit {
+                    return Err(self.err("block result missing"));
+                }
+                let got = self.stack.last().copied().expect("non-empty");
+                if !got.matches(t) {
+                    return Err(self.err(format!("block result type mismatch: {got:?} vs {t}")));
+                }
+            }
+            let expect = c.height + c.bt.arity();
+            if self.stack.len() as u32 != expect {
+                return Err(self.err(format!(
+                    "end: stack height {} != expected {}",
+                    self.stack.len(),
+                    expect
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn idx(imm: &Imm) -> u32 {
+    match imm {
+        Imm::Idx(v) => *v,
+        _ => unreachable!("decoder invariant"),
+    }
+}
+
+/// Returns `(address type, value type, natural alignment log2)` for a memory
+/// access opcode.
+fn mem_access_type(o: u8) -> (ValType, ValType, u32) {
+    use crate::opcodes::*;
+    let (v, natural) = match o {
+        I32_LOAD | I32_STORE => (ValType::I32, 2),
+        I64_LOAD | I64_STORE => (ValType::I64, 3),
+        F32_LOAD | F32_STORE => (ValType::F32, 2),
+        F64_LOAD | F64_STORE => (ValType::F64, 3),
+        I32_LOAD8_S | I32_LOAD8_U | I32_STORE8 => (ValType::I32, 0),
+        I32_LOAD16_S | I32_LOAD16_U | I32_STORE16 => (ValType::I32, 1),
+        I64_LOAD8_S | I64_LOAD8_U | I64_STORE8 => (ValType::I64, 0),
+        I64_LOAD16_S | I64_LOAD16_U | I64_STORE16 => (ValType::I64, 1),
+        I64_LOAD32_S | I64_LOAD32_U | I64_STORE32 => (ValType::I64, 2),
+        _ => unreachable!("not a memory access"),
+    };
+    (ValType::I32, v, natural)
+}
+
+/// Signature table for value-polymorphism-free numeric instructions:
+/// returns `(operand types, result type)`.
+#[allow(clippy::too_many_lines)]
+fn numeric_sig(o: u8) -> Option<(&'static [ValType], Option<ValType>)> {
+    use crate::opcodes::*;
+    use ValType::{F32, F64, I32, I64};
+    const I32_1: &[ValType] = &[I32];
+    const I32_2: &[ValType] = &[I32, I32];
+    const I64_1: &[ValType] = &[I64];
+    const I64_2: &[ValType] = &[I64, I64];
+    const F32_1: &[ValType] = &[F32];
+    const F32_2: &[ValType] = &[F32, F32];
+    const F64_1: &[ValType] = &[F64];
+    const F64_2: &[ValType] = &[F64, F64];
+    Some(match o {
+        I32_EQZ => (I32_1, Some(I32)),
+        I32_EQ..=I32_GE_U => (I32_2, Some(I32)),
+        I64_EQZ => (I64_1, Some(I32)),
+        I64_EQ..=I64_GE_U => (I64_2, Some(I32)),
+        F32_EQ..=F32_GE => (F32_2, Some(I32)),
+        F64_EQ..=F64_GE => (F64_2, Some(I32)),
+        I32_CLZ | I32_CTZ | I32_POPCNT => (I32_1, Some(I32)),
+        I32_ADD..=I32_ROTR => (I32_2, Some(I32)),
+        I64_CLZ | I64_CTZ | I64_POPCNT => (I64_1, Some(I64)),
+        I64_ADD..=I64_ROTR => (I64_2, Some(I64)),
+        F32_ABS..=F32_SQRT => (F32_1, Some(F32)),
+        F32_ADD..=F32_COPYSIGN => (F32_2, Some(F32)),
+        F64_ABS..=F64_SQRT => (F64_1, Some(F64)),
+        F64_ADD..=F64_COPYSIGN => (F64_2, Some(F64)),
+        I32_WRAP_I64 => (I64_1, Some(I32)),
+        I32_TRUNC_F32_S | I32_TRUNC_F32_U => (F32_1, Some(I32)),
+        I32_TRUNC_F64_S | I32_TRUNC_F64_U => (F64_1, Some(I32)),
+        I64_EXTEND_I32_S | I64_EXTEND_I32_U => (I32_1, Some(I64)),
+        I64_TRUNC_F32_S | I64_TRUNC_F32_U => (F32_1, Some(I64)),
+        I64_TRUNC_F64_S | I64_TRUNC_F64_U => (F64_1, Some(I64)),
+        F32_CONVERT_I32_S | F32_CONVERT_I32_U => (I32_1, Some(F32)),
+        F32_CONVERT_I64_S | F32_CONVERT_I64_U => (I64_1, Some(F32)),
+        F32_DEMOTE_F64 => (F64_1, Some(F32)),
+        F64_CONVERT_I32_S | F64_CONVERT_I32_U => (I32_1, Some(F64)),
+        F64_CONVERT_I64_S | F64_CONVERT_I64_U => (I64_1, Some(F64)),
+        F64_PROMOTE_F32 => (F32_1, Some(F64)),
+        I32_REINTERPRET_F32 => (F32_1, Some(I32)),
+        I64_REINTERPRET_F64 => (F64_1, Some(I64)),
+        F32_REINTERPRET_I32 => (I32_1, Some(F32)),
+        F64_REINTERPRET_I64 => (I64_1, Some(F64)),
+        I32_EXTEND8_S | I32_EXTEND16_S => (I32_1, Some(I32)),
+        I64_EXTEND8_S | I64_EXTEND16_S | I64_EXTEND32_S => (I64_1, Some(I64)),
+        _ => return None,
+    })
+}

@@ -1,0 +1,34 @@
+//! Code-coverage tool: runs a PolyBench kernel under the Coverage monitor
+//! (self-removing probes — the canonical dynamic-probe-removal analysis)
+//! and prints per-function coverage. Note how the probe count drops to
+//! the uncovered remainder after the run.
+//!
+//! ```sh
+//! cargo run --example coverage
+//! ```
+
+use wizard::engine::store::Linker;
+use wizard::engine::{EngineConfig, Process, Value};
+use wizard::monitors::{CoverageMonitor, Monitor};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = wizard::suites::polybench_suite(wizard::suites::Scale::Test)
+        .into_iter()
+        .find(|b| b.name == "cholesky")
+        .expect("cholesky exists");
+
+    let mut process = Process::new(bench.module, EngineConfig::tiered(), &Linker::new())?;
+    let mut coverage = CoverageMonitor::new();
+    coverage.attach(&mut process)?;
+    let installed = process.probed_location_count();
+
+    process.invoke_export("run", &[Value::I32(bench.n)])?;
+
+    println!("{}", coverage.report());
+    println!(
+        "probes: {installed} installed, {} remaining after the run \
+         (covered paths removed themselves)",
+        process.probed_location_count()
+    );
+    Ok(())
+}

@@ -1,0 +1,32 @@
+//! Calling-context-tree profiling of the Richards scheduler: wall-clock
+//! self/total times via the entry/exit library (built purely on probes)
+//! plus flame-graph lines you can paste into a flamegraph renderer.
+//!
+//! ```sh
+//! cargo run --example flamegraph
+//! ```
+
+use wizard::engine::store::Linker;
+use wizard::engine::{EngineConfig, Process, Value};
+use wizard::monitors::{CallTreeMonitor, CallsMonitor, Monitor};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = wizard::suites::richards_benchmark(20_000);
+    let mut process = Process::new(bench.module, EngineConfig::tiered(), &Linker::new())?;
+
+    let mut tree = CallTreeMonitor::new();
+    let mut calls = CallsMonitor::new();
+    tree.attach(&mut process)?;
+    calls.attach(&mut process)?;
+
+    process.invoke_export("run", &[Value::I32(bench.n)])?;
+    tree.drain();
+
+    println!("{}", tree.report());
+    println!("--- flame graph lines (self µs) ---");
+    for line in tree.flame_lines() {
+        println!("{line}");
+    }
+    println!("\n{}", calls.report());
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! Quickstart: build a Wasm module in Rust, instantiate it, attach the
+//! hotness and loop monitors, run, and print the reports.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use wizard::engine::store::Linker;
+use wizard::engine::{EngineConfig, Process, Value};
+use wizard::monitors::{HotnessMonitor, LoopMonitor, Monitor};
+use wizard::wasm::builder::{FuncBuilder, ModuleBuilder};
+use wizard::wasm::types::ValType::I32;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A module computing sum(0..n) with a nested check loop.
+    let mut mb = ModuleBuilder::new();
+    let mut f = FuncBuilder::new(&[I32], &[I32]);
+    let i = f.local(I32);
+    let acc = f.local(I32);
+    f.for_range(i, 0, |f| {
+        f.local_get(acc).local_get(i).i32_add().local_set(acc);
+    });
+    f.local_get(acc);
+    mb.add_func("sum", f);
+    let module = mb.build()?;
+
+    // Instantiate under the tiered engine and attach two monitors.
+    let mut process = Process::new(module, EngineConfig::tiered(), &Linker::new())?;
+    let mut hotness = HotnessMonitor::new();
+    let mut loops = LoopMonitor::new();
+    hotness.attach(&mut process)?;
+    loops.attach(&mut process)?;
+
+    let result = process.invoke_export("sum", &[Value::I32(1000)])?;
+    println!("sum(0..1000) = {:?}\n", result[0]);
+    println!("{}", loops.report());
+    println!("{}", hotness.report());
+    println!("engine stats: {:?}", process.stats());
+    Ok(())
+}

@@ -1,0 +1,27 @@
+//! `wizard`: facade crate for the `wizard-rs` workspace — a Rust
+//! reproduction of *Flexible Non-intrusive Dynamic Instrumentation for
+//! WebAssembly* (Titzer et al., ASPLOS 2024).
+//!
+//! Re-exports the member crates:
+//!
+//! * [`wasm`] — module IR, binary codec, validator, assembler DSL;
+//! * [`engine`] — the multi-tier engine with probes, FrameAccessor, JIT
+//!   intrinsification and deoptimization (the paper's contribution);
+//! * [`monitors`] — the Monitor Zoo;
+//! * [`rewriter`] — static bytecode rewriting (intrusive baseline);
+//! * [`baselines`] — Wasabi-style, DynamoRIO-style and JVMTI-style
+//!   comparison systems;
+//! * [`suites`] — PolyBench / Ostrich-like / libsodium-like / Richards
+//!   benchmark generators.
+//!
+//! See the `examples/` directory for runnable entry points and
+//! `EXPERIMENTS.md` for the paper-figure reproduction harness.
+
+#![warn(missing_docs)]
+
+pub use wizard_baselines as baselines;
+pub use wizard_engine as engine;
+pub use wizard_monitors as monitors;
+pub use wizard_rewriter as rewriter;
+pub use wizard_suites as suites;
+pub use wizard_wasm as wasm;

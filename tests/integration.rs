@@ -1,0 +1,185 @@
+//! Cross-crate integration tests: monitor composition, instrumentation
+//! equivalence across systems, and end-to-end runs over the benchmark
+//! suites.
+
+use wizard::engine::store::Linker;
+use wizard::engine::{EngineConfig, Process, Value};
+use wizard::monitors::{
+    BranchMonitor, CallsMonitor, CoverageMonitor, HotnessMonitor, LoopMonitor, Monitor,
+};
+use wizard::suites::{all_suites, polybench_suite, richards_benchmark, Scale};
+
+fn process(module: wizard::wasm::Module, config: EngineConfig) -> Process {
+    Process::new(module, config, &Linker::new()).expect("instantiates")
+}
+
+/// The paper's composability claim (§2.4): multiple monitors attach to the
+/// same process without explicit coordination and each observes exactly
+/// what it would observe alone.
+#[test]
+fn monitors_compose_without_interference() {
+    let bench = polybench_suite(Scale::Test)
+        .into_iter()
+        .find(|b| b.name == "gemm")
+        .unwrap();
+
+    // Solo runs.
+    let mut solo_hot = HotnessMonitor::new();
+    let mut p = process(bench.module.clone(), EngineConfig::tiered());
+    solo_hot.attach(&mut p).unwrap();
+    let solo_result = p.invoke_export("run", &[Value::I32(bench.n)]).unwrap();
+    let solo_total = solo_hot.total();
+
+    let mut solo_br = BranchMonitor::new();
+    let mut p = process(bench.module.clone(), EngineConfig::tiered());
+    solo_br.attach(&mut p).unwrap();
+    p.invoke_export("run", &[Value::I32(bench.n)]).unwrap();
+    let solo_branches = solo_br.total_branches();
+
+    // Composed run: hotness + branch + loop + coverage together.
+    let mut hot = HotnessMonitor::new();
+    let mut br = BranchMonitor::new();
+    let mut lp = LoopMonitor::new();
+    let mut cov = CoverageMonitor::new();
+    let mut p = process(bench.module.clone(), EngineConfig::tiered());
+    hot.attach(&mut p).unwrap();
+    br.attach(&mut p).unwrap();
+    lp.attach(&mut p).unwrap();
+    cov.attach(&mut p).unwrap();
+    let composed_result = p.invoke_export("run", &[Value::I32(bench.n)]).unwrap();
+
+    assert_eq!(solo_result[0].to_slot(), composed_result[0].to_slot(), "non-intrusiveness");
+    assert_eq!(hot.total(), solo_total, "hotness unaffected by composition");
+    assert_eq!(br.total_branches(), solo_branches, "branch unaffected by composition");
+    assert!(cov.ratio() > 0.5, "coverage observed most of the kernel");
+    assert!(lp.total() > 0);
+}
+
+/// Every instrumentation system agrees on WHAT happened (counts), even
+/// though they differ wildly in HOW much it costs.
+#[test]
+fn systems_agree_on_event_counts() {
+    let bench = polybench_suite(Scale::Test)
+        .into_iter()
+        .find(|b| b.name == "trisolv")
+        .unwrap();
+
+    // Engine probes (interpreter).
+    let mut hot = HotnessMonitor::new();
+    let mut p = process(bench.module.clone(), EngineConfig::interpreter());
+    hot.attach(&mut p).unwrap();
+    p.invoke_export("run", &[Value::I32(bench.n)]).unwrap();
+    let probe_count = hot.total();
+
+    // Static rewriting.
+    let counted = wizard::rewriter::count_instructions(&bench.module).unwrap();
+    let mut p = process(counted.module.clone(), EngineConfig::jit());
+    p.invoke_export("run", &[Value::I32(bench.n)]).unwrap();
+    let rewrite_count = counted.total(p.memory().unwrap());
+
+    // Wasabi-style host callbacks.
+    let run = wizard::baselines::wasabi::hotness(&bench.module).unwrap();
+    let mut p = Process::new(run.module.clone(), EngineConfig::jit(), &run.linker).unwrap();
+    p.invoke_export("run", &[Value::I32(bench.n)]).unwrap();
+    let wasabi_count = run.analysis.events();
+
+    // DBI-style clean calls.
+    let run = wizard::baselines::dbi::hotness(&bench.module).unwrap();
+    let mut p = Process::new(run.module.clone(), EngineConfig::jit(), &run.linker).unwrap();
+    p.invoke_export("run", &[Value::I32(bench.n)]).unwrap();
+    let dbi_count = run.tool.clean_calls();
+
+    assert_eq!(probe_count, rewrite_count, "probes vs rewriting");
+    assert_eq!(probe_count, wasabi_count, "probes vs wasabi-style");
+    assert_eq!(probe_count, dbi_count, "probes vs DBI-style");
+}
+
+/// All 49 suite programs run with the hotness monitor attached under the
+/// tiered engine, with results identical to uninstrumented runs.
+#[test]
+fn full_suite_non_intrusiveness_sweep() {
+    for bench in all_suites(Scale::Test) {
+        let mut plain = process(bench.module.clone(), EngineConfig::tiered());
+        let expected = plain.invoke_export("run", &[Value::I32(bench.n)]).unwrap();
+
+        let mut hot = HotnessMonitor::new();
+        let mut p = process(bench.module.clone(), EngineConfig::tiered());
+        hot.attach(&mut p).unwrap();
+        let got = p.invoke_export("run", &[Value::I32(bench.n)]).unwrap();
+        assert_eq!(
+            expected[0].to_slot(),
+            got[0].to_slot(),
+            "{}/{}: instrumentation was intrusive",
+            bench.suite,
+            bench.name
+        );
+        assert!(hot.total() > 0, "{}: no events", bench.name);
+    }
+}
+
+/// Richards under the Calls monitor: the call structure the JVMTI
+/// experiment depends on (indirect-call-heavy).
+#[test]
+fn richards_call_structure() {
+    let bench = richards_benchmark(5_000);
+    let mut calls = CallsMonitor::new();
+    let mut p = process(bench.module.clone(), EngineConfig::tiered());
+    calls.attach(&mut p).unwrap();
+    p.invoke_export("run", &[Value::I32(bench.n)]).unwrap();
+    let sites = calls.indirect_sites();
+    assert_eq!(sites.len(), 1, "one indirect dispatch site");
+    let (_, site) = &sites[0];
+    assert!(site.targets.len() >= 3, "dispatch reaches several task kinds");
+    let indirect: u64 = site.targets.values().sum();
+    assert_eq!(indirect, 5_000, "one indirect call per scheduling step");
+    assert!(calls.total_calls() > indirect, "plus direct helper calls");
+}
+
+/// The binary codec round-trips every suite module and the decoded module
+/// behaves identically.
+#[test]
+fn binary_roundtrip_preserves_behavior() {
+    for bench in polybench_suite(Scale::Test).into_iter().take(8) {
+        let bytes = wizard::wasm::encode::encode(&bench.module);
+        let decoded = wizard::wasm::decode::decode(&bytes).expect("decodes");
+        let mut a = process(bench.module.clone(), EngineConfig::jit());
+        let mut b = process(decoded, EngineConfig::jit());
+        let ra = a.invoke_export("run", &[Value::I32(bench.n)]).unwrap();
+        let rb = b.invoke_export("run", &[Value::I32(bench.n)]).unwrap();
+        assert_eq!(ra[0].to_slot(), rb[0].to_slot(), "{}", bench.name);
+    }
+}
+
+/// Dynamic tiering on a long run: tier-up happens, results stay identical
+/// to the interpreter, and a global probe mid-flight doesn't discard code.
+#[test]
+fn tiering_with_global_probe_round_trip() {
+    let bench = polybench_suite(Scale::Test)
+        .into_iter()
+        .find(|b| b.name == "gemm")
+        .unwrap();
+    let mut interp = process(bench.module.clone(), EngineConfig::interpreter());
+    let expected = interp.invoke_export("run", &[Value::I32(bench.n)]).unwrap();
+
+    let mut p = process(
+        bench.module.clone(),
+        EngineConfig { tierup_threshold: 5, ..EngineConfig::tiered() },
+    );
+    let r1 = p.invoke_export("run", &[Value::I32(bench.n)]).unwrap();
+    assert_eq!(r1[0].to_slot(), expected[0].to_slot());
+    assert!(p.stats().tier_ups > 0, "tier-up happened: {:?}", p.stats());
+
+    use std::cell::Cell;
+    use std::rc::Rc;
+    let count = Rc::new(Cell::new(0u64));
+    let c = Rc::clone(&count);
+    let id = p
+        .add_global_probe(wizard::engine::ClosureProbe::shared(move |_| c.set(c.get() + 1)))
+        .unwrap();
+    let r2 = p.invoke_export("run", &[Value::I32(bench.n)]).unwrap();
+    assert_eq!(r2[0].to_slot(), expected[0].to_slot());
+    assert!(count.get() > 1000, "global probe fired per instruction");
+    p.remove_probe(id).unwrap();
+    let r3 = p.invoke_export("run", &[Value::I32(bench.n)]).unwrap();
+    assert_eq!(r3[0].to_slot(), expected[0].to_slot());
+}
