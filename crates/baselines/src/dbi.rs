@@ -56,11 +56,8 @@ pub struct DbiRun {
 }
 
 fn make_run(module: &Module, branch: bool) -> Result<DbiRun, ValidateError> {
-    let select: fn(&wizard_wasm::instr::Instr) -> bool = if branch {
-        |i| matches!(i.op, op::IF | op::BR_IF | op::BR_TABLE)
-    } else {
-        |_| true
-    };
+    let select: fn(&wizard_wasm::instr::Instr) -> bool =
+        if branch { |i| matches!(i.op, op::IF | op::BR_IF | op::BR_TABLE) } else { |_| true };
     let (instrumented, _) = inject_host_call(module, "clean_call", select, branch)?;
     let tool = Rc::new(DbiTool::default());
     let t = Rc::clone(&tool);

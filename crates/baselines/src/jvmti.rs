@@ -92,15 +92,10 @@ impl Agent {
                     // Materialize the event record (allocation per event),
                     // resolve the method name (JNI-style lookup + clone),
                     // and dispatch through the dynamic callback.
-                    let name = table
-                        .get(&func)
-                        .cloned()
-                        .unwrap_or_else(|| format!("method_{func}"));
-                    let ev = Box::new(MethodEntryEvent {
-                        method_id: func,
-                        name,
-                        depth: ctx.depth(),
-                    });
+                    let name =
+                        table.get(&func).cloned().unwrap_or_else(|| format!("method_{func}"));
+                    let ev =
+                        Box::new(MethodEntryEvent { method_id: func, name, depth: ctx.depth() });
                     handler(ev);
                 }),
             )?;

@@ -54,11 +54,8 @@ impl JsAnalysis {
 }
 
 fn make_run(module: &Module, hook: &str, branch: bool) -> Result<WasabiRun, ValidateError> {
-    let select: fn(&wizard_wasm::instr::Instr) -> bool = if branch {
-        |i| matches!(i.op, op::IF | op::BR_IF | op::BR_TABLE)
-    } else {
-        |_| true
-    };
+    let select: fn(&wizard_wasm::instr::Instr) -> bool =
+        if branch { |i| matches!(i.op, op::IF | op::BR_IF | op::BR_TABLE) } else { |_| true };
     let (instrumented, _sites) = inject_host_call(module, hook, select, branch)?;
     let analysis = Rc::new(JsAnalysis::default());
     let a = Rc::clone(&analysis);

@@ -9,7 +9,7 @@ use std::time::{Duration, Instant};
 use wizard_baselines::jvmti::Agent;
 use wizard_engine::store::Linker;
 use wizard_engine::{EngineConfig, Process, Value};
-use wizard_monitors::{CallsMonitor, Monitor};
+use wizard_monitors::CallsMonitor;
 use wizard_suites::richards_benchmark;
 
 #[derive(Clone, Copy)]
@@ -27,8 +27,7 @@ fn run_once(loops: i32, mode: Mode) -> Duration {
     let _keep: Option<Box<dyn std::any::Any>> = match mode {
         Mode::Uninstrumented => None,
         Mode::WizardCalls => {
-            let mut m = CallsMonitor::new();
-            m.attach(&mut p).expect("attach");
+            let m = p.attach_monitor(CallsMonitor::new()).expect("attach");
             Some(Box::new(m))
         }
         Mode::Jvmti => Some(Box::new(Agent::attach(&mut p).expect("attach"))),
@@ -48,10 +47,7 @@ fn avg(loops: i32, mode: Mode, n: u32) -> f64 {
 fn main() {
     let n = wizard_bench::runs();
     println!("=== §6.4: MethodEntry interception on Richards ===");
-    println!(
-        "{:<10} {:>16} {:>16}",
-        "loops", "JVMTI-style", "Wizard Calls"
-    );
+    println!("{:<10} {:>16} {:>16}", "loops", "JVMTI-style", "Wizard Calls");
     let base_u = avg(0, Mode::Uninstrumented, n);
     let base_w = avg(0, Mode::WizardCalls, n);
     let base_j = avg(0, Mode::Jvmti, n);

@@ -16,8 +16,8 @@ use std::time::{Duration, Instant};
 
 use wizard_baselines::{dbi, wasabi};
 use wizard_engine::store::Linker;
-use wizard_engine::{EngineConfig, Process, Value};
-use wizard_monitors::{BranchMonitor, HotnessMonitor, Monitor, ProbeMode};
+use wizard_engine::{EngineConfig, ProbeBatch, Process, Value};
+use wizard_monitors::{BranchMonitor, HotnessMonitor, ProbeMode};
 use wizard_suites::{Benchmark, Scale};
 
 /// Which analysis the measurement runs.
@@ -90,9 +90,10 @@ pub struct Measurement {
     pub checksum: u64,
 }
 
-/// Number of repetitions per measurement (`WIZARD_RUNS`, default 2).
+/// Number of repetitions per measurement (`WIZARD_RUNS`, default 2,
+/// clamped to at least 1).
 pub fn runs() -> u32 {
-    std::env::var("WIZARD_RUNS").ok().and_then(|s| s.parse().ok()).unwrap_or(2)
+    std::env::var("WIZARD_RUNS").ok().and_then(|s| s.parse().ok()).unwrap_or(2).max(1)
 }
 
 /// Problem scale (`WIZARD_SCALE`: `test` / `small` / `medium`).
@@ -137,31 +138,21 @@ pub fn measure(bench: &Benchmark, system: System, analysis: Analysis) -> Measure
                 System::JitIntrinsified => EngineConfig::jit(),
                 _ => unreachable!(),
             };
-            let mode = if system == System::InterpGlobal {
-                ProbeMode::Global
-            } else {
-                ProbeMode::Local
-            };
+            let mode =
+                if system == System::InterpGlobal { ProbeMode::Global } else { ProbeMode::Local };
             timed(|| {
                 let start = Instant::now();
-                let mut p =
-                    Process::new(bench.module.clone(), config.clone(), &Linker::new())
-                        .expect("benchmark instantiates");
+                let mut p = Process::new(bench.module.clone(), config.clone(), &Linker::new())
+                    .expect("benchmark instantiates");
                 let fires_box: Box<dyn Fn() -> u64> = match analysis {
                     Analysis::None => Box::new(|| 0),
                     Analysis::Hotness => {
-                        let mut m = HotnessMonitor::with_mode(mode);
-                        m.attach(&mut p).expect("attach");
-                        let m = std::rc::Rc::new(m);
-                        let m2 = std::rc::Rc::clone(&m);
-                        Box::new(move || m2.total())
+                        let m = p.attach_monitor(HotnessMonitor::with_mode(mode)).expect("attach");
+                        Box::new(move || m.borrow().total())
                     }
                     Analysis::Branch => {
-                        let mut m = BranchMonitor::with_mode(mode);
-                        m.attach(&mut p).expect("attach");
-                        let m = std::rc::Rc::new(m);
-                        let m2 = std::rc::Rc::clone(&m);
-                        Box::new(move || m2.total_fires())
+                        let m = p.attach_monitor(BranchMonitor::with_mode(mode)).expect("attach");
+                        Box::new(move || m.borrow().total_fires())
                     }
                     Analysis::HotnessEmpty => {
                         attach_empty(&mut p, false);
@@ -188,19 +179,15 @@ pub fn measure(bench: &Benchmark, system: System, analysis: Analysis) -> Measure
                 }
                 Analysis::None => {
                     // Uninstrumented "rewriting" = the original module.
-                    let mut p = Process::new(
-                        bench.module.clone(),
-                        EngineConfig::jit(),
-                        &Linker::new(),
-                    )
-                    .expect("instantiates");
+                    let mut p =
+                        Process::new(bench.module.clone(), EngineConfig::jit(), &Linker::new())
+                            .expect("instantiates");
                     let r = p.invoke_export("run", &[Value::I32(bench.n)]).expect("runs");
                     return (start.elapsed(), 0, checksum_of(&r));
                 }
             };
-            let mut p =
-                Process::new(counted.module.clone(), EngineConfig::jit(), &Linker::new())
-                    .expect("instantiates");
+            let mut p = Process::new(counted.module.clone(), EngineConfig::jit(), &Linker::new())
+                .expect("instantiates");
             let r = p.invoke_export("run", &[Value::I32(bench.n)]).expect("runs");
             let t = start.elapsed();
             let fires = counted.total(p.memory().expect("memory"));
@@ -253,14 +240,17 @@ fn attach_empty(p: &mut Process, branches_only: bool) {
         }
         v
     };
+    // Batched: the whole empty-probe set costs one invalidation pass.
+    let mut batch = ProbeBatch::new();
     for (func, pc, opcode) in sites {
         let is_branch = matches!(opcode, op::IF | op::BR_IF | op::BR_TABLE);
         if branches_only && is_branch {
-            p.add_local_probe_val(func, pc, EmptyOperandProbe).expect("attach");
+            batch.add_local_val(func, pc, EmptyOperandProbe);
         } else {
-            p.add_local_probe_val(func, pc, EmptyProbe).expect("attach");
+            batch.add_local_val(func, pc, EmptyProbe);
         }
     }
+    p.apply_batch(batch).expect("attach");
 }
 
 /// Uninstrumented baseline time for a system.
@@ -320,16 +310,13 @@ mod tests {
         std::env::set_var("WIZARD_RUNS", "1");
         let bench = &wizard_suites::polybench_suite(Scale::Test)[2]; // gesummv
         let base = baseline(bench, System::JitIntrinsified);
-        for system in [
-            System::Interp,
-            System::Jit,
-            System::JitIntrinsified,
-            System::Rewriting,
-            System::Dbi,
-        ] {
+        for system in
+            [System::Interp, System::Jit, System::JitIntrinsified, System::Rewriting, System::Dbi]
+        {
             let m = measure(bench, system, Analysis::Hotness);
             assert_eq!(
-                m.checksum, base.checksum,
+                m.checksum,
+                base.checksum,
                 "{}: instrumentation changed the result",
                 system.label()
             );

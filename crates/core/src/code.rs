@@ -191,11 +191,7 @@ impl FuncCode {
         if cur != op::PROBE {
             return cur;
         }
-        *self
-            .orig
-            .borrow()
-            .get(&pc)
-            .expect("probe byte present implies saved original")
+        *self.orig.borrow().get(&pc).expect("probe byte present implies saved original")
     }
 
     /// Invalidates compiled code and bumps the instrumentation version.

@@ -15,7 +15,8 @@ use crate::exec::{Exec, Exit};
 use crate::frame::Tier;
 use crate::interp;
 use crate::jit;
-use crate::probe::{Pending, Probe, ProbeId, ProbeRef, ProbeRegistry, Site};
+use crate::monitor::MonitorRegistry;
+use crate::probe::{BatchOp, Pending, Probe, ProbeBatch, ProbeId, ProbeRef, ProbeRegistry, Site};
 use crate::store::{HostFn, Linker, Memory, Table};
 use crate::trap::Trap;
 use crate::value::{Slot, Value};
@@ -92,6 +93,78 @@ impl EngineConfig {
     pub fn tiered() -> EngineConfig {
         EngineConfig::default()
     }
+
+    /// Starts a builder from the default configuration.
+    ///
+    /// ```
+    /// use wizard_engine::{EngineConfig, ExecMode};
+    ///
+    /// let config = EngineConfig::builder()
+    ///     .mode(ExecMode::Tiered)
+    ///     .tierup_threshold(5)
+    ///     .intrinsify(false)
+    ///     .build();
+    /// assert_eq!(config.tierup_threshold, 5);
+    /// assert!(!config.intrinsify_count);
+    /// ```
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder::default()
+    }
+}
+
+/// Builder for [`EngineConfig`], replacing hand-rolled struct literals in
+/// binaries and tests. Obtain one via [`EngineConfig::builder`].
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfigBuilder {
+    config: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Sets the tier policy.
+    pub fn mode(mut self, mode: ExecMode) -> EngineConfigBuilder {
+        self.config.mode = mode;
+        self
+    }
+
+    /// Sets the call/backedge count at which a function tiers up.
+    pub fn tierup_threshold(mut self, n: u32) -> EngineConfigBuilder {
+        self.config.tierup_threshold = n;
+        self
+    }
+
+    /// Enables/disables count-probe intrinsification in compiled code.
+    pub fn intrinsify_count(mut self, on: bool) -> EngineConfigBuilder {
+        self.config.intrinsify_count = on;
+        self
+    }
+
+    /// Enables/disables operand-probe intrinsification in compiled code.
+    pub fn intrinsify_operand(mut self, on: bool) -> EngineConfigBuilder {
+        self.config.intrinsify_operand = on;
+        self
+    }
+
+    /// Enables/disables both intrinsification flags at once.
+    pub fn intrinsify(self, on: bool) -> EngineConfigBuilder {
+        self.intrinsify_count(on).intrinsify_operand(on)
+    }
+
+    /// Sets the maximum Wasm call depth.
+    pub fn max_call_depth(mut self, n: usize) -> EngineConfigBuilder {
+        self.config.max_call_depth = n;
+        self
+    }
+
+    /// Sets the maximum unified value-stack slots.
+    pub fn max_value_stack(mut self, n: usize) -> EngineConfigBuilder {
+        self.config.max_value_stack = n;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> EngineConfig {
+        self.config
+    }
 }
 
 /// Counters the engine maintains about instrumentation and tiering
@@ -111,6 +184,11 @@ pub struct EngineStats {
     /// Deoptimizations (frame transfers back to the interpreter, including
     /// frame-modification deopts).
     pub deopts: u64,
+    /// Invalidation passes over compiled code caused by instrumentation
+    /// changes. Inserting/removing a probe individually costs one pass
+    /// each; a whole [`ProbeBatch`] committed via
+    /// [`Process::apply_batch`] costs exactly one.
+    pub invalidation_passes: u64,
 }
 
 /// Error instantiating a module.
@@ -166,6 +244,12 @@ pub enum ProbeError {
     GlobalProbesNeedInterpreter,
     /// No probe with this id is installed.
     UnknownProbe,
+    /// No monitor with this handle is attached.
+    UnknownMonitor,
+    /// This monitor instance is *currently* attached; attaching it again
+    /// would double-register its probes. (After a detach the instance may
+    /// be attached again; see `Monitor::on_attach` for what that implies.)
+    MonitorAlreadyAttached,
 }
 
 impl core::fmt::Display for ProbeError {
@@ -181,6 +265,10 @@ impl core::fmt::Display for ProbeError {
                 f.write_str("global probes require an interpreter tier (not JIT-only)")
             }
             ProbeError::UnknownProbe => f.write_str("unknown probe id"),
+            ProbeError::UnknownMonitor => f.write_str("unknown monitor handle"),
+            ProbeError::MonitorAlreadyAttached => {
+                f.write_str("monitor instance is already attached")
+            }
         }
     }
 }
@@ -223,6 +311,7 @@ pub struct Process {
     pub(crate) global_types: Vec<GlobalType>,
     pub(crate) func_types: Vec<FuncType>,
     pub(crate) probes: ProbeRegistry,
+    pub(crate) monitors: MonitorRegistry,
     pub(crate) global_mode: bool,
     pub(crate) stats: EngineStats,
     /// Lazily computed instruction-boundary sets per local function.
@@ -237,7 +326,11 @@ impl Process {
     ///
     /// Returns a [`LinkError`] on validation failure, unresolved imports,
     /// out-of-bounds segments, or a trapping start function.
-    pub fn new(module: Module, config: EngineConfig, linker: &Linker) -> Result<Process, LinkError> {
+    pub fn new(
+        module: Module,
+        config: EngineConfig,
+        linker: &Linker,
+    ) -> Result<Process, LinkError> {
         let meta = validate(&module)?;
         let module = Rc::new(module);
         let n_imp = module.num_imported_funcs();
@@ -248,19 +341,15 @@ impl Process {
         for imp in &module.imports {
             match &imp.desc {
                 ImportDesc::Func(_) => {
-                    let f = linker
-                        .resolve_func(&imp.module, &imp.name)
-                        .ok_or_else(|| {
-                            LinkError::UnresolvedImport(imp.module.clone(), imp.name.clone())
-                        })?;
+                    let f = linker.resolve_func(&imp.module, &imp.name).ok_or_else(|| {
+                        LinkError::UnresolvedImport(imp.module.clone(), imp.name.clone())
+                    })?;
                     host.push(f);
                 }
                 ImportDesc::Global(g) => {
-                    let v = linker
-                        .resolve_global(&imp.module, &imp.name)
-                        .ok_or_else(|| {
-                            LinkError::UnresolvedImport(imp.module.clone(), imp.name.clone())
-                        })?;
+                    let v = linker.resolve_global(&imp.module, &imp.name).ok_or_else(|| {
+                        LinkError::UnresolvedImport(imp.module.clone(), imp.name.clone())
+                    })?;
                     if v.ty() != g.value {
                         return Err(LinkError::GlobalTypeMismatch(
                             imp.module.clone(),
@@ -337,14 +426,10 @@ impl Process {
         }
 
         // Table + element segments.
-        let mut table = module
-            .table0()
-            .map_or_else(Table::default, |t| Table::new(t.limits));
+        let mut table = module.table0().map_or_else(Table::default, |t| Table::new(t.limits));
         for e in &module.elems {
             let off = eval_const(&e.offset, &globals, &global_types) as u32;
-            table
-                .init(off, &e.funcs)
-                .map_err(|_| LinkError::SegmentOutOfBounds("element"))?;
+            table.init(off, &e.funcs).map_err(|_| LinkError::SegmentOutOfBounds("element"))?;
         }
 
         let mut p = Process {
@@ -358,6 +443,7 @@ impl Process {
             global_types,
             func_types,
             probes: ProbeRegistry::default(),
+            monitors: MonitorRegistry::default(),
             global_mode: false,
             stats: EngineStats::default(),
             instr_starts: RefCell::new(HashMap::new()),
@@ -507,9 +593,7 @@ impl Process {
     /// Fails in JIT-only mode, which has no interpreter to run global
     /// probes in.
     pub fn add_global_probe(&mut self, probe: ProbeRef) -> Result<ProbeId, ProbeError> {
-        if self.config.mode == ExecMode::JitOnly {
-            return Err(ProbeError::GlobalProbesNeedInterpreter);
-        }
+        self.check_global_allowed()?;
         let id = self.probes.fresh_id();
         self.apply_instrumentation(Pending::InsertGlobal(id, probe));
         Ok(id)
@@ -543,6 +627,104 @@ impl Process {
         self.probes.contains(id)
     }
 
+    /// Applies a whole [`ProbeBatch`] — N insertions/removals — in a
+    /// *single* invalidation/deoptimization pass, returning the ids of the
+    /// inserted probes in queue order.
+    ///
+    /// The batch is validated atomically up front: if any queued location
+    /// is invalid nothing is applied. Each function whose probe list
+    /// changed is invalidated exactly once, and
+    /// [`EngineStats::invalidation_passes`] increases by at most one —
+    /// versus once per probe when inserting individually.
+    ///
+    /// # Errors
+    ///
+    /// Fails as [`Process::add_local_probe`] / [`Process::add_global_probe`]
+    /// for any queued insertion; queued removals never fail (removing an
+    /// unknown id is a no-op, making detach-style cleanup idempotent).
+    pub fn apply_batch(&mut self, batch: ProbeBatch) -> Result<Vec<ProbeId>, ProbeError> {
+        for op in &batch.ops {
+            match op {
+                BatchOp::Local(func, pc, _) => self.check_location(*func, *pc)?,
+                BatchOp::Global(_) => self.check_global_allowed()?,
+                BatchOp::Remove(_) => {}
+            }
+        }
+        let mut inserted = Vec::new();
+        let mut touched: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+        for op in batch.ops {
+            match op {
+                BatchOp::Local(func, pc, probe) => {
+                    let id = self.probes.fresh_id();
+                    touched.insert(self.do_insert_local(id, func, pc, probe));
+                    inserted.push(id);
+                }
+                BatchOp::Global(probe) => {
+                    let id = self.probes.fresh_id();
+                    self.do_insert_global(id, probe);
+                    inserted.push(id);
+                }
+                BatchOp::Remove(id) => {
+                    if let Some(lf) = self.do_remove(id) {
+                        touched.insert(lf);
+                    }
+                }
+            }
+        }
+        if !touched.is_empty() {
+            for lf in touched {
+                self.code[lf].invalidate();
+            }
+            self.stats.invalidation_passes += 1;
+        }
+        Ok(inserted)
+    }
+
+    /// Registers a local probe and installs its probe byte; returns the
+    /// index of the touched local function. The caller decides when to
+    /// invalidate its compiled code (immediately, or once per batch).
+    fn do_insert_local(&mut self, id: ProbeId, func: FuncIdx, pc: u32, probe: ProbeRef) -> usize {
+        let n_imp = self.module.num_imported_funcs();
+        assert!(
+            func >= n_imp && func < self.module.num_funcs(),
+            "local probe target must be a locally-defined function"
+        );
+        let created = self.probes.insert_local(id, func, pc, probe);
+        let lf = (func - n_imp) as usize;
+        if created {
+            self.code[lf].install_probe_byte(pc);
+        }
+        lf
+    }
+
+    /// Registers a global probe and switches the dispatch table.
+    fn do_insert_global(&mut self, id: ProbeId, probe: ProbeRef) {
+        self.probes.insert_global(id, probe);
+        self.global_mode = true;
+    }
+
+    /// Unregisters a probe, restoring the probe byte / dispatch table as
+    /// needed; returns the touched local function index for local probes.
+    /// The caller decides when to invalidate compiled code.
+    fn do_remove(&mut self, id: ProbeId) -> Option<usize> {
+        let (site, emptied) = self.probes.remove(id)?;
+        match site {
+            Site::Global => {
+                if !self.probes.has_global() {
+                    self.global_mode = false;
+                }
+                None
+            }
+            Site::Local(func, pc) => {
+                let lf = (func - self.module.num_imported_funcs()) as usize;
+                if emptied {
+                    self.code[lf].restore_byte(pc);
+                }
+                Some(lf)
+            }
+        }
+    }
+
     /// `true` while at least one global probe is installed.
     pub fn in_global_mode(&self) -> bool {
         self.global_mode
@@ -551,6 +733,15 @@ impl Process {
     /// Number of distinct locations with local probes.
     pub fn probed_location_count(&self) -> usize {
         self.probes.local_site_count()
+    }
+
+    /// Validates that the current tier policy can run global probes
+    /// (JIT-only mode has no interpreter to run them in).
+    fn check_global_allowed(&self) -> Result<(), ProbeError> {
+        if self.config.mode == ExecMode::JitOnly {
+            return Err(ProbeError::GlobalProbesNeedInterpreter);
+        }
+        Ok(())
     }
 
     /// Validates that `(func, pc)` names an instruction boundary of a local
@@ -601,43 +792,20 @@ impl Process {
     /// Applies one instrumentation change (immediately; deferral during
     /// probe dispatch is handled by the pending queue in `exec`).
     pub(crate) fn apply_instrumentation(&mut self, p: Pending) {
+        // Compiled code is specialized to the probe list at compile time,
+        // so any local change invalidates it immediately (paper §4.6);
+        // batches route through apply_batch to pay one pass instead.
         match p {
-            Pending::InsertGlobal(id, probe) => {
-                self.probes.insert_global(id, probe);
-                self.global_mode = true;
-            }
+            Pending::InsertGlobal(id, probe) => self.do_insert_global(id, probe),
             Pending::InsertLocal(id, func, pc, probe) => {
-                let n_imp = self.module.num_imported_funcs();
-                assert!(
-                    func >= n_imp && func < self.module.num_funcs(),
-                    "local probe target must be a locally-defined function"
-                );
-                let created = self.probes.insert_local(id, func, pc, probe);
-                let fc = &self.code[(func - n_imp) as usize];
-                if created {
-                    fc.install_probe_byte(pc);
-                }
-                // Compiled code is specialized to the probe list at compile
-                // time, so any change invalidates it (paper §4.6).
-                fc.invalidate();
+                let lf = self.do_insert_local(id, func, pc, probe);
+                self.code[lf].invalidate();
+                self.stats.invalidation_passes += 1;
             }
             Pending::Remove(id) => {
-                if let Some((site, emptied)) = self.probes.remove(id) {
-                    match site {
-                        Site::Global => {
-                            if !self.probes.has_global() {
-                                self.global_mode = false;
-                            }
-                        }
-                        Site::Local(func, pc) => {
-                            let n_imp = self.module.num_imported_funcs();
-                            let fc = &self.code[(func - n_imp) as usize];
-                            if emptied {
-                                fc.restore_byte(pc);
-                            }
-                            fc.invalidate();
-                        }
-                    }
+                if let Some(lf) = self.do_remove(id) {
+                    self.code[lf].invalidate();
+                    self.stats.invalidation_passes += 1;
                 }
             }
         }

@@ -332,11 +332,8 @@ impl<'p> Exec<'p> {
             let caller = self.frames.last_mut().expect("non-empty");
             if caller.tier == Tier::Jit {
                 let fc = &self.proc.code[caller.lf];
-                let stale = fc
-                    .compiled
-                    .borrow()
-                    .as_ref()
-                    .map_or(true, |c| c.version != caller.code_version);
+                let stale =
+                    fc.compiled.borrow().as_ref().is_none_or(|c| c.version != caller.code_version);
                 if stale || self.proc.global_mode || caller.deopt_requested {
                     caller.tier = Tier::Interp;
                     caller.deopt_requested = false;
@@ -553,12 +550,7 @@ impl<'a, 'p> ProbeCtx<'a, 'p> {
     /// Inserts a local probe at `(func, pc)`. Takes effect when the current
     /// event's dispatch completes; if inserted on the *same* event that is
     /// firing, it does not fire until the next occurrence (paper §2.4.1).
-    pub fn insert_local_probe(
-        &mut self,
-        func: FuncIdx,
-        pc: u32,
-        probe: ProbeRef,
-    ) -> ProbeId {
+    pub fn insert_local_probe(&mut self, func: FuncIdx, pc: u32, probe: ProbeRef) -> ProbeId {
         let id = self.ex.proc.probes.fresh_id();
         self.ex.proc.probes.pending.push(Pending::InsertLocal(id, func, pc, probe));
         id
@@ -643,13 +635,8 @@ impl<'a, 'p> FrameView<'a, 'p> {
         let f = &self.ex.frames[self.index];
         let lf = f.lf;
         let base = f.base;
-        let ty = *self
-            .ex
-            .proc
-            .code[lf]
-            .local_types
-            .get(i as usize)
-            .ok_or(FrameModError::OutOfRange)?;
+        let ty =
+            *self.ex.proc.code[lf].local_types.get(i as usize).ok_or(FrameModError::OutOfRange)?;
         if v.ty() != ty {
             return Err(FrameModError::TypeMismatch);
         }

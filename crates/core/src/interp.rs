@@ -150,11 +150,7 @@ fn op_loop(ex: &mut Exec, _b: u8) -> Result<(), Sig> {
         fc.hotness.set(h);
         if h >= ex.proc.config.tierup_threshold {
             ex.proc.ensure_compiled(ex.lf);
-            let compiled = ex.proc.code[ex.lf]
-                .compiled
-                .borrow()
-                .clone()
-                .expect("just compiled");
+            let compiled = ex.proc.code[ex.lf].compiled.borrow().clone().expect("just compiled");
             if let Some(&ip) = compiled.osr_entry.get(&(ex.pc as u32)) {
                 let f = ex.frames.last_mut().expect("frame");
                 f.tier = Tier::Jit;

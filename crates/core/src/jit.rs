@@ -175,10 +175,9 @@ impl core::fmt::Debug for Op {
             Op::CountBump { .. } => {
                 f.write_str("count.bump          ; intrinsified: inline counter increment")
             }
-            Op::OperandProbe { pc, .. } => write!(
-                f,
-                "probe.operand pc={pc} ; intrinsified: direct call with top-of-stack"
-            ),
+            Op::OperandProbe { pc, .. } => {
+                write!(f, "probe.operand pc={pc} ; intrinsified: direct call with top-of-stack")
+            }
         }
     }
 }

@@ -26,8 +26,15 @@
 //! * **FrameAccessor** ([`frame`], [`exec::ProbeCtx`]): probes receive
 //!   program state through a façade over the live frame, with validity
 //!   protection against dangling access.
+//! * **Monitor lifecycle** ([`monitor`]): analyses implement the
+//!   [`Monitor`] trait and are attached/detached as sessions —
+//!   [`Process::attach_monitor`] records every probe a monitor inserts
+//!   (batched via [`ProbeBatch`], one invalidation pass for N probes) and
+//!   [`Process::detach_monitor`] removes them all, provably restoring the
+//!   zero-overhead baseline. Reports are structured ([`Report`]): named
+//!   sections of typed key/value rows.
 //!
-//! # Quick start
+//! # Quick start: raw probes
 //!
 //! ```
 //! use wizard_engine::{CountProbe, EngineConfig, Process};
@@ -62,6 +69,71 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Quick start: a lifecycle monitor
+//!
+//! ```
+//! use wizard_engine::store::Linker;
+//! use wizard_engine::{
+//!     CountProbe, EngineConfig, InstrumentationCtx, Monitor, ProbeBatch, ProbeError,
+//!     Process, Report, Value,
+//! };
+//! use wizard_wasm::builder::{FuncBuilder, ModuleBuilder};
+//! use wizard_wasm::types::ValType::I32;
+//!
+//! /// Counts entries of every exported function.
+//! #[derive(Default)]
+//! struct EntryCounter {
+//!     cells: Vec<std::rc::Rc<std::cell::Cell<u64>>>,
+//! }
+//!
+//! impl Monitor for EntryCounter {
+//!     fn name(&self) -> &'static str {
+//!         "entry-counter"
+//!     }
+//!
+//!     fn on_attach(&mut self, ctx: &mut InstrumentationCtx<'_>) -> Result<(), ProbeError> {
+//!         let funcs: Vec<u32> = (ctx.module().num_imported_funcs()
+//!             ..ctx.module().num_funcs())
+//!             .collect();
+//!         let mut batch = ProbeBatch::new(); // N probes, 1 invalidation pass
+//!         for func in funcs {
+//!             let probe = CountProbe::new();
+//!             self.cells.push(probe.cell());
+//!             batch.add_local_val(func, 0, probe);
+//!         }
+//!         ctx.apply_batch(batch)?;
+//!         Ok(())
+//!     }
+//!
+//!     fn report(&self) -> Report {
+//!         let mut r = Report::new(self.name());
+//!         r.section("summary")
+//!             .count("entries", self.cells.iter().map(|c| c.get()).sum());
+//!         r
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut mb = ModuleBuilder::new();
+//! let mut f = FuncBuilder::new(&[I32], &[I32]);
+//! f.local_get(0).i32_const(1).i32_add();
+//! mb.add_func("inc", f);
+//!
+//! let config = EngineConfig::builder().tierup_threshold(10).build();
+//! let mut process = Process::new(mb.build()?, config, &Linker::new())?;
+//!
+//! let counter = process.attach_monitor(EntryCounter::default())?;
+//! process.invoke_export("inc", &[Value::I32(41)])?;
+//! assert_eq!(counter.report().get("summary").unwrap().count_of("entries"), Some(1));
+//!
+//! // Detach removes all recorded probes: back to the zero-overhead baseline.
+//! process.detach_monitor(counter.handle())?;
+//! assert_eq!(process.probed_location_count(), 0);
+//! assert!(!process.in_global_mode());
+//! # Ok(())
+//! # }
+//! ```
 
 #![warn(missing_docs)]
 
@@ -71,18 +143,24 @@ pub mod exec;
 pub mod frame;
 mod interp;
 pub mod jit;
+pub mod monitor;
 pub mod numeric;
 pub mod probe;
 pub mod store;
 pub mod trap;
 pub mod value;
 
-pub use engine::{EngineConfig, EngineStats, ExecMode, LinkError, ProbeError, Process};
+pub use engine::{
+    EngineConfig, EngineConfigBuilder, EngineStats, ExecMode, LinkError, ProbeError, Process,
+};
 pub use exec::{FrameModError, FrameView, ProbeCtx};
 pub use frame::{FrameAccessor, Tier};
+pub use monitor::{
+    InstrumentationCtx, MetricValue, Monitor, MonitorHandle, MonitorRef, Report, Row, Section,
+};
 pub use probe::{
-    ClosureProbe, CountProbe, EmptyOperandProbe, EmptyProbe, Location, Probe, ProbeId, ProbeKind,
-    ProbeRef,
+    ClosureProbe, CountProbe, EmptyOperandProbe, EmptyProbe, Location, Probe, ProbeBatch, ProbeId,
+    ProbeKind, ProbeRef,
 };
 pub use trap::Trap;
 pub use value::{Slot, Value};

@@ -271,7 +271,7 @@ fn trunc_to_i32(v: f64) -> Result<i32, Trap> {
         return Err(Trap::InvalidConversion);
     }
     let t = v.trunc();
-    if t < -2147483648.0 || t > 2147483647.0 {
+    if !(-2147483648.0..=2147483647.0).contains(&t) {
         return Err(Trap::InvalidConversion);
     }
     Ok(t as i32)
@@ -283,7 +283,7 @@ fn trunc_to_u32(v: f64) -> Result<u32, Trap> {
         return Err(Trap::InvalidConversion);
     }
     let t = v.trunc();
-    if t < 0.0 || t > 4294967295.0 {
+    if !(0.0..=4294967295.0).contains(&t) {
         return Err(Trap::InvalidConversion);
     }
     Ok(t as u32)
@@ -295,7 +295,7 @@ fn trunc_to_i64(v: f64) -> Result<i64, Trap> {
         return Err(Trap::InvalidConversion);
     }
     let t = v.trunc();
-    if t < -9223372036854775808.0 || t >= 9223372036854775808.0 {
+    if !(-9223372036854775808.0..9223372036854775808.0).contains(&t) {
         return Err(Trap::InvalidConversion);
     }
     Ok(t as i64)
@@ -307,7 +307,7 @@ fn trunc_to_u64(v: f64) -> Result<u64, Trap> {
         return Err(Trap::InvalidConversion);
     }
     let t = v.trunc();
-    if t < 0.0 || t >= 18446744073709551616.0 {
+    if !(0.0..18446744073709551616.0).contains(&t) {
         return Err(Trap::InvalidConversion);
     }
     Ok(t as u64)
@@ -396,26 +396,14 @@ pub fn do_load(mem: &Memory, op: u8, addr: u32, offset: u32) -> Result<Slot, Tra
         F64_LOAD => Slot::from_u64(u64::from_le_bytes(mem.read::<8>(addr, offset)?)),
         I32_LOAD8_S => Slot::from_i32(i32::from(i8::from_le_bytes(mem.read::<1>(addr, offset)?))),
         I32_LOAD8_U => Slot::from_u32(u32::from(mem.read::<1>(addr, offset)?[0])),
-        I32_LOAD16_S => {
-            Slot::from_i32(i32::from(i16::from_le_bytes(mem.read::<2>(addr, offset)?)))
-        }
-        I32_LOAD16_U => {
-            Slot::from_u32(u32::from(u16::from_le_bytes(mem.read::<2>(addr, offset)?)))
-        }
+        I32_LOAD16_S => Slot::from_i32(i32::from(i16::from_le_bytes(mem.read::<2>(addr, offset)?))),
+        I32_LOAD16_U => Slot::from_u32(u32::from(u16::from_le_bytes(mem.read::<2>(addr, offset)?))),
         I64_LOAD8_S => Slot::from_i64(i64::from(i8::from_le_bytes(mem.read::<1>(addr, offset)?))),
         I64_LOAD8_U => Slot::from_u64(u64::from(mem.read::<1>(addr, offset)?[0])),
-        I64_LOAD16_S => {
-            Slot::from_i64(i64::from(i16::from_le_bytes(mem.read::<2>(addr, offset)?)))
-        }
-        I64_LOAD16_U => {
-            Slot::from_u64(u64::from(u16::from_le_bytes(mem.read::<2>(addr, offset)?)))
-        }
-        I64_LOAD32_S => {
-            Slot::from_i64(i64::from(i32::from_le_bytes(mem.read::<4>(addr, offset)?)))
-        }
-        I64_LOAD32_U => {
-            Slot::from_u64(u64::from(u32::from_le_bytes(mem.read::<4>(addr, offset)?)))
-        }
+        I64_LOAD16_S => Slot::from_i64(i64::from(i16::from_le_bytes(mem.read::<2>(addr, offset)?))),
+        I64_LOAD16_U => Slot::from_u64(u64::from(u16::from_le_bytes(mem.read::<2>(addr, offset)?))),
+        I64_LOAD32_S => Slot::from_i64(i64::from(i32::from_le_bytes(mem.read::<4>(addr, offset)?))),
+        I64_LOAD32_U => Slot::from_u64(u64::from(u32::from_le_bytes(mem.read::<4>(addr, offset)?))),
         _ => unreachable!("not a load: {op:#04x}"),
     })
 }
@@ -469,10 +457,7 @@ mod tests {
     fn shifts_mask_their_count() {
         assert_eq!(binop(I32_SHL, Slot::from_i32(1), Slot::from_i32(33)).unwrap().i32(), 2);
         assert_eq!(binop(I64_SHL, Slot::from_i64(1), Slot::from_i64(65)).unwrap().i64(), 2);
-        assert_eq!(
-            binop(I32_SHR_S, Slot::from_i32(-8), Slot::from_i32(1)).unwrap().i32(),
-            -4
-        );
+        assert_eq!(binop(I32_SHR_S, Slot::from_i32(-8), Slot::from_i32(1)).unwrap().i32(), -4);
         assert_eq!(
             binop(I32_SHR_U, Slot::from_i32(-8), Slot::from_i32(1)).unwrap().u32(),
             0x7fff_fffc

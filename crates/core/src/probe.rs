@@ -182,6 +182,84 @@ impl<F: FnMut(&mut ProbeCtx<'_, '_>) + 'static> core::fmt::Debug for ClosureProb
     }
 }
 
+/// A set of probe insertions and removals applied in a single
+/// invalidation/deoptimization pass.
+///
+/// Inserting N probes one at a time pays N code-invalidation passes
+/// (compiled code is specialized to the probe list, paper §4.5). Monitors
+/// instrumenting many sites — hotness and coverage probe *every*
+/// instruction — batch their insertions instead and commit them through
+/// [`Process::apply_batch`](crate::Process::apply_batch), which touches
+/// each affected function's code exactly once and counts as one
+/// invalidation pass in
+/// [`EngineStats::invalidation_passes`](crate::EngineStats).
+///
+/// Batches are validated atomically: if any operation names an invalid
+/// location, nothing is applied. Removals of already-removed probe ids are
+/// skipped silently, which makes detach-style cleanup idempotent.
+#[derive(Default)]
+pub struct ProbeBatch {
+    pub(crate) ops: Vec<BatchOp>,
+}
+
+pub(crate) enum BatchOp {
+    Local(FuncIdx, u32, ProbeRef),
+    Global(ProbeRef),
+    Remove(ProbeId),
+}
+
+impl ProbeBatch {
+    /// Creates an empty batch.
+    pub fn new() -> ProbeBatch {
+        ProbeBatch::default()
+    }
+
+    /// Queues insertion of a local probe at `(func, pc)`.
+    pub fn add_local(&mut self, func: FuncIdx, pc: u32, probe: ProbeRef) -> &mut ProbeBatch {
+        self.ops.push(BatchOp::Local(func, pc, probe));
+        self
+    }
+
+    /// Queues insertion of an owned local probe value.
+    pub fn add_local_val(&mut self, func: FuncIdx, pc: u32, probe: impl Probe) -> &mut ProbeBatch {
+        self.add_local(func, pc, Rc::new(RefCell::new(probe)))
+    }
+
+    /// Queues insertion of a global probe.
+    pub fn add_global(&mut self, probe: ProbeRef) -> &mut ProbeBatch {
+        self.ops.push(BatchOp::Global(probe));
+        self
+    }
+
+    /// Queues insertion of an owned global probe value.
+    pub fn add_global_val(&mut self, probe: impl Probe) -> &mut ProbeBatch {
+        self.add_global(Rc::new(RefCell::new(probe)))
+    }
+
+    /// Queues removal of a probe. Removing an id that is no longer
+    /// installed is a no-op.
+    pub fn remove(&mut self, id: ProbeId) -> &mut ProbeBatch {
+        self.ops.push(BatchOp::Remove(id));
+        self
+    }
+
+    /// Number of queued operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` if no operations are queued.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+impl core::fmt::Debug for ProbeBatch {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ProbeBatch").field("ops", &self.ops.len()).finish()
+    }
+}
+
 /// An ordered probe list entry.
 pub(crate) type Entry = (ProbeId, ProbeRef);
 

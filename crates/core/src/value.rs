@@ -206,12 +206,7 @@ mod tests {
 
     #[test]
     fn value_slot_roundtrip() {
-        let cases = [
-            Value::I32(-5),
-            Value::I64(i64::MIN),
-            Value::F32(3.5),
-            Value::F64(-0.0),
-        ];
+        let cases = [Value::I32(-5), Value::I64(i64::MIN), Value::F32(3.5), Value::F64(-0.0)];
         for v in cases {
             let s = v.to_slot();
             assert_eq!(Value::from_slot(s, v.ty()), v);

@@ -6,9 +6,7 @@ use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use wizard_engine::store::Linker;
-use wizard_engine::{
-    ClosureProbe, CountProbe, EngineConfig, ExecMode, Process, ProbeError, Trap, Value,
-};
+use wizard_engine::{ClosureProbe, CountProbe, EngineConfig, ProbeError, Process, Trap, Value};
 use wizard_wasm::builder::{FuncBuilder, ModuleBuilder};
 use wizard_wasm::module::Module;
 use wizard_wasm::types::BlockType;
@@ -20,7 +18,7 @@ fn configs() -> Vec<(&'static str, EngineConfig)> {
         ("interp", EngineConfig::interpreter()),
         ("jit", EngineConfig::jit()),
         ("jit-no-intrinsics", EngineConfig::jit_no_intrinsics()),
-        ("tiered", EngineConfig { tierup_threshold: 4, ..EngineConfig::tiered() }),
+        ("tiered", EngineConfig::builder().tierup_threshold(4).build()),
     ]
 }
 
@@ -80,7 +78,7 @@ fn recursion_same_in_all_tiers() {
 #[test]
 fn tiered_mode_tiers_up_via_osr() {
     let (m, _) = sum_module();
-    let mut p = proc_with(m, EngineConfig { tierup_threshold: 10, ..EngineConfig::tiered() });
+    let mut p = proc_with(m, EngineConfig::builder().tierup_threshold(10).build());
     let r = p.invoke_export("sum", &[Value::I32(10_000)]).unwrap();
     assert_eq!(r, vec![Value::I32(49_995_000)]);
     let stats = p.stats();
@@ -282,9 +280,13 @@ fn insertion_order_is_firing_order() {
     let order = Rc::new(RefCell::new(Vec::new()));
     for tag in ["a", "b", "c"] {
         let order = Rc::clone(&order);
-        p.add_local_probe(f, loop_pc, ClosureProbe::shared(move |_ctx| {
-            order.borrow_mut().push(tag);
-        }))
+        p.add_local_probe(
+            f,
+            loop_pc,
+            ClosureProbe::shared(move |_ctx| {
+                order.borrow_mut().push(tag);
+            }),
+        )
         .unwrap();
     }
     p.invoke(f, &[Value::I32(1)]).unwrap();
@@ -302,19 +304,23 @@ fn deferred_insert_on_same_event() {
     let p_fires = Rc::new(Cell::new(0u32));
     let inserted = Rc::new(Cell::new(false));
     let (qf, pf, ins) = (Rc::clone(&q_fires), Rc::clone(&p_fires), Rc::clone(&inserted));
-    p.add_local_probe(f, loop_pc, ClosureProbe::shared(move |ctx| {
-        pf.set(pf.get() + 1);
-        if !ins.get() {
-            ins.set(true);
-            let qf = Rc::clone(&qf);
-            let loc = ctx.location();
-            ctx.insert_local_probe(
-                loc.func,
-                loc.pc,
-                ClosureProbe::shared(move |_| qf.set(qf.get() + 1)),
-            );
-        }
-    }))
+    p.add_local_probe(
+        f,
+        loop_pc,
+        ClosureProbe::shared(move |ctx| {
+            pf.set(pf.get() + 1);
+            if !ins.get() {
+                ins.set(true);
+                let qf = Rc::clone(&qf);
+                let loc = ctx.location();
+                ctx.insert_local_probe(
+                    loc.func,
+                    loc.pc,
+                    ClosureProbe::shared(move |_| qf.set(qf.get() + 1)),
+                );
+            }
+        }),
+    )
     .unwrap();
     // Loop header occurs 6 times for n=5 (entry + 5 backedges).
     p.invoke(f, &[Value::I32(5)]).unwrap();
@@ -337,19 +343,22 @@ fn deferred_removal_on_same_event() {
     let removed = Rc::new(Cell::new(false));
     let q_id = Rc::new(Cell::new(None));
     let (rm, qid) = (Rc::clone(&removed), Rc::clone(&q_id));
-    p.add_local_probe(f, loop_pc, ClosureProbe::shared(move |ctx| {
-        if !rm.get() {
-            if let Some(id) = qid.get() {
-                rm.set(true);
-                ctx.remove_probe(id);
+    p.add_local_probe(
+        f,
+        loop_pc,
+        ClosureProbe::shared(move |ctx| {
+            if !rm.get() {
+                if let Some(id) = qid.get() {
+                    rm.set(true);
+                    ctx.remove_probe(id);
+                }
             }
-        }
-    }))
+        }),
+    )
     .unwrap();
     let qf = Rc::clone(&q_fires);
-    let id = p
-        .add_local_probe(f, loop_pc, ClosureProbe::shared(move |_| qf.set(qf.get() + 1)))
-        .unwrap();
+    let id =
+        p.add_local_probe(f, loop_pc, ClosureProbe::shared(move |_| qf.set(qf.get() + 1))).unwrap();
     q_id.set(Some(id));
     p.invoke(f, &[Value::I32(5)]).unwrap();
     // q is removed by p during the first occurrence, but still fires on
@@ -368,12 +377,16 @@ fn self_removing_probe_fires_once() {
         let id_cell: Rc<Cell<Option<wizard_engine::ProbeId>>> = Rc::new(Cell::new(None));
         let (fi, idc) = (Rc::clone(&fires), Rc::clone(&id_cell));
         let id = p
-            .add_local_probe(f, loop_pc, ClosureProbe::shared(move |ctx| {
-                fi.set(fi.get() + 1);
-                if let Some(id) = idc.get() {
-                    ctx.remove_probe(id);
-                }
-            }))
+            .add_local_probe(
+                f,
+                loop_pc,
+                ClosureProbe::shared(move |ctx| {
+                    fi.set(fi.get() + 1);
+                    if let Some(id) = idc.get() {
+                        ctx.remove_probe(id);
+                    }
+                }),
+            )
             .unwrap();
         id_cell.set(Some(id));
         p.invoke(f, &[Value::I32(50)]).unwrap();
@@ -392,9 +405,7 @@ fn global_probe_sees_every_instruction_and_switches_tables() {
     let f = p.module().export_func("sum").unwrap();
     let count = Rc::new(Cell::new(0u64));
     let c = Rc::clone(&count);
-    let id = p
-        .add_global_probe(ClosureProbe::shared(move |_| c.set(c.get() + 1)))
-        .unwrap();
+    let id = p.add_global_probe(ClosureProbe::shared(move |_| c.set(c.get() + 1))).unwrap();
     assert!(p.in_global_mode());
     p.invoke(f, &[Value::I32(10)]).unwrap();
     let first = count.get();
@@ -409,16 +420,14 @@ fn global_probe_sees_every_instruction_and_switches_tables() {
 #[test]
 fn global_probe_mode_suspends_jit_without_discarding_code() {
     let (m, _) = sum_module();
-    let mut p = proc_with(m, EngineConfig { tierup_threshold: 5, ..EngineConfig::tiered() });
+    let mut p = proc_with(m, EngineConfig::builder().tierup_threshold(5).build());
     let f = p.module().export_func("sum").unwrap();
     // Get the function hot and compiled.
     p.invoke(f, &[Value::I32(1000)]).unwrap();
     assert!(p.is_compiled(f));
     let count = Rc::new(Cell::new(0u64));
     let c = Rc::clone(&count);
-    let id = p
-        .add_global_probe(ClosureProbe::shared(move |_| c.set(c.get() + 1)))
-        .unwrap();
+    let id = p.add_global_probe(ClosureProbe::shared(move |_| c.set(c.get() + 1))).unwrap();
     // Global mode: execution returns to the interpreter, but compiled code
     // is NOT discarded (paper §4.1).
     assert!(p.is_compiled(f), "JIT code must not be discarded by global probes");
@@ -444,12 +453,16 @@ fn frame_accessor_reads_locals_and_operands() {
         let f = p.module().export_func("sum").unwrap();
         let seen: Rc<RefCell<Vec<i32>>> = Rc::new(RefCell::new(Vec::new()));
         let s = Rc::clone(&seen);
-        p.add_local_probe(f, loop_pc, ClosureProbe::shared(move |ctx| {
-            let view = ctx.frame();
-            // local 1 is the loop counter i.
-            let i = view.local(1).unwrap().as_i32().unwrap();
-            s.borrow_mut().push(i);
-        }))
+        p.add_local_probe(
+            f,
+            loop_pc,
+            ClosureProbe::shared(move |ctx| {
+                let view = ctx.frame();
+                // local 1 is the loop counter i.
+                let i = view.local(1).unwrap().as_i32().unwrap();
+                s.borrow_mut().push(i);
+            }),
+        )
         .unwrap();
         p.invoke(f, &[Value::I32(3)]).unwrap();
         // Loop header reached with i = 0 (entry, pre-init it is 0 too),
@@ -466,9 +479,13 @@ fn frame_accessor_identity_stable_and_invalidated_on_return() {
     let f = p.module().export_func("sum").unwrap();
     let stored: Rc<RefCell<Vec<wizard_engine::FrameAccessor>>> = Rc::new(RefCell::new(Vec::new()));
     let st = Rc::clone(&stored);
-    p.add_local_probe(f, loop_pc, ClosureProbe::shared(move |ctx| {
-        st.borrow_mut().push(ctx.accessor());
-    }))
+    p.add_local_probe(
+        f,
+        loop_pc,
+        ClosureProbe::shared(move |ctx| {
+            st.borrow_mut().push(ctx.accessor());
+        }),
+    )
     .unwrap();
     p.invoke(f, &[Value::I32(5)]).unwrap();
     let accs = stored.borrow();
@@ -489,17 +506,21 @@ fn stack_walking_and_depth() {
     let walked = Rc::new(Cell::new(0u32));
     let (md, wk) = (Rc::clone(&max_depth), Rc::clone(&walked));
     // Probe function entry (pc 0).
-    p.add_local_probe(f, 0, ClosureProbe::shared(move |ctx| {
-        md.set(md.get().max(ctx.depth()));
-        // Walk the whole stack via caller links.
-        let mut frames = 1;
-        let mut acc = ctx.frame().caller();
-        while let Some(a) = acc {
-            frames += 1;
-            acc = ctx.view(&a).expect("live caller").caller();
-        }
-        wk.set(wk.get().max(frames));
-    }))
+    p.add_local_probe(
+        f,
+        0,
+        ClosureProbe::shared(move |ctx| {
+            md.set(md.get().max(ctx.depth()));
+            // Walk the whole stack via caller links.
+            let mut frames = 1;
+            let mut acc = ctx.frame().caller();
+            while let Some(a) = acc {
+                frames += 1;
+                acc = ctx.view(&a).expect("live caller").caller();
+            }
+            wk.set(wk.get().max(frames));
+        }),
+    )
     .unwrap();
     p.invoke(f, &[Value::I32(8)]).unwrap();
     assert_eq!(max_depth.get(), 8, "fib(8) reaches depth 8");
@@ -513,19 +534,23 @@ fn frame_modification_is_consistent_and_deopts_jit() {
     let (m, meta) = sum_module();
     let loop_pc = meta.funcs[0].loop_headers[0];
     // Tiered with low threshold so the frame is in JIT when the probe fires.
-    let mut p = proc_with(m, EngineConfig { tierup_threshold: 2, ..EngineConfig::tiered() });
+    let mut p = proc_with(m, EngineConfig::builder().tierup_threshold(2).build());
     let f = p.module().export_func("sum").unwrap();
     let did = Rc::new(Cell::new(false));
     let d = Rc::clone(&did);
-    p.add_local_probe(f, loop_pc, ClosureProbe::shared(move |ctx| {
-        // When i reaches 50, set i = 90 — skipping iterations 50..90.
-        let mut view = ctx.frame();
-        let i = view.local(1).unwrap().as_i32().unwrap();
-        if i == 50 && !d.get() {
-            d.set(true);
-            view.set_local(1, Value::I32(90)).unwrap();
-        }
-    }))
+    p.add_local_probe(
+        f,
+        loop_pc,
+        ClosureProbe::shared(move |ctx| {
+            // When i reaches 50, set i = 90 — skipping iterations 50..90.
+            let mut view = ctx.frame();
+            let i = view.local(1).unwrap().as_i32().unwrap();
+            if i == 50 && !d.get() {
+                d.set(true);
+                view.set_local(1, Value::I32(90)).unwrap();
+            }
+        }),
+    )
     .unwrap();
     let r = p.invoke(f, &[Value::I32(100)]).unwrap();
     // sum(0..100) minus sum(50..90) = 4950 - sum(50..=89).
@@ -542,12 +567,16 @@ fn frame_modification_rejected_in_jit_only() {
     let f = p.module().export_func("sum").unwrap();
     let saw_err = Rc::new(Cell::new(false));
     let s = Rc::clone(&saw_err);
-    p.add_local_probe(f, loop_pc, ClosureProbe::shared(move |ctx| {
-        let mut view = ctx.frame();
-        if view.set_local(1, Value::I32(0)).is_err() {
-            s.set(true);
-        }
-    }))
+    p.add_local_probe(
+        f,
+        loop_pc,
+        ClosureProbe::shared(move |ctx| {
+            let mut view = ctx.frame();
+            if view.set_local(1, Value::I32(0)).is_err() {
+                s.set(true);
+            }
+        }),
+    )
     .unwrap();
     p.invoke(f, &[Value::I32(3)]).unwrap();
     assert!(saw_err.get(), "set_local must fail in JIT-only mode");
@@ -586,11 +615,9 @@ fn count_probe_intrinsified_in_jit_matches_interpreter() {
     let (m, meta) = sum_module();
     let loop_pc = meta.funcs[0].loop_headers[0];
     let mut counts = Vec::new();
-    for config in [
-        EngineConfig::interpreter(),
-        EngineConfig::jit(),
-        EngineConfig::jit_no_intrinsics(),
-    ] {
+    for config in
+        [EngineConfig::interpreter(), EngineConfig::jit(), EngineConfig::jit_no_intrinsics()]
+    {
         let mut p = proc_with(m.clone(), config);
         let f = p.module().export_func("sum").unwrap();
         let probe = CountProbe::new();
@@ -616,9 +643,13 @@ fn mixed_probe_site_fires_all_in_order_in_jit() {
     let cell = count.cell();
     p.add_local_probe_val(f, loop_pc, count).unwrap();
     let o = Rc::clone(&order);
-    p.add_local_probe(f, loop_pc, ClosureProbe::shared(move |_| {
-        o.borrow_mut().push("generic");
-    }))
+    p.add_local_probe(
+        f,
+        loop_pc,
+        ClosureProbe::shared(move |_| {
+            o.borrow_mut().push("generic");
+        }),
+    )
     .unwrap();
     p.invoke(f, &[Value::I32(2)]).unwrap();
     // Mixed site: the generic probe forces the whole site through the
@@ -639,9 +670,13 @@ fn trap_invalidates_stored_accessors() {
     let f = p.module().export_func("div").unwrap();
     let stored: Rc<RefCell<Option<wizard_engine::FrameAccessor>>> = Rc::new(RefCell::new(None));
     let st = Rc::clone(&stored);
-    p.add_local_probe(f, 0, ClosureProbe::shared(move |ctx| {
-        *st.borrow_mut() = Some(ctx.accessor());
-    }))
+    p.add_local_probe(
+        f,
+        0,
+        ClosureProbe::shared(move |ctx| {
+            *st.borrow_mut() = Some(ctx.accessor());
+        }),
+    )
     .unwrap();
     assert_eq!(p.invoke(f, &[Value::I32(0)]).unwrap_err(), Trap::DivisionByZero);
     let acc = stored.borrow().clone().unwrap();
@@ -672,18 +707,22 @@ fn after_instruction_pattern_via_one_shot_global_probe() {
     let f = p.module().export_func("sw").unwrap();
     let landed: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
     let l = Rc::clone(&landed);
-    p.add_local_probe(f, bt_pc, ClosureProbe::shared(move |ctx| {
-        let l2 = Rc::clone(&l);
-        let gid: Rc<Cell<Option<wizard_engine::ProbeId>>> = Rc::new(Cell::new(None));
-        let gid2 = Rc::clone(&gid);
-        let id = ctx.insert_global_probe(ClosureProbe::shared(move |gctx| {
-            l2.borrow_mut().push(gctx.location().pc);
-            if let Some(id) = gid2.get() {
-                gctx.remove_probe(id);
-            }
-        }));
-        gid.set(Some(id));
-    }))
+    p.add_local_probe(
+        f,
+        bt_pc,
+        ClosureProbe::shared(move |ctx| {
+            let l2 = Rc::clone(&l);
+            let gid: Rc<Cell<Option<wizard_engine::ProbeId>>> = Rc::new(Cell::new(None));
+            let gid2 = Rc::clone(&gid);
+            let id = ctx.insert_global_probe(ClosureProbe::shared(move |gctx| {
+                l2.borrow_mut().push(gctx.location().pc);
+                if let Some(id) = gid2.get() {
+                    gctx.remove_probe(id);
+                }
+            }));
+            gid.set(Some(id));
+        }),
+    )
     .unwrap();
     assert_eq!(p.invoke(f, &[Value::I32(0)]).unwrap(), vec![Value::I32(10)]);
     assert!(!p.in_global_mode(), "one-shot global probe removed itself");

@@ -26,7 +26,7 @@ fn sum_module() -> (Module, ModuleMeta) {
 }
 
 fn tiered(threshold: u32) -> EngineConfig {
-    EngineConfig { mode: ExecMode::Tiered, tierup_threshold: threshold, ..EngineConfig::default() }
+    EngineConfig::builder().mode(ExecMode::Tiered).tierup_threshold(threshold).build()
 }
 
 /// Probe insertion invalidates compiled code; the hot function is then
@@ -65,21 +65,22 @@ fn self_removing_probes_leave_clean_compiled_code() {
     let id_cell: Rc<Cell<Option<wizard_engine::ProbeId>>> = Rc::new(Cell::new(None));
     let idc = Rc::clone(&id_cell);
     let id = p
-        .add_local_probe(f, loop_pc, ClosureProbe::shared(move |ctx| {
-            if let Some(id) = idc.get() {
-                ctx.remove_probe(id);
-            }
-        }))
+        .add_local_probe(
+            f,
+            loop_pc,
+            ClosureProbe::shared(move |ctx| {
+                if let Some(id) = idc.get() {
+                    ctx.remove_probe(id);
+                }
+            }),
+        )
         .unwrap();
     id_cell.set(Some(id));
     p.invoke(f, &[Value::I32(1000)]).unwrap();
     assert!(!p.has_probe_byte(f, loop_pc));
     p.invoke(f, &[Value::I32(1000)]).unwrap();
     let listing = p.compiled_listing(f).unwrap();
-    assert!(
-        !listing.contains("probe"),
-        "recompiled code carries no probe ops:\n{listing}"
-    );
+    assert!(!listing.contains("probe"), "recompiled code carries no probe ops:\n{listing}");
 
     // And it matches the listing of a never-instrumented process.
     let mut clean = Process::new(m, tiered(5), &Linker::new()).unwrap();
@@ -98,25 +99,29 @@ fn global_probe_inserted_from_jit_probe_deopts_current_frame() {
     let global_fires = Rc::new(Cell::new(0u64));
     let inserted = Rc::new(Cell::new(false));
     let (gf, ins) = (Rc::clone(&global_fires), Rc::clone(&inserted));
-    p.add_local_probe(f, loop_pc, ClosureProbe::shared(move |ctx| {
-        // After 100 loop iterations (well into JIT execution), switch on a
-        // global probe that runs for 50 instructions then removes itself.
-        if !ins.get() && ctx.frame().local(1).unwrap().as_i32().unwrap() == 100 {
-            ins.set(true);
-            let gf2 = Rc::clone(&gf);
-            let gid: Rc<Cell<Option<wizard_engine::ProbeId>>> = Rc::new(Cell::new(None));
-            let gid2 = Rc::clone(&gid);
-            let id = ctx.insert_global_probe(ClosureProbe::shared(move |gctx| {
-                gf2.set(gf2.get() + 1);
-                if gf2.get() >= 50 {
-                    if let Some(id) = gid2.get() {
-                        gctx.remove_probe(id);
+    p.add_local_probe(
+        f,
+        loop_pc,
+        ClosureProbe::shared(move |ctx| {
+            // After 100 loop iterations (well into JIT execution), switch on a
+            // global probe that runs for 50 instructions then removes itself.
+            if !ins.get() && ctx.frame().local(1).unwrap().as_i32().unwrap() == 100 {
+                ins.set(true);
+                let gf2 = Rc::clone(&gf);
+                let gid: Rc<Cell<Option<wizard_engine::ProbeId>>> = Rc::new(Cell::new(None));
+                let gid2 = Rc::clone(&gid);
+                let id = ctx.insert_global_probe(ClosureProbe::shared(move |gctx| {
+                    gf2.set(gf2.get() + 1);
+                    if gf2.get() >= 50 {
+                        if let Some(id) = gid2.get() {
+                            gctx.remove_probe(id);
+                        }
                     }
-                }
-            }));
-            gid.set(Some(id));
-        }
-    }))
+                }));
+                gid.set(Some(id));
+            }
+        }),
+    )
     .unwrap();
     let r = p.invoke(f, &[Value::I32(1000)]).unwrap();
     assert_eq!(r, vec![Value::I32(499_500)], "mode transitions preserve semantics");
@@ -157,15 +162,19 @@ fn suspended_caller_frames_deopt_on_return() {
     let inner = p.module().export_func("inner").unwrap();
     let done = Rc::new(Cell::new(false));
     let d = Rc::clone(&done);
-    p.add_local_probe(inner, 0, ClosureProbe::shared(move |ctx| {
-        if !d.get() {
-            d.set(true);
-            // Instrument the CALLER's entry: outer's compiled code is now
-            // stale while its frame sits suspended below us.
-            let caller = ctx.frame().caller().map(|a| a.func()).unwrap_or(0);
-            ctx.insert_local_probe(caller, 0, ClosureProbe::shared(|_| {}));
-        }
-    }))
+    p.add_local_probe(
+        inner,
+        0,
+        ClosureProbe::shared(move |ctx| {
+            if !d.get() {
+                d.set(true);
+                // Instrument the CALLER's entry: outer's compiled code is now
+                // stale while its frame sits suspended below us.
+                let caller = ctx.frame().caller().map(|a| a.func()).unwrap_or(0);
+                ctx.insert_local_probe(caller, 0, ClosureProbe::shared(|_| {}));
+            }
+        }),
+    )
     .unwrap();
     let r = p.invoke(outer, &[Value::I32(100)]).unwrap();
     assert_eq!(r, vec![Value::I32(5000)]);
@@ -221,14 +230,18 @@ fn frame_modification_deopts_only_target_frame() {
     let f = p.module().export_func("fib").unwrap();
     let modified = Rc::new(Cell::new(0u32));
     let md = Rc::clone(&modified);
-    p.add_local_probe(f, 0, ClosureProbe::shared(move |ctx| {
-        // Rewrite the argument of exactly one deep activation: 13 -> 1.
-        let mut view = ctx.frame();
-        if view.local(0).unwrap().as_i32().unwrap() == 13 && md.get() == 0 {
-            md.set(1);
-            view.set_local(0, Value::I32(1)).unwrap();
-        }
-    }))
+    p.add_local_probe(
+        f,
+        0,
+        ClosureProbe::shared(move |ctx| {
+            // Rewrite the argument of exactly one deep activation: 13 -> 1.
+            let mut view = ctx.frame();
+            if view.local(0).unwrap().as_i32().unwrap() == 13 && md.get() == 0 {
+                md.set(1);
+                view.set_local(0, Value::I32(1)).unwrap();
+            }
+        }),
+    )
     .unwrap();
     let r = p.invoke(f, &[Value::I32(15)]).unwrap();
     // fib(15) with one fib(13) activation replaced by fib(1)=1:

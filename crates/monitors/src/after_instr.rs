@@ -77,14 +77,18 @@ mod tests {
         let f = p.module().export_func("dispatch").unwrap();
         let entered: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
         let e = Rc::clone(&entered);
-        p.add_local_probe(f, ci_pc, ClosureProbe::shared(move |ctx| {
-            let e2 = Rc::clone(&e);
-            run_after_instruction(ctx, move |_gctx, loc| {
-                // The instruction after call_indirect executes inside the
-                // callee: loc.func IS the dynamic target.
-                e2.borrow_mut().push(loc.func);
-            });
-        }))
+        p.add_local_probe(
+            f,
+            ci_pc,
+            ClosureProbe::shared(move |ctx| {
+                let e2 = Rc::clone(&e);
+                run_after_instruction(ctx, move |_gctx, loc| {
+                    // The instruction after call_indirect executes inside the
+                    // callee: loc.func IS the dynamic target.
+                    e2.borrow_mut().push(loc.func);
+                });
+            }),
+        )
         .unwrap();
 
         assert_eq!(p.invoke(f, &[Value::I32(5), Value::I32(0)]).unwrap(), vec![Value::I32(6)]);
@@ -105,16 +109,20 @@ mod tests {
         let f = p.module().export_func("run").unwrap();
         let pcs: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
         let pc2 = Rc::clone(&pcs);
-        p.add_local_probe(f, 0, ClosureProbe::shared(move |ctx| {
-            let pc3 = Rc::clone(&pc2);
-            run_after_instruction(ctx, move |gctx, loc| {
-                pc3.borrow_mut().push(loc.pc);
-                let pc4 = Rc::clone(&pc3);
-                run_after_instruction(gctx, move |_g, loc2| {
-                    pc4.borrow_mut().push(loc2.pc);
+        p.add_local_probe(
+            f,
+            0,
+            ClosureProbe::shared(move |ctx| {
+                let pc3 = Rc::clone(&pc2);
+                run_after_instruction(ctx, move |gctx, loc| {
+                    pc3.borrow_mut().push(loc.pc);
+                    let pc4 = Rc::clone(&pc3);
+                    run_after_instruction(gctx, move |_g, loc2| {
+                        pc4.borrow_mut().push(loc2.pc);
+                    });
                 });
-            });
-        }))
+            }),
+        )
         .unwrap();
         assert_eq!(p.invoke(f, &[]).unwrap(), vec![Value::I32(6)]);
         // i32.const 1 is at pc 0 (2 bytes), i32.const 2 at 2, i32.add at 4.

@@ -11,12 +11,13 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use wizard_engine::{
-    ClosureProbe, Location, Probe, ProbeCtx, ProbeError, ProbeKind, Process, Slot,
+    ClosureProbe, InstrumentationCtx, Location, Monitor, Probe, ProbeBatch, ProbeCtx, ProbeError,
+    ProbeKind, Report, Slot,
 };
 use wizard_wasm::opcodes as op;
 
 use crate::util::{func_label, sites};
-use crate::{Monitor, ProbeMode};
+use crate::ProbeMode;
 
 /// Per-site branch statistics.
 #[derive(Debug, Default)]
@@ -89,17 +90,10 @@ impl BranchMonitor {
     /// Total branch executions observed.
     pub fn total_branches(&self) -> u64 {
         match self.mode {
-            ProbeMode::Local => self
-                .stats
-                .iter()
-                .map(|(_, _, s)| s.taken.get() + s.not_taken.get())
-                .sum(),
-            ProbeMode::Global => self
-                .global_stats
-                .borrow()
-                .values()
-                .map(|(t, n)| t + n)
-                .sum(),
+            ProbeMode::Local => {
+                self.stats.iter().map(|(_, _, s)| s.taken.get() + s.not_taken.get()).sum()
+            }
+            ProbeMode::Global => self.global_stats.borrow().values().map(|(t, n)| t + n).sum(),
         }
     }
 
@@ -115,18 +109,12 @@ impl BranchMonitor {
     /// `(taken, not_taken)` per site, in site order.
     pub fn site_stats(&self) -> Vec<(Location, u64, u64)> {
         match self.mode {
-            ProbeMode::Local => self
-                .stats
-                .iter()
-                .map(|(l, _, s)| (*l, s.taken.get(), s.not_taken.get()))
-                .collect(),
+            ProbeMode::Local => {
+                self.stats.iter().map(|(l, _, s)| (*l, s.taken.get(), s.not_taken.get())).collect()
+            }
             ProbeMode::Global => {
-                let mut v: Vec<(Location, u64, u64)> = self
-                    .global_stats
-                    .borrow()
-                    .iter()
-                    .map(|(l, (t, n))| (*l, *t, *n))
-                    .collect();
+                let mut v: Vec<(Location, u64, u64)> =
+                    self.global_stats.borrow().iter().map(|(l, (t, n))| (*l, *t, *n)).collect();
                 v.sort_by_key(|(l, _, _)| *l);
                 v
             }
@@ -135,27 +123,31 @@ impl BranchMonitor {
 }
 
 impl Monitor for BranchMonitor {
-    fn attach(&mut self, process: &mut Process) -> Result<(), ProbeError> {
+    fn name(&self) -> &'static str {
+        "branch"
+    }
+
+    fn on_attach(&mut self, ctx: &mut InstrumentationCtx<'_>) -> Result<(), ProbeError> {
         let branch_sites =
-            sites(process.module(), |i| matches!(i.op, op::IF | op::BR_IF | op::BR_TABLE));
+            sites(ctx.module(), |i| matches!(i.op, op::IF | op::BR_IF | op::BR_TABLE));
         for (f, _) in &branch_sites {
-            self.labels
-                .entry(*f)
-                .or_insert_with(|| func_label(process.module(), *f));
+            self.labels.entry(*f).or_insert_with(|| func_label(ctx.module(), *f));
         }
         match self.mode {
             ProbeMode::Local => {
-                for (func, instr) in branch_sites {
+                let mut batch = ProbeBatch::new();
+                for (func, instr) in &branch_sites {
                     let stats = Rc::new(SiteStats::default());
                     let probe = BranchProbe { opcode: instr.op, stats: Rc::clone(&stats) };
-                    process.add_local_probe_val(func, instr.pc, probe)?;
-                    self.stats.push((Location { func, pc: instr.pc }, instr.op, stats));
+                    batch.add_local_val(*func, instr.pc, probe);
+                    self.stats.push((Location { func: *func, pc: instr.pc }, instr.op, stats));
                 }
+                ctx.apply_batch(batch)?;
             }
             ProbeMode::Global => {
                 let stats = Rc::clone(&self.global_stats);
                 let fires = Rc::clone(&self.global_fires);
-                process.add_global_probe(ClosureProbe::shared(move |ctx| {
+                ctx.add_global_probe(ClosureProbe::shared(move |ctx| {
                     fires.set(fires.get() + 1);
                     let opcode = ctx.opcode();
                     if matches!(opcode, op::IF | op::BR_IF | op::BR_TABLE) {
@@ -175,8 +167,9 @@ impl Monitor for BranchMonitor {
         Ok(())
     }
 
-    fn report(&self) -> String {
-        let mut out = String::from("branch profile\n");
+    fn report(&self) -> Report {
+        let mut r = Report::new(self.name());
+        let profile = r.section("branch profile");
         for (loc, taken, not_taken) in self.site_stats() {
             if taken + not_taken == 0 {
                 continue;
@@ -185,14 +178,10 @@ impl Monitor for BranchMonitor {
                 .labels
                 .get(&loc.func)
                 .map_or_else(|| format!("func[{}]", loc.func), Clone::clone);
-            let pct = 100.0 * taken as f64 / (taken + not_taken) as f64;
-            out.push_str(&format!(
-                "  {label}+{:<6} taken {taken:>10}  not-taken {not_taken:>10}  ({pct:5.1}%)\n",
-                loc.pc
-            ));
+            profile.fraction(format!("{label}+{} taken", loc.pc), taken, taken + not_taken);
         }
-        out.push_str(&format!("total branches: {}\n", self.total_branches()));
-        out
+        r.section("summary").count("total branches", self.total_branches());
+        r
     }
 }
 
@@ -200,7 +189,7 @@ impl Monitor for BranchMonitor {
 mod tests {
     use super::*;
     use wizard_engine::store::Linker;
-    use wizard_engine::{EngineConfig, Value};
+    use wizard_engine::{EngineConfig, Process, Value};
     use wizard_wasm::builder::{FuncBuilder, ModuleBuilder};
     use wizard_wasm::types::ValType::I32;
 
@@ -219,16 +208,15 @@ mod tests {
     #[test]
     fn counts_taken_and_not_taken() {
         let mut p = loop_process(EngineConfig::interpreter());
-        let mut m = BranchMonitor::new();
-        m.attach(&mut p).unwrap();
+        let m = p.attach_monitor(BranchMonitor::new()).unwrap();
         p.invoke_export("go", &[Value::I32(10)]).unwrap();
         // for_range: `br_if 1` (exit check) fires 11 times — taken once.
-        let stats = m.site_stats();
+        let stats = m.borrow().site_stats();
         assert_eq!(stats.len(), 1);
         let (_, taken, not_taken) = stats[0];
         assert_eq!(taken, 1);
         assert_eq!(not_taken, 10);
-        assert_eq!(m.total_branches(), 11);
+        assert_eq!(m.borrow().total_branches(), 11);
     }
 
     #[test]
@@ -241,10 +229,9 @@ mod tests {
             (ProbeMode::Global, EngineConfig::interpreter()),
         ] {
             let mut p = loop_process(config);
-            let mut m = BranchMonitor::with_mode(mode);
-            m.attach(&mut p).unwrap();
+            let m = p.attach_monitor(BranchMonitor::with_mode(mode)).unwrap();
             p.invoke_export("go", &[Value::I32(7)]).unwrap();
-            results.push(m.site_stats());
+            results.push(m.borrow().site_stats());
         }
         for r in &results[1..] {
             assert_eq!(*r, results[0]);
@@ -254,22 +241,21 @@ mod tests {
     #[test]
     fn global_mode_counts_all_instructions_as_fires() {
         let mut p = loop_process(EngineConfig::interpreter());
-        let mut m = BranchMonitor::with_mode(ProbeMode::Global);
-        m.attach(&mut p).unwrap();
+        let m = p.attach_monitor(BranchMonitor::with_mode(ProbeMode::Global)).unwrap();
         p.invoke_export("go", &[Value::I32(5)]).unwrap();
+        let mon = m.borrow();
         assert!(
-            m.total_fires() > m.total_branches() * 3,
+            mon.total_fires() > mon.total_branches() * 3,
             "global probe fires on every instruction, not only branches"
         );
     }
 
     #[test]
-    fn report_shows_percentages() {
+    fn report_shows_ratios() {
         let mut p = loop_process(EngineConfig::interpreter());
-        let mut m = BranchMonitor::new();
-        m.attach(&mut p).unwrap();
+        let m = p.attach_monitor(BranchMonitor::new()).unwrap();
         p.invoke_export("go", &[Value::I32(3)]).unwrap();
-        let r = m.report();
+        let r = m.report().to_string();
         assert!(r.contains("taken"));
         assert!(r.contains("total branches: 4"));
     }

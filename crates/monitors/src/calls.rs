@@ -6,12 +6,13 @@ use std::cell::Cell;
 use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
-use wizard_engine::{ClosureProbe, CountProbe, Location, ProbeError, Process};
+use wizard_engine::{
+    ClosureProbe, CountProbe, InstrumentationCtx, Location, Monitor, ProbeBatch, ProbeError, Report,
+};
 use wizard_wasm::instr::Imm;
 use wizard_wasm::opcodes as op;
 
 use crate::util::{func_label, sites};
-use crate::Monitor;
 
 /// Statistics about one indirect callsite.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -70,29 +71,28 @@ impl CallsMonitor {
 
     /// The indirect-call sites and their target histograms.
     pub fn indirect_sites(&self) -> Vec<(Location, IndirectSite)> {
-        self.indirect
-            .iter()
-            .map(|(l, s)| (*l, s.borrow().clone()))
-            .collect()
+        self.indirect.iter().map(|(l, s)| (*l, s.borrow().clone())).collect()
     }
 }
 
 impl Monitor for CallsMonitor {
-    fn attach(&mut self, process: &mut Process) -> Result<(), ProbeError> {
-        for (func, instr) in sites(process.module(), |i| op::is_call(i.op)) {
-            self.labels
-                .entry(func)
-                .or_insert_with(|| func_label(process.module(), func));
-            let loc = Location { func, pc: instr.pc };
+    fn name(&self) -> &'static str {
+        "calls"
+    }
+
+    fn on_attach(&mut self, ctx: &mut InstrumentationCtx<'_>) -> Result<(), ProbeError> {
+        let call_sites = sites(ctx.module(), |i| op::is_call(i.op));
+        let mut batch = ProbeBatch::new();
+        for (func, instr) in &call_sites {
+            self.labels.entry(*func).or_insert_with(|| func_label(ctx.module(), *func));
+            let loc = Location { func: *func, pc: instr.pc };
             match instr.imm {
                 Imm::Idx(callee) => {
                     // Direct call: a plain counter (intrinsifiable).
                     let probe = CountProbe::new();
                     let cell = probe.cell();
-                    process.add_local_probe_val(func, instr.pc, probe)?;
-                    self.labels
-                        .entry(callee)
-                        .or_insert_with(|| func_label(process.module(), callee));
+                    batch.add_local_val(*func, instr.pc, probe);
+                    self.labels.entry(callee).or_insert_with(|| func_label(ctx.module(), callee));
                     self.direct.push((loc, callee, cell));
                 }
                 Imm::CallIndirect { .. } => {
@@ -100,8 +100,8 @@ impl Monitor for CallsMonitor {
                     // to the actual target.
                     let site = Rc::new(std::cell::RefCell::new(IndirectSite::default()));
                     let s = Rc::clone(&site);
-                    process.add_local_probe(
-                        func,
+                    batch.add_local(
+                        *func,
                         instr.pc,
                         ClosureProbe::shared(move |ctx| {
                             let idx = ctx.top_of_stack().expect("table index").u32();
@@ -113,50 +113,41 @@ impl Monitor for CallsMonitor {
                                 None => st.unresolved += 1,
                             }
                         }),
-                    )?;
+                    );
                     self.indirect.push((loc, site));
                 }
                 _ => unreachable!("call instruction immediates"),
             }
         }
+        ctx.apply_batch(batch)?;
         Ok(())
     }
 
-    fn report(&self) -> String {
-        let mut out = String::from("call statistics\n");
-        out.push_str("direct calls:\n");
+    fn report(&self) -> Report {
+        let mut r = Report::new(self.name());
+        let direct = r.section("direct calls");
         for (loc, callee, c) in &self.direct {
             if c.get() == 0 {
                 continue;
             }
             let from = &self.labels[&loc.func];
-            let to = self
-                .labels
-                .get(callee)
-                .map_or_else(|| format!("func[{callee}]"), Clone::clone);
-            out.push_str(&format!("  {from}+{} -> {to}: {}\n", loc.pc, c.get()));
+            let to =
+                self.labels.get(callee).map_or_else(|| format!("func[{callee}]"), Clone::clone);
+            direct.count(format!("{from}+{} -> {to}", loc.pc), c.get());
         }
-        out.push_str("indirect callsites:\n");
+        let indirect = r.section("indirect callsites");
         for (loc, site) in &self.indirect {
             let from = &self.labels[&loc.func];
             let site = site.borrow();
             let total: u64 = site.targets.values().sum();
-            out.push_str(&format!(
-                "  {from}+{} ({} calls, {} targets)\n",
-                loc.pc,
-                total,
-                site.targets.len()
-            ));
+            indirect.count(format!("{from}+{} ({} targets)", loc.pc, site.targets.len()), total);
             for (t, n) in &site.targets {
-                let to = self
-                    .labels
-                    .get(t)
-                    .map_or_else(|| format!("func[{t}]"), Clone::clone);
-                out.push_str(&format!("      -> {to}: {n}\n"));
+                let to = self.labels.get(t).map_or_else(|| format!("func[{t}]"), Clone::clone);
+                indirect.count(format!("    -> {to}"), *n);
             }
         }
-        out.push_str(&format!("total calls: {}\n", self.total_calls()));
-        out
+        r.section("summary").count("total calls", self.total_calls());
+        r
     }
 }
 
@@ -164,7 +155,7 @@ impl Monitor for CallsMonitor {
 mod tests {
     use super::*;
     use wizard_engine::store::Linker;
-    use wizard_engine::{EngineConfig, Value};
+    use wizard_engine::{EngineConfig, Process, Value};
     use wizard_wasm::builder::{FuncBuilder, ModuleBuilder};
     use wizard_wasm::types::ValType::I32;
 
@@ -198,20 +189,19 @@ mod tests {
         let m = mb.build().unwrap();
         for config in [EngineConfig::interpreter(), EngineConfig::jit()] {
             let mut p = Process::new(m.clone(), config, &Linker::new()).unwrap();
-            let mut mon = CallsMonitor::new();
-            mon.attach(&mut p).unwrap();
+            let mon = p.attach_monitor(CallsMonitor::new()).unwrap();
             p.invoke_export("main", &[Value::I32(10)]).unwrap();
-            assert_eq!(mon.total_calls(), 20);
-            let sites = mon.indirect_sites();
+            assert_eq!(mon.borrow().total_calls(), 20);
+            let sites = mon.borrow().indirect_sites();
             assert_eq!(sites.len(), 1);
             // Alternating indices 0,1: five calls each to a and b.
             assert_eq!(sites[0].1.targets[&a], 5);
             assert_eq!(sites[0].1.targets[&b], 5);
-            let edges = mon.edges();
+            let edges = mon.borrow().edges();
             let main_idx = p.module().export_func("main").unwrap();
             assert!(edges.contains(&(main_idx, a, 15)));
             assert!(edges.contains(&(main_idx, b, 5)));
-            assert!(mon.report().contains("indirect callsites"));
+            assert!(mon.report().to_string().contains("indirect callsites"));
         }
     }
 }

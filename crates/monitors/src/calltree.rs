@@ -9,12 +9,11 @@ use std::collections::BTreeMap;
 use std::rc::Rc;
 use std::time::{Duration, Instant};
 
-use wizard_engine::{ProbeError, Process};
+use wizard_engine::{InstrumentationCtx, Monitor, ProbeError, Process, Report};
 use wizard_wasm::module::FuncIdx;
 
 use crate::entry_exit::EntryExit;
 use crate::util::func_label;
-use crate::Monitor;
 
 #[derive(Debug)]
 struct Node {
@@ -98,13 +97,13 @@ impl CallTreeMonitor {
         let labels = self.labels.borrow();
         let mut out = Vec::new();
         let mut stack: Vec<(usize, String)> = Vec::new();
-        for (_, id) in &st.roots {
+        for id in st.roots.values() {
             stack.push((*id, labels[&st.nodes[*id].func].clone()));
         }
         while let Some((id, path)) = stack.pop() {
             let n = &st.nodes[id];
             out.push(format!("{path} {}", n.self_time.as_micros()));
-            for (_, cid) in &n.children {
+            for cid in n.children.values() {
                 let c = &st.nodes[*cid];
                 stack.push((*cid, format!("{path};{}", labels[&c.func])));
             }
@@ -128,17 +127,21 @@ impl CallTreeMonitor {
 }
 
 impl Monitor for CallTreeMonitor {
-    fn attach(&mut self, process: &mut Process) -> Result<(), ProbeError> {
+    fn name(&self) -> &'static str {
+        "calltree"
+    }
+
+    fn on_attach(&mut self, ctx: &mut InstrumentationCtx<'_>) -> Result<(), ProbeError> {
         {
             let mut labels = self.labels.borrow_mut();
-            for func in 0..process.module().num_funcs() {
-                labels.insert(func, func_label(process.module(), func));
+            for func in 0..ctx.module().num_funcs() {
+                labels.insert(func, func_label(ctx.module(), func));
             }
         }
         let st_in = Rc::clone(&self.state);
         let st_out = Rc::clone(&self.state);
         let ee = EntryExit::attach(
-            process,
+            ctx,
             move |func, _| {
                 let mut st = st_in.borrow_mut();
                 let parent = st.path.last().map(|(id, _, _)| *id);
@@ -164,35 +167,37 @@ impl Monitor for CallTreeMonitor {
         Ok(())
     }
 
-    fn report(&self) -> String {
+    fn on_detach(&mut self, _process: &mut Process) {
+        // Fire exit callbacks for any frames unwound by traps, so the
+        // final report is balanced.
+        self.drain();
+    }
+
+    fn report(&self) -> Report {
         let st = self.state.borrow();
         let labels = self.labels.borrow();
-        let mut out = String::from("calling-context tree (self / total)\n");
+        let mut r = Report::new(self.name());
+        let tree = r.section("calling-context tree (self / total)");
         fn render(
             st: &TreeState,
             labels: &BTreeMap<FuncIdx, String>,
             id: usize,
             depth: usize,
-            out: &mut String,
+            out: &mut wizard_engine::Section,
         ) {
             let n = &st.nodes[id];
-            out.push_str(&format!(
-                "{:indent$}{} calls={} self={:?} total={:?}\n",
-                "",
-                labels[&n.func],
-                n.calls,
-                n.self_time,
-                n.total,
-                indent = depth * 2
-            ));
-            for (_, cid) in &n.children {
+            out.text(
+                format!("{:indent$}{}", "", labels[&n.func], indent = depth * 2),
+                format!("calls={} self={:?} total={:?}", n.calls, n.self_time, n.total),
+            );
+            for cid in n.children.values() {
                 render(st, labels, *cid, depth + 1, out);
             }
         }
-        for (_, id) in &st.roots {
-            render(&st, &labels, *id, 1, &mut out);
+        for id in st.roots.values() {
+            render(&st, &labels, *id, 1, tree);
         }
-        out
+        r
     }
 }
 
@@ -222,24 +227,22 @@ mod tests {
         main.local_get(0).call(mid);
         mb.add_func("main", main);
         let mut p =
-            Process::new(mb.build().unwrap(), EngineConfig::interpreter(), &Linker::new())
-                .unwrap();
-        let mut mon = CallTreeMonitor::new();
-        mon.attach(&mut p).unwrap();
+            Process::new(mb.build().unwrap(), EngineConfig::interpreter(), &Linker::new()).unwrap();
+        let mon = p.attach_monitor(CallTreeMonitor::new()).unwrap();
         p.invoke_export("main", &[Value::I32(200)]).unwrap();
-        mon.drain();
-        let rows = mon.rows();
+        mon.borrow().drain();
+        let rows = mon.borrow().rows();
         // main (1 call), mid (1), leaf-under-mid (2 calls).
-        let leaf_row = rows.iter().find(|(f, _, _, _)| *f == leaf).unwrap();
+        let leaf_row = *rows.iter().find(|(f, _, _, _)| *f == leaf).unwrap();
         assert_eq!(leaf_row.1, 2);
-        let mid_row = rows.iter().find(|(f, _, _, _)| *f == mid).unwrap();
+        let mid_row = *rows.iter().find(|(f, _, _, _)| *f == mid).unwrap();
         assert_eq!(mid_row.1, 1);
         // Nested time: mid's total covers leaf's total.
         assert!(mid_row.2 >= leaf_row.2);
-        let report = mon.report();
+        let report = mon.report().to_string();
         assert!(report.contains("main"));
         assert!(report.contains("leaf"));
-        let flames = mon.flame_lines();
+        let flames = mon.borrow().flame_lines();
         assert!(flames.iter().any(|l| l.starts_with("main;mid;leaf ")));
     }
 }

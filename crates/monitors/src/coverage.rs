@@ -7,10 +7,11 @@ use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, HashSet};
 use std::rc::Rc;
 
-use wizard_engine::{ClosureProbe, Location, ProbeError, ProbeId, Process};
+use wizard_engine::{
+    ClosureProbe, InstrumentationCtx, Location, Monitor, ProbeBatch, ProbeError, ProbeId, Report,
+};
 
 use crate::util::{all_sites, func_label};
-use crate::Monitor;
 
 /// Records which instructions executed at least once.
 #[derive(Debug, Default)]
@@ -53,17 +54,27 @@ impl CoverageMonitor {
 }
 
 impl Monitor for CoverageMonitor {
-    fn attach(&mut self, process: &mut Process) -> Result<(), ProbeError> {
-        for (func, instr) in all_sites(process.module()) {
-            *self.total_per_func.entry(func).or_insert(0) += 1;
-            self.labels
-                .entry(func)
-                .or_insert_with(|| func_label(process.module(), func));
+    fn name(&self) -> &'static str {
+        "coverage"
+    }
+
+    fn on_attach(&mut self, ctx: &mut InstrumentationCtx<'_>) -> Result<(), ProbeError> {
+        let sites = all_sites(ctx.module());
+        for (func, _) in &sites {
+            *self.total_per_func.entry(*func).or_insert(0) += 1;
+            self.labels.entry(*func).or_insert_with(|| func_label(ctx.module(), *func));
+        }
+        // One probe per instruction: batched, so the whole set costs a
+        // single invalidation pass. Ids come back in queue order and are
+        // fed to the self-removal cells afterwards.
+        let mut batch = ProbeBatch::new();
+        let mut id_cells: Vec<Rc<Cell<Option<ProbeId>>>> = Vec::with_capacity(sites.len());
+        for (func, instr) in &sites {
             let covered = Rc::clone(&self.covered);
             let id_cell: Rc<Cell<Option<ProbeId>>> = Rc::new(Cell::new(None));
             let idc = Rc::clone(&id_cell);
-            let id = process.add_local_probe(
-                func,
+            batch.add_local(
+                *func,
                 instr.pc,
                 ClosureProbe::shared(move |ctx| {
                     covered.borrow_mut().insert(ctx.location());
@@ -73,21 +84,24 @@ impl Monitor for CoverageMonitor {
                         ctx.remove_probe(id);
                     }
                 }),
-            )?;
-            id_cell.set(Some(id));
+            );
+            id_cells.push(id_cell);
+        }
+        let ids = ctx.apply_batch(batch)?;
+        for (cell, id) in id_cells.iter().zip(ids) {
+            cell.set(Some(id));
         }
         Ok(())
     }
 
-    fn report(&self) -> String {
-        let mut out = String::from("code coverage report\n");
+    fn report(&self) -> Report {
+        let mut r = Report::new(self.name());
+        let per_func = r.section("per-function");
         for (func, (covered, total)) in self.per_function() {
-            let label = &self.labels[&func];
-            let pct = 100.0 * covered as f64 / total.max(1) as f64;
-            out.push_str(&format!("  {label:<24} {covered:>6}/{total:<6} ({pct:5.1}%)\n"));
+            per_func.fraction(&self.labels[&func], covered as u64, total as u64);
         }
-        out.push_str(&format!("overall: {:.1}%\n", 100.0 * self.ratio()));
-        out
+        r.section("summary").float("overall %", 100.0 * self.ratio());
+        r
     }
 }
 
@@ -95,7 +109,7 @@ impl Monitor for CoverageMonitor {
 mod tests {
     use super::*;
     use wizard_engine::store::Linker;
-    use wizard_engine::{EngineConfig, Value};
+    use wizard_engine::{EngineConfig, Process, Value};
     use wizard_wasm::builder::{FuncBuilder, ModuleBuilder};
     use wizard_wasm::types::{BlockType, ValType::I32};
 
@@ -117,34 +131,43 @@ mod tests {
     #[test]
     fn partial_coverage_and_probe_removal() {
         let mut p = process(EngineConfig::interpreter());
-        let mut m = CoverageMonitor::new();
-        m.attach(&mut p).unwrap();
+        let m = p.attach_monitor(CoverageMonitor::new()).unwrap();
         let sites_before = p.probed_location_count();
         assert!(sites_before > 5);
         p.invoke_export("cond", &[Value::I32(1)]).unwrap();
         // Only the then-branch is covered; else-branch and never_called
         // remain uncovered.
-        let r1 = m.ratio();
+        let r1 = m.borrow().ratio();
         assert!(r1 > 0.0 && r1 < 1.0);
         // Fired probes removed themselves.
         assert!(p.probed_location_count() < sites_before);
         // Taking the other path increases coverage.
         p.invoke_export("cond", &[Value::I32(0)]).unwrap();
-        assert!(m.ratio() > r1);
-        let per = m.per_function();
+        assert!(m.borrow().ratio() > r1);
+        let per = m.borrow().per_function();
         assert_eq!(per[&1].0, 0, "never_called has zero coverage");
-        assert!(m.report().contains("never_called"));
+        assert!(m.report().to_string().contains("never_called"));
     }
 
     #[test]
     fn full_coverage_in_jit_mode() {
         let mut p = process(EngineConfig::jit());
-        let mut m = CoverageMonitor::new();
-        m.attach(&mut p).unwrap();
+        let m = p.attach_monitor(CoverageMonitor::new()).unwrap();
         p.invoke_export("cond", &[Value::I32(1)]).unwrap();
         p.invoke_export("cond", &[Value::I32(0)]).unwrap();
         p.invoke_export("never_called", &[]).unwrap();
-        assert!((m.ratio() - 1.0).abs() < f64::EPSILON, "all paths covered");
+        assert!((m.borrow().ratio() - 1.0).abs() < f64::EPSILON, "all paths covered");
         assert_eq!(p.probed_location_count(), 0, "all probes removed themselves");
+    }
+
+    #[test]
+    fn batched_attach_costs_one_invalidation_pass() {
+        let mut p = process(EngineConfig::interpreter());
+        assert_eq!(p.stats().invalidation_passes, 0);
+        let m = p.attach_monitor(CoverageMonitor::new()).unwrap();
+        assert!(p.probed_location_count() > 5, "many probes installed");
+        assert_eq!(p.stats().invalidation_passes, 1, "but one invalidation pass");
+        p.detach_monitor(m.handle()).unwrap();
+        assert_eq!(p.probed_location_count(), 0);
     }
 }

@@ -14,11 +14,12 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
-use wizard_engine::{ClosureProbe, ProbeCtx, ProbeError, ProbeId, Process, Value};
+use wizard_engine::{
+    ClosureProbe, InstrumentationCtx, Monitor, ProbeBatch, ProbeCtx, ProbeError, ProbeId, Report,
+    Value,
+};
 use wizard_wasm::module::FuncIdx;
 use wizard_wasm::types::ValType;
-
-use crate::Monitor;
 
 #[derive(Debug, Default)]
 struct DebugShared {
@@ -48,10 +49,7 @@ impl Debugger {
     /// Creates a debugger with a command script.
     pub fn new<S: Into<String>>(script: impl IntoIterator<Item = S>) -> Debugger {
         let d = Debugger::default();
-        d.shared
-            .commands
-            .borrow_mut()
-            .extend(script.into_iter().map(Into::into));
+        d.shared.commands.borrow_mut().extend(script.into_iter().map(Into::into));
         d
     }
 
@@ -63,10 +61,7 @@ impl Debugger {
 
     /// Appends more commands to the script.
     pub fn push_commands<S: Into<String>>(&self, script: impl IntoIterator<Item = S>) {
-        self.shared
-            .commands
-            .borrow_mut()
-            .extend(script.into_iter().map(Into::into));
+        self.shared.commands.borrow_mut().extend(script.into_iter().map(Into::into));
     }
 
     /// The session transcript so far.
@@ -76,23 +71,34 @@ impl Debugger {
 }
 
 impl Monitor for Debugger {
-    fn attach(&mut self, process: &mut Process) -> Result<(), ProbeError> {
+    fn name(&self) -> &'static str {
+        "debugger"
+    }
+
+    fn on_attach(&mut self, ctx: &mut InstrumentationCtx<'_>) -> Result<(), ProbeError> {
+        let mut batch = ProbeBatch::new();
         for (func, pc) in self.breakpoints.clone() {
             let shared = Rc::clone(&self.shared);
-            process.add_local_probe(
+            batch.add_local(
                 func,
                 pc,
                 ClosureProbe::shared(move |ctx| {
                     shared.println(format!("breakpoint hit at {}", ctx.location()));
                     command_loop(&shared, ctx);
                 }),
-            )?;
+            );
         }
+        ctx.apply_batch(batch)?;
         Ok(())
     }
 
-    fn report(&self) -> String {
-        self.output()
+    fn report(&self) -> Report {
+        let mut r = Report::new(self.name());
+        let transcript = r.section("transcript");
+        for (i, line) in self.output().lines().enumerate() {
+            transcript.text(format!("{i:>4}"), line);
+        }
+        r
     }
 }
 
@@ -201,7 +207,7 @@ fn step_ctx_enter(shared: &Rc<DebugShared>, ctx: &mut ProbeCtx<'_, '_>) {
 mod tests {
     use super::*;
     use wizard_engine::store::Linker;
-    use wizard_engine::EngineConfig;
+    use wizard_engine::{EngineConfig, Process};
     use wizard_wasm::builder::{FuncBuilder, ModuleBuilder};
     use wizard_wasm::types::ValType::I32;
 
@@ -219,12 +225,13 @@ mod tests {
     fn breakpoint_inspection_and_stepping() {
         let mut p = process();
         let f = p.module().export_func("calc").unwrap();
-        let mut d = Debugger::new(["where", "locals", "stack", "depth", "step", "step", "continue"]);
+        let mut d =
+            Debugger::new(["where", "locals", "stack", "depth", "step", "step", "continue"]);
         d.breakpoint(f, 0);
-        d.attach(&mut p).unwrap();
+        let d = p.attach_monitor(d).unwrap();
         let r = p.invoke_export("calc", &[Value::I32(5)]).unwrap();
         assert_eq!(r, vec![Value::I32(30)]);
-        let out = d.output();
+        let out = d.borrow().output();
         assert!(out.contains("breakpoint hit at func[0]+0"), "{out}");
         assert!(out.contains("local[0] = 5:i32"), "{out}");
         assert!(out.contains("<operand stack empty>"), "{out}");
@@ -239,9 +246,9 @@ mod tests {
         let f = p.module().export_func("calc").unwrap();
         let mut d = Debugger::new(["set 0 100", "continue"]);
         d.breakpoint(f, 0);
-        d.attach(&mut p).unwrap();
+        let d = p.attach_monitor(d).unwrap();
         let r = p.invoke_export("calc", &[Value::I32(5)]).unwrap();
         assert_eq!(r, vec![Value::I32(220)], "fix-and-continue changed the result");
-        assert!(d.output().contains("local[0] 5:i32 -> 100:i32"));
+        assert!(d.borrow().output().contains("local[0] 5:i32 -> 100:i32"));
     }
 }

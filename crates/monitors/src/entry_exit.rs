@@ -16,7 +16,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use wizard_engine::{ClosureProbe, FrameAccessor, ProbeError, Process};
+use wizard_engine::{ClosureProbe, FrameAccessor, InstrumentationCtx, ProbeBatch, ProbeError};
 use wizard_wasm::instr::InstrIter;
 use wizard_wasm::module::FuncIdx;
 use wizard_wasm::opcodes as op;
@@ -44,13 +44,16 @@ pub struct EntryExit {
 
 impl EntryExit {
     /// Installs entry/exit instrumentation on every locally-defined
-    /// function of `process`.
+    /// function of the process behind `ctx`. All probes — one entry probe
+    /// per function plus one per exit point — are committed as a single
+    /// [`ProbeBatch`] (one invalidation pass), and are recorded against
+    /// the attaching monitor's handle for removal at detach.
     ///
     /// # Errors
     ///
     /// Propagates [`ProbeError`]s from probe insertion.
     pub fn attach(
-        process: &mut Process,
+        ctx: &mut InstrumentationCtx<'_>,
         on_entry: impl FnMut(FuncIdx, u32) + 'static,
         on_exit: impl FnMut(FuncIdx, u32) + 'static,
     ) -> Result<EntryExit, ProbeError> {
@@ -61,11 +64,11 @@ impl EntryExit {
         }));
         // Re-validate to get branch side tables (cheap, and keeps this
         // library independent of engine internals).
-        let meta = validate(process.module()).expect("process module is valid");
-        let n_imp = process.module().num_imported_funcs();
+        let meta = validate(ctx.module()).expect("process module is valid");
+        let n_imp = ctx.module().num_imported_funcs();
         let mut plans: Vec<(FuncIdx, u32, ExitKind)> = Vec::new();
         let mut entries: Vec<FuncIdx> = Vec::new();
-        for (i, f) in process.module().funcs.iter().enumerate() {
+        for (i, f) in ctx.module().funcs.iter().enumerate() {
             let func = n_imp + i as u32;
             let code_len = f.body.code.len() as u32;
             let fmeta = &meta.funcs[i];
@@ -106,10 +109,11 @@ impl EntryExit {
             plans.push((func, last_pc, ExitKind::Always));
         }
         let ee = EntryExit { shadow, callbacks };
+        let mut batch = ProbeBatch::new();
         for func in entries {
             let shadow = Rc::clone(&ee.shadow);
             let callbacks = Rc::clone(&ee.callbacks);
-            process.add_local_probe(
+            batch.add_local(
                 func,
                 0,
                 ClosureProbe::shared(move |ctx| {
@@ -126,20 +130,18 @@ impl EntryExit {
                     drop(sh);
                     (callbacks.borrow_mut().on_entry)(func, depth);
                 }),
-            )?;
+            );
         }
         for (func, pc, kind) in plans {
             let shadow = Rc::clone(&ee.shadow);
             let callbacks = Rc::clone(&ee.callbacks);
-            process.add_local_probe(
+            batch.add_local(
                 func,
                 pc,
                 ClosureProbe::shared(move |ctx| {
                     let exits = match &kind {
                         ExitKind::Always => true,
-                        ExitKind::IfNonZero => {
-                            ctx.top_of_stack().is_some_and(|s| s.i32() != 0)
-                        }
+                        ExitKind::IfNonZero => ctx.top_of_stack().is_some_and(|s| s.i32() != 0),
                         ExitKind::TableIndex(exits) => {
                             let idx = ctx.top_of_stack().map_or(0, |s| s.u32()) as usize;
                             exits[idx.min(exits.len() - 1)]
@@ -157,8 +159,9 @@ impl EntryExit {
                         (callbacks.borrow_mut().on_exit)(f, depth);
                     }
                 }),
-            )?;
+            );
         }
+        ctx.apply_batch(batch)?;
         Ok(ee)
     }
 
@@ -202,7 +205,7 @@ pub struct EntryExitCounts {
 mod tests {
     use super::*;
     use wizard_engine::store::Linker;
-    use wizard_engine::{EngineConfig, Trap, Value};
+    use wizard_engine::{EngineConfig, Process, Trap, Value};
     use wizard_wasm::builder::{FuncBuilder, ModuleBuilder};
     use wizard_wasm::types::BlockType;
     use wizard_wasm::types::ValType::I32;
@@ -210,8 +213,9 @@ mod tests {
     fn counted(process: &mut Process) -> (Rc<RefCell<EntryExitCounts>>, EntryExit) {
         let counts = Rc::new(RefCell::new(EntryExitCounts::default()));
         let (c1, c2) = (Rc::clone(&counts), Rc::clone(&counts));
+        let mut ctx = process.instrumentation();
         let ee = EntryExit::attach(
-            process,
+            &mut ctx,
             move |f, _| *c1.borrow_mut().entries.entry(f).or_insert(0) += 1,
             move |f, _| *c2.borrow_mut().exits.entry(f).or_insert(0) += 1,
         )
@@ -234,8 +238,7 @@ mod tests {
         mb.define_func(fib, f);
         mb.export("fib", wizard_wasm::types::ExternKind::Func, fib);
         let mut p =
-            Process::new(mb.build().unwrap(), EngineConfig::interpreter(), &Linker::new())
-                .unwrap();
+            Process::new(mb.build().unwrap(), EngineConfig::interpreter(), &Linker::new()).unwrap();
         let (counts, ee) = counted(&mut p);
         p.invoke_export("fib", &[Value::I32(10)]).unwrap();
         ee.drain();
@@ -262,8 +265,7 @@ mod tests {
         f.local_get(i);
         mb.add_func("spin", f);
         let mut p =
-            Process::new(mb.build().unwrap(), EngineConfig::interpreter(), &Linker::new())
-                .unwrap();
+            Process::new(mb.build().unwrap(), EngineConfig::interpreter(), &Linker::new()).unwrap();
         let (counts, ee) = counted(&mut p);
         let r = p.invoke_export("spin", &[Value::I32(50)]).unwrap();
         assert_eq!(r, vec![Value::I32(50)]);
@@ -283,8 +285,7 @@ mod tests {
         f.nop();
         mb.add_func("maybe_exit", f);
         let mut p =
-            Process::new(mb.build().unwrap(), EngineConfig::interpreter(), &Linker::new())
-                .unwrap();
+            Process::new(mb.build().unwrap(), EngineConfig::interpreter(), &Linker::new()).unwrap();
         let (counts, ee) = counted(&mut p);
         p.invoke_export("maybe_exit", &[Value::I32(1)]).unwrap();
         p.invoke_export("maybe_exit", &[Value::I32(0)]).unwrap();
@@ -302,8 +303,7 @@ mod tests {
         f.unreachable();
         mb.add_func("boom", f);
         let mut p =
-            Process::new(mb.build().unwrap(), EngineConfig::interpreter(), &Linker::new())
-                .unwrap();
+            Process::new(mb.build().unwrap(), EngineConfig::interpreter(), &Linker::new()).unwrap();
         let (counts, ee) = counted(&mut p);
         assert_eq!(p.invoke_export("boom", &[]).unwrap_err(), Trap::Unreachable);
         assert_eq!(counts.borrow().exits.get(&0), None, "exit not yet observed");

@@ -10,10 +10,12 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use wizard_engine::{ClosureProbe, CountProbe, Location, ProbeError, Process};
+use wizard_engine::{
+    ClosureProbe, CountProbe, InstrumentationCtx, Location, Monitor, ProbeBatch, ProbeError, Report,
+};
 
 use crate::util::{all_sites, func_label};
-use crate::{Monitor, ProbeMode};
+use crate::ProbeMode;
 
 /// Counts executions of every instruction.
 #[derive(Debug, Default)]
@@ -46,9 +48,7 @@ impl HotnessMonitor {
     /// Per-location counts, hottest first.
     pub fn counts(&self) -> Vec<(Location, u64)> {
         let mut v: Vec<(Location, u64)> = match self.mode {
-            ProbeMode::Local => {
-                self.counters.iter().map(|(l, c)| (*l, c.get())).collect()
-            }
+            ProbeMode::Local => self.counters.iter().map(|(l, c)| (*l, c.get())).collect(),
             ProbeMode::Global => {
                 self.global_counts.borrow().iter().map(|(l, c)| (*l, *c)).collect()
             }
@@ -59,24 +59,28 @@ impl HotnessMonitor {
 }
 
 impl Monitor for HotnessMonitor {
-    fn attach(&mut self, process: &mut Process) -> Result<(), ProbeError> {
-        for (f, _) in all_sites(process.module()) {
-            self.labels
-                .entry(f)
-                .or_insert_with(|| func_label(process.module(), f));
+    fn name(&self) -> &'static str {
+        "hotness"
+    }
+
+    fn on_attach(&mut self, ctx: &mut InstrumentationCtx<'_>) -> Result<(), ProbeError> {
+        let sites = all_sites(ctx.module());
+        for (f, _) in &sites {
+            self.labels.entry(*f).or_insert_with(|| func_label(ctx.module(), *f));
         }
         match self.mode {
             ProbeMode::Local => {
-                for (func, instr) in all_sites(process.module()) {
+                let mut batch = ProbeBatch::new();
+                for (func, instr) in &sites {
                     let probe = CountProbe::new();
-                    let cell = probe.cell();
-                    process.add_local_probe_val(func, instr.pc, probe)?;
-                    self.counters.push((Location { func, pc: instr.pc }, cell));
+                    self.counters.push((Location { func: *func, pc: instr.pc }, probe.cell()));
+                    batch.add_local_val(*func, instr.pc, probe);
                 }
+                ctx.apply_batch(batch)?;
             }
             ProbeMode::Global => {
                 let counts = Rc::clone(&self.global_counts);
-                process.add_global_probe(ClosureProbe::shared(move |ctx| {
+                ctx.add_global_probe(ClosureProbe::shared(move |ctx| {
                     *counts.borrow_mut().entry(ctx.location()).or_insert(0) += 1;
                 }))?;
             }
@@ -84,25 +88,26 @@ impl Monitor for HotnessMonitor {
         Ok(())
     }
 
-    fn report(&self) -> String {
-        let mut out = String::from("hotness report (top 20 locations)\n");
+    fn report(&self) -> Report {
+        let mut r = Report::new(self.name());
+        let top = r.section("top locations");
         for (loc, n) in self.counts().into_iter().take(20) {
             let label = self
                 .labels
                 .get(&loc.func)
                 .map_or_else(|| format!("func[{}]", loc.func), Clone::clone);
-            out.push_str(&format!("  {label}+{:<6} {n}\n", loc.pc));
+            top.count(format!("{label}+{}", loc.pc), n);
         }
-        out.push_str(&format!("total instruction executions: {}\n", self.total()));
-        out
+        r.section("summary").count("total instruction executions", self.total());
+        r
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wizard_engine::{EngineConfig, Value};
     use wizard_engine::store::Linker;
+    use wizard_engine::{EngineConfig, Process, Value};
     use wizard_wasm::builder::{FuncBuilder, ModuleBuilder};
     use wizard_wasm::types::ValType::I32;
 
@@ -124,10 +129,9 @@ mod tests {
         let mut totals = Vec::new();
         for mode in [ProbeMode::Local, ProbeMode::Global] {
             let mut p = sum_process(EngineConfig::interpreter());
-            let mut m = HotnessMonitor::with_mode(mode);
-            m.attach(&mut p).unwrap();
+            let m = p.attach_monitor(HotnessMonitor::with_mode(mode)).unwrap();
             p.invoke_export("sum", &[Value::I32(25)]).unwrap();
-            totals.push(m.total());
+            totals.push(m.borrow().total());
         }
         assert_eq!(totals[0], totals[1], "local and global hotness must agree");
         assert!(totals[0] > 100);
@@ -136,12 +140,13 @@ mod tests {
     #[test]
     fn intrinsified_jit_matches_interpreter() {
         let mut totals = Vec::new();
-        for config in [EngineConfig::interpreter(), EngineConfig::jit(), EngineConfig::jit_no_intrinsics()] {
+        for config in
+            [EngineConfig::interpreter(), EngineConfig::jit(), EngineConfig::jit_no_intrinsics()]
+        {
             let mut p = sum_process(config);
-            let mut m = HotnessMonitor::new();
-            m.attach(&mut p).unwrap();
+            let m = p.attach_monitor(HotnessMonitor::new()).unwrap();
             p.invoke_export("sum", &[Value::I32(25)]).unwrap();
-            totals.push(m.total());
+            totals.push(m.borrow().total());
         }
         assert_eq!(totals[0], totals[1]);
         assert_eq!(totals[0], totals[2]);
@@ -150,13 +155,30 @@ mod tests {
     #[test]
     fn report_lists_hot_locations() {
         let mut p = sum_process(EngineConfig::interpreter());
-        let mut m = HotnessMonitor::new();
-        m.attach(&mut p).unwrap();
+        let m = p.attach_monitor(HotnessMonitor::new()).unwrap();
         p.invoke_export("sum", &[Value::I32(5)]).unwrap();
-        let r = m.report();
+        let r = m.report().to_string();
         assert!(r.contains("sum+"));
         assert!(r.contains("total instruction executions"));
-        let counts = m.counts();
+        let counts = m.borrow().counts();
         assert!(counts[0].1 >= counts.last().unwrap().1, "sorted descending");
+    }
+
+    #[test]
+    fn detach_and_reattach_round_trip() {
+        let mut p = sum_process(EngineConfig::interpreter());
+        let m1 = p.attach_monitor(HotnessMonitor::new()).unwrap();
+        p.invoke_export("sum", &[Value::I32(10)]).unwrap();
+        let first = m1.borrow().total();
+        assert!(first > 0);
+        p.detach_monitor(m1.handle()).unwrap();
+        assert_eq!(p.probed_location_count(), 0, "zero-overhead baseline restored");
+        p.invoke_export("sum", &[Value::I32(10)]).unwrap();
+        assert_eq!(m1.borrow().total(), first, "detached monitor observes nothing");
+
+        // A fresh monitor can be attached to the same process afterwards.
+        let m2 = p.attach_monitor(HotnessMonitor::new()).unwrap();
+        p.invoke_export("sum", &[Value::I32(10)]).unwrap();
+        assert_eq!(m2.borrow().total(), first, "same workload, same counts");
     }
 }

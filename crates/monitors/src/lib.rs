@@ -18,8 +18,43 @@
 //! | [`CallTreeMonitor`] | the [`entry_exit`] library + wall-clock time |
 //! | [`Debugger`] | breakpoints, stepping, frame modification |
 //!
-//! All monitors implement [`Monitor`]: `attach` installs the probes,
-//! `report` renders a post-execution report.
+//! All monitors implement the engine's lifecycle [`Monitor`] trait:
+//! [`Monitor::on_attach`] installs probes through an
+//! [`InstrumentationCtx`] (batched, so N insertions cost one invalidation
+//! pass), [`Monitor::on_detach`] finalizes shadow state, and
+//! [`Monitor::report`] renders a structured [`Report`]. Attach and detach
+//! through the process:
+//!
+//! ```
+//! use wizard_engine::store::Linker;
+//! use wizard_engine::{EngineConfig, Process, Value};
+//! use wizard_monitors::LoopMonitor;
+//! use wizard_wasm::builder::{FuncBuilder, ModuleBuilder};
+//! use wizard_wasm::types::ValType::I32;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut mb = ModuleBuilder::new();
+//! let mut f = FuncBuilder::new(&[I32], &[I32]);
+//! let i = f.local(I32);
+//! f.for_range(i, 0, |f| {
+//!     f.nop();
+//! });
+//! f.local_get(0);
+//! mb.add_func("spin", f);
+//!
+//! let mut p = Process::new(mb.build()?, EngineConfig::tiered(), &Linker::new())?;
+//! let loops = p.attach_monitor(LoopMonitor::new())?;
+//! p.invoke_export("spin", &[Value::I32(10)])?;
+//! assert_eq!(loops.borrow().total(), 11); // entry + 10 backedges
+//!
+//! // Detach restores the zero-overhead baseline.
+//! p.detach_monitor(loops.handle())?;
+//! assert_eq!(p.probed_location_count(), 0);
+//! assert!(!p.in_global_mode());
+//! println!("{}", loops.report());
+//! # Ok(())
+//! # }
+//! ```
 
 #![warn(missing_docs)]
 
@@ -47,7 +82,11 @@ pub use loops::LoopMonitor;
 pub use memory::MemoryMonitor;
 pub use trace::TraceMonitor;
 
-use wizard_engine::{ProbeError, Process};
+// The lifecycle API lives in the engine (monitors are registered on the
+// `Process`); re-exported here so analyses depend on one crate.
+pub use wizard_engine::{
+    InstrumentationCtx, MetricValue, Monitor, MonitorHandle, MonitorRef, ProbeBatch, Report,
+};
 
 /// Whether a monitor implements its instrumentation with per-location
 /// local probes or a single global probe (the paper's Figure-3 comparison).
@@ -58,27 +97,4 @@ pub enum ProbeMode {
     Local,
     /// One global probe filtering every executed instruction.
     Global,
-}
-
-/// A self-contained dynamic analysis attachable to a process.
-pub trait Monitor {
-    /// Installs this monitor's probes into `process`.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`ProbeError`]s from the instrumentation API.
-    fn attach(&mut self, process: &mut Process) -> Result<(), ProbeError>;
-
-    /// Renders the post-execution report.
-    fn report(&self) -> String;
-}
-
-/// Attaches a monitor (convenience free function mirroring Wizard's
-/// `--monitors=` flag handling).
-///
-/// # Errors
-///
-/// Propagates [`ProbeError`]s from the monitor.
-pub fn attach(monitor: &mut dyn Monitor, process: &mut Process) -> Result<(), ProbeError> {
-    monitor.attach(process)
 }

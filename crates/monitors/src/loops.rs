@@ -6,11 +6,12 @@ use std::cell::Cell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use wizard_engine::{CountProbe, Location, ProbeError, Process};
+use wizard_engine::{
+    CountProbe, InstrumentationCtx, Location, Monitor, ProbeBatch, ProbeError, Report,
+};
 use wizard_wasm::opcodes as op;
 
 use crate::util::{func_label, sites};
-use crate::Monitor;
 
 /// Counts executions of every loop header.
 #[derive(Debug, Default)]
@@ -38,32 +39,39 @@ impl LoopMonitor {
 }
 
 impl Monitor for LoopMonitor {
-    fn attach(&mut self, process: &mut Process) -> Result<(), ProbeError> {
-        for (func, instr) in sites(process.module(), |i| i.op == op::LOOP) {
-            self.labels
-                .entry(func)
-                .or_insert_with(|| func_label(process.module(), func));
-            let probe = CountProbe::new();
-            let cell = probe.cell();
-            process.add_local_probe_val(func, instr.pc, probe)?;
-            self.counters.push((Location { func, pc: instr.pc }, cell));
+    fn name(&self) -> &'static str {
+        "loops"
+    }
+
+    fn on_attach(&mut self, ctx: &mut InstrumentationCtx<'_>) -> Result<(), ProbeError> {
+        let loop_sites = sites(ctx.module(), |i| i.op == op::LOOP);
+        for (func, _) in &loop_sites {
+            self.labels.entry(*func).or_insert_with(|| func_label(ctx.module(), *func));
         }
+        let mut batch = ProbeBatch::new();
+        for (func, instr) in &loop_sites {
+            let probe = CountProbe::new();
+            self.counters.push((Location { func: *func, pc: instr.pc }, probe.cell()));
+            batch.add_local_val(*func, instr.pc, probe);
+        }
+        ctx.apply_batch(batch)?;
         Ok(())
     }
 
-    fn report(&self) -> String {
-        let mut out = String::from("loop iteration report\n");
+    fn report(&self) -> Report {
+        let mut r = Report::new(self.name());
+        let headers = r.section("loop headers");
         let mut rows = self.counts();
-        rows.sort_by(|a, b| b.1.cmp(&a.1));
+        rows.sort_by_key(|r| std::cmp::Reverse(r.1));
         for (loc, n) in rows {
             let label = self
                 .labels
                 .get(&loc.func)
                 .map_or_else(|| format!("func[{}]", loc.func), Clone::clone);
-            out.push_str(&format!("  loop at {label}+{:<6} {n}\n", loc.pc));
+            headers.count(format!("{label}+{}", loc.pc), n);
         }
-        out.push_str(&format!("total loop-header executions: {}\n", self.total()));
-        out
+        r.section("summary").count("total loop-header executions", self.total());
+        r
     }
 }
 
@@ -71,7 +79,7 @@ impl Monitor for LoopMonitor {
 mod tests {
     use super::*;
     use wizard_engine::store::Linker;
-    use wizard_engine::{EngineConfig, Value};
+    use wizard_engine::{EngineConfig, Process, Value};
     use wizard_wasm::builder::{FuncBuilder, ModuleBuilder};
     use wizard_wasm::types::ValType::I32;
 
@@ -89,18 +97,16 @@ mod tests {
         f.local_get(0);
         mb.add_func("nest", f);
         let mut p =
-            Process::new(mb.build().unwrap(), EngineConfig::interpreter(), &Linker::new())
-                .unwrap();
-        let mut m = LoopMonitor::new();
-        m.attach(&mut p).unwrap();
+            Process::new(mb.build().unwrap(), EngineConfig::interpreter(), &Linker::new()).unwrap();
+        let m = p.attach_monitor(LoopMonitor::new()).unwrap();
         p.invoke_export("nest", &[Value::I32(4)]).unwrap();
-        let counts = m.counts();
+        let counts = m.borrow().counts();
         assert_eq!(counts.len(), 2);
         // Outer loop: entry + 4 backedges = 5. Inner: 4 entries + 16
         // backedges = 20.
         let (outer, inner) = (counts[0].1, counts[1].1);
         assert_eq!(outer.min(inner), 5);
         assert_eq!(outer.max(inner), 20);
-        assert!(m.report().contains("loop at nest+"));
+        assert!(m.report().to_string().contains("nest+"));
     }
 }

@@ -6,12 +6,11 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use wizard_engine::{ClosureProbe, ProbeError, Process};
+use wizard_engine::{ClosureProbe, InstrumentationCtx, Monitor, ProbeBatch, ProbeError, Report};
 use wizard_wasm::instr::Imm;
 use wizard_wasm::opcodes as op;
 
 use crate::util::sites;
-use crate::Monitor;
 
 /// One observed memory access.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,16 +71,22 @@ impl MemoryMonitor {
 }
 
 impl Monitor for MemoryMonitor {
-    fn attach(&mut self, process: &mut Process) -> Result<(), ProbeError> {
-        for (func, instr) in sites(process.module(), |i| op::is_memory_access(i.op)) {
+    fn name(&self) -> &'static str {
+        "memory"
+    }
+
+    fn on_attach(&mut self, ctx: &mut InstrumentationCtx<'_>) -> Result<(), ProbeError> {
+        let mem_sites = sites(ctx.module(), |i| op::is_memory_access(i.op));
+        let mut batch = ProbeBatch::new();
+        for (func, instr) in &mem_sites {
             let Imm::Mem { offset, .. } = instr.imm else {
                 unreachable!("memory access has a memarg");
             };
             let opcode = instr.op;
             let state = Rc::clone(&self.state);
             let max = self.max_events;
-            process.add_local_probe(
-                func,
+            batch.add_local(
+                *func,
                 instr.pc,
                 ClosureProbe::shared(move |ctx| {
                     let is_store = op::is_store(opcode);
@@ -108,35 +113,25 @@ impl Monitor for MemoryMonitor {
                         });
                     }
                 }),
-            )?;
+            );
         }
+        ctx.apply_batch(batch)?;
         Ok(())
     }
 
-    fn report(&self) -> String {
+    fn report(&self) -> Report {
         let st = self.state.borrow();
-        let mut out = String::from("memory access trace\n");
+        let mut r = Report::new(self.name());
+        let trace = r.section("accesses");
         for e in st.events.iter().take(50) {
+            let label = format!("func[{}]+{} {}", e.func, e.pc, op::name(e.opcode));
             match e.value {
-                Some(v) => out.push_str(&format!(
-                    "  func[{}]+{}: {} addr={:#x} value={:#x}\n",
-                    e.func,
-                    e.pc,
-                    op::name(e.opcode),
-                    e.addr,
-                    v
-                )),
-                None => out.push_str(&format!(
-                    "  func[{}]+{}: {} addr={:#x}\n",
-                    e.func,
-                    e.pc,
-                    op::name(e.opcode),
-                    e.addr
-                )),
-            }
+                Some(v) => trace.text(label, format!("addr={:#x} value={v:#x}", e.addr)),
+                None => trace.text(label, format!("addr={:#x}", e.addr)),
+            };
         }
-        out.push_str(&format!("loads: {}  stores: {}\n", st.loads, st.stores));
-        out
+        r.section("summary").count("loads", st.loads).count("stores", st.stores);
+        r
     }
 }
 
@@ -144,7 +139,7 @@ impl Monitor for MemoryMonitor {
 mod tests {
     use super::*;
     use wizard_engine::store::Linker;
-    use wizard_engine::{EngineConfig, Value};
+    use wizard_engine::{EngineConfig, Process, Value};
     use wizard_wasm::builder::{FuncBuilder, ModuleBuilder};
     use wizard_wasm::types::ValType::I32;
 
@@ -159,18 +154,17 @@ mod tests {
         let module = mb.build().unwrap();
         for config in [EngineConfig::interpreter(), EngineConfig::jit()] {
             let mut p = Process::new(module.clone(), config, &Linker::new()).unwrap();
-            let mut m = MemoryMonitor::default();
-            m.attach(&mut p).unwrap();
+            let m = p.attach_monitor(MemoryMonitor::default()).unwrap();
             let r = p.invoke_export("rw", &[Value::I32(77)]).unwrap();
             assert_eq!(r, vec![Value::I32(77)]);
-            assert_eq!(m.loads(), 1);
-            assert_eq!(m.stores(), 1);
-            let ev = m.events();
+            assert_eq!(m.borrow().loads(), 1);
+            assert_eq!(m.borrow().stores(), 1);
+            let ev = m.borrow().events();
             assert_eq!(ev[0].addr, 12);
             assert_eq!(ev[0].value, Some(77));
             assert_eq!(ev[1].addr, 12);
             assert_eq!(ev[1].value, None);
-            assert!(m.report().contains("loads: 1"));
+            assert!(m.report().to_string().contains("loads: 1"));
         }
     }
 }

@@ -6,10 +6,8 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use wizard_engine::{ClosureProbe, ProbeError, Process};
+use wizard_engine::{ClosureProbe, InstrumentationCtx, Monitor, ProbeError, Report};
 use wizard_wasm::opcodes as op;
-
-use crate::Monitor;
 
 /// Records (and optionally prints) every executed instruction.
 #[derive(Debug)]
@@ -48,11 +46,15 @@ impl TraceMonitor {
 }
 
 impl Monitor for TraceMonitor {
-    fn attach(&mut self, process: &mut Process) -> Result<(), ProbeError> {
+    fn name(&self) -> &'static str {
+        "trace"
+    }
+
+    fn on_attach(&mut self, ctx: &mut InstrumentationCtx<'_>) -> Result<(), ProbeError> {
         let lines = Rc::clone(&self.lines);
         let count = Rc::clone(&self.count);
         let max = self.max_lines;
-        process.add_global_probe(ClosureProbe::shared(move |ctx| {
+        ctx.add_global_probe(ClosureProbe::shared(move |ctx| {
             *count.borrow_mut() += 1;
             let mut lines = lines.borrow_mut();
             if lines.len() < max {
@@ -72,10 +74,14 @@ impl Monitor for TraceMonitor {
         Ok(())
     }
 
-    fn report(&self) -> String {
-        let mut out = self.lines.borrow().join("\n");
-        out.push_str(&format!("\n{} instructions traced\n", self.count()));
-        out
+    fn report(&self) -> Report {
+        let mut r = Report::new(self.name());
+        let trace = r.section("trace");
+        for (i, line) in self.lines.borrow().iter().enumerate() {
+            trace.text(format!("{i:>6}"), line.clone());
+        }
+        r.section("summary").count("instructions traced", self.count());
+        r
     }
 }
 
@@ -83,7 +89,7 @@ impl Monitor for TraceMonitor {
 mod tests {
     use super::*;
     use wizard_engine::store::Linker;
-    use wizard_engine::{EngineConfig, Value};
+    use wizard_engine::{EngineConfig, Process, Value};
     use wizard_wasm::builder::{FuncBuilder, ModuleBuilder};
     use wizard_wasm::types::ValType::I32;
 
@@ -97,16 +103,14 @@ mod tests {
         f.local_get(0).call(callee);
         mb.add_func("main", f);
         let mut p =
-            Process::new(mb.build().unwrap(), EngineConfig::interpreter(), &Linker::new())
-                .unwrap();
-        let mut t = TraceMonitor::default();
-        t.attach(&mut p).unwrap();
+            Process::new(mb.build().unwrap(), EngineConfig::interpreter(), &Linker::new()).unwrap();
+        let t = p.attach_monitor(TraceMonitor::default()).unwrap();
         p.invoke_export("main", &[Value::I32(1)]).unwrap();
-        let lines = t.lines();
-        assert!(t.count() >= 6);
+        let lines = t.borrow().lines();
+        assert!(t.borrow().count() >= 6);
         assert!(lines.iter().any(|l| l.contains("call")));
         assert!(lines.iter().any(|l| l.starts_with("  ")), "callee lines indented");
-        assert!(t.report().contains("instructions traced"));
+        assert!(t.report().to_string().contains("instructions traced"));
     }
 
     #[test]
@@ -119,12 +123,28 @@ mod tests {
         });
         mb.add_func("spin", f);
         let mut p =
-            Process::new(mb.build().unwrap(), EngineConfig::interpreter(), &Linker::new())
-                .unwrap();
-        let mut t = TraceMonitor::new(10);
-        t.attach(&mut p).unwrap();
+            Process::new(mb.build().unwrap(), EngineConfig::interpreter(), &Linker::new()).unwrap();
+        let t = p.attach_monitor(TraceMonitor::new(10)).unwrap();
         p.invoke_export("spin", &[Value::I32(100)]).unwrap();
-        assert_eq!(t.lines().len(), 10);
-        assert!(t.count() > 500);
+        assert_eq!(t.borrow().lines().len(), 10);
+        assert!(t.borrow().count() > 500);
+    }
+
+    #[test]
+    fn detach_leaves_global_mode() {
+        let mut mb = ModuleBuilder::new();
+        let mut f = FuncBuilder::new(&[], &[]);
+        f.nop();
+        mb.add_func("noop", f);
+        let mut p =
+            Process::new(mb.build().unwrap(), EngineConfig::interpreter(), &Linker::new()).unwrap();
+        let t = p.attach_monitor(TraceMonitor::default()).unwrap();
+        assert!(p.in_global_mode());
+        p.invoke_export("noop", &[]).unwrap();
+        p.detach_monitor(t.handle()).unwrap();
+        assert!(!p.in_global_mode(), "detach switches the dispatch table back");
+        let before = t.borrow().count();
+        p.invoke_export("noop", &[]).unwrap();
+        assert_eq!(t.borrow().count(), before, "no events after detach");
     }
 }

@@ -27,9 +27,7 @@ pub fn all_sites(module: &Module) -> Vec<(FuncIdx, Instr)> {
 
 /// A human-readable function label: its name if known, else `func[i]`.
 pub fn func_label(module: &Module, func: FuncIdx) -> String {
-    module
-        .func_name(func)
-        .map_or_else(|| format!("func[{func}]"), ToString::to_string)
+    module.func_name(func).map_or_else(|| format!("func[{func}]"), ToString::to_string)
 }
 
 #[cfg(test)]

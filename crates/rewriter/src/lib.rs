@@ -126,10 +126,7 @@ fn memory_pages(module: &Module) -> u32 {
 /// Panics if the module has no memory (counting in memory requires one).
 fn reserve_counters(module: &mut Module, n: usize) -> u32 {
     let pages = memory_pages(module);
-    assert!(
-        !module.memories.is_empty(),
-        "counter rewriting requires a module-defined memory"
-    );
+    assert!(!module.memories.is_empty(), "counter rewriting requires a module-defined memory");
     let extra = (n * 8).div_ceil(PAGE_SIZE) as u32 + 1;
     let mem = &mut module.memories[0];
     mem.limits.min = pages + extra;
@@ -178,10 +175,7 @@ fn counted(module: &Module, select: impl Fn(&Instr) -> bool) -> Result<Counted, 
         .funcs
         .iter()
         .map(|f| {
-            InstrIter::new(&f.body.code)
-                .map(|i| i.expect("validated"))
-                .filter(&select)
-                .count()
+            InstrIter::new(&f.body.code).map(|i| i.expect("validated")).filter(&select).count()
         })
         .sum();
     let mut grown = module.clone();
@@ -323,7 +317,6 @@ mod tests {
     use std::rc::Rc;
     use wizard_engine::store::Linker;
     use wizard_engine::{EngineConfig, Process, Value};
-    use wizard_monitors::Monitor;
     use wizard_wasm::builder::{FuncBuilder, ModuleBuilder};
     use wizard_wasm::types::ValType::I32;
 
@@ -354,10 +347,9 @@ mod tests {
         let total = counted.total(p.memory().unwrap());
         // Compare with the engine's own hotness monitor on the original.
         let mut p2 = Process::new(m, EngineConfig::interpreter(), &Linker::new()).unwrap();
-        let mut hot = wizard_monitors::HotnessMonitor::new();
-        hot.attach(&mut p2).unwrap();
+        let hot = p2.attach_monitor(wizard_monitors::HotnessMonitor::new()).unwrap();
         p2.invoke_export("run", &[Value::I32(10)]).unwrap();
-        assert_eq!(total, hot.total(), "rewriting and probes count identically");
+        assert_eq!(total, hot.borrow().total(), "rewriting and probes count identically");
     }
 
     #[test]
@@ -404,8 +396,8 @@ mod tests {
     #[test]
     fn rewriting_preserves_polybench_semantics() {
         for (name, m) in wizard_suites::polybench::all().into_iter().take(6) {
-            let counted = count_instructions(&m)
-                .unwrap_or_else(|e| panic!("{name}: rewrite failed: {e}"));
+            let counted =
+                count_instructions(&m).unwrap_or_else(|e| panic!("{name}: rewrite failed: {e}"));
             let mut orig = Process::new(m, EngineConfig::jit(), &Linker::new()).unwrap();
             let mut inst =
                 Process::new(counted.module, EngineConfig::jit(), &Linker::new()).unwrap();

@@ -28,14 +28,7 @@ pub fn a2(f: &mut FuncBuilder, base: i32, i: LocalIdx, j: LocalIdx, n: LocalIdx)
 }
 
 /// Pushes the address of `f64` element `base[(i*n + j)*n + k]`.
-pub fn a3(
-    f: &mut FuncBuilder,
-    base: i32,
-    i: LocalIdx,
-    j: LocalIdx,
-    k: LocalIdx,
-    n: LocalIdx,
-) {
+pub fn a3(f: &mut FuncBuilder, base: i32, i: LocalIdx, j: LocalIdx, k: LocalIdx, n: LocalIdx) {
     f.local_get(i)
         .local_get(n)
         .i32_mul()
@@ -85,7 +78,12 @@ pub fn st2(
 }
 
 /// Emits `for (i = n-1; i >= 0; i--) { body }`.
-pub fn for_down(f: &mut FuncBuilder, i: LocalIdx, n: LocalIdx, body: impl FnOnce(&mut FuncBuilder)) {
+pub fn for_down(
+    f: &mut FuncBuilder,
+    i: LocalIdx,
+    n: LocalIdx,
+    body: impl FnOnce(&mut FuncBuilder),
+) {
     f.local_get(n).i32_const(1).i32_sub().local_set(i);
     f.block(BlockType::Empty);
     f.loop_(BlockType::Empty);
@@ -122,14 +120,7 @@ pub fn fill1(f: &mut FuncBuilder, base: i32, k: LocalIdx, count: LocalIdx, salt:
 }
 
 /// Fills an `n × n` `f64` matrix at `base` (loop locals `i`, `j`).
-pub fn fill2(
-    f: &mut FuncBuilder,
-    base: i32,
-    i: LocalIdx,
-    j: LocalIdx,
-    n: LocalIdx,
-    salt: i32,
-) {
+pub fn fill2(f: &mut FuncBuilder, base: i32, i: LocalIdx, j: LocalIdx, n: LocalIdx, salt: i32) {
     f.for_range(i, n, |f| {
         f.for_range(j, n, |f| {
             st2(f, base, i, j, n, |f| {
@@ -248,8 +239,8 @@ mod tests {
         });
         f.local_get(acc);
         mb.add_func("run", f);
-        let mut p = Process::new(mb.build().unwrap(), EngineConfig::interpreter(), &Linker::new())
-            .unwrap();
+        let mut p =
+            Process::new(mb.build().unwrap(), EngineConfig::interpreter(), &Linker::new()).unwrap();
         let r = p.invoke_export("run", &[Value::I32(4)]).unwrap();
         assert_eq!(r, vec![Value::I32(3210)]);
     }

@@ -18,8 +18,7 @@ fn finish(name: &str, f: FuncBuilder) -> Module {
     let mut mb = ModuleBuilder::new();
     mb.memory(PAGES);
     mb.add_func("run", f);
-    mb.build()
-        .unwrap_or_else(|e| panic!("kernel {name} failed to validate: {e}"))
+    mb.build().unwrap_or_else(|e| panic!("kernel {name} failed to validate: {e}"))
 }
 
 /// `stream`: the real ChaCha20 block function, `n*16` blocks of keystream.
@@ -244,13 +243,33 @@ pub fn generichash() -> Module {
                 //    b = rotr(b ^ c, 24); a += b; d = rotr(d ^ a, 16);
                 //    c += d; b = rotr(b ^ c, 63)
                 f.local_get(v[a]).local_get(v[b]).i64_add().local_get(m).i64_add().local_set(v[a]);
-                f.local_get(v[d]).local_get(v[a]).i64_xor().i64_const(32).i64_rotr().local_set(v[d]);
+                f.local_get(v[d])
+                    .local_get(v[a])
+                    .i64_xor()
+                    .i64_const(32)
+                    .i64_rotr()
+                    .local_set(v[d]);
                 f.local_get(v[c]).local_get(v[d]).i64_add().local_set(v[c]);
-                f.local_get(v[b]).local_get(v[c]).i64_xor().i64_const(24).i64_rotr().local_set(v[b]);
+                f.local_get(v[b])
+                    .local_get(v[c])
+                    .i64_xor()
+                    .i64_const(24)
+                    .i64_rotr()
+                    .local_set(v[b]);
                 f.local_get(v[a]).local_get(v[b]).i64_add().local_set(v[a]);
-                f.local_get(v[d]).local_get(v[a]).i64_xor().i64_const(16).i64_rotr().local_set(v[d]);
+                f.local_get(v[d])
+                    .local_get(v[a])
+                    .i64_xor()
+                    .i64_const(16)
+                    .i64_rotr()
+                    .local_set(v[d]);
                 f.local_get(v[c]).local_get(v[d]).i64_add().local_set(v[c]);
-                f.local_get(v[b]).local_get(v[c]).i64_xor().i64_const(63).i64_rotr().local_set(v[b]);
+                f.local_get(v[b])
+                    .local_get(v[c])
+                    .i64_xor()
+                    .i64_const(63)
+                    .i64_rotr()
+                    .local_set(v[b]);
             }
         });
     });
@@ -280,7 +299,11 @@ pub fn scalarmult() -> Module {
             f.local_get(x).i64_const(p).i64_rem_u().i64_const(0x7fff_ffff).i64_and().local_set(x);
             // Square, conditionally multiply by the base point.
             f.local_get(x).local_get(x).i64_mul().i64_const(p).i64_rem_u().local_set(x);
-            f.local_get(bit).i32_const(3).i32_and().i32_eqz().if_(wizard_wasm::types::BlockType::Empty);
+            f.local_get(bit)
+                .i32_const(3)
+                .i32_and()
+                .i32_eqz()
+                .if_(wizard_wasm::types::BlockType::Empty);
             f.local_get(x).i64_const(9).i64_mul().i64_const(p).i64_rem_u().local_set(x);
             f.end();
         });
@@ -368,12 +391,7 @@ pub fn box_easy() -> Module {
         f.i64_const(0).local_set(mac);
         f.for_const(i, 128, |f| {
             f.local_get(mac);
-            f.local_get(x)
-                .local_get(i)
-                .i64_extend_i32_u()
-                .i64_add()
-                .i64_const(p)
-                .i64_rem_u();
+            f.local_get(x).local_get(i).i64_extend_i32_u().i64_add().i64_const(p).i64_rem_u();
             f.i64_add().i64_const(p).i64_rem_u().local_set(mac);
         });
         f.local_get(acc).local_get(mac).i64_add().local_set(acc);

@@ -54,8 +54,7 @@ fn module(name: &str, mut kk: K) -> Module {
     let mut mb = ModuleBuilder::new();
     mb.memory(PAGES);
     mb.add_func("run", kk.f);
-    mb.build()
-        .unwrap_or_else(|e| panic!("kernel {name} failed to validate: {e}"))
+    mb.build().unwrap_or_else(|e| panic!("kernel {name} failed to validate: {e}"))
 }
 
 /// Adds `n` to the diagonal of the matrix at `base` (diagonal dominance
@@ -303,8 +302,7 @@ pub fn gesummv() -> Module {
 pub fn gemver() -> Module {
     let mut kk = kern();
     let a = mat(0);
-    let (u1, v1, u2, v2, x, y, z, w) =
-        (vc(0), vc(1), vc(2), vc(3), vc(4), vc(5), vc(6), vc(7));
+    let (u1, v1, u2, v2, x, y, z, w) = (vc(0), vc(1), vc(2), vc(3), vc(4), vc(5), vc(6), vc(7));
     let K { ref mut f, n, i, j, acc, .. } = kk;
     fill2(f, a, i, j, n, 7);
     for (base, salt) in [(u1, 11), (v1, 13), (u2, 17), (v2, 19), (y, 23), (z, 29)] {
@@ -1041,11 +1039,21 @@ pub fn jacobi_2d() -> Module {
                             f.f64_add();
                             // up/down: ±n rows — recompute with i±1
                             f.local_get(i).i32_const(1).i32_sub().local_get(n).i32_mul();
-                            f.local_get(j).i32_add().i32_const(8).i32_mul().i32_const(src).i32_add();
+                            f.local_get(j)
+                                .i32_add()
+                                .i32_const(8)
+                                .i32_mul()
+                                .i32_const(src)
+                                .i32_add();
                             f.f64_load(0);
                             f.f64_add();
                             f.local_get(i).i32_const(1).i32_add().local_get(n).i32_mul();
-                            f.local_get(j).i32_add().i32_const(8).i32_mul().i32_const(src).i32_add();
+                            f.local_get(j)
+                                .i32_add()
+                                .i32_const(8)
+                                .i32_mul()
+                                .i32_const(src)
+                                .i32_add();
                             f.f64_load(0);
                             f.f64_add().f64_const(0.2).f64_mul();
                             f.f64_store(0);

@@ -33,13 +33,7 @@ fn build_clean() -> Module {
         let mut f = FuncBuilder::new(&[I32], &[I32]);
         let h = f.local(I32);
         f.i32_const(STATE + 16).i32_load(0).local_set(h);
-        f.local_get(h)
-            .i32_const(QMASK)
-            .i32_and()
-            .i32_const(4)
-            .i32_mul()
-            .i32_const(QUEUE)
-            .i32_add();
+        f.local_get(h).i32_const(QMASK).i32_and().i32_const(4).i32_mul().i32_const(QUEUE).i32_add();
         f.local_get(0);
         f.i32_store(0);
         f.i32_const(STATE + 16);
@@ -55,23 +49,13 @@ fn build_clean() -> Module {
         let t = f.local(I32);
         f.i32_const(STATE + 20).i32_load(0).local_set(t);
         // if tail >= head: return 0
-        f.local_get(t)
-            .i32_const(STATE + 16)
-            .i32_load(0)
-            .i32_ge_s()
-            .if_(BlockType::Empty);
+        f.local_get(t).i32_const(STATE + 16).i32_load(0).i32_ge_s().if_(BlockType::Empty);
         f.i32_const(0).return_();
         f.end();
         f.i32_const(STATE + 20);
         f.local_get(t).i32_const(1).i32_add();
         f.i32_store(0);
-        f.local_get(t)
-            .i32_const(QMASK)
-            .i32_and()
-            .i32_const(4)
-            .i32_mul()
-            .i32_const(QUEUE)
-            .i32_add();
+        f.local_get(t).i32_const(QMASK).i32_and().i32_const(4).i32_mul().i32_const(QUEUE).i32_add();
         f.i32_load(0);
         mb.add_private_func("takepkt", f)
     };
@@ -99,7 +83,7 @@ fn build_clean() -> Module {
             .i32_rotl()
             .local_get(0)
             .i32_xor()
-            .i32_const(0x1234_567)
+            .i32_const(0x0123_4567)
             .i32_add()
             .call(qpkt)
             .drop_();
@@ -180,5 +164,4 @@ mod tests {
         assert_eq!(r1, r2);
         assert_ne!(r1[0], Value::I32(0));
     }
-
 }

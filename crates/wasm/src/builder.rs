@@ -64,10 +64,7 @@ impl ModuleBuilder {
         params: &[ValType],
         results: &[ValType],
     ) -> FuncIdx {
-        assert!(
-            self.module.funcs.is_empty(),
-            "imports must precede local function declarations"
-        );
+        assert!(self.module.funcs.is_empty(), "imports must precede local function declarations");
         let t = self.sig(params, results);
         self.module.imports.push(Import {
             module: module.into(),
@@ -139,12 +136,9 @@ impl ModuleBuilder {
     /// Adds a mutable or immutable global and returns its index.
     pub fn global(&mut self, value: ValType, mutable: bool, init: ConstExpr) -> GlobalIdx {
         self.module.globals.push(Global { ty: GlobalType { value, mutable }, init });
-        let n_imported = self
-            .module
-            .imports
-            .iter()
-            .filter(|i| matches!(i.desc, ImportDesc::Global(_)))
-            .count() as u32;
+        let n_imported =
+            self.module.imports.iter().filter(|i| matches!(i.desc, ImportDesc::Global(_))).count()
+                as u32;
         n_imported + self.module.globals.len() as u32 - 1
     }
 
@@ -219,10 +213,7 @@ impl ModuleBuilder {
     /// Panics if a declared function was never defined.
     pub fn build_with_meta(self) -> Result<(Module, ModuleMeta), ValidateError> {
         for (i, defined) in self.declared.iter().enumerate() {
-            assert!(
-                *defined,
-                "function at local index {i} was declared but never defined"
-            );
+            assert!(*defined, "function at local index {i} was declared but never defined");
         }
         let meta = validate(&self.module)?;
         Ok((self.module, meta))

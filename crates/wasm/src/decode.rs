@@ -2,13 +2,11 @@
 
 use crate::leb128;
 use crate::module::{
-    ConstExpr, CustomSection, DataSegment, ElemSegment, Export, FuncBody, FuncDecl, Global,
-    Import, ImportDesc, Module,
+    ConstExpr, CustomSection, DataSegment, ElemSegment, Export, FuncBody, FuncDecl, Global, Import,
+    ImportDesc, Module,
 };
 use crate::opcodes as op;
-use crate::types::{
-    ExternKind, FuncType, GlobalType, Limits, MemoryType, TableType, ValType,
-};
+use crate::types::{ExternKind, FuncType, GlobalType, Limits, MemoryType, TableType, ValType};
 
 /// Error decoding a binary module.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,10 +63,7 @@ impl<'a> Reader<'a> {
     }
 
     fn bytes(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
-        let s = self
-            .buf
-            .get(self.pos..self.pos + n)
-            .ok_or_else(|| self.err("unexpected end"))?;
+        let s = self.buf.get(self.pos..self.pos + n).ok_or_else(|| self.err("unexpected end"))?;
         self.pos += n;
         Ok(s)
     }

@@ -103,8 +103,8 @@ fn read_block_type(code: &[u8], pos: usize, at: usize) -> Result<(BlockType, usi
 /// engine-reserved probe byte (which is not valid module bytecode).
 pub fn decode_at(code: &[u8], pc: usize) -> Result<(Instr, usize), InstrError> {
     let opcode = *code.get(pc).ok_or_else(|| err(pc, "pc out of bounds"))?;
-    let kind = op::imm_kind(opcode)
-        .ok_or_else(|| err(pc, format!("invalid opcode {opcode:#04x}")))?;
+    let kind =
+        op::imm_kind(opcode).ok_or_else(|| err(pc, format!("invalid opcode {opcode:#04x}")))?;
     let mut pos = pc + 1;
     let lerr = |_| err(pc, "truncated immediate");
     let imm = match kind {
@@ -269,8 +269,7 @@ mod tests {
     fn decode_simple_sequence() {
         // i32.const 5; i32.const -1; i32.add; end
         let code = [0x41, 0x05, 0x41, 0x7f, 0x6a, 0x0b];
-        let instrs: Vec<Instr> =
-            InstrIter::new(&code).collect::<Result<_, _>>().unwrap();
+        let instrs: Vec<Instr> = InstrIter::new(&code).collect::<Result<_, _>>().unwrap();
         assert_eq!(instrs.len(), 4);
         assert_eq!(instrs[0].imm, Imm::I32(5));
         assert_eq!(instrs[1].imm, Imm::I32(-1));

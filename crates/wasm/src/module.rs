@@ -207,10 +207,7 @@ impl Module {
 
     /// Number of imported functions (they occupy indices `0..n`).
     pub fn num_imported_funcs(&self) -> u32 {
-        self.imports
-            .iter()
-            .filter(|i| matches!(i.desc, ImportDesc::Func(_)))
-            .count() as u32
+        self.imports.iter().filter(|i| matches!(i.desc, ImportDesc::Func(_))).count() as u32
     }
 
     /// Total number of functions: imports plus local definitions.
@@ -269,10 +266,7 @@ impl Module {
 
     /// Looks up an exported function by name.
     pub fn export_func(&self, name: &str) -> Option<FuncIdx> {
-        self.exports
-            .iter()
-            .find(|e| e.kind == ExternKind::Func && e.name == name)
-            .map(|e| e.index)
+        self.exports.iter().find(|e| e.kind == ExternKind::Func && e.name == name).map(|e| e.index)
     }
 
     /// Types of all globals (imported first, then local), used for constant
@@ -360,10 +354,7 @@ mod tests {
 
     #[test]
     fn flat_locals_expands_runs() {
-        let b = FuncBody {
-            locals: vec![(2, ValType::I32), (1, ValType::F32)],
-            code: vec![0x0b],
-        };
+        let b = FuncBody { locals: vec![(2, ValType::I32), (1, ValType::F32)], code: vec![0x0b] };
         assert_eq!(b.flat_locals(), vec![ValType::I32, ValType::I32, ValType::F32]);
     }
 

@@ -68,7 +68,9 @@ pub struct ValidateError {
 impl core::fmt::Display for ValidateError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match (self.func, self.pc) {
-            (Some(fx), Some(pc)) => write!(f, "validation error in func {fx} at pc={pc}: {}", self.msg),
+            (Some(fx), Some(pc)) => {
+                write!(f, "validation error in func {fx} at pc={pc}: {}", self.msg)
+            }
             (Some(fx), None) => write!(f, "validation error in func {fx}: {}", self.msg),
             _ => write!(f, "validation error: {}", self.msg),
         }
@@ -127,7 +129,10 @@ fn validate_module_level(m: &Module) -> Result<(), ValidateError> {
         match &imp.desc {
             ImportDesc::Func(t) => {
                 if *t as usize >= m.types.len() {
-                    return Err(merr(format!("import {}.{}: bad type index", imp.module, imp.name)));
+                    return Err(merr(format!(
+                        "import {}.{}: bad type index",
+                        imp.module, imp.name
+                    )));
                 }
             }
             ImportDesc::Memory(_) => n_mem += 1,
@@ -413,12 +418,11 @@ impl<'m> FuncValidator<'m> {
             if done {
                 return Err(self.err("trailing bytes after function end"));
             }
-            let (instr, next) =
-                decode_at(code, pos).map_err(|e| ValidateError {
-                    func: Some(self.fidx),
-                    pc: Some(e.pc),
-                    msg: e.msg,
-                })?;
+            let (instr, next) = decode_at(code, pos).map_err(|e| ValidateError {
+                func: Some(self.fidx),
+                pc: Some(e.pc),
+                msg: e.msg,
+            })?;
             self.pc = instr.pc;
             self.step(&instr, next as u32, &mut done)?;
             pos = next;

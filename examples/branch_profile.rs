@@ -8,7 +8,7 @@
 
 use wizard::engine::store::Linker;
 use wizard::engine::{EngineConfig, Process, Value};
-use wizard::monitors::{BranchMonitor, Monitor};
+use wizard::monitors::BranchMonitor;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bench = wizard::suites::libsodium_suite(wizard::suites::Scale::Test)
@@ -19,12 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // JIT with operand-probe intrinsification: the branch probes compile
     // to direct top-of-stack calls (paper Figure 2).
     let mut process = Process::new(bench.module, EngineConfig::jit(), &Linker::new())?;
-    let mut branches = BranchMonitor::new();
-    branches.attach(&mut process)?;
+    let branches = process.attach_monitor(BranchMonitor::new())?;
 
     process.invoke_export("run", &[Value::I32(bench.n)])?;
 
     println!("{}", branches.report());
-    println!("total branch executions: {}", branches.total_branches());
+    println!("total branch executions: {}", branches.borrow().total_branches());
     Ok(())
 }

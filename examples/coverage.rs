@@ -1,7 +1,7 @@
 //! Code-coverage tool: runs a PolyBench kernel under the Coverage monitor
 //! (self-removing probes — the canonical dynamic-probe-removal analysis)
 //! and prints per-function coverage. Note how the probe count drops to
-//! the uncovered remainder after the run.
+//! the uncovered remainder after the run, and to zero after detach.
 //!
 //! ```sh
 //! cargo run --example coverage
@@ -9,7 +9,7 @@
 
 use wizard::engine::store::Linker;
 use wizard::engine::{EngineConfig, Process, Value};
-use wizard::monitors::{CoverageMonitor, Monitor};
+use wizard::monitors::CoverageMonitor;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bench = wizard::suites::polybench_suite(wizard::suites::Scale::Test)
@@ -18,17 +18,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .expect("cholesky exists");
 
     let mut process = Process::new(bench.module, EngineConfig::tiered(), &Linker::new())?;
-    let mut coverage = CoverageMonitor::new();
-    coverage.attach(&mut process)?;
+    let coverage = process.attach_monitor(CoverageMonitor::new())?;
     let installed = process.probed_location_count();
 
     process.invoke_export("run", &[Value::I32(bench.n)])?;
 
     println!("{}", coverage.report());
     println!(
-        "probes: {installed} installed, {} remaining after the run \
-         (covered paths removed themselves)",
+        "probes: {installed} installed (one invalidation pass), {} remaining \
+         after the run (covered paths removed themselves)",
         process.probed_location_count()
     );
+
+    process.detach_monitor(coverage.handle())?;
+    println!("after detach: {} probed locations", process.probed_location_count());
     Ok(())
 }

@@ -8,7 +8,7 @@
 
 use wizard::engine::store::Linker;
 use wizard::engine::{EngineConfig, Process, Value};
-use wizard::monitors::{Debugger, Monitor};
+use wizard::monitors::Debugger;
 use wizard::wasm::builder::{FuncBuilder, ModuleBuilder};
 use wizard::wasm::types::ValType::I32;
 
@@ -30,12 +30,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "set 0 5", "step", "step", "locals", "continue",
     ]);
     debugger.breakpoint(func, 0);
-    debugger.attach(&mut process)?;
+    let debugger = process.attach_monitor(debugger)?;
 
     let result = process.invoke_export("calc", &[Value::I32(1)])?;
     println!("--- session transcript ---");
-    println!("{}", debugger.output());
+    println!("{}", debugger.borrow().output());
     println!("result: {:?} (would be 303 without the `set`)", result[0]);
     assert_eq!(result, vec![Value::I32((5 + 100) * 3)]);
+
+    // Detaching removes the breakpoint probe; later runs are undisturbed.
+    process.detach_monitor(debugger.handle())?;
+    let clean = process.invoke_export("calc", &[Value::I32(1)])?;
+    assert_eq!(clean, vec![Value::I32(303)]);
+    println!("after detach: calc(1) = {:?}", clean[0]);
     Ok(())
 }

@@ -1,12 +1,10 @@
 //! Cross-crate integration tests: monitor composition, instrumentation
-//! equivalence across systems, and end-to-end runs over the benchmark
-//! suites.
+//! equivalence across systems, attach→run→detach round-trips, and
+//! end-to-end runs over the benchmark suites.
 
 use wizard::engine::store::Linker;
 use wizard::engine::{EngineConfig, Process, Value};
-use wizard::monitors::{
-    BranchMonitor, CallsMonitor, CoverageMonitor, HotnessMonitor, LoopMonitor, Monitor,
-};
+use wizard::monitors::{BranchMonitor, CallsMonitor, CoverageMonitor, HotnessMonitor, LoopMonitor};
 use wizard::suites::{all_suites, polybench_suite, richards_benchmark, Scale};
 
 fn process(module: wizard::wasm::Module, config: EngineConfig) -> Process {
@@ -18,58 +16,77 @@ fn process(module: wizard::wasm::Module, config: EngineConfig) -> Process {
 /// what it would observe alone.
 #[test]
 fn monitors_compose_without_interference() {
-    let bench = polybench_suite(Scale::Test)
-        .into_iter()
-        .find(|b| b.name == "gemm")
-        .unwrap();
+    let bench = polybench_suite(Scale::Test).into_iter().find(|b| b.name == "gemm").unwrap();
 
     // Solo runs.
-    let mut solo_hot = HotnessMonitor::new();
     let mut p = process(bench.module.clone(), EngineConfig::tiered());
-    solo_hot.attach(&mut p).unwrap();
+    let solo_hot = p.attach_monitor(HotnessMonitor::new()).unwrap();
     let solo_result = p.invoke_export("run", &[Value::I32(bench.n)]).unwrap();
-    let solo_total = solo_hot.total();
+    let solo_total = solo_hot.borrow().total();
 
-    let mut solo_br = BranchMonitor::new();
     let mut p = process(bench.module.clone(), EngineConfig::tiered());
-    solo_br.attach(&mut p).unwrap();
+    let solo_br = p.attach_monitor(BranchMonitor::new()).unwrap();
     p.invoke_export("run", &[Value::I32(bench.n)]).unwrap();
-    let solo_branches = solo_br.total_branches();
+    let solo_branches = solo_br.borrow().total_branches();
 
     // Composed run: hotness + branch + loop + coverage together.
-    let mut hot = HotnessMonitor::new();
-    let mut br = BranchMonitor::new();
-    let mut lp = LoopMonitor::new();
-    let mut cov = CoverageMonitor::new();
     let mut p = process(bench.module.clone(), EngineConfig::tiered());
-    hot.attach(&mut p).unwrap();
-    br.attach(&mut p).unwrap();
-    lp.attach(&mut p).unwrap();
-    cov.attach(&mut p).unwrap();
+    let hot = p.attach_monitor(HotnessMonitor::new()).unwrap();
+    let br = p.attach_monitor(BranchMonitor::new()).unwrap();
+    let lp = p.attach_monitor(LoopMonitor::new()).unwrap();
+    let cov = p.attach_monitor(CoverageMonitor::new()).unwrap();
+    assert_eq!(p.monitor_count(), 4);
     let composed_result = p.invoke_export("run", &[Value::I32(bench.n)]).unwrap();
 
     assert_eq!(solo_result[0].to_slot(), composed_result[0].to_slot(), "non-intrusiveness");
-    assert_eq!(hot.total(), solo_total, "hotness unaffected by composition");
-    assert_eq!(br.total_branches(), solo_branches, "branch unaffected by composition");
-    assert!(cov.ratio() > 0.5, "coverage observed most of the kernel");
-    assert!(lp.total() > 0);
+    assert_eq!(hot.borrow().total(), solo_total, "hotness unaffected by composition");
+    assert_eq!(br.borrow().total_branches(), solo_branches, "branch unaffected by composition");
+    assert!(cov.borrow().ratio() > 0.5, "coverage observed most of the kernel");
+    assert!(lp.borrow().total() > 0);
+
+    // Detaching everything restores the zero-overhead baseline.
+    for h in p.monitor_handles() {
+        p.detach_monitor(h).unwrap();
+    }
+    assert_eq!(p.monitor_count(), 0);
+    assert_eq!(p.probed_location_count(), 0);
+    assert!(!p.in_global_mode());
+}
+
+/// Attach→run→detach→run round-trips on interpreter and JIT configs: the
+/// second (uninstrumented) run still computes the same result, the monitor
+/// stops observing, and the process is provably back at baseline.
+#[test]
+fn detach_round_trip_across_tiers() {
+    let bench = polybench_suite(Scale::Test).into_iter().find(|b| b.name == "trisolv").unwrap();
+    for config in [EngineConfig::interpreter(), EngineConfig::jit(), EngineConfig::tiered()] {
+        let mut p = process(bench.module.clone(), config);
+        let hot = p.attach_monitor(HotnessMonitor::new()).unwrap();
+        let r1 = p.invoke_export("run", &[Value::I32(bench.n)]).unwrap();
+        let observed = hot.borrow().total();
+        assert!(observed > 0);
+
+        p.detach_monitor(hot.handle()).unwrap();
+        assert_eq!(p.probed_location_count(), 0, "no probed locations after detach");
+        assert!(!p.in_global_mode(), "not in global mode after detach");
+
+        let r2 = p.invoke_export("run", &[Value::I32(bench.n)]).unwrap();
+        assert_eq!(r1[0].to_slot(), r2[0].to_slot(), "detach did not perturb results");
+        assert_eq!(hot.borrow().total(), observed, "no events observed after detach");
+    }
 }
 
 /// Every instrumentation system agrees on WHAT happened (counts), even
 /// though they differ wildly in HOW much it costs.
 #[test]
 fn systems_agree_on_event_counts() {
-    let bench = polybench_suite(Scale::Test)
-        .into_iter()
-        .find(|b| b.name == "trisolv")
-        .unwrap();
+    let bench = polybench_suite(Scale::Test).into_iter().find(|b| b.name == "trisolv").unwrap();
 
     // Engine probes (interpreter).
-    let mut hot = HotnessMonitor::new();
     let mut p = process(bench.module.clone(), EngineConfig::interpreter());
-    hot.attach(&mut p).unwrap();
+    let hot = p.attach_monitor(HotnessMonitor::new()).unwrap();
     p.invoke_export("run", &[Value::I32(bench.n)]).unwrap();
-    let probe_count = hot.total();
+    let probe_count = hot.borrow().total();
 
     // Static rewriting.
     let counted = wizard::rewriter::count_instructions(&bench.module).unwrap();
@@ -102,9 +119,8 @@ fn full_suite_non_intrusiveness_sweep() {
         let mut plain = process(bench.module.clone(), EngineConfig::tiered());
         let expected = plain.invoke_export("run", &[Value::I32(bench.n)]).unwrap();
 
-        let mut hot = HotnessMonitor::new();
         let mut p = process(bench.module.clone(), EngineConfig::tiered());
-        hot.attach(&mut p).unwrap();
+        let hot = p.attach_monitor(HotnessMonitor::new()).unwrap();
         let got = p.invoke_export("run", &[Value::I32(bench.n)]).unwrap();
         assert_eq!(
             expected[0].to_slot(),
@@ -113,7 +129,7 @@ fn full_suite_non_intrusiveness_sweep() {
             bench.suite,
             bench.name
         );
-        assert!(hot.total() > 0, "{}: no events", bench.name);
+        assert!(hot.borrow().total() > 0, "{}: no events", bench.name);
     }
 }
 
@@ -122,17 +138,16 @@ fn full_suite_non_intrusiveness_sweep() {
 #[test]
 fn richards_call_structure() {
     let bench = richards_benchmark(5_000);
-    let mut calls = CallsMonitor::new();
     let mut p = process(bench.module.clone(), EngineConfig::tiered());
-    calls.attach(&mut p).unwrap();
+    let calls = p.attach_monitor(CallsMonitor::new()).unwrap();
     p.invoke_export("run", &[Value::I32(bench.n)]).unwrap();
-    let sites = calls.indirect_sites();
+    let sites = calls.borrow().indirect_sites();
     assert_eq!(sites.len(), 1, "one indirect dispatch site");
     let (_, site) = &sites[0];
     assert!(site.targets.len() >= 3, "dispatch reaches several task kinds");
     let indirect: u64 = site.targets.values().sum();
     assert_eq!(indirect, 5_000, "one indirect call per scheduling step");
-    assert!(calls.total_calls() > indirect, "plus direct helper calls");
+    assert!(calls.borrow().total_calls() > indirect, "plus direct helper calls");
 }
 
 /// The binary codec round-trips every suite module and the decoded module
@@ -154,17 +169,11 @@ fn binary_roundtrip_preserves_behavior() {
 /// to the interpreter, and a global probe mid-flight doesn't discard code.
 #[test]
 fn tiering_with_global_probe_round_trip() {
-    let bench = polybench_suite(Scale::Test)
-        .into_iter()
-        .find(|b| b.name == "gemm")
-        .unwrap();
+    let bench = polybench_suite(Scale::Test).into_iter().find(|b| b.name == "gemm").unwrap();
     let mut interp = process(bench.module.clone(), EngineConfig::interpreter());
     let expected = interp.invoke_export("run", &[Value::I32(bench.n)]).unwrap();
 
-    let mut p = process(
-        bench.module.clone(),
-        EngineConfig { tierup_threshold: 5, ..EngineConfig::tiered() },
-    );
+    let mut p = process(bench.module.clone(), EngineConfig::builder().tierup_threshold(5).build());
     let r1 = p.invoke_export("run", &[Value::I32(bench.n)]).unwrap();
     assert_eq!(r1[0].to_slot(), expected[0].to_slot());
     assert!(p.stats().tier_ups > 0, "tier-up happened: {:?}", p.stats());
