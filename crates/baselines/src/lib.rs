@@ -1,6 +1,38 @@
 //! `wizard-baselines`: the comparison systems of the paper's evaluation,
 //! rebuilt as faithful cost models over the same substrate (§5.6, §5.7,
 //! §6.4). See DESIGN.md for the substitution table.
+//!
+//! Each baseline takes an uninstrumented module and returns a ready-to-run
+//! package: the instrumented module, a [`Linker`](wizard_engine::store::Linker)
+//! providing its host hooks, and a shared analysis object to read results
+//! from.
+//!
+//! # Example
+//!
+//! The Wasabi-style hotness baseline: a host ("JavaScript-boundary") call
+//! before every instruction — the expensive end of the paper's Figure 6:
+//!
+//! ```
+//! use wizard_baselines::wasabi;
+//! use wizard_engine::{EngineConfig, Process, Value};
+//! use wizard_wasm::builder::{FuncBuilder, ModuleBuilder};
+//! use wizard_wasm::types::ValType::I32;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut mb = ModuleBuilder::new();
+//! let mut f = FuncBuilder::new(&[I32], &[I32]);
+//! f.local_get(0).i32_const(1).i32_add();
+//! mb.add_func("inc", f);
+//! let module = mb.build()?;
+//!
+//! let run = wasabi::hotness(&module)?;
+//! let mut p = Process::new(run.module.clone(), EngineConfig::interpreter(), &run.linker)?;
+//! let r = p.invoke_export("inc", &[Value::I32(41)])?;
+//! assert_eq!(r, vec![Value::I32(42)], "instrumentation must not change results");
+//! assert!(run.analysis.events() > 0, "every instruction paid a host call");
+//! # Ok(())
+//! # }
+//! ```
 
 #![warn(missing_docs)]
 

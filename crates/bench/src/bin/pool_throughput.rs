@@ -1,0 +1,107 @@
+//! Pool throughput: a richards/polybench fleet executed by `wizard-pool`
+//! across 1, 2 and 4 shards.
+//!
+//! This is the multi-tenant experiment the paper's single-process engine
+//! cannot express: N instrumented processes time-sliced over M worker
+//! threads (round-robin fuel slices within a worker), every process
+//! carrying a hotness monitor whose per-job reports are merged fleet-wide.
+//! Aggregate throughput (jobs/s) should improve from 1 → 4 shards on a
+//! multi-core host while the merged instruction counts stay *identical* —
+//! slicing and sharding are transparent to instrumentation.
+//!
+//! Emits `BENCH_pool.json` (schema documented in `EXPERIMENTS.md`) and
+//! prints the same series as a table.
+//!
+//! Environment: `WIZARD_SCALE` (problem size), `WIZARD_POOL_JOBS` (fleet
+//! size, default 12, min 8), `WIZARD_POOL_SLICE` (fuel slice, default
+//! 20000).
+
+use std::time::Instant;
+
+use wizard_bench::json::Json;
+use wizard_engine::{EngineConfig, Value};
+use wizard_monitors::HotnessMonitor;
+use wizard_pool::{Job, Pool, PoolConfig};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let scale = wizard_bench::scale();
+    let jobs = env_u64("WIZARD_POOL_JOBS", 12).max(8) as usize;
+    let slice = env_u64("WIZARD_POOL_SLICE", 20_000);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let fleet = wizard_suites::fleet(scale, jobs);
+    let names: Vec<String> = fleet.iter().map(|b| b.name.to_string()).collect();
+
+    println!("=== pool throughput: {jobs}-process fleet, fuel slice {slice}, {cores} core(s) ===");
+    if cores < 4 {
+        println!("note: only {cores} core(s) available — shard scaling needs ≥4 cores to show");
+    }
+    println!(
+        "{:<7} {:>10} {:>14} {:>16} {:>13} {:>12}",
+        "shards", "wall ms", "jobs/s", "instrs counted", "suspensions", "speedup"
+    );
+
+    let mut series = Vec::new();
+    let mut base_jobs_per_s = 0.0;
+    for shards in [1usize, 2, 4] {
+        let config =
+            PoolConfig { shards, engine: EngineConfig::builder().fuel_slice(slice).build() };
+        let mut pool = Pool::new(config);
+        for (k, b) in fleet.iter().enumerate() {
+            pool.submit(
+                Job::new(format!("{}-{k}", b.name), b.module.clone(), "run", vec![Value::I32(b.n)])
+                    .with_monitor(HotnessMonitor::new),
+            );
+        }
+        let start = Instant::now();
+        let outcome = pool.run();
+        let wall = start.elapsed();
+        assert!(outcome.all_ok(), "fleet job failed: {:?}", outcome.jobs);
+
+        let instrs = outcome
+            .merged_report("hotness")
+            .and_then(|r| r.get("summary"))
+            .and_then(|s| s.count_of("total instruction executions"))
+            .unwrap_or(0);
+        let jobs_per_s = jobs as f64 / wall.as_secs_f64().max(1e-9);
+        if shards == 1 {
+            base_jobs_per_s = jobs_per_s;
+        }
+        println!(
+            "{:<7} {:>10.1} {:>14.2} {:>16} {:>13} {:>11.2}x",
+            shards,
+            wall.as_secs_f64() * 1e3,
+            jobs_per_s,
+            instrs,
+            outcome.stats.suspensions,
+            jobs_per_s / base_jobs_per_s.max(1e-9),
+        );
+        series.push(Json::object([
+            ("shards", Json::num(shards as f64)),
+            ("wall_ms", Json::num(wall.as_secs_f64() * 1e3)),
+            ("jobs", Json::num(jobs as f64)),
+            ("throughput_jobs_per_s", Json::num(jobs_per_s)),
+            ("fuel_consumed", Json::num(outcome.stats.fuel_consumed as f64)),
+            ("suspensions", Json::num(outcome.stats.suspensions as f64)),
+            ("instructions_counted", Json::num(instrs as f64)),
+        ]));
+    }
+
+    let doc = Json::object([
+        ("bench", Json::str("pool_throughput")),
+        ("schema", Json::num(1.0)),
+        ("scale", Json::str(format!("{scale:?}").to_lowercase())),
+        ("host_parallelism", Json::num(cores as f64)),
+        ("fuel_slice", Json::num(slice as f64)),
+        ("fleet", Json::array(names.iter().map(Json::str).collect())),
+        ("series", Json::array(series)),
+    ]);
+    let path = "BENCH_pool.json";
+    std::fs::write(path, format!("{doc}\n")).expect("write BENCH_pool.json");
+    println!("\nwrote {path}");
+    println!("(merged instruction counts must be identical across shard counts: slicing");
+    println!(" and sharding are transparent to instrumentation)");
+}

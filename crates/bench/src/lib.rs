@@ -12,6 +12,8 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
+
 use std::time::{Duration, Instant};
 
 use wizard_baselines::{dbi, wasabi};

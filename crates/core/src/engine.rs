@@ -11,7 +11,7 @@ use wizard_wasm::types::{FuncType, GlobalType, ValType};
 use wizard_wasm::validate::{validate, ValidateError};
 
 use crate::code::{CodeBytes, FuncCode};
-use crate::exec::{Exec, Exit};
+use crate::exec::{Exec, ExecState, Exit};
 use crate::frame::Tier;
 use crate::interp;
 use crate::jit;
@@ -51,6 +51,12 @@ pub struct EngineConfig {
     pub max_call_depth: usize,
     /// Maximum unified value-stack slots.
     pub max_value_stack: usize,
+    /// Default fuel slice for preemptible execution, advisory: the engine
+    /// itself never reads it — [`Process::invoke`] is always unbounded,
+    /// and [`Process::run_bounded`] / [`Process::resume`] take their
+    /// budget explicitly. Schedulers like `wizard-pool` read this as the
+    /// per-turn budget to pass to the bounded API.
+    pub fuel_slice: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -62,6 +68,7 @@ impl Default for EngineConfig {
             intrinsify_operand: true,
             max_call_depth: 10_000,
             max_value_stack: 1 << 22,
+            fuel_slice: None,
         }
     }
 }
@@ -161,6 +168,13 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Sets the default fuel slice (instructions per turn) for preemptible
+    /// execution; see [`EngineConfig::fuel_slice`].
+    pub fn fuel_slice(mut self, n: u64) -> EngineConfigBuilder {
+        self.config.fuel_slice = Some(n);
+        self
+    }
+
     /// Finalizes the configuration.
     pub fn build(self) -> EngineConfig {
         self.config
@@ -189,6 +203,66 @@ pub struct EngineStats {
     /// each; a whole [`ProbeBatch`] committed via
     /// [`Process::apply_batch`] costs exactly one.
     pub invalidation_passes: u64,
+    /// Fuel units consumed by bounded runs ([`Process::run_bounded`] /
+    /// [`Process::resume`]); one unit per bytecode instruction.
+    pub fuel_consumed: u64,
+    /// Out-of-fuel suspensions of bounded runs.
+    pub suspensions: u64,
+}
+
+impl EngineStats {
+    /// Accumulates another process's counters into this one — the
+    /// aggregation primitive used by multi-process schedulers
+    /// (`wizard-pool`) to report fleet-wide engine activity.
+    pub fn merge(&mut self, other: &EngineStats) {
+        // Exhaustive destructuring: adding a counter field without
+        // aggregating it here is a compile error, not a silent zero.
+        let EngineStats {
+            probe_fires,
+            global_fires,
+            compiles,
+            tier_ups,
+            deopts,
+            invalidation_passes,
+            fuel_consumed,
+            suspensions,
+        } = *other;
+        self.probe_fires += probe_fires;
+        self.global_fires += global_fires;
+        self.compiles += compiles;
+        self.tier_ups += tier_ups;
+        self.deopts += deopts;
+        self.invalidation_passes += invalidation_passes;
+        self.fuel_consumed += fuel_consumed;
+        self.suspensions += suspensions;
+    }
+}
+
+/// Result of one fuel slice of a bounded run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunOutcome {
+    /// The invocation ran to completion with these results.
+    Done(Vec<Value>),
+    /// The fuel slice was exhausted; the run is suspended at a bytecode
+    /// instruction boundary inside the process and can be continued with
+    /// [`Process::resume`] (or discarded with
+    /// [`Process::cancel_suspended`]).
+    OutOfFuel,
+}
+
+impl RunOutcome {
+    /// `true` when the run completed.
+    pub fn is_done(&self) -> bool {
+        matches!(self, RunOutcome::Done(_))
+    }
+
+    /// The results, if the run completed.
+    pub fn done(self) -> Option<Vec<Value>> {
+        match self {
+            RunOutcome::Done(v) => Some(v),
+            RunOutcome::OutOfFuel => None,
+        }
+    }
 }
 
 /// Error instantiating a module.
@@ -314,8 +388,17 @@ pub struct Process {
     pub(crate) monitors: MonitorRegistry,
     pub(crate) global_mode: bool,
     pub(crate) stats: EngineStats,
+    /// The suspended bounded run, if any (see [`Process::run_bounded`]).
+    suspended: Option<Suspended>,
     /// Lazily computed instruction-boundary sets per local function.
     instr_starts: RefCell<HashMap<usize, Rc<std::collections::BTreeSet<u32>>>>,
+}
+
+/// A bounded run parked at an out-of-fuel suspension point.
+struct Suspended {
+    state: ExecState,
+    /// Result types of the entry function, for extraction on completion.
+    results: Vec<ValType>,
 }
 
 impl Process {
@@ -446,6 +529,7 @@ impl Process {
             monitors: MonitorRegistry::default(),
             global_mode: false,
             stats: EngineStats::default(),
+            suspended: None,
             instr_starts: RefCell::new(HashMap::new()),
         };
         if let Some(s) = p.module.start {
@@ -508,45 +592,138 @@ impl Process {
     ///
     /// # Panics
     ///
-    /// Panics if `args` do not match the function's parameter types.
+    /// Panics if `args` do not match the function's parameter types, or if
+    /// a bounded run is currently suspended (finish it with
+    /// [`Process::resume`] or discard it with
+    /// [`Process::cancel_suspended`] first).
     pub fn invoke(&mut self, func: FuncIdx, args: &[Value]) -> Result<Vec<Value>, Trap> {
-        let ty = self.func_types[func as usize].clone();
-        assert_eq!(
-            args.iter().map(Value::ty).collect::<Vec<_>>(),
-            ty.params,
-            "argument types must match the function signature"
+        assert!(
+            self.suspended.is_none(),
+            "cannot invoke while a bounded run is suspended; resume or cancel it first"
         );
-        let mut ex = Exec::new(self);
-        for a in args {
-            ex.values.push(a.to_slot().0);
-        }
-        match ex.do_call(func, Tier::Interp) {
-            Ok(()) | Err(crate::exec::Sig::Switch) => {}
-            Err(crate::exec::Sig::Trap(t)) => return Err(t),
-            Err(crate::exec::Sig::Done) => unreachable!("entry call cannot signal done"),
-        }
-        while !ex.frames.is_empty() {
-            let tier = ex.frames.last().expect("non-empty").tier;
-            let r = match tier {
-                Tier::Interp => interp::run_frame(&mut ex),
-                Tier::Jit => jit::run_frame(&mut ex),
-            };
-            match r {
-                Ok(Exit::Done) => break,
-                Ok(Exit::Redispatch) => {}
-                Err(t) => {
-                    ex.unwind();
-                    return Err(t);
-                }
+        let ty = self.func_types[func as usize].clone();
+        let mut ex = start_call(self, func, &ty, args)?;
+        match drive(&mut ex) {
+            Ok(Exit::Done) => {}
+            Ok(Exit::OutOfFuel | Exit::Redispatch) => {
+                unreachable!("unbounded run cannot suspend")
+            }
+            Err(t) => {
+                ex.unwind();
+                return Err(t);
             }
         }
-        let results: Vec<Value> = ty
-            .results
-            .iter()
-            .enumerate()
-            .map(|(i, t)| Value::from_slot(Slot(ex.values[i]), *t))
-            .collect();
-        Ok(results)
+        Ok(extract_results(&ex, &ty.results))
+    }
+
+    // ---- preemptible (fuel-bounded) execution ----
+
+    /// Starts a *bounded* invocation of `func`: executes at most `fuel`
+    /// bytecode instructions, then suspends.
+    ///
+    /// Fuel is charged per bytecode instruction *executed in the current
+    /// tier*: the interpreter charges every instruction, while compiled
+    /// code charges per instruction that survives compilation —
+    /// structural instructions (`nop`/`block`/`loop`/`end`) compile away
+    /// and cost nothing there. Fuel bounds *work* (a slice is a hard
+    /// preemption budget in either tier); it is not an exact cross-tier
+    /// instruction count.
+    ///
+    /// Returns [`RunOutcome::Done`] with the results if the invocation
+    /// finished within the slice, or [`RunOutcome::OutOfFuel`] if it was
+    /// preempted — the run is parked inside the process at a bytecode
+    /// instruction boundary and continues with [`Process::resume`].
+    /// Suspension is transparent to instrumentation: a bounded run fires
+    /// exactly the probes, in exactly the order, of an unbounded
+    /// [`Process::invoke`] of the same call. Instrumentation may change
+    /// *while* the run is suspended (attach/detach, probe insertion);
+    /// affected compiled code is invalidated and suspended JIT frames
+    /// deoptimize on resume.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Trap`] if execution traps (in any slice); all frames
+    /// are unwound and the suspension is cleared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `args` do not match the function's parameter types or if
+    /// another bounded run is already suspended.
+    pub fn run_bounded(
+        &mut self,
+        func: FuncIdx,
+        args: &[Value],
+        fuel: u64,
+    ) -> Result<RunOutcome, Trap> {
+        assert!(
+            self.suspended.is_none(),
+            "a bounded run is already suspended; resume or cancel it first"
+        );
+        let ty = self.func_types[func as usize].clone();
+        let mut ex = start_call(self, func, &ty, args)?;
+        ex.metered = true;
+        ex.fuel = fuel;
+        match drive_bounded(ex, fuel, &ty.results)? {
+            BoundedExit::Done(v) => Ok(RunOutcome::Done(v)),
+            BoundedExit::Suspended(state) => {
+                self.suspended = Some(Suspended { state, results: ty.results });
+                Ok(RunOutcome::OutOfFuel)
+            }
+        }
+    }
+
+    /// Bounded invocation of an exported function by name; see
+    /// [`Process::run_bounded`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Process::run_bounded`]; unknown exports trap with
+    /// [`Trap::Host`].
+    pub fn run_export_bounded(
+        &mut self,
+        name: &str,
+        args: &[Value],
+        fuel: u64,
+    ) -> Result<RunOutcome, Trap> {
+        let idx = self
+            .module
+            .export_func(name)
+            .ok_or_else(|| Trap::Host(format!("no exported function {name:?}")))?;
+        self.run_bounded(idx, args, fuel)
+    }
+
+    /// Continues the suspended bounded run with a fresh fuel slice.
+    ///
+    /// # Errors
+    ///
+    /// As [`Process::run_bounded`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no bounded run is suspended.
+    pub fn resume(&mut self, fuel: u64) -> Result<RunOutcome, Trap> {
+        let s = self.suspended.take().expect("no suspended bounded run to resume");
+        let ex = Exec::from_state(self, s.state, fuel);
+        match drive_bounded(ex, fuel, &s.results)? {
+            BoundedExit::Done(v) => Ok(RunOutcome::Done(v)),
+            BoundedExit::Suspended(state) => {
+                self.suspended = Some(Suspended { state, results: s.results });
+                Ok(RunOutcome::OutOfFuel)
+            }
+        }
+    }
+
+    /// `true` while a bounded run is parked at a suspension point.
+    pub fn is_suspended(&self) -> bool {
+        self.suspended.is_some()
+    }
+
+    /// Discards the suspended bounded run, if any, invalidating the
+    /// accessors of its parked frames (which also happens if the process
+    /// is simply dropped while suspended). Returns `true` if a run was
+    /// discarded.
+    pub fn cancel_suspended(&mut self) -> bool {
+        self.suspended.take().is_some()
     }
 
     // ---- instrumentation API ----
@@ -863,6 +1040,87 @@ impl core::fmt::Debug for Process {
             .field("stats", &self.stats)
             .finish()
     }
+}
+
+/// Builds an execution for calling `func` with `args` pushed and the entry
+/// frame set up (type-checked against `ty`).
+///
+/// # Panics
+///
+/// Panics if `args` do not match `ty.params`.
+fn start_call<'p>(
+    proc: &'p mut Process,
+    func: FuncIdx,
+    ty: &FuncType,
+    args: &[Value],
+) -> Result<Exec<'p>, Trap> {
+    assert_eq!(
+        args.iter().map(Value::ty).collect::<Vec<_>>(),
+        ty.params,
+        "argument types must match the function signature"
+    );
+    let mut ex = Exec::new(proc);
+    for a in args {
+        ex.values.push(a.to_slot().0);
+    }
+    match ex.do_call(func, Tier::Interp) {
+        Ok(()) | Err(crate::exec::Sig::Switch) => Ok(ex),
+        Err(crate::exec::Sig::Trap(t)) => Err(t),
+        Err(crate::exec::Sig::Done) => unreachable!("entry call cannot signal done"),
+    }
+}
+
+/// The tier dispatcher: runs frames in their current tier until the
+/// invocation completes, traps, or (metered runs) exhausts its fuel slice.
+fn drive(ex: &mut Exec<'_>) -> Result<Exit, Trap> {
+    while !ex.frames.is_empty() {
+        let tier = ex.frames.last().expect("non-empty").tier;
+        let r = match tier {
+            Tier::Interp => interp::run_frame(ex),
+            Tier::Jit => jit::run_frame(ex),
+        };
+        match r? {
+            Exit::Done => return Ok(Exit::Done),
+            Exit::OutOfFuel => return Ok(Exit::OutOfFuel),
+            Exit::Redispatch => {}
+        }
+    }
+    Ok(Exit::Done)
+}
+
+/// How a bounded slice ended (internal; surfaced as [`RunOutcome`]).
+enum BoundedExit {
+    Done(Vec<Value>),
+    Suspended(ExecState),
+}
+
+/// Runs a metered `ex` until completion or suspension, doing the fuel
+/// accounting; the caller parks the returned state.
+fn drive_bounded(mut ex: Exec<'_>, fuel: u64, results_ty: &[ValType]) -> Result<BoundedExit, Trap> {
+    match drive(&mut ex) {
+        Ok(Exit::Done) => {
+            ex.proc.stats.fuel_consumed += fuel - ex.fuel;
+            let results = extract_results(&ex, results_ty);
+            Ok(BoundedExit::Done(results))
+        }
+        Ok(Exit::OutOfFuel) => {
+            ex.proc.stats.fuel_consumed += fuel - ex.fuel;
+            ex.proc.stats.suspensions += 1;
+            Ok(BoundedExit::Suspended(ex.into_state()))
+        }
+        Ok(Exit::Redispatch) => unreachable!("drive loops on redispatch"),
+        Err(t) => {
+            // The trapping slice's fuel still counts as consumed.
+            ex.proc.stats.fuel_consumed += fuel - ex.fuel;
+            ex.unwind();
+            Err(t)
+        }
+    }
+}
+
+/// Reads the entry function's results off the (now quiescent) value stack.
+fn extract_results(ex: &Exec<'_>, results_ty: &[ValType]) -> Vec<Value> {
+    results_ty.iter().enumerate().map(|(i, t)| Value::from_slot(Slot(ex.values[i]), *t)).collect()
 }
 
 fn eval_const(e: &ConstExpr, globals: &[u64], _types: &[GlobalType]) -> u64 {

@@ -41,6 +41,11 @@ impl From<Trap> for Sig {
 pub(crate) enum Exit {
     Done,
     Redispatch,
+    /// The metered fuel slice is exhausted. The current frame's `pc` (and
+    /// `cip` in the JIT tier) is a valid resume point *before* an
+    /// instruction whose probes have not fired yet, so resuming — in either
+    /// tier — fires exactly the probes an unbounded run would.
+    OutOfFuel,
 }
 
 /// Error from a frame modification that the engine configuration forbids.
@@ -104,6 +109,33 @@ pub(crate) struct Exec<'p> {
     /// One-shot suppression of probe firing at a location, used when
     /// deoptimizing at a probe site whose probes already fired in the JIT.
     pub skip_probe: Option<Location>,
+    /// `true` when this run is fuel-metered (bounded).
+    pub metered: bool,
+    /// Remaining fuel units (one unit per bytecode instruction). Only
+    /// meaningful when `metered`.
+    pub fuel: u64,
+}
+
+/// The owned, suspendable portion of an execution: everything a bounded
+/// run needs to carry across an [`Exit::OutOfFuel`] suspension. The rest
+/// of [`Exec`] is a cache rebuilt from the process and the top frame.
+pub(crate) struct ExecState {
+    values: Vec<u64>,
+    frames: Vec<Frame>,
+    activations: u64,
+    skip_probe: Option<Location>,
+}
+
+impl Drop for ExecState {
+    /// A suspended run that is discarded rather than resumed — explicit
+    /// cancellation, a trap elsewhere, or the process being dropped —
+    /// still upholds the FrameAccessor contract: accessors of its parked
+    /// frames are invalidated, never left dangling-but-"valid".
+    fn drop(&mut self) {
+        for f in &mut self.frames {
+            f.invalidate_accessor();
+        }
+    }
 }
 
 impl<'p> Exec<'p> {
@@ -124,6 +156,41 @@ impl<'p> Exec<'p> {
             table,
             activations: 0,
             skip_probe: None,
+            metered: false,
+            fuel: 0,
+        }
+    }
+
+    /// Rebuilds an execution from a suspended state with a fresh fuel
+    /// slice. The dispatch table is re-derived from the process (global
+    /// mode may have changed while suspended) and the cached current-frame
+    /// fields are reloaded; stale JIT frames are caught by the version
+    /// checks on redispatch.
+    pub fn from_state(proc: &'p mut Process, mut state: ExecState, fuel: u64) -> Exec<'p> {
+        let mut ex = Exec::new(proc);
+        // Fields are taken (not moved) because ExecState's Drop handles
+        // accessor invalidation for *discarded* suspensions; the emptied
+        // state dropped here has nothing left to invalidate.
+        ex.values = std::mem::take(&mut state.values);
+        ex.frames = std::mem::take(&mut state.frames);
+        ex.activations = state.activations;
+        ex.skip_probe = state.skip_probe.take();
+        ex.metered = true;
+        ex.fuel = fuel;
+        if !ex.frames.is_empty() {
+            ex.load_cur();
+        }
+        ex
+    }
+
+    /// Tears the execution down to its suspendable state (at an
+    /// [`Exit::OutOfFuel`] sync point).
+    pub fn into_state(self) -> ExecState {
+        ExecState {
+            values: self.values,
+            frames: self.frames,
+            activations: self.activations,
+            skip_probe: self.skip_probe,
         }
     }
 

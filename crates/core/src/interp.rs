@@ -96,6 +96,16 @@ fn build_normal() -> [Handler; 256] {
 pub(crate) fn run_frame(ex: &mut Exec) -> Result<Exit, Trap> {
     debug_assert_eq!(ex.frames.last().map(|f| f.tier), Some(Tier::Interp));
     loop {
+        // Fuel metering (bounded runs only): one unit per bytecode
+        // instruction, checked *before* dispatch so a suspension lands
+        // before the instruction — and before its probes — execute.
+        if ex.metered {
+            if ex.fuel == 0 {
+                ex.sync_pc();
+                return Ok(Exit::OutOfFuel);
+            }
+            ex.fuel -= 1;
+        }
         if ex.pc >= ex.code.len() {
             // Fell off the end of the function body: implicit return.
             match ex.do_return(Tier::Interp) {

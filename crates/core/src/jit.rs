@@ -400,6 +400,24 @@ pub(crate) fn run_frame(ex: &mut Exec) -> Result<Exit, Trap> {
                     Err(Sig::Trap(t)) => return Err(t),
                 }
             }
+            // Fuel metering (bounded runs only): charge one unit at the
+            // first micro-op of each bytecode instruction. Probe ops are
+            // emitted *before* their instruction's ops and share its pc, so
+            // a suspension here is always before an instruction whose
+            // probes have not fired yet — `cip` resumes compiled code
+            // exactly here, and `pc` is a valid interpreter resume point if
+            // the code is invalidated while suspended.
+            if ex.metered && (ip == 0 || compiled.ip_to_pc[ip] != compiled.ip_to_pc[ip - 1]) {
+                if ex.fuel == 0 {
+                    let pc = compiled.ip_to_pc[ip] as usize;
+                    ex.pc = pc;
+                    let f = ex.frames.last_mut().expect("frame");
+                    f.cip = ip;
+                    f.pc = pc;
+                    return Ok(Exit::OutOfFuel);
+                }
+                ex.fuel -= 1;
+            }
             match &compiled.ops[ip] {
                 Op::Const(v) => ex.values.push(*v),
                 Op::LocalGet(i) => {
@@ -568,6 +586,12 @@ pub(crate) fn run_frame(ex: &mut Exec) -> Result<Exit, Trap> {
                             || ex.proc.global_mode
                     };
                     if deopt_needed {
+                        // The interpreter will re-charge fuel for this pc on
+                        // re-entry; refund the unit this tier already charged
+                        // so the instruction costs one unit, not two.
+                        if ex.metered {
+                            ex.fuel += 1;
+                        }
                         let f = ex.frames.last_mut().expect("frame");
                         f.tier = Tier::Interp;
                         f.pc = pcv as usize;

@@ -26,6 +26,14 @@
 //! * **FrameAccessor** ([`frame`], [`exec::ProbeCtx`]): probes receive
 //!   program state through a façade over the live frame, with validity
 //!   protection against dangling access.
+//! * **Preemptible execution** ([`Process::run_bounded`],
+//!   [`Process::resume`]): invocations can be fuel-metered — one unit per
+//!   bytecode instruction — and suspend with [`RunOutcome::OutOfFuel`] at a
+//!   bytecode-valid resume point when the slice runs out. Suspension is
+//!   transparent to instrumentation (a bounded run fires exactly the
+//!   probes of an unbounded run) and tolerant of instrumentation changes
+//!   while parked, which is what lets `wizard-pool` multiplex many
+//!   instrumented processes over one engine thread.
 //! * **Monitor lifecycle** ([`monitor`]): analyses implement the
 //!   [`Monitor`] trait and are attached/detached as sessions —
 //!   [`Process::attach_monitor`] records every probe a monitor inserts
@@ -152,6 +160,7 @@ pub mod value;
 
 pub use engine::{
     EngineConfig, EngineConfigBuilder, EngineStats, ExecMode, LinkError, ProbeError, Process,
+    RunOutcome,
 };
 pub use exec::{FrameModError, FrameView, ProbeCtx};
 pub use frame::{FrameAccessor, Tier};

@@ -48,6 +48,26 @@ pub enum MetricValue {
     Text(String),
 }
 
+impl MetricValue {
+    /// Accumulates `other` into this value — the row-level primitive of
+    /// [`Report::merge`]. Counts, ints, floats, durations, and fractions
+    /// (componentwise) add; text keeps the first value seen. Mismatched
+    /// kinds keep `self` unchanged.
+    pub fn combine(&mut self, other: &MetricValue) {
+        match (self, other) {
+            (MetricValue::Count(a), MetricValue::Count(b)) => *a += b,
+            (MetricValue::Int(a), MetricValue::Int(b)) => *a += b,
+            (MetricValue::Float(a), MetricValue::Float(b)) => *a += b,
+            (MetricValue::Fraction(c, t), MetricValue::Fraction(oc, ot)) => {
+                *c += oc;
+                *t += ot;
+            }
+            (MetricValue::Duration(a), MetricValue::Duration(b)) => *a += *b,
+            _ => {}
+        }
+    }
+}
+
 impl core::fmt::Display for MetricValue {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
@@ -132,6 +152,18 @@ impl Section {
             _ => None,
         }
     }
+
+    /// Accumulates `other` into this section: rows are matched by label
+    /// (first occurrence) and their values combined with
+    /// [`MetricValue::combine`]; unmatched rows are appended.
+    pub fn merge(&mut self, other: &Section) {
+        for row in &other.rows {
+            match self.rows.iter_mut().find(|r| r.label == row.label) {
+                Some(mine) => mine.value.combine(&row.value),
+                None => self.rows.push(row.clone()),
+            }
+        }
+    }
 }
 
 /// A structured post-execution report: named sections of typed rows.
@@ -170,6 +202,33 @@ impl Report {
     /// The first section with this name, if any.
     pub fn get(&self, name: &str) -> Option<&Section> {
         self.sections.iter().find(|s| s.name == name)
+    }
+
+    /// Accumulates `other` into this report: sections are matched by name
+    /// and merged ([`Section::merge`]); unmatched sections are appended.
+    ///
+    /// This is how a multi-process scheduler (`wizard-pool`) folds the
+    /// per-process reports of the *same* monitor across a fleet into one
+    /// aggregate — e.g. summing the hotness counts of N instrumented
+    /// processes running the same analysis.
+    ///
+    /// ```
+    /// use wizard_engine::Report;
+    ///
+    /// let mut a = Report::new("hotness");
+    /// a.section("summary").count("events", 2);
+    /// let mut b = Report::new("hotness");
+    /// b.section("summary").count("events", 3);
+    /// a.merge(&b);
+    /// assert_eq!(a.get("summary").unwrap().count_of("events"), Some(5));
+    /// ```
+    pub fn merge(&mut self, other: &Report) {
+        for section in &other.sections {
+            match self.sections.iter_mut().find(|s| s.name == section.name) {
+                Some(mine) => mine.merge(section),
+                None => self.sections.push(section.clone()),
+            }
+        }
     }
 }
 

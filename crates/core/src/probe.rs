@@ -2,8 +2,8 @@
 //!
 //! A [`Probe`] is M-code — monitor logic executed by the engine when an
 //! event fires. *Global probes* fire before every instruction; *local
-//! probes* fire before a specific `(func, pc)` location. The
-//! [`ProbeRegistry`] maintains probe lists with the paper's §2.4.1
+//! probes* fire before a specific `(func, pc)` location. The (internal)
+//! probe registry maintains probe lists with the paper's §2.4.1
 //! consistency guarantees:
 //!
 //! * **insertion order is firing order** — lists are ordered;

@@ -53,7 +53,7 @@ impl Debugger {
         d
     }
 
-    /// Schedules a breakpoint to be installed by [`Monitor::attach`].
+    /// Schedules a breakpoint to be installed by [`Monitor::on_attach`].
     pub fn breakpoint(&mut self, func: FuncIdx, pc: u32) -> &mut Self {
         self.breakpoints.push((func, pc));
         self

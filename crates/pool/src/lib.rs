@@ -1,0 +1,549 @@
+//! `wizard-pool`: a sharded multi-process pool for instrumented Wasm
+//! workloads.
+//!
+//! The engine ([`wizard_engine`]) is deliberately single-threaded — probes,
+//! monitors and the FrameAccessor machinery are `Rc`/`RefCell`-based, as in
+//! the paper. Serving many instrumented programs concurrently therefore
+//! cannot share one process across threads; instead the pool **shards**:
+//!
+//! * each [`Job`] (module + entry + args + optional monitor) is assigned
+//!   round-robin to one of N *shard* worker threads;
+//! * every shard owns its processes outright and multiplexes them
+//!   cooperatively with **fuel slices**
+//!   ([`Process::run_bounded`] / [`Process::resume`]): each turn executes
+//!   at most `fuel_slice` bytecode instructions before the next process
+//!   runs, so no job monopolizes its worker;
+//! * suspension is transparent to instrumentation — a sliced run fires
+//!   exactly the probes of an unbounded run — so per-job monitor
+//!   [`Report`]s are exact, and the pool folds them into fleet-wide
+//!   aggregates with [`Report::merge`] alongside a merged
+//!   [`EngineStats`].
+//!
+//! Monitors are created *on the worker thread* via a [`MonitorFactory`]
+//! (the factory is `Send + Sync`; the monitor it builds never crosses a
+//! thread), which is what lets an `Rc`-based analysis run per-process in a
+//! multi-threaded fleet.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use wizard_engine::{EngineConfig, Value};
+//! use wizard_pool::{Job, Pool, PoolConfig};
+//! use wizard_wasm::builder::{FuncBuilder, ModuleBuilder};
+//! use wizard_wasm::types::ValType::I32;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut mb = ModuleBuilder::new();
+//! let mut f = FuncBuilder::new(&[I32], &[I32]);
+//! let i = f.local(I32);
+//! let acc = f.local(I32);
+//! f.for_range(i, 0, |f| {
+//!     f.local_get(acc).local_get(i).i32_add().local_set(acc);
+//! });
+//! f.local_get(acc);
+//! mb.add_func("run", f);
+//! let module = mb.build()?;
+//!
+//! let config = PoolConfig {
+//!     shards: 2,
+//!     engine: EngineConfig::builder().fuel_slice(1000).build(),
+//! };
+//! let mut pool = Pool::new(config);
+//! for k in 0..4 {
+//!     pool.submit(Job::new(format!("job-{k}"), module.clone(), "run", vec![Value::I32(100)]));
+//! }
+//! let outcome = pool.run();
+//! assert_eq!(outcome.jobs.len(), 4);
+//! assert!(outcome.jobs.iter().all(|j| j.result == Ok(vec![Value::I32(4950)])));
+//! assert!(outcome.stats.suspensions > 0); // the fleet really was time-sliced
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use wizard_engine::store::Linker;
+use wizard_engine::{EngineConfig, EngineStats, Monitor, Process, Report, RunOutcome, Value};
+use wizard_wasm::module::Module;
+
+/// Fuel slice used when [`EngineConfig::fuel_slice`] is unset: large
+/// enough to amortize scheduling, small enough to interleave sub-second
+/// kernels.
+pub const DEFAULT_FUEL_SLICE: u64 = 100_000;
+
+/// Pool configuration.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Number of worker threads; each runs one single-threaded engine and
+    /// owns the processes of the jobs assigned to it.
+    pub shards: usize,
+    /// Engine configuration used by every process in the pool. Its
+    /// [`EngineConfig::fuel_slice`] is the per-turn instruction budget
+    /// (falling back to [`DEFAULT_FUEL_SLICE`]).
+    pub engine: EngineConfig,
+}
+
+impl Default for PoolConfig {
+    fn default() -> PoolConfig {
+        PoolConfig { shards: 2, engine: EngineConfig::default() }
+    }
+}
+
+impl PoolConfig {
+    /// The effective per-turn fuel budget.
+    pub fn fuel_slice(&self) -> u64 {
+        self.engine.fuel_slice.unwrap_or(DEFAULT_FUEL_SLICE).max(1)
+    }
+}
+
+/// Builds a monitor on the worker thread that will own it. The factory
+/// crosses threads; the `Rc`-based monitor it creates never does.
+pub type MonitorFactory = Arc<dyn Fn() -> Rc<RefCell<dyn Monitor>> + Send + Sync>;
+
+/// One unit of work: a module to instantiate, an exported entry point to
+/// call, and (optionally) a monitor to attach for the job's lifetime.
+#[derive(Clone)]
+pub struct Job {
+    /// Display name (job names key nothing; duplicates are fine).
+    pub name: String,
+    /// The module to instantiate (one process per job).
+    pub module: Module,
+    /// Exported function to invoke.
+    pub entry: String,
+    /// Arguments for the entry function.
+    pub args: Vec<Value>,
+    /// Monitor factory; the monitor is attached before the first slice and
+    /// detached (restoring the zero-overhead baseline) before reporting.
+    pub monitor: Option<MonitorFactory>,
+}
+
+impl Job {
+    /// Creates a job with no monitor.
+    pub fn new(
+        name: impl Into<String>,
+        module: Module,
+        entry: impl Into<String>,
+        args: Vec<Value>,
+    ) -> Job {
+        Job { name: name.into(), module, entry: entry.into(), args, monitor: None }
+    }
+
+    /// Attaches a monitor factory: `make` runs on the worker thread once,
+    /// when the job's process is instantiated.
+    pub fn with_monitor<M: Monitor + 'static>(
+        mut self,
+        make: impl Fn() -> M + Send + Sync + 'static,
+    ) -> Job {
+        self.monitor =
+            Some(Arc::new(move || Rc::new(RefCell::new(make())) as Rc<RefCell<dyn Monitor>>));
+        self
+    }
+}
+
+impl core::fmt::Debug for Job {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Job")
+            .field("name", &self.name)
+            .field("entry", &self.entry)
+            .field("monitored", &self.monitor.is_some())
+            .finish()
+    }
+}
+
+/// The result of one job.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The job's name.
+    pub name: String,
+    /// Which shard ran it.
+    pub shard: usize,
+    /// The entry function's results, or the instantiation/trap error.
+    pub result: Result<Vec<Value>, String>,
+    /// The monitor's final report (after detach), if one was attached.
+    pub report: Option<Report>,
+    /// The process's engine counters at job completion.
+    pub stats: EngineStats,
+    /// Fuel slices the job consumed (≥ 1 for a job that ran).
+    pub slices: u64,
+}
+
+/// The aggregated result of a pool run.
+#[derive(Debug, Clone)]
+pub struct PoolOutcome {
+    /// Per-job outcomes, in submission order.
+    pub jobs: Vec<JobOutcome>,
+    /// Fleet-wide engine counters ([`EngineStats::merge`] over all jobs).
+    pub stats: EngineStats,
+    /// Monitor reports folded by title with [`Report::merge`]: all jobs
+    /// running the same analysis contribute to one aggregate report.
+    ///
+    /// Merging is label-keyed, so scalar totals (e.g. a summary section's
+    /// counts) are always meaningful sums; per-*location* rows only
+    /// aggregate meaningfully when the jobs run the same program.
+    pub merged_reports: Vec<Report>,
+}
+
+impl PoolOutcome {
+    /// The merged report with this title, if any job produced one.
+    pub fn merged_report(&self, title: &str) -> Option<&Report> {
+        self.merged_reports.iter().find(|r| r.title == title)
+    }
+
+    /// `true` if every job completed without a link error or trap.
+    pub fn all_ok(&self) -> bool {
+        self.jobs.iter().all(|j| j.result.is_ok())
+    }
+}
+
+/// A sharded multi-process pool; see the crate docs.
+pub struct Pool {
+    config: PoolConfig,
+    jobs: Vec<Job>,
+}
+
+impl Pool {
+    /// Creates an empty pool.
+    pub fn new(config: PoolConfig) -> Pool {
+        Pool { config, jobs: Vec::new() }
+    }
+
+    /// Queues a job.
+    pub fn submit(&mut self, job: Job) {
+        self.jobs.push(job);
+    }
+
+    /// Number of queued jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// `true` if no jobs are queued.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Runs every queued job to completion and aggregates the fleet's
+    /// statistics and monitor reports.
+    ///
+    /// Jobs are assigned round-robin to `shards` worker threads; within a
+    /// worker, live processes take turns of `fuel_slice` instructions
+    /// each. The call blocks until the whole fleet has finished.
+    ///
+    /// Per-job failures — link errors, monitor attach errors, traps — are
+    /// reported in that job's [`JobOutcome::result`] and never affect the
+    /// rest of the fleet.
+    ///
+    /// Caveat: instantiation (including a module's *start function*) runs
+    /// unmetered, before slicing begins. Fuel fairness applies from the
+    /// first `run_export_bounded` turn onward; a hostile start function
+    /// can stall its shard during setup.
+    pub fn run(self) -> PoolOutcome {
+        let shards = self.config.shards.max(1);
+        let fuel_slice = self.config.fuel_slice();
+
+        // Partition jobs round-robin, remembering submission order.
+        let mut partitions: Vec<Vec<(usize, Job)>> = (0..shards).map(|_| Vec::new()).collect();
+        for (idx, job) in self.jobs.into_iter().enumerate() {
+            partitions[idx % shards].push((idx, job));
+        }
+
+        let mut outcomes: Vec<(usize, JobOutcome)> = Vec::new();
+        if shards == 1 {
+            // Single shard: run inline, no thread overhead.
+            outcomes = run_shard(
+                0,
+                partitions.pop().expect("one partition"),
+                self.config.engine,
+                fuel_slice,
+            );
+        } else {
+            let engine = self.config.engine;
+            let handles: Vec<_> = partitions
+                .into_iter()
+                .enumerate()
+                .map(|(shard, part)| {
+                    let engine = engine.clone();
+                    std::thread::spawn(move || run_shard(shard, part, engine, fuel_slice))
+                })
+                .collect();
+            for h in handles {
+                outcomes.extend(h.join().expect("shard worker panicked"));
+            }
+        }
+        outcomes.sort_by_key(|(idx, _)| *idx);
+        let jobs: Vec<JobOutcome> = outcomes.into_iter().map(|(_, o)| o).collect();
+
+        let mut stats = EngineStats::default();
+        let mut merged_reports: Vec<Report> = Vec::new();
+        for j in &jobs {
+            stats.merge(&j.stats);
+            if let Some(r) = &j.report {
+                match merged_reports.iter_mut().find(|m| m.title == r.title) {
+                    Some(m) => m.merge(r),
+                    None => merged_reports.push(r.clone()),
+                }
+            }
+        }
+        PoolOutcome { jobs, stats, merged_reports }
+    }
+}
+
+/// One live process being time-sliced by a shard worker.
+struct Task {
+    idx: usize,
+    name: String,
+    entry: String,
+    args: Vec<Value>,
+    process: Process,
+    monitor: Option<(wizard_engine::MonitorHandle, Rc<RefCell<dyn Monitor>>)>,
+    started: bool,
+    slices: u64,
+}
+
+/// The shard scheduler: instantiate every assigned job, then round-robin
+/// fuel slices over the live set until all are done.
+fn run_shard(
+    shard: usize,
+    jobs: Vec<(usize, Job)>,
+    engine: EngineConfig,
+    fuel_slice: u64,
+) -> Vec<(usize, JobOutcome)> {
+    let mut done: Vec<(usize, JobOutcome)> = Vec::new();
+    let mut live: VecDeque<Task> = VecDeque::new();
+
+    for (idx, job) in jobs {
+        let failed = |name: String, error: String| {
+            (
+                idx,
+                JobOutcome {
+                    name,
+                    shard,
+                    result: Err(error),
+                    report: None,
+                    stats: EngineStats::default(),
+                    slices: 0,
+                },
+            )
+        };
+        match Process::new(job.module, engine.clone(), &Linker::new()) {
+            Ok(mut process) => {
+                let monitor = match &job.monitor {
+                    Some(make) => {
+                        let m = make();
+                        match process.attach_monitor_dyn(Rc::clone(&m)) {
+                            Ok(handle) => Some((handle, m)),
+                            // A bad monitor fails its own job, not the fleet.
+                            Err(e) => {
+                                done.push(failed(job.name, format!("monitor attach error: {e}")));
+                                continue;
+                            }
+                        }
+                    }
+                    None => None,
+                };
+                live.push_back(Task {
+                    idx,
+                    name: job.name,
+                    entry: job.entry,
+                    args: job.args,
+                    process,
+                    monitor,
+                    started: false,
+                    slices: 0,
+                });
+            }
+            Err(e) => done.push(failed(job.name, format!("link error: {e}"))),
+        }
+    }
+
+    while let Some(mut t) = live.pop_front() {
+        let turn = if t.started {
+            t.process.resume(fuel_slice)
+        } else {
+            t.started = true;
+            t.process.run_export_bounded(&t.entry, &t.args, fuel_slice)
+        };
+        t.slices += 1;
+        match turn {
+            Ok(RunOutcome::OutOfFuel) => live.push_back(t),
+            Ok(RunOutcome::Done(values)) => done.push((t.idx, finish(shard, t, Ok(values)))),
+            Err(trap) => done.push((t.idx, finish(shard, t, Err(trap.to_string())))),
+        }
+    }
+    done
+}
+
+/// Finalizes a task: detach its monitor (restoring the zero-overhead
+/// baseline and letting `on_detach` drain shadow state), then snapshot the
+/// report and stats.
+fn finish(shard: usize, mut t: Task, result: Result<Vec<Value>, String>) -> JobOutcome {
+    let report = t.monitor.take().map(|(handle, monitor)| {
+        t.process.detach_monitor(handle).expect("attached monitor detaches");
+        let r = monitor.borrow().report();
+        r
+    });
+    JobOutcome { name: t.name, shard, result, report, stats: t.process.stats(), slices: t.slices }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wizard_monitors::HotnessMonitor;
+    use wizard_wasm::builder::{FuncBuilder, ModuleBuilder};
+    use wizard_wasm::types::ValType::I32;
+
+    fn sum_module() -> Module {
+        let mut mb = ModuleBuilder::new();
+        let mut f = FuncBuilder::new(&[I32], &[I32]);
+        let i = f.local(I32);
+        let acc = f.local(I32);
+        f.for_range(i, 0, |f| {
+            f.local_get(acc).local_get(i).i32_add().local_set(acc);
+        });
+        f.local_get(acc);
+        mb.add_func("run", f);
+        mb.build().unwrap()
+    }
+
+    fn fleet(pool: &mut Pool, n: usize, arg: i32, monitored: bool) {
+        for k in 0..n {
+            let mut job = Job::new(format!("sum-{k}"), sum_module(), "run", vec![Value::I32(arg)]);
+            if monitored {
+                job = job.with_monitor(HotnessMonitor::new);
+            }
+            pool.submit(job);
+        }
+    }
+
+    #[test]
+    fn fleet_results_are_correct_across_shard_counts() {
+        for shards in [1usize, 2, 4] {
+            let config =
+                PoolConfig { shards, engine: EngineConfig::builder().fuel_slice(500).build() };
+            let mut pool = Pool::new(config);
+            fleet(&mut pool, 8, 100, false);
+            let outcome = pool.run();
+            assert_eq!(outcome.jobs.len(), 8);
+            assert!(outcome.all_ok());
+            for j in &outcome.jobs {
+                assert_eq!(j.result, Ok(vec![Value::I32(4950)]), "{} wrong", j.name);
+                assert!(j.slices >= 2, "{} was never preempted", j.name);
+            }
+            assert!(outcome.stats.suspensions > 0);
+            assert!(outcome.stats.fuel_consumed > 0);
+            // Jobs come back in submission order regardless of sharding.
+            let names: Vec<&str> = outcome.jobs.iter().map(|j| j.name.as_str()).collect();
+            assert_eq!(names, (0..8).map(|k| format!("sum-{k}")).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn monitor_reports_merge_across_the_fleet() {
+        let config =
+            PoolConfig { shards: 2, engine: EngineConfig::builder().fuel_slice(300).build() };
+        let mut pool = Pool::new(config);
+        fleet(&mut pool, 6, 50, true);
+        let outcome = pool.run();
+        assert!(outcome.all_ok());
+
+        // Every job carries its own exact report...
+        let per_job: Vec<u64> = outcome
+            .jobs
+            .iter()
+            .map(|j| {
+                j.report
+                    .as_ref()
+                    .and_then(|r| r.get("summary"))
+                    .and_then(|s| s.count_of("total instruction executions"))
+                    .expect("hotness report")
+            })
+            .collect();
+        assert!(per_job.iter().all(|&n| n > 0));
+        // ...identical across jobs (same program, same slicing-transparent
+        // instrumentation)...
+        assert!(per_job.windows(2).all(|w| w[0] == w[1]));
+
+        // ...and the pool merges them into one fleet-wide report.
+        let merged = outcome.merged_report("hotness").expect("merged hotness report");
+        assert_eq!(
+            merged.get("summary").unwrap().count_of("total instruction executions"),
+            Some(per_job.iter().sum()),
+        );
+        assert_eq!(outcome.merged_reports.len(), 1, "one analysis → one merged report");
+    }
+
+    #[test]
+    fn link_errors_are_reported_not_fatal() {
+        let mut bad = ModuleBuilder::new();
+        let mut f = FuncBuilder::new(&[], &[]);
+        f.nop();
+        bad.add_func("run", f);
+        let mut bad = bad.build().unwrap();
+        // Corrupt: import a function nobody links.
+        bad.imports.push(wizard_wasm::module::Import {
+            module: "missing".into(),
+            name: "f".into(),
+            desc: wizard_wasm::module::ImportDesc::Func(0),
+        });
+
+        let mut pool = Pool::new(PoolConfig::default());
+        pool.submit(Job::new("bad", bad, "run", vec![]));
+        pool.submit(Job::new("good", sum_module(), "run", vec![Value::I32(5)]));
+        let outcome = pool.run();
+        assert_eq!(outcome.jobs.len(), 2);
+        assert!(outcome.jobs[0].result.as_ref().unwrap_err().contains("link error"));
+        assert_eq!(outcome.jobs[1].result, Ok(vec![Value::I32(10)]));
+    }
+
+    #[test]
+    fn monitor_attach_errors_fail_only_their_job() {
+        use wizard_engine::{InstrumentationCtx, ProbeError, Report};
+
+        /// A monitor whose attach always fails (probes a bogus location).
+        struct Broken;
+        impl wizard_engine::Monitor for Broken {
+            fn name(&self) -> &'static str {
+                "broken"
+            }
+            fn on_attach(&mut self, ctx: &mut InstrumentationCtx<'_>) -> Result<(), ProbeError> {
+                let func = ctx.module().num_funcs(); // out of range
+                ctx.add_local_probe_val(func, 0, wizard_engine::EmptyProbe)?;
+                Ok(())
+            }
+            fn report(&self) -> Report {
+                Report::new("broken")
+            }
+        }
+
+        let mut pool = Pool::new(PoolConfig::default());
+        pool.submit(
+            Job::new("doomed", sum_module(), "run", vec![Value::I32(5)]).with_monitor(|| Broken),
+        );
+        pool.submit(Job::new("fine", sum_module(), "run", vec![Value::I32(5)]));
+        let outcome = pool.run();
+        assert_eq!(outcome.jobs.len(), 2);
+        assert!(outcome.jobs[0].result.as_ref().unwrap_err().contains("monitor attach error"));
+        assert_eq!(outcome.jobs[1].result, Ok(vec![Value::I32(10)]));
+    }
+
+    #[test]
+    fn traps_surface_per_job() {
+        let mut mb = ModuleBuilder::new();
+        let mut f = FuncBuilder::new(&[], &[I32]);
+        f.i32_const(1).i32_const(0).i32_div_s();
+        mb.add_func("run", f);
+        let m = mb.build().unwrap();
+
+        let mut pool = Pool::new(PoolConfig::default());
+        pool.submit(Job::new("trapper", m, "run", vec![]));
+        pool.submit(Job::new("fine", sum_module(), "run", vec![Value::I32(4)]));
+        let outcome = pool.run();
+        assert!(outcome.jobs[0].result.as_ref().unwrap_err().contains("divide by zero"));
+        assert_eq!(outcome.jobs[1].result, Ok(vec![Value::I32(6)]));
+        assert!(!outcome.all_ok());
+    }
+}

@@ -19,6 +19,37 @@
 //! * [`inject_host_call`] — a Wasabi-style trampoline: a call to an
 //!   imported hook before matching instructions, passing `(func, pc)` and
 //!   optionally the top-of-stack value via a scratch local.
+//!
+//! # Example
+//!
+//! Rewrite a module to count every instruction, run the *instrumented*
+//! module on the engine, and read the counters back out of its linear
+//! memory — behavior is preserved, but locations are not (the paper's
+//! intrusiveness):
+//!
+//! ```
+//! use wizard_engine::store::Linker;
+//! use wizard_engine::{EngineConfig, Process, Value};
+//! use wizard_wasm::builder::{FuncBuilder, ModuleBuilder};
+//! use wizard_wasm::types::ValType::I32;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut mb = ModuleBuilder::new();
+//! mb.memory(1); // counter rewriting stores counts in linear memory
+//! let mut f = FuncBuilder::new(&[I32], &[I32]);
+//! f.local_get(0).i32_const(1).i32_add();
+//! mb.add_func("inc", f);
+//! let module = mb.build()?;
+//!
+//! let counted = wizard_rewriter::count_instructions(&module)?;
+//! let mut p = Process::new(counted.module.clone(), EngineConfig::interpreter(), &Linker::new())?;
+//! let r = p.invoke_export("inc", &[Value::I32(41)])?;
+//! assert_eq!(r, vec![Value::I32(42)], "rewriting must not change results");
+//! assert_eq!(counted.sites.len(), 4); // local.get, i32.const, i32.add, end
+//! assert_eq!(counted.total(p.memory().unwrap()), 4);
+//! # Ok(())
+//! # }
+//! ```
 
 #![warn(missing_docs)]
 

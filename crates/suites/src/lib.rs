@@ -101,6 +101,30 @@ pub fn richards_benchmark(loops: i32) -> Benchmark {
     Benchmark { suite: "richards", name: "richards", module: richards::module(), n: loops }
 }
 
+/// A mixed fleet for multi-process scheduling experiments (`wizard-pool`):
+/// `size` jobs drawn from the Richards scheduler and the PolyBench
+/// kernels, interleaved so every shard gets a heterogeneous mix of
+/// control-flow-heavy and loop-heavy programs.
+pub fn fleet(scale: Scale, size: usize) -> Vec<Benchmark> {
+    let richards_loops = match scale {
+        Scale::Test => 20,
+        Scale::Small => 100,
+        Scale::Medium => 300,
+    };
+    let pb = polybench_suite(scale);
+    (0..size)
+        .map(
+            |k| {
+                if k % 4 == 0 {
+                    richards_benchmark(richards_loops)
+                } else {
+                    pb[k % pb.len()].clone()
+                }
+            },
+        )
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,6 +139,14 @@ mod tests {
         let ls = libsodium_suite(Scale::Test);
         assert_eq!(ls.len(), 10);
         assert_eq!(all_suites(Scale::Test).len(), 49);
+    }
+
+    #[test]
+    fn fleet_mixes_richards_and_polybench() {
+        let f = fleet(Scale::Test, 8);
+        assert_eq!(f.len(), 8);
+        assert_eq!(f.iter().filter(|b| b.suite == "richards").count(), 2);
+        assert!(f.iter().any(|b| b.suite == "polybench"));
     }
 
     #[test]

@@ -215,6 +215,18 @@ impl Module {
         self.num_imported_funcs() + self.funcs.len() as u32
     }
 
+    /// Type indices of every function in index-space order: imported
+    /// functions first, then locally-defined ones.
+    pub fn func_type_indices(&self) -> impl Iterator<Item = u32> + '_ {
+        self.imports
+            .iter()
+            .filter_map(|i| match i.desc {
+                ImportDesc::Func(t) => Some(t),
+                _ => None,
+            })
+            .chain(self.funcs.iter().map(|f| f.type_idx))
+    }
+
     /// The type of function `idx`, spanning imports and local functions.
     pub fn func_type(&self, idx: FuncIdx) -> Option<&FuncType> {
         let n_imp = self.num_imported_funcs();

@@ -120,7 +120,16 @@ pub fn validate(module: &Module) -> Result<ModuleMeta, ValidateError> {
 fn validate_module_level(m: &Module) -> Result<(), ValidateError> {
     for (i, t) in m.types.iter().enumerate() {
         if t.results.len() > 1 {
-            return Err(merr(format!("type {i}: multi-value results not supported")));
+            // Name a function using the type, if any, so the error points
+            // at actionable code rather than just a type-table slot.
+            let user = m
+                .func_type_indices()
+                .position(|ti| ti as usize == i)
+                .map_or(String::new(), |f| format!(", used by func {f}"));
+            return Err(merr(format!(
+                "type {i}: multi-value results not supported ({} results{user})",
+                t.results.len()
+            )));
         }
     }
     let mut n_mem = m.memories.len();
@@ -872,4 +881,40 @@ fn numeric_sig(o: u8) -> Option<(&'static [ValType], Option<ValType>)> {
         I64_EXTEND8_S | I64_EXTEND16_S | I64_EXTEND32_S => (I64_1, Some(I64)),
         _ => return None,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{FuncBody, FuncDecl};
+    use crate::opcodes as op;
+    use crate::types::FuncType;
+    use crate::types::ValType::I32;
+
+    #[test]
+    fn multi_value_error_names_arity_and_using_function() {
+        let mut m = Module::new();
+        m.types.push(FuncType::new(&[], &[I32]));
+        m.types.push(FuncType::new(&[], &[I32, I32]));
+        // func 0 uses the fine type; func 1 uses the multi-value one.
+        for type_idx in [0u32, 1] {
+            m.funcs.push(FuncDecl {
+                type_idx,
+                body: FuncBody { locals: vec![], code: vec![op::I32_CONST, 0, op::END] },
+            });
+        }
+        let err = validate(&m).unwrap_err().to_string();
+        assert!(err.contains("type 1"), "{err}");
+        assert!(err.contains("2 results"), "{err}");
+        assert!(err.contains("used by func 1"), "{err}");
+    }
+
+    #[test]
+    fn unused_multi_value_type_error_still_reports_arity() {
+        let mut m = Module::new();
+        m.types.push(FuncType::new(&[], &[I32, I32, I32]));
+        let err = validate(&m).unwrap_err().to_string();
+        assert!(err.contains("3 results"), "{err}");
+        assert!(!err.contains("used by"), "{err}");
+    }
 }

@@ -176,10 +176,18 @@ fn module_level_checks() {
     m.start = Some(0);
     assert!(validate(&m).is_err(), "start with params");
 
-    // Multi-value result type.
+    // Multi-value result type: the error names the result arity (and the
+    // using function, when one exists).
     let mut m = Module::new();
     m.types.push(FuncType::new(&[], &[I32, I32]));
-    assert!(validate(&m).is_err(), "multi-value type");
+    let err = validate(&m).expect_err("multi-value type").to_string();
+    assert!(err.contains("2 results"), "{err}");
+    m.funcs.push(FuncDecl {
+        type_idx: 0,
+        body: FuncBody { locals: vec![], code: vec![op::I32_CONST, 0, op::END] },
+    });
+    let err = validate(&m).expect_err("multi-value type").to_string();
+    assert!(err.contains("used by func 0"), "{err}");
 }
 
 #[test]

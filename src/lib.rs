@@ -8,6 +8,8 @@
 //! * [`engine`] — the multi-tier engine with probes, FrameAccessor, JIT
 //!   intrinsification and deoptimization (the paper's contribution);
 //! * [`monitors`] — the Monitor Zoo;
+//! * [`pool`] — the sharded multi-process pool (fuel-sliced round-robin
+//!   scheduling of instrumented processes across worker threads);
 //! * [`rewriter`] — static bytecode rewriting (intrusive baseline);
 //! * [`baselines`] — Wasabi-style, DynamoRIO-style and JVMTI-style
 //!   comparison systems;
@@ -22,6 +24,7 @@
 pub use wizard_baselines as baselines;
 pub use wizard_engine as engine;
 pub use wizard_monitors as monitors;
+pub use wizard_pool as pool;
 pub use wizard_rewriter as rewriter;
 pub use wizard_suites as suites;
 pub use wizard_wasm as wasm;

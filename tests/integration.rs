@@ -192,3 +192,97 @@ fn tiering_with_global_probe_round_trip() {
     let r3 = p.invoke_export("run", &[Value::I32(bench.n)]).unwrap();
     assert_eq!(r3[0].to_slot(), expected[0].to_slot());
 }
+
+/// Runs `bench` with a monitor attached, either unbounded (`fuel: None`)
+/// or fuel-sliced to completion, and returns (result slot, report).
+fn monitored_run<M: wizard::engine::Monitor + 'static>(
+    bench: &wizard::suites::Benchmark,
+    config: EngineConfig,
+    monitor: M,
+    fuel: Option<u64>,
+) -> (u64, wizard::engine::Report) {
+    use wizard::engine::RunOutcome;
+    let mut p = process(bench.module.clone(), config);
+    let m = p.attach_monitor(monitor).unwrap();
+    let args = [Value::I32(bench.n)];
+    let r = match fuel {
+        None => p.invoke_export("run", &args).unwrap(),
+        Some(slice) => {
+            let mut out = p.run_export_bounded("run", &args, slice).unwrap();
+            loop {
+                match out {
+                    RunOutcome::Done(v) => break v,
+                    RunOutcome::OutOfFuel => out = p.resume(slice).unwrap(),
+                }
+            }
+        }
+    };
+    let report = m.report();
+    p.detach_monitor(m.handle()).unwrap();
+    (r[0].to_slot().0, report)
+}
+
+/// The preemption-transparency acceptance criterion: fuel-bounded runs of
+/// richards and a polybench kernel — at several slice sizes, on the
+/// interpreter *and* the tiered engine — produce monitor reports
+/// *identical* to an unbounded run (not just equal totals: equal reports,
+/// row for row).
+#[test]
+fn bounded_runs_produce_identical_monitor_reports() {
+    let richards = richards_benchmark(15);
+    let gemm = polybench_suite(Scale::Test).into_iter().find(|b| b.name == "gemm").unwrap();
+    for bench in [&richards, &gemm] {
+        for config in
+            [EngineConfig::interpreter(), EngineConfig::builder().tierup_threshold(5).build()]
+        {
+            let (expected_result, expected_report) =
+                monitored_run(bench, config.clone(), HotnessMonitor::new(), None);
+            for slice in [997u64, 20_011] {
+                let (result, report) =
+                    monitored_run(bench, config.clone(), HotnessMonitor::new(), Some(slice));
+                assert_eq!(result, expected_result, "{} slice {slice}: wrong result", bench.name);
+                assert_eq!(
+                    report, expected_report,
+                    "{} slice {slice}: bounded report differs from unbounded",
+                    bench.name
+                );
+            }
+        }
+    }
+}
+
+/// The same criterion through the pool: a sharded, fuel-sliced fleet of
+/// richards + polybench processes reports exactly what the same monitors
+/// report on dedicated unbounded processes.
+#[test]
+fn pool_fleet_reports_match_dedicated_runs() {
+    use wizard::pool::{Job, Pool, PoolConfig};
+    let fleet = wizard::suites::fleet(Scale::Test, 8);
+
+    let mut expected = Vec::new();
+    for b in &fleet {
+        expected.push(monitored_run(b, EngineConfig::tiered(), HotnessMonitor::new(), None));
+    }
+
+    let config =
+        PoolConfig { shards: 2, engine: EngineConfig::builder().fuel_slice(1_500).build() };
+    let mut pool = Pool::new(config);
+    for (k, b) in fleet.iter().enumerate() {
+        pool.submit(
+            Job::new(format!("{}-{k}", b.name), b.module.clone(), "run", vec![Value::I32(b.n)])
+                .with_monitor(HotnessMonitor::new),
+        );
+    }
+    let outcome = pool.run();
+    assert!(outcome.all_ok());
+    assert!(outcome.stats.suspensions > 0, "the fleet really was time-sliced");
+    for (j, (expected_result, expected_report)) in outcome.jobs.iter().zip(&expected) {
+        assert_eq!(j.result.as_ref().unwrap()[0].to_slot().0, *expected_result, "{}", j.name);
+        assert_eq!(
+            j.report.as_ref().unwrap(),
+            expected_report,
+            "{}: pooled report differs from dedicated run",
+            j.name
+        );
+    }
+}
