@@ -1,12 +1,18 @@
 //! Figure 3: relative execution time of the hotness and branch monitors
 //! implemented with *local* probes vs a single *global* probe, in the
 //! interpreter, across PolyBench. Also prints the §5.2 summary ranges.
+//!
+//! Emits `BENCH_probes.json` (schema in `EXPERIMENTS.md`) so the perf
+//! trajectory accumulates across runs, and prints the same series as a
+//! table.
 
+use wizard_bench::json::Json;
 use wizard_bench::{baseline, measure, relative, Analysis, System};
 use wizard_suites::polybench_suite;
 
 fn main() {
-    let suite = polybench_suite(wizard_bench::scale());
+    let scale = wizard_bench::scale();
+    let suite = polybench_suite(scale);
     println!("=== Figure 3: hotness & branch, local vs global probes (interpreter) ===");
     println!(
         "{:<16} {:>14} {:>14} {:>14} {:>14} {:>12}",
@@ -16,6 +22,7 @@ fn main() {
     let mut br_global = Vec::new();
     let mut hot_local = Vec::new();
     let mut hot_global = Vec::new();
+    let mut series = Vec::new();
     for b in &suite {
         let base = baseline(b, System::Interp);
         let hl = measure(b, System::Interp, Analysis::Hotness);
@@ -34,6 +41,14 @@ fn main() {
             "{:<16} {:>13.2}x {:>13.2}x {:>13.2}x {:>13.2}x {:>12}",
             b.name, rhl, rhg, rbl, rbg, hl.fires
         );
+        series.push(Json::object([
+            ("benchmark", Json::str(b.name)),
+            ("hotness_local", Json::num(rhl)),
+            ("hotness_global", Json::num(rhg)),
+            ("branch_local", Json::num(rbl)),
+            ("branch_global", Json::num(rbg)),
+            ("fires", Json::num(hl.fires as f64)),
+        ]));
     }
     let rng = |v: &[f64]| {
         let min = v.iter().copied().fold(f64::INFINITY, f64::min);
@@ -49,4 +64,28 @@ fn main() {
     println!("hotness monitor, local probes: {a:.1}-{b:.1}x");
     let (a, b) = rng(&hot_global);
     println!("hotness monitor, global probe: {a:.1}-{b:.1}x");
+
+    let summary = |v: &[f64]| {
+        let (min, max) = rng(v);
+        Json::object([("min", Json::num(min)), ("max", Json::num(max))])
+    };
+    let doc = Json::object([
+        ("bench", Json::str("fig3_local_vs_global")),
+        ("schema", Json::num(1.0)),
+        ("scale", Json::str(format!("{scale:?}").to_lowercase())),
+        ("runs", Json::num(f64::from(wizard_bench::runs()))),
+        ("series", Json::array(series)),
+        (
+            "summary",
+            Json::object([
+                ("hotness_local", summary(&hot_local)),
+                ("hotness_global", summary(&hot_global)),
+                ("branch_local", summary(&br_local)),
+                ("branch_global", summary(&br_global)),
+            ]),
+        ),
+    ]);
+    let path = "BENCH_probes.json";
+    std::fs::write(path, format!("{doc}\n")).expect("write BENCH_probes.json");
+    println!("\nwrote {path}");
 }

@@ -1,0 +1,184 @@
+//! Script overhead: the cost of *data-driven* instrumentation. Runs the
+//! hotness analysis three ways on Richards + PolyBench (JIT tier,
+//! intrinsification on) and compares relative execution time against the
+//! uninstrumented baseline:
+//!
+//! * **scripted** — the wizard-script hotness program, compiled onto the
+//!   probe engine at attach time (`match * do inc exec[site]`);
+//! * **handwritten** — the zoo's `HotnessMonitor` (the paper's Figure-4
+//!   configuration);
+//! * **rewriter** — static bytecode rewriting (the intrusive baseline).
+//!
+//! Because the script compiler proves the rule is a pure counter and
+//! lowers every site to an intrinsified count probe, scripted and
+//! handwritten runs execute the *same machine behaviour*; the bench
+//! asserts the classification (all `ProbeKind::Count`), equal fire
+//! counts, and that the scripted geomean overhead stays within 2× of the
+//! handwritten one. Emits `BENCH_script.json` (schema in
+//! `EXPERIMENTS.md`).
+//!
+//! Environment: `WIZARD_SCALE`, `WIZARD_RUNS` as everywhere else.
+
+use std::time::{Duration, Instant};
+
+use wizard_bench::json::Json;
+use wizard_bench::{geomean, relative, Measurement};
+use wizard_engine::store::Linker;
+use wizard_engine::{EngineConfig, ProbeKind, Process, Value};
+use wizard_monitors::HotnessMonitor;
+use wizard_script::ScriptMonitor;
+use wizard_suites::Benchmark;
+
+const HOTNESS: &str = "monitor \"hotness\"\n\
+                       match * do inc exec[site]\n\
+                       report \"top locations\" top 20 exec\n\
+                       report \"summary\" total \"total instruction executions\" exec";
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Baseline,
+    Scripted,
+    Handwritten,
+    Rewriter,
+}
+
+fn run_once(b: &Benchmark, mode: Mode) -> (Duration, u64) {
+    let start = Instant::now();
+    match mode {
+        Mode::Rewriter => {
+            let counted = wizard_rewriter::count_instructions(&b.module).expect("rewrites");
+            let mut p = Process::new(counted.module.clone(), EngineConfig::jit(), &Linker::new())
+                .expect("instantiates");
+            p.invoke_export("run", &[Value::I32(b.n)]).expect("runs");
+            let t = start.elapsed();
+            let fires = counted.total(p.memory().expect("memory"));
+            (t, fires)
+        }
+        _ => {
+            let mut p = Process::new(b.module.clone(), EngineConfig::jit(), &Linker::new())
+                .expect("instantiates");
+            let fires: Box<dyn Fn() -> u64> = match mode {
+                Mode::Baseline => Box::new(|| 0),
+                Mode::Scripted => {
+                    let m = p
+                        .attach_monitor(ScriptMonitor::from_source(HOTNESS).expect("compiles"))
+                        .expect("attach");
+                    {
+                        // The whole point: a counter-only script provably
+                        // lowers to the intrinsified fast path.
+                        let mon = m.borrow();
+                        let (_, operand, generic) = mon.kind_counts();
+                        assert_eq!(
+                            (operand, generic),
+                            (0, 0),
+                            "{}: scripted hotness must lower to Count probes only",
+                            b.name
+                        );
+                        for l in mon.lowering() {
+                            debug_assert!(p
+                                .probe_kinds_at(l.loc.func, l.loc.pc)
+                                .iter()
+                                .all(|k| *k == ProbeKind::Count));
+                        }
+                    }
+                    Box::new(move || m.borrow().counter("exec"))
+                }
+                Mode::Handwritten => {
+                    let m = p.attach_monitor(HotnessMonitor::new()).expect("attach");
+                    Box::new(move || m.borrow().total())
+                }
+                Mode::Rewriter => unreachable!(),
+            };
+            p.invoke_export("run", &[Value::I32(b.n)]).expect("runs");
+            let t = start.elapsed();
+            (t, fires())
+        }
+    }
+}
+
+fn measure(b: &Benchmark, mode: Mode) -> Measurement {
+    let n = wizard_bench::runs();
+    let mut total = Duration::ZERO;
+    let mut fires = 0;
+    for _ in 0..n {
+        let (t, f) = run_once(b, mode);
+        total += t;
+        fires = f;
+    }
+    Measurement { time: total / n, fires, checksum: 0 }
+}
+
+fn main() {
+    let scale = wizard_bench::scale();
+    let mut suite = vec![wizard_suites::richards_benchmark(match scale {
+        wizard_suites::Scale::Test => 50,
+        wizard_suites::Scale::Small => 300,
+        wizard_suites::Scale::Medium => 1000,
+    })];
+    suite.extend(wizard_suites::polybench_suite(scale));
+
+    println!("=== script overhead: scripted vs handwritten vs rewriter (hotness, JIT) ===");
+    println!(
+        "{:<16} {:>12} {:>14} {:>12} {:>14}",
+        "benchmark", "scripted", "handwritten", "rewriter", "probe fires"
+    );
+
+    let mut series = Vec::new();
+    let (mut rs, mut rh, mut rw) = (Vec::new(), Vec::new(), Vec::new());
+    for b in &suite {
+        let base = measure(b, Mode::Baseline);
+        let scripted = measure(b, Mode::Scripted);
+        let handwritten = measure(b, Mode::Handwritten);
+        let rewriter = measure(b, Mode::Rewriter);
+        assert_eq!(
+            scripted.fires, handwritten.fires,
+            "{}: scripted and handwritten hotness must count identically",
+            b.name
+        );
+        let (s, h, w) =
+            (relative(&scripted, &base), relative(&handwritten, &base), relative(&rewriter, &base));
+        rs.push(s);
+        rh.push(h);
+        rw.push(w);
+        println!("{:<16} {:>11.2}x {:>13.2}x {:>11.2}x {:>14}", b.name, s, h, w, scripted.fires);
+        series.push(Json::object([
+            ("benchmark", Json::str(b.name)),
+            ("scripted", Json::num(s)),
+            ("handwritten", Json::num(h)),
+            ("rewriter", Json::num(w)),
+            ("fires", Json::num(scripted.fires as f64)),
+        ]));
+    }
+
+    let (gs, gh, gw) = (geomean(&rs), geomean(&rh), geomean(&rw));
+    println!("\ngeomean: scripted {gs:.2}x, handwritten {gh:.2}x, rewriter {gw:.2}x");
+    let ratio = gs / gh.max(1e-9);
+    println!("scripted / handwritten = {ratio:.2}x (acceptance bound: 2.0x)");
+    assert!(
+        ratio <= 2.0,
+        "scripted hotness geomean overhead ({gs:.2}x) exceeds 2x the handwritten \
+         monitor ({gh:.2}x) — the lowering lost the intrinsified fast path"
+    );
+
+    let doc = Json::object([
+        ("bench", Json::str("script_overhead")),
+        ("schema", Json::num(1.0)),
+        ("scale", Json::str(format!("{scale:?}").to_lowercase())),
+        ("runs", Json::num(f64::from(wizard_bench::runs()))),
+        ("analysis", Json::str("hotness")),
+        ("tier", Json::str("jit-intrinsified")),
+        ("series", Json::array(series)),
+        (
+            "geomean",
+            Json::object([
+                ("scripted", Json::num(gs)),
+                ("handwritten", Json::num(gh)),
+                ("rewriter", Json::num(gw)),
+                ("scripted_over_handwritten", Json::num(ratio)),
+            ]),
+        ),
+    ]);
+    let path = "BENCH_script.json";
+    std::fs::write(path, format!("{doc}\n")).expect("write BENCH_script.json");
+    println!("wrote {path}");
+}

@@ -324,6 +324,11 @@ pub enum ProbeError {
     /// would double-register its probes. (After a detach the instance may
     /// be attached again; see `Monitor::on_attach` for what that implies.)
     MonitorAlreadyAttached,
+    /// The monitor itself rejected the attach — e.g. a compiled
+    /// instrumentation script whose rules match nothing in this module.
+    /// The message is monitor-specific and human-readable; the engine
+    /// rolls back any probes the failed attach had already inserted.
+    MonitorRejected(String),
 }
 
 impl core::fmt::Display for ProbeError {
@@ -343,6 +348,7 @@ impl core::fmt::Display for ProbeError {
             ProbeError::MonitorAlreadyAttached => {
                 f.write_str("monitor instance is already attached")
             }
+            ProbeError::MonitorRejected(msg) => write!(f, "monitor rejected attach: {msg}"),
         }
     }
 }
@@ -910,6 +916,22 @@ impl Process {
     /// Number of distinct locations with local probes.
     pub fn probed_location_count(&self) -> usize {
         self.probes.local_site_count()
+    }
+
+    /// The [`ProbeKind`](crate::probe::ProbeKind)s of the probes
+    /// installed at `(func, pc)`, in firing order. Empty if the location
+    /// has no probes.
+    ///
+    /// This is the engine's own intrinsification view: a site whose kinds
+    /// are all `Count` / `Operand` compiles to
+    /// inlined bumps / direct operand calls (when the corresponding
+    /// `intrinsify_*` config flags are on) instead of a generic
+    /// checkpointed probe op. Used by tests and by the script compiler to
+    /// *prove* that a lowering hit the fast path.
+    pub fn probe_kinds_at(&self, func: FuncIdx, pc: u32) -> Vec<crate::probe::ProbeKind> {
+        self.probes
+            .locals_at(func, pc)
+            .map_or_else(Vec::new, |list| list.iter().map(|(_, p)| p.borrow().kind()).collect())
     }
 
     /// Validates that the current tier policy can run global probes

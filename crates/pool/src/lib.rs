@@ -142,6 +142,16 @@ impl Job {
             Some(Arc::new(move || Rc::new(RefCell::new(make())) as Rc<RefCell<dyn Monitor>>));
         self
     }
+
+    /// Attaches an existing (possibly shared) [`MonitorFactory`]. This is
+    /// how *data-driven* instrumentation reaches a fleet: e.g.
+    /// `wizard_script::monitor_factory` compiles a script source once and
+    /// the resulting factory builds a fresh script monitor per job, on
+    /// that job's worker thread.
+    pub fn with_monitor_factory(mut self, factory: MonitorFactory) -> Job {
+        self.monitor = Some(factory);
+        self
+    }
 }
 
 impl core::fmt::Debug for Job {

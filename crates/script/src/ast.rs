@@ -1,0 +1,278 @@
+//! The wizard-script AST: plain data, `Clone + Send + Sync`, so a parsed
+//! [`Script`] can cross threads (e.g. into a `wizard-pool` worker) and be
+//! compiled against each job's module independently.
+
+/// A parsed script: an optional monitor name, the match rules, and the
+/// report directives, all in source order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Script {
+    /// Report title declared with `monitor "name"` (default `"script"`).
+    pub name: Option<String>,
+    /// The `match` rules.
+    pub rules: Vec<Rule>,
+    /// The `report` directives.
+    pub reports: Vec<ReportDirective>,
+}
+
+impl Script {
+    /// The report title: the declared monitor name or `"script"`.
+    pub fn title(&self) -> &str {
+        self.name.as_deref().unwrap_or("script")
+    }
+}
+
+/// One `match <selector> [once] [when <expr>] do <actions>` rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// What instructions the rule instruments.
+    pub selector: Selector,
+    /// `once`: the probe removes itself after the first firing in which
+    /// the predicate held (self-removing coverage-style instrumentation).
+    pub once: bool,
+    /// Optional `when` predicate; absent means always.
+    pub when: Option<Expr>,
+    /// Actions executed when the predicate holds.
+    pub actions: Vec<Action>,
+    /// The rule's source text, for diagnostics.
+    pub text: String,
+}
+
+/// A static instruction selector.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Selector {
+    /// `*` — every instruction of every local function.
+    Any,
+    /// `call` — direct and indirect calls.
+    Call,
+    /// `branch` — conditional branches (`if`, `br_if`, `br_table`), the
+    /// instructions with a condition/index on top of the stack.
+    /// (Unconditional `br` is selectable by mnemonic.)
+    Branch,
+    /// `load` — memory loads.
+    Load,
+    /// `store` — memory stores.
+    Store,
+    /// `loop-header` — `loop` instructions.
+    LoopHeader,
+    /// `func:enter` — the first instruction of every function body.
+    FuncEnter,
+    /// `func:exit` — every `return` plus the body's final `end`.
+    FuncExit,
+    /// An exact opcode mnemonic, e.g. `i32.add` or `br`.
+    Opcode(String),
+    /// `func[N]+PC` — one exact location.
+    At {
+        /// Function index (imports included in the index space).
+        func: u32,
+        /// Byte offset of the instruction within the body.
+        pc: u32,
+    },
+    /// Alternation: `load|store`.
+    Or(Vec<Selector>),
+}
+
+impl core::fmt::Display for Selector {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Selector::Any => f.write_str("*"),
+            Selector::Call => f.write_str("call"),
+            Selector::Branch => f.write_str("branch"),
+            Selector::Load => f.write_str("load"),
+            Selector::Store => f.write_str("store"),
+            Selector::LoopHeader => f.write_str("loop-header"),
+            Selector::FuncEnter => f.write_str("func:enter"),
+            Selector::FuncExit => f.write_str("func:exit"),
+            Selector::Opcode(name) => f.write_str(name),
+            Selector::At { func, pc } => write!(f, "func[{func}]+{pc}"),
+            Selector::Or(alts) => {
+                for (i, a) in alts.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str("|")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A rule action.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// `inc name` / `inc name[site]`: bump a named counter by one. With
+    /// `[site]` the counter is a per-location table (one cell per matched
+    /// site); without, a single scalar cell shared by all sites.
+    Inc {
+        /// Counter name.
+        counter: String,
+        /// `true` for a per-site table counter.
+        per_site: bool,
+    },
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Logical not: `!x` is 1 if `x == 0`, else 0.
+    Not,
+    /// Arithmetic negation.
+    Neg,
+}
+
+/// Binary operators, in increasing precedence groups:
+/// `||` < `&&` < comparisons < `+ -` < `* / %`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Or,
+    And,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+}
+
+/// The expression language: 64-bit signed integers, with comparisons and
+/// logical operators yielding 0/1 and any nonzero value counting as true.
+///
+/// `pc`, `func` and `op` are *static* per matched site — the compiler
+/// folds them to constants while lowering, which is how a predicate like
+/// `op == br_table || tos != 0` becomes a pure counter at `br_table`
+/// sites and a top-of-stack observer everywhere else. Only `tos`/`tos64`,
+/// `depth` and counter reads are dynamic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// An integer literal (or a folded static value).
+    Const(i64),
+    /// The site's byte offset within its function body (static).
+    Pc,
+    /// The site's function index (static).
+    Func,
+    /// The site's opcode byte (static). Opcode mnemonics used as bare
+    /// identifiers (e.g. `br_table`) are constants to compare against.
+    Op,
+    /// Top-of-stack slot, read as a signed 32-bit value (0 if the operand
+    /// stack is empty — only meaningful at operand-consuming sites).
+    Tos,
+    /// Top-of-stack slot, read as a signed 64-bit value.
+    Tos64,
+    /// Call-stack depth at the firing site.
+    Depth,
+    /// `$name` / `$name[site]`: read a counter (scalar, or this site's
+    /// table cell; 0 if the table has no cell at this site).
+    Counter {
+        /// Counter name.
+        name: String,
+        /// `true` to read this site's cell of a table counter.
+        per_site: bool,
+    },
+    /// A unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// A binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl core::fmt::Display for Expr {
+    /// Renders the expression fully parenthesized (used when dumping the
+    /// residual predicate of a lowered rule).
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Expr::Const(v) => write!(f, "{v}"),
+            Expr::Pc => f.write_str("pc"),
+            Expr::Func => f.write_str("func"),
+            Expr::Op => f.write_str("op"),
+            Expr::Tos => f.write_str("tos"),
+            Expr::Tos64 => f.write_str("tos64"),
+            Expr::Depth => f.write_str("depth"),
+            Expr::Counter { name, per_site: false } => write!(f, "${name}"),
+            Expr::Counter { name, per_site: true } => write!(f, "${name}[site]"),
+            Expr::Unary(UnOp::Not, e) => write!(f, "!{e}"),
+            Expr::Unary(UnOp::Neg, e) => write!(f, "-{e}"),
+            Expr::Binary(op, a, b) => {
+                let sym = match op {
+                    BinOp::Or => "||",
+                    BinOp::And => "&&",
+                    BinOp::Eq => "==",
+                    BinOp::Ne => "!=",
+                    BinOp::Lt => "<",
+                    BinOp::Le => "<=",
+                    BinOp::Gt => ">",
+                    BinOp::Ge => ">=",
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Div => "/",
+                    BinOp::Rem => "%",
+                };
+                write!(f, "({a} {sym} {b})")
+            }
+        }
+    }
+}
+
+/// The rendering kind of one `report` directive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReportKind {
+    /// `top N table`: the table's sites as count rows labelled
+    /// `func+pc`, highest count first (ties in code order), truncated to N.
+    Top {
+        /// Row limit.
+        n: usize,
+        /// Table counter name.
+        table: String,
+    },
+    /// `total "label" a [+ b ...]`: one count row summing the named
+    /// counters (tables sum across sites).
+    Total {
+        /// Row label.
+        label: String,
+        /// Counter names to sum.
+        counters: Vec<String>,
+    },
+    /// `ratio "suffix" num / den`: per-site fraction rows
+    /// `num / (num + den)` labelled `func+pc suffix`, in code order,
+    /// skipping sites where both are zero.
+    Ratio {
+        /// Label suffix appended after the location.
+        suffix: String,
+        /// Numerator table.
+        num: String,
+        /// Denominator table (the "other" outcomes).
+        den: String,
+    },
+    /// `perfunc table`: per-function fraction rows
+    /// `sites with nonzero count / sites matched`, in function order.
+    PerFunc {
+        /// Table counter name.
+        table: String,
+    },
+    /// `percent "label" table`: one float row,
+    /// `100 * nonzero sites / matched sites` (100 when nothing matched).
+    Percent {
+        /// Row label.
+        label: String,
+        /// Table counter name.
+        table: String,
+    },
+    /// `counters`: every scalar counter as a count row, in declaration
+    /// order.
+    Counters,
+}
+
+/// One `report "section" <kind>` directive; each appends a section to the
+/// monitor's [`Report`](wizard_engine::Report) in source order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportDirective {
+    /// Section name.
+    pub section: String,
+    /// How the section's rows are produced.
+    pub kind: ReportKind,
+}

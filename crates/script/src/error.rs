@@ -1,0 +1,94 @@
+//! Script compilation and matching errors.
+
+use wizard_engine::ProbeError;
+
+/// An error from parsing, validating, or matching a script.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScriptError {
+    /// A syntax error with its 1-based source position.
+    Parse {
+        /// Source line.
+        line: u32,
+        /// Source column.
+        col: u32,
+        /// What went wrong.
+        msg: String,
+    },
+    /// A selector or expression names an opcode mnemonic that does not
+    /// exist in the instruction set.
+    UnknownOpcode {
+        /// The unrecognized name.
+        name: String,
+    },
+    /// A counter is used both as a scalar (`inc n`) and as a per-site
+    /// table (`inc n[site]`).
+    CounterKindMismatch {
+        /// The counter name.
+        name: String,
+    },
+    /// A `report` directive references a counter no rule increments, or a
+    /// counter of the wrong shape (e.g. `top` over a scalar).
+    BadReport {
+        /// The offending section name.
+        section: String,
+        /// What went wrong.
+        msg: String,
+    },
+    /// A rule's selector matched no instruction in the module. `detail`
+    /// lists nearest candidates (disassembled neighbours for location
+    /// selectors, opcodes present in the module for class selectors).
+    NoMatch {
+        /// The rule's source text.
+        rule: String,
+        /// Diagnostic detail, human-readable.
+        detail: String,
+    },
+    /// A `func[N]+PC` selector names a function outside the module's
+    /// locally-defined range.
+    BadFunction {
+        /// The requested function index.
+        func: u32,
+        /// Number of functions in the module's index space.
+        num_funcs: u32,
+    },
+}
+
+impl core::fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ScriptError::Parse { line, col, msg } => {
+                write!(f, "parse error at {line}:{col}: {msg}")
+            }
+            ScriptError::UnknownOpcode { name } => {
+                write!(f, "`{name}` is not an opcode mnemonic or selector class")
+            }
+            ScriptError::CounterKindMismatch { name } => {
+                write!(f, "counter `{name}` is used both as a scalar and as a per-site table")
+            }
+            ScriptError::BadReport { section, msg } => {
+                write!(f, "report \"{section}\": {msg}")
+            }
+            ScriptError::NoMatch { rule, detail } => {
+                write!(f, "rule `{rule}` matched no sites; {detail}")
+            }
+            ScriptError::BadFunction { func, num_funcs } => {
+                write!(
+                    f,
+                    "func[{func}] is not a locally-defined function \
+                     (module has {num_funcs} functions, imports are not probeable)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+impl From<ScriptError> for ProbeError {
+    /// Script failures surface through the monitor lifecycle as
+    /// [`ProbeError::MonitorRejected`], so a bad script fails its own
+    /// attach (and, in a pool, its own job) with the full diagnostic.
+    fn from(e: ScriptError) -> ProbeError {
+        ProbeError::MonitorRejected(e.to_string())
+    }
+}

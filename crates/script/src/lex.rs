@@ -1,0 +1,410 @@
+//! The wizard-script lexer.
+//!
+//! Identifiers may contain dots (`i32.add`, `memory.grow`) so opcode
+//! mnemonics lex as single tokens; `loop-header` lexes as
+//! `loop` `-` `header` (the selector parser reassembles it). Comments run
+//! from `#` or `//` to end of line. Newlines are whitespace — statements
+//! are keyword-delimited.
+
+use crate::error::ScriptError;
+
+/// A token with its source position (1-based line/column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: Tok,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (may contain `.` and `_`).
+    Ident(String),
+    /// Integer literal (decimal or `0x` hex).
+    Num(i64),
+    /// String literal.
+    Str(String),
+    /// `*`
+    Star,
+    /// `|`
+    Pipe,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `$`
+    Dollar,
+    /// End of input.
+    Eof,
+}
+
+impl core::fmt::Display for Tok {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Num(n) => write!(f, "`{n}`"),
+            Tok::Str(s) => write!(f, "\"{s}\""),
+            Tok::Star => f.write_str("`*`"),
+            Tok::Pipe => f.write_str("`|`"),
+            Tok::LBracket => f.write_str("`[`"),
+            Tok::RBracket => f.write_str("`]`"),
+            Tok::LParen => f.write_str("`(`"),
+            Tok::RParen => f.write_str("`)`"),
+            Tok::Plus => f.write_str("`+`"),
+            Tok::Minus => f.write_str("`-`"),
+            Tok::Slash => f.write_str("`/`"),
+            Tok::Percent => f.write_str("`%`"),
+            Tok::EqEq => f.write_str("`==`"),
+            Tok::NotEq => f.write_str("`!=`"),
+            Tok::Lt => f.write_str("`<`"),
+            Tok::Le => f.write_str("`<=`"),
+            Tok::Gt => f.write_str("`>`"),
+            Tok::Ge => f.write_str("`>=`"),
+            Tok::AndAnd => f.write_str("`&&`"),
+            Tok::OrOr => f.write_str("`||`"),
+            Tok::Bang => f.write_str("`!`"),
+            Tok::Semi => f.write_str("`;`"),
+            Tok::Comma => f.write_str("`,`"),
+            Tok::Colon => f.write_str("`:`"),
+            Tok::Dollar => f.write_str("`$`"),
+            Tok::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_cont(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '.'
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Lexer {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> char {
+        let c = self.chars[self.pos];
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        c
+    }
+
+    /// Consumes `next` if it is the upcoming character.
+    fn eat(&mut self, next: char) -> bool {
+        if self.peek() == Some(next) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_line(&mut self) {
+        while self.peek().is_some_and(|c| c != '\n') {
+            self.bump();
+        }
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ScriptError {
+        ScriptError::Parse { line: self.line, col: self.col, msg: msg.into() }
+    }
+}
+
+/// Tokenizes `source`.
+///
+/// # Errors
+///
+/// Returns [`ScriptError::Parse`] on unterminated strings, malformed
+/// numbers, or characters outside the language.
+pub fn lex(source: &str) -> Result<Vec<Token>, ScriptError> {
+    let mut lx = Lexer { chars: source.chars().collect(), pos: 0, line: 1, col: 1 };
+    let mut out = Vec::new();
+
+    while let Some(c) = lx.peek() {
+        let (tline, tcol) = (lx.line, lx.col);
+        let token = |kind| Token { kind, line: tline, col: tcol };
+        match c {
+            c if c.is_whitespace() => {
+                lx.bump();
+            }
+            '#' => lx.skip_line(),
+            '"' => {
+                lx.bump();
+                let mut s = String::new();
+                loop {
+                    match lx.peek() {
+                        None | Some('\n') => return Err(lx.error("unterminated string literal")),
+                        Some('"') => {
+                            lx.bump();
+                            break;
+                        }
+                        Some('\\') => {
+                            lx.bump();
+                            match lx.peek() {
+                                Some('n') => s.push('\n'),
+                                Some('t') => s.push('\t'),
+                                Some(e @ ('"' | '\\')) => s.push(e),
+                                other => {
+                                    return Err(
+                                        lx.error(format!("unsupported string escape {other:?}"))
+                                    )
+                                }
+                            }
+                            lx.bump();
+                        }
+                        Some(other) => {
+                            s.push(other);
+                            lx.bump();
+                        }
+                    }
+                }
+                out.push(token(Tok::Str(s)));
+            }
+            c if c.is_ascii_digit() => {
+                let mut digits = String::new();
+                digits.push(lx.bump());
+                let hex = digits == "0" && lx.eat('x');
+                if hex {
+                    digits.clear();
+                    while lx.peek().is_some_and(|c| c.is_ascii_hexdigit()) {
+                        digits.push(lx.bump());
+                    }
+                    if digits.is_empty() {
+                        return Err(lx.error("hex literal needs at least one digit"));
+                    }
+                } else {
+                    while lx.peek().is_some_and(|c| c.is_ascii_digit()) {
+                        digits.push(lx.bump());
+                    }
+                }
+                let radix = if hex { 16 } else { 10 };
+                let Ok(v) = i64::from_str_radix(&digits, radix) else {
+                    return Err(lx.error(format!("integer literal out of range: {digits}")));
+                };
+                out.push(token(Tok::Num(v)));
+            }
+            c if is_ident_start(c) => {
+                let mut s = String::new();
+                s.push(lx.bump());
+                while lx.peek().is_some_and(is_ident_cont) {
+                    s.push(lx.bump());
+                }
+                out.push(token(Tok::Ident(s)));
+            }
+            _ => {
+                lx.bump();
+                // Errors in this arm point at the offending character, not
+                // at the position after it.
+                let perr =
+                    |msg: &str| ScriptError::Parse { line: tline, col: tcol, msg: msg.to_string() };
+                let kind = match c {
+                    '*' => Tok::Star,
+                    '[' => Tok::LBracket,
+                    ']' => Tok::RBracket,
+                    '(' => Tok::LParen,
+                    ')' => Tok::RParen,
+                    '+' => Tok::Plus,
+                    '-' => Tok::Minus,
+                    '%' => Tok::Percent,
+                    ';' => Tok::Semi,
+                    ',' => Tok::Comma,
+                    ':' => Tok::Colon,
+                    '$' => Tok::Dollar,
+                    '/' => {
+                        if lx.eat('/') {
+                            lx.skip_line();
+                            continue;
+                        }
+                        Tok::Slash
+                    }
+                    '=' => {
+                        if lx.eat('=') {
+                            Tok::EqEq
+                        } else {
+                            return Err(perr(
+                                "expected `==` (assignment is not part of the language)",
+                            ));
+                        }
+                    }
+                    '!' => {
+                        if lx.eat('=') {
+                            Tok::NotEq
+                        } else {
+                            Tok::Bang
+                        }
+                    }
+                    '<' => {
+                        if lx.eat('=') {
+                            Tok::Le
+                        } else {
+                            Tok::Lt
+                        }
+                    }
+                    '>' => {
+                        if lx.eat('=') {
+                            Tok::Ge
+                        } else {
+                            Tok::Gt
+                        }
+                    }
+                    '&' => {
+                        if lx.eat('&') {
+                            Tok::AndAnd
+                        } else {
+                            return Err(perr("expected `&&`"));
+                        }
+                    }
+                    '|' => {
+                        if lx.eat('|') {
+                            Tok::OrOr
+                        } else {
+                            Tok::Pipe
+                        }
+                    }
+                    other => return Err(perr(&format!("unexpected character {other:?}"))),
+                };
+                out.push(token(kind));
+            }
+        }
+    }
+    out.push(Token { kind: Tok::Eof, line: lx.line, col: lx.col });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_rule_shapes() {
+        let toks = kinds("match loop-header when tos != 0 do inc n[site] # c");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("match".into()),
+                Tok::Ident("loop".into()),
+                Tok::Minus,
+                Tok::Ident("header".into()),
+                Tok::Ident("when".into()),
+                Tok::Ident("tos".into()),
+                Tok::NotEq,
+                Tok::Num(0),
+                Tok::Ident("do".into()),
+                Tok::Ident("inc".into()),
+                Tok::Ident("n".into()),
+                Tok::LBracket,
+                Tok::Ident("site".into()),
+                Tok::RBracket,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn mnemonics_strings_and_numbers() {
+        let toks = kinds("i32.add \"a\\\"b\" 0x2a 42 // trailing");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("i32.add".into()),
+                Tok::Str("a\"b".into()),
+                Tok::Num(42),
+                Tok::Num(42),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_disambiguate() {
+        assert_eq!(
+            kinds("|| | <= < == != ! && %"),
+            vec![
+                Tok::OrOr,
+                Tok::Pipe,
+                Tok::Le,
+                Tok::Lt,
+                Tok::EqEq,
+                Tok::NotEq,
+                Tok::Bang,
+                Tok::AndAnd,
+                Tok::Percent,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let e = lex("match x\n  ^bad").unwrap_err();
+        match e {
+            ScriptError::Parse { line, col, .. } => {
+                assert_eq!(line, 2);
+                assert_eq!(col, 3);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("& alone").is_err());
+        assert!(lex("0x").is_err());
+    }
+}

@@ -1,0 +1,295 @@
+//! The static matcher: resolves a rule's [`Selector`] to concrete
+//! `(Location, opcode)` sites by walking the decoded bodies of a module's
+//! locally-defined functions.
+//!
+//! Matching is entirely static — it happens once, at monitor attach — and
+//! failures are descriptive: a selector that matches nothing reports the
+//! opcodes the module *does* contain, and a `func[N]+PC` selector whose
+//! `PC` is not an instruction boundary reports the nearest instruction
+//! boundaries, disassembled.
+
+use std::collections::HashMap;
+
+use wizard_engine::Location;
+use wizard_wasm::disasm;
+use wizard_wasm::instr::InstrIter;
+use wizard_wasm::module::Module;
+use wizard_wasm::opcodes as op;
+
+use crate::ast::{Rule, Selector};
+use crate::error::ScriptError;
+use crate::parse::opcode_by_name;
+
+/// One matched instrumentation site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Site {
+    /// The location to probe.
+    pub loc: Location,
+    /// The opcode at that location (static — predicates over `op` fold
+    /// against it).
+    pub opcode: u8,
+}
+
+/// A module's decoded instruction inventory, built once per attach and
+/// shared by every rule's match (decoding each body per rule would make
+/// attach O(rules × module size)).
+pub struct ModuleIndex {
+    /// `(site, is_first_of_body, is_last_of_body)` in code order.
+    instrs: Vec<(Site, bool, bool)>,
+}
+
+impl ModuleIndex {
+    /// Decodes all locally-defined function bodies.
+    pub fn new(module: &Module) -> ModuleIndex {
+        let n_imp = module.num_imported_funcs();
+        let mut out = Vec::new();
+        for (i, f) in module.funcs.iter().enumerate() {
+            let func = n_imp + i as u32;
+            let start = out.len();
+            for item in InstrIter::new(&f.body.code) {
+                let instr = item.expect("module was validated");
+                let site = Site { loc: Location { func, pc: instr.pc }, opcode: instr.op };
+                let first = out.len() == start;
+                out.push((site, first, false));
+            }
+            if let Some(last) = out.last_mut() {
+                last.2 = true;
+            }
+        }
+        ModuleIndex { instrs: out }
+    }
+}
+
+/// Resolved opcode bytes of every mnemonic selector in a rule, computed
+/// once per rule so per-site matching is a byte comparison, not a
+/// 256-entry string scan.
+fn mnemonic_bytes(selector: &Selector, out: &mut HashMap<String, u8>) {
+    match selector {
+        Selector::Opcode(name) => {
+            if let Some(b) = opcode_by_name(name) {
+                out.insert(name.clone(), b);
+            }
+        }
+        Selector::Or(alts) => {
+            for a in alts {
+                mnemonic_bytes(a, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn matches(
+    selector: &Selector,
+    mnemonics: &HashMap<String, u8>,
+    site: Site,
+    first: bool,
+    last: bool,
+) -> bool {
+    match selector {
+        Selector::Any => true,
+        Selector::Call => op::is_call(site.opcode),
+        Selector::Branch => matches!(site.opcode, op::IF | op::BR_IF | op::BR_TABLE),
+        Selector::Load => op::is_load(site.opcode),
+        Selector::Store => op::is_store(site.opcode),
+        Selector::LoopHeader => site.opcode == op::LOOP,
+        Selector::FuncEnter => first,
+        Selector::FuncExit => site.opcode == op::RETURN || (last && site.opcode == op::END),
+        Selector::Opcode(name) => mnemonics.get(name).is_some_and(|wanted| *wanted == site.opcode),
+        Selector::At { func, pc } => site.loc == Location { func: *func, pc: *pc },
+        Selector::Or(alts) => alts.iter().any(|a| matches(a, mnemonics, site, first, last)),
+    }
+}
+
+/// Walks `selector` for `func[N]+PC` components, so location selectors can
+/// be validated eagerly (range + boundary) with targeted diagnostics.
+fn at_components(selector: &Selector, out: &mut Vec<(u32, u32)>) {
+    match selector {
+        Selector::At { func, pc } => out.push((*func, *pc)),
+        Selector::Or(alts) => {
+            for a in alts {
+                at_components(a, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// The distinct opcode mnemonics present in the module, in first-seen
+/// order, truncated to `k` — the "nearest candidates" shown when a class
+/// or mnemonic selector matches nothing.
+fn present_opcodes(index: &ModuleIndex, k: usize) -> Vec<&'static str> {
+    let mut seen = Vec::new();
+    for (site, _, _) in &index.instrs {
+        let name = op::name(site.opcode);
+        if !seen.contains(&name) {
+            seen.push(name);
+            if seen.len() == k {
+                break;
+            }
+        }
+    }
+    seen
+}
+
+/// Resolves a rule's selector against a module.
+///
+/// # Errors
+///
+/// * [`ScriptError::BadFunction`] — a `func[N]` component is imported or
+///   out of range;
+/// * [`ScriptError::NoMatch`] — the selector matched nothing; the detail
+///   names nearest candidates (disassembled neighbours for a bad `+PC`,
+///   the module's opcode inventory otherwise).
+pub fn match_rule(module: &Module, rule: &Rule) -> Result<Vec<Site>, ScriptError> {
+    match_rule_indexed(module, &ModuleIndex::new(module), rule)
+}
+
+/// [`match_rule`] over a pre-built [`ModuleIndex`] — the form multi-rule
+/// callers use, paying one decode pass for the whole script.
+///
+/// # Errors
+///
+/// As [`match_rule`].
+pub fn match_rule_indexed(
+    module: &Module,
+    index: &ModuleIndex,
+    rule: &Rule,
+) -> Result<Vec<Site>, ScriptError> {
+    let n_imp = module.num_imported_funcs();
+    let mut ats = Vec::new();
+    at_components(&rule.selector, &mut ats);
+    for (func, pc) in &ats {
+        if *func < n_imp || *func >= module.num_funcs() {
+            return Err(ScriptError::BadFunction { func: *func, num_funcs: module.num_funcs() });
+        }
+        let code = &module.funcs[(func - n_imp) as usize].body.code;
+        let boundary = InstrIter::new(code).filter_map(Result::ok).any(|i| i.pc == *pc);
+        if !boundary {
+            let candidates: Vec<String> = disasm::nearest(code, *pc, 3)
+                .into_iter()
+                .map(|(p, text)| format!("func[{func}]+{p}: {text}"))
+                .collect();
+            return Err(ScriptError::NoMatch {
+                rule: rule.text.clone(),
+                detail: format!(
+                    "+{pc} is not an instruction boundary; nearest candidates: {}",
+                    candidates.join(", ")
+                ),
+            });
+        }
+    }
+
+    let mut mnemonics = HashMap::new();
+    mnemonic_bytes(&rule.selector, &mut mnemonics);
+    let sites: Vec<Site> = index
+        .instrs
+        .iter()
+        .filter(|(site, first, last)| matches(&rule.selector, &mnemonics, *site, *first, *last))
+        .map(|(site, _, _)| *site)
+        .collect();
+    if sites.is_empty() {
+        let present = present_opcodes(index, 8);
+        return Err(ScriptError::NoMatch {
+            rule: rule.text.clone(),
+            detail: format!(
+                "nearest candidates — opcodes present in this module: {}",
+                present.join(", ")
+            ),
+        });
+    }
+    Ok(sites)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+    use wizard_wasm::builder::{FuncBuilder, ModuleBuilder};
+    use wizard_wasm::types::ValType::I32;
+
+    fn module() -> Module {
+        let mut mb = ModuleBuilder::new();
+        let mut f = FuncBuilder::new(&[I32], &[I32]);
+        let i = f.local(I32);
+        f.for_range(i, 0, |f| {
+            f.nop();
+        });
+        f.local_get(0);
+        mb.add_func("spin", f);
+        let mut g = FuncBuilder::new(&[I32], &[I32]);
+        g.local_get(0).call(0);
+        mb.add_func("wrap", g);
+        mb.build().unwrap()
+    }
+
+    fn sites_of(src: &str) -> Vec<Site> {
+        let script = parse(src).unwrap();
+        match_rule(&module(), &script.rules[0]).unwrap()
+    }
+
+    #[test]
+    fn class_selectors_resolve() {
+        assert!(sites_of("match * do inc a").len() > 10);
+        assert_eq!(sites_of("match loop-header do inc a").len(), 1);
+        assert_eq!(sites_of("match call do inc a").len(), 1);
+        let branches = sites_of("match branch do inc a");
+        assert!(!branches.is_empty());
+        assert!(branches.iter().all(|s| matches!(s.opcode, op::IF | op::BR_IF | op::BR_TABLE)));
+        // func:enter — one per local function, all at instruction 0.
+        let enters = sites_of("match func:enter do inc a");
+        assert_eq!(enters.len(), 2);
+        assert!(enters.iter().all(|s| s.loc.pc == 0));
+        // func:exit includes each body's final end.
+        let exits = sites_of("match func:exit do inc a");
+        assert_eq!(exits.len(), 2);
+        assert!(exits.iter().all(|s| s.opcode == op::END));
+    }
+
+    #[test]
+    fn mnemonic_and_location_selectors() {
+        let nops = sites_of("match nop do inc a");
+        assert_eq!(nops.len(), 1);
+        let at = sites_of("match func[0]+0 do inc a");
+        assert_eq!(at.len(), 1);
+        assert_eq!(at[0].loc, Location { func: 0, pc: 0 });
+        let both = sites_of("match nop|call do inc a");
+        assert_eq!(both.len(), 2);
+    }
+
+    #[test]
+    fn no_match_reports_module_inventory() {
+        let script = parse("match f64.sqrt do inc a").unwrap();
+        let err = match_rule(&module(), &script.rules[0]).unwrap_err();
+        match &err {
+            ScriptError::NoMatch { detail, .. } => {
+                assert!(detail.contains("opcodes present"), "{detail}");
+                assert!(detail.contains("local.get"), "{detail}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(err.to_string().contains("matched no sites"));
+    }
+
+    #[test]
+    fn bad_pc_reports_nearest_instructions() {
+        let script = parse("match func[0]+1 do inc a").unwrap();
+        let err = match_rule(&module(), &script.rules[0]).unwrap_err();
+        match &err {
+            ScriptError::NoMatch { detail, .. } => {
+                assert!(detail.contains("not an instruction boundary"), "{detail}");
+                assert!(detail.contains("func[0]+0"), "{detail}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_function_is_rejected() {
+        let script = parse("match func[9]+0 do inc a").unwrap();
+        assert!(matches!(
+            match_rule(&module(), &script.rules[0]),
+            Err(ScriptError::BadFunction { func: 9, .. })
+        ));
+    }
+}

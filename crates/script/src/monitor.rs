@@ -1,0 +1,434 @@
+//! [`ScriptMonitor`]: a compiled script as a standard lifecycle
+//! [`Monitor`] — attach compiles (match → classify → batch-install),
+//! detach removes every installed probe in one pass (restoring the
+//! zero-overhead baseline), and [`Monitor::report`] renders the script's
+//! `report` directives over its counter bank.
+
+use std::collections::HashMap;
+
+use wizard_engine::{
+    InstrumentationCtx, Location, Monitor, ProbeBatch, ProbeError, ProbeKind, Report,
+};
+use wizard_wasm::module::Module;
+
+use crate::ast::{ReportKind, Script};
+use crate::error::ScriptError;
+use crate::lower::{lower_rule, materialize_rule, CounterBank, LoweredProbe};
+use crate::matcher::{match_rule_indexed, ModuleIndex, Site};
+use crate::parse;
+
+/// One installed probe, as the compiler classified it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoweredSite {
+    /// Index of the originating rule within the script.
+    pub rule: usize,
+    /// The probed location.
+    pub loc: Location,
+    /// The probe shape the rule lowered to at this site.
+    pub kind: ProbeKind,
+    /// The residual predicate after static folding (`None` if the probe
+    /// fires unconditionally).
+    pub residual: Option<String>,
+}
+
+/// Attach-time state: the counter bank plus compilation metadata.
+struct Attached {
+    bank: CounterBank,
+    lowering: Vec<LoweredSite>,
+    labels: HashMap<u32, String>,
+    matched_sites: usize,
+    dropped_sites: usize,
+}
+
+/// A [`Monitor`] executing a wizard-script program.
+///
+/// The script is compiled against the process's module during
+/// [`Monitor::on_attach`]; compilation failures (a rule matching nothing,
+/// a bad location) reject the attach with
+/// [`ProbeError::MonitorRejected`] carrying the script diagnostic, and
+/// the engine rolls back any probes already inserted.
+pub struct ScriptMonitor {
+    script: Script,
+    attached: Option<Attached>,
+}
+
+impl ScriptMonitor {
+    /// Creates a monitor over a parsed script.
+    pub fn new(script: Script) -> ScriptMonitor {
+        ScriptMonitor { script, attached: None }
+    }
+
+    /// Parses `source` and creates the monitor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScriptError`] as [`parse::parse`].
+    pub fn from_source(source: &str) -> Result<ScriptMonitor, ScriptError> {
+        Ok(ScriptMonitor::new(parse::parse(source)?))
+    }
+
+    /// The script this monitor executes.
+    pub fn script(&self) -> &Script {
+        &self.script
+    }
+
+    /// The compiled probe classification, one entry per installed probe
+    /// (empty before the first attach).
+    pub fn lowering(&self) -> &[LoweredSite] {
+        self.attached.as_ref().map_or(&[], |a| &a.lowering)
+    }
+
+    /// `(count, operand, generic)` installed-probe totals — the assertion
+    /// surface for "this script lowered to the intrinsified fast path".
+    pub fn kind_counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for l in self.lowering() {
+            match l.kind {
+                ProbeKind::Count => c.0 += 1,
+                ProbeKind::Operand => c.1 += 1,
+                ProbeKind::Generic => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// Sites matched by some rule (before predicate folding).
+    pub fn matched_sites(&self) -> usize {
+        self.attached.as_ref().map_or(0, |a| a.matched_sites)
+    }
+
+    /// Rule-site pairs whose predicate folded to `false` — instrumentation
+    /// the compiler proved away.
+    pub fn dropped_sites(&self) -> usize {
+        self.attached.as_ref().map_or(0, |a| a.dropped_sites)
+    }
+
+    /// The current value of a counter (scalar value, or table sum).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.attached.as_ref().map_or(0, |a| a.bank.sum(name))
+    }
+}
+
+fn func_label(module: &Module, func: u32) -> String {
+    module.func_name(func).map_or_else(|| format!("func[{func}]"), ToString::to_string)
+}
+
+impl Monitor for ScriptMonitor {
+    fn name(&self) -> &'static str {
+        "script"
+    }
+
+    fn on_attach(&mut self, ctx: &mut InstrumentationCtx<'_>) -> Result<(), ProbeError> {
+        // Match and lower every rule against this module.
+        let mut bank = CounterBank::default();
+        let mut lowered: Vec<LoweredProbe> = Vec::new();
+        let mut matched_sites = 0;
+        let mut dropped_sites = 0;
+        let mut labels = HashMap::new();
+        {
+            let module = ctx.module();
+            let index = ModuleIndex::new(module);
+            // Phase 1: match every rule and materialize every counter
+            // cell, so predicate reads of a table resolve to the live
+            // cells even when the incrementing rule comes later.
+            let mut matched: Vec<Vec<Site>> = Vec::with_capacity(self.script.rules.len());
+            for rule in &self.script.rules {
+                let sites = match_rule_indexed(module, &index, rule)?;
+                matched_sites += sites.len();
+                for s in &sites {
+                    labels.entry(s.loc.func).or_insert_with(|| func_label(module, s.loc.func));
+                }
+                materialize_rule(rule, &sites, &mut bank);
+                matched.push(sites);
+            }
+            // Phase 2: classify and lower.
+            for (i, (rule, sites)) in self.script.rules.iter().zip(&matched).enumerate() {
+                lowered.extend(lower_rule(i, rule, sites, &mut bank, &mut dropped_sites));
+            }
+        }
+
+        // Install the whole probe set in one invalidation pass, then wire
+        // up the self-removal ids of `once` probes.
+        let mut batch = ProbeBatch::new();
+        for p in &lowered {
+            batch.add_local(p.loc.func, p.loc.pc, std::rc::Rc::clone(&p.probe));
+        }
+        let ids = ctx.apply_batch(batch)?;
+        let mut lowering = Vec::with_capacity(lowered.len());
+        for (p, id) in lowered.into_iter().zip(ids) {
+            if let Some(cell) = &p.once_id {
+                cell.set(Some(id));
+            }
+            lowering.push(LoweredSite {
+                rule: p.rule,
+                loc: p.loc,
+                kind: p.kind,
+                residual: p.residual,
+            });
+        }
+        self.attached = Some(Attached { bank, lowering, labels, matched_sites, dropped_sites });
+        Ok(())
+    }
+
+    fn report(&self) -> Report {
+        let mut r = Report::new(self.script.title().to_string());
+        let Some(a) = &self.attached else {
+            return r;
+        };
+        let label = |loc: &Location| {
+            a.labels.get(&loc.func).map_or_else(|| format!("func[{}]", loc.func), Clone::clone)
+        };
+        for directive in &self.script.reports {
+            // Directives naming the same section append to it, so e.g.
+            // two `report "summary" total …` lines build one summary.
+            let section = match r.sections.iter().position(|s| s.name == directive.section) {
+                Some(i) => &mut r.sections[i],
+                None => r.section(directive.section.clone()),
+            };
+            match &directive.kind {
+                ReportKind::Top { n, table } => {
+                    let Some(t) = a.bank.table(table) else { continue };
+                    let mut rows: Vec<(Location, u64)> =
+                        t.iter().map(|(loc, c)| (*loc, c.get())).collect();
+                    rows.sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
+                    for (loc, count) in rows.into_iter().take(*n) {
+                        section.count(format!("{}+{}", label(&loc), loc.pc), count);
+                    }
+                }
+                ReportKind::Total { label, counters } => {
+                    section.count(label.clone(), counters.iter().map(|c| a.bank.sum(c)).sum());
+                }
+                ReportKind::Ratio { suffix, num, den } => {
+                    let empty = std::collections::BTreeMap::new();
+                    let tn = a.bank.table(num).unwrap_or(&empty);
+                    let td = a.bank.table(den).unwrap_or(&empty);
+                    let mut locs: Vec<Location> = tn.keys().chain(td.keys()).copied().collect();
+                    locs.sort_unstable();
+                    locs.dedup();
+                    for loc in locs {
+                        let x = tn.get(&loc).map_or(0, |c| c.get());
+                        let y = td.get(&loc).map_or(0, |c| c.get());
+                        if x + y == 0 {
+                            continue;
+                        }
+                        section.fraction(format!("{}+{} {suffix}", label(&loc), loc.pc), x, x + y);
+                    }
+                }
+                ReportKind::PerFunc { table } => {
+                    let Some(t) = a.bank.table(table) else { continue };
+                    let mut per: std::collections::BTreeMap<u32, (u64, u64)> =
+                        std::collections::BTreeMap::new();
+                    for (loc, c) in t {
+                        let e = per.entry(loc.func).or_insert((0, 0));
+                        e.1 += 1;
+                        if c.get() > 0 {
+                            e.0 += 1;
+                        }
+                    }
+                    for (func, (covered, total)) in per {
+                        section.fraction(label(&Location { func, pc: 0 }), covered, total);
+                    }
+                }
+                ReportKind::Percent { label, table } => {
+                    let (mut covered, mut total) = (0u64, 0u64);
+                    if let Some(t) = a.bank.table(table) {
+                        for c in t.values() {
+                            total += 1;
+                            if c.get() > 0 {
+                                covered += 1;
+                            }
+                        }
+                    }
+                    let pct =
+                        if total == 0 { 100.0 } else { 100.0 * covered as f64 / total as f64 };
+                    section.float(label.clone(), pct);
+                }
+                ReportKind::Counters => {
+                    for (name, value) in a.bank.scalars() {
+                        section.count(name, value);
+                    }
+                }
+            }
+        }
+        r
+    }
+}
+
+impl core::fmt::Debug for ScriptMonitor {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ScriptMonitor")
+            .field("title", &self.script.title())
+            .field("rules", &self.script.rules.len())
+            .field("attached", &self.attached.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wizard_engine::store::Linker;
+    use wizard_engine::{EngineConfig, Process, Value};
+    use wizard_wasm::builder::{FuncBuilder, ModuleBuilder};
+    use wizard_wasm::types::ValType::I32;
+
+    fn sum_process(config: EngineConfig) -> Process {
+        let mut mb = ModuleBuilder::new();
+        let mut f = FuncBuilder::new(&[I32], &[I32]);
+        let i = f.local(I32);
+        let acc = f.local(I32);
+        f.for_range(i, 0, |f| {
+            f.local_get(acc).local_get(i).i32_add().local_set(acc);
+        });
+        f.local_get(acc);
+        mb.add_func("sum", f);
+        Process::new(mb.build().unwrap(), config, &Linker::new()).unwrap()
+    }
+
+    #[test]
+    fn counter_script_counts_and_intrinsifies() {
+        let src = "monitor \"demo\"\n\
+                   match * do inc exec[site]\n\
+                   match loop-header do inc loops\n\
+                   report \"summary\" total \"execs\" exec\n\
+                   report \"summary\" total \"loop headers\" loops";
+        for config in [EngineConfig::interpreter(), EngineConfig::jit(), EngineConfig::tiered()] {
+            let mut p = sum_process(config);
+            let m = p.attach_monitor(ScriptMonitor::from_source(src).unwrap()).unwrap();
+            // Counter-only scripts lower exclusively to Count probes...
+            let (count, operand, generic) = m.borrow().kind_counts();
+            assert!(count > 10);
+            assert_eq!((operand, generic), (0, 0));
+            // ...and the engine agrees, site by site (a site can carry
+            // several probes when several rules match it).
+            for l in m.borrow().lowering() {
+                let kinds = p.probe_kinds_at(l.loc.func, l.loc.pc);
+                assert!(!kinds.is_empty(), "no probe installed at {}", l.loc);
+                assert!(kinds.iter().all(|k| *k == ProbeKind::Count), "at {}: {kinds:?}", l.loc);
+            }
+            p.invoke_export("sum", &[Value::I32(10)]).unwrap();
+            assert_eq!(m.borrow().counter("loops"), 11, "entry + 10 backedges");
+            assert!(m.borrow().counter("exec") > 50);
+            let r = m.report();
+            assert_eq!(r.title, "demo");
+            assert_eq!(r.get("summary").unwrap().count_of("loop headers"), Some(11));
+        }
+    }
+
+    #[test]
+    fn predicate_folding_drops_and_specializes() {
+        let src = "match * when op == br_if && tos == 0 do inc fall[site]\n\
+                   report \"summary\" total \"falls\" fall";
+        let mut p = sum_process(EngineConfig::interpreter());
+        let m = p.attach_monitor(ScriptMonitor::from_source(src).unwrap()).unwrap();
+        {
+            let mon = m.borrow();
+            // Probes survive only at br_if sites, as operand observers.
+            let (count, operand, generic) = mon.kind_counts();
+            assert_eq!(count, 0);
+            assert!(operand >= 1);
+            assert_eq!(generic, 0);
+            assert!(mon.dropped_sites() > 10, "non-br_if sites dropped at compile time");
+            assert!(mon.lowering().iter().all(|l| l.residual.as_deref() == Some("(tos == 0)")));
+        }
+        p.invoke_export("sum", &[Value::I32(7)]).unwrap();
+        // for_range's br_if exit check falls through once per iteration + 0 at exit.
+        assert_eq!(m.borrow().counter("fall"), 7);
+    }
+
+    #[test]
+    fn once_rules_self_remove() {
+        let src = "match * once do inc hit[site]\n\
+                   report \"summary\" percent \"overall %\" hit";
+        let mut p = sum_process(EngineConfig::interpreter());
+        let m = p.attach_monitor(ScriptMonitor::from_source(src).unwrap()).unwrap();
+        let installed = p.probed_location_count();
+        assert!(installed > 10);
+        p.invoke_export("sum", &[Value::I32(3)]).unwrap();
+        assert!(p.probed_location_count() < installed, "fired probes removed themselves");
+        let r1 = m.borrow().counter("hit");
+        p.invoke_export("sum", &[Value::I32(3)]).unwrap();
+        assert_eq!(m.borrow().counter("hit"), r1, "removed probes observe nothing further");
+        p.detach_monitor(m.handle()).unwrap();
+        assert_eq!(p.probed_location_count(), 0);
+    }
+
+    #[test]
+    fn bad_script_rejects_attach_with_diagnostic() {
+        let mut p = sum_process(EngineConfig::interpreter());
+        let m = ScriptMonitor::from_source("match f64.sqrt do inc a").unwrap();
+        let err = p.attach_monitor(m).unwrap_err();
+        match err {
+            ProbeError::MonitorRejected(msg) => {
+                assert!(msg.contains("matched no sites"), "{msg}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The failed attach left the process untouched.
+        assert_eq!(p.probed_location_count(), 0);
+        assert_eq!(p.monitor_count(), 0);
+    }
+
+    #[test]
+    fn detach_restores_baseline_and_reattach_resets() {
+        let src = "match * do inc exec[site]\nreport \"summary\" total \"execs\" exec";
+        let mut p = sum_process(EngineConfig::interpreter());
+        let m1 = p.attach_monitor(ScriptMonitor::from_source(src).unwrap()).unwrap();
+        p.invoke_export("sum", &[Value::I32(5)]).unwrap();
+        let first = m1.borrow().counter("exec");
+        assert!(first > 0);
+        p.detach_monitor(m1.handle()).unwrap();
+        assert_eq!(p.probed_location_count(), 0);
+
+        let m2 = p.attach_monitor(ScriptMonitor::from_source(src).unwrap()).unwrap();
+        p.invoke_export("sum", &[Value::I32(5)]).unwrap();
+        assert_eq!(m2.borrow().counter("exec"), first, "fresh attach, fresh counters");
+    }
+
+    #[test]
+    fn counter_reads_see_later_rules_cells() {
+        // A predicate reading a table counter that a *later* rule
+        // increments must observe the live cell — rule order cannot
+        // change semantics. `first` counts loop headers reached while
+        // `seen[site]` is still zero, i.e. exactly once.
+        let src = "match loop-header when $seen[site] == 0 do inc first\n\
+                   match loop-header do inc seen[site]\n\
+                   report \"summary\" total \"first\" first";
+        let swapped = "match loop-header do inc seen[site]\n\
+                       match loop-header when $seen[site] == 0 do inc first\n\
+                       report \"summary\" total \"first\" first";
+        let mut totals = Vec::new();
+        for source in [src, swapped] {
+            let mut p = sum_process(EngineConfig::interpreter());
+            let m = p.attach_monitor(ScriptMonitor::from_source(source).unwrap()).unwrap();
+            p.invoke_export("sum", &[Value::I32(10)]).unwrap();
+            totals.push(m.borrow().counter("first"));
+        }
+        // Reader-first: fires before the bump each time the header
+        // executes with seen==0 — exactly the first execution. Writer-
+        // first: seen is already 1 when the reader fires, except the
+        // very first execution where both fire in order bump-then-read.
+        assert_eq!(totals[0], 1, "reader-before-writer sees live cells");
+        assert_eq!(totals[1], 0, "writer-before-reader observes the bump");
+    }
+
+    #[test]
+    fn tiers_agree_on_operand_scripts() {
+        let src = "match branch when tos != 0 do inc taken[site]\n\
+                   match branch when tos == 0 do inc fall[site]\n\
+                   report \"profile\" ratio \"taken\" taken / fall\n\
+                   report \"summary\" total \"branches\" taken + fall";
+        let mut reports = Vec::new();
+        for config in
+            [EngineConfig::interpreter(), EngineConfig::jit(), EngineConfig::jit_no_intrinsics()]
+        {
+            let mut p = sum_process(config);
+            let m = p.attach_monitor(ScriptMonitor::from_source(src).unwrap()).unwrap();
+            p.invoke_export("sum", &[Value::I32(9)]).unwrap();
+            reports.push(m.report());
+        }
+        assert_eq!(reports[0], reports[1]);
+        assert_eq!(reports[0], reports[2]);
+        assert_eq!(reports[0].get("summary").unwrap().count_of("branches"), Some(10));
+    }
+}

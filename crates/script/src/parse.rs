@@ -1,0 +1,615 @@
+//! The wizard-script parser and script-level validator.
+//!
+//! Grammar (whitespace-insensitive; `#`/`//` comments):
+//!
+//! ```text
+//! script   := item*
+//! item     := "monitor" STRING
+//!           | "match" selector ["once"] ["when" expr] "do" actions
+//!           | "report" STRING rkind
+//! selector := alt ("|" alt)*
+//! alt      := "*" | "call" | "branch" | "load" | "store" | "loop-header"
+//!           | "func" ":" ("enter" | "exit")
+//!           | "func" "[" NUM "]" "+" NUM
+//!           | MNEMONIC                      (e.g. i32.add, br, memory.grow)
+//! actions  := action ((";" | ",")? action)*
+//! action   := "inc" NAME ["[" "site" "]"]
+//! rkind    := "top" NUM NAME
+//!           | "total" STRING NAME ("+" NAME)*
+//!           | "ratio" STRING NAME "/" NAME
+//!           | "perfunc" NAME
+//!           | "percent" STRING NAME
+//!           | "counters"
+//! expr     := precedence climbing over || && (== != < <= > >=) (+ -) (* / %)
+//!             with unary ! and -, atoms: NUM, pc, func, op, tos, tos64,
+//!             depth, $NAME, $NAME[site], MNEMONIC (an opcode constant),
+//!             "(" expr ")"
+//! ```
+//!
+//! Parsing also validates everything that does not need a module: opcode
+//! mnemonics must exist, a counter must be consistently scalar or
+//! per-site, and report directives must reference counters of the right
+//! shape.
+
+use std::collections::HashMap;
+
+use wizard_wasm::opcodes as op;
+
+use crate::ast::{Action, BinOp, Expr, ReportDirective, ReportKind, Rule, Script, Selector, UnOp};
+use crate::error::ScriptError;
+use crate::lex::{lex, Tok, Token};
+
+/// Resolves an opcode mnemonic (as printed by `wizard_wasm::opcodes::name`)
+/// to its opcode byte.
+pub fn opcode_by_name(name: &str) -> Option<u8> {
+    (0u8..=0xff).find(|&b| op::is_valid(b) && op::name(b) == name)
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].kind
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].kind.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ScriptError {
+        let t = &self.toks[self.pos];
+        ScriptError::Parse { line: t.line, col: t.col, msg: msg.into() }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, ScriptError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(self.error(format!("expected {what}, found {other}"))),
+        }
+    }
+
+    fn expect_str(&mut self, what: &str) -> Result<String, ScriptError> {
+        match self.bump() {
+            Tok::Str(s) => Ok(s),
+            other => Err(self.error(format!("expected a quoted {what}, found {other}"))),
+        }
+    }
+
+    fn expect_num(&mut self, what: &str) -> Result<i64, ScriptError> {
+        match self.bump() {
+            Tok::Num(v) => Ok(v),
+            other => Err(self.error(format!("expected {what}, found {other}"))),
+        }
+    }
+
+    fn expect_tok(&mut self, tok: &Tok) -> Result<(), ScriptError> {
+        let got = self.bump();
+        if got == *tok {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {tok}, found {got}")))
+        }
+    }
+
+    /// Consumes the token if it matches.
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == tok {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Tok::Ident(s) if s == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    // ---- selectors ----
+
+    fn selector_alt(&mut self) -> Result<Selector, ScriptError> {
+        if self.eat(&Tok::Star) {
+            return Ok(Selector::Any);
+        }
+        let name = self.expect_ident("a selector")?;
+        Ok(match name.as_str() {
+            "call" => Selector::Call,
+            "branch" => Selector::Branch,
+            "load" => Selector::Load,
+            "store" => Selector::Store,
+            "loop" if self.eat(&Tok::Minus) => {
+                let part = self.expect_ident("`header` after `loop-`")?;
+                if part != "header" {
+                    return Err(self.error(format!("expected `loop-header`, found `loop-{part}`")));
+                }
+                Selector::LoopHeader
+            }
+            "func" if self.eat(&Tok::Colon) => {
+                let which = self.expect_ident("`enter` or `exit` after `func:`")?;
+                match which.as_str() {
+                    "enter" => Selector::FuncEnter,
+                    "exit" => Selector::FuncExit,
+                    other => {
+                        return Err(self.error(format!(
+                            "expected `func:enter` or `func:exit`, found `func:{other}`"
+                        )))
+                    }
+                }
+            }
+            "func" if self.peek() == &Tok::LBracket => {
+                self.bump();
+                let func = self.expect_num("a function index")?;
+                self.expect_tok(&Tok::RBracket)?;
+                self.expect_tok(&Tok::Plus)?;
+                let pc = self.expect_num("a byte offset")?;
+                if func < 0 || pc < 0 || func > i64::from(u32::MAX) || pc > i64::from(u32::MAX) {
+                    return Err(self.error("function index / pc out of range"));
+                }
+                Selector::At { func: func as u32, pc: pc as u32 }
+            }
+            mnemonic => {
+                if opcode_by_name(mnemonic).is_none() {
+                    return Err(ScriptError::UnknownOpcode { name: mnemonic.to_string() });
+                }
+                Selector::Opcode(mnemonic.to_string())
+            }
+        })
+    }
+
+    fn selector(&mut self) -> Result<Selector, ScriptError> {
+        let first = self.selector_alt()?;
+        if self.peek() != &Tok::Pipe {
+            return Ok(first);
+        }
+        let mut alts = vec![first];
+        while self.eat(&Tok::Pipe) {
+            alts.push(self.selector_alt()?);
+        }
+        Ok(Selector::Or(alts))
+    }
+
+    // ---- expressions (precedence climbing) ----
+
+    fn expr(&mut self) -> Result<Expr, ScriptError> {
+        self.expr_or()
+    }
+
+    fn expr_or(&mut self) -> Result<Expr, ScriptError> {
+        let mut lhs = self.expr_and()?;
+        while self.eat(&Tok::OrOr) {
+            let rhs = self.expr_and()?;
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn expr_and(&mut self) -> Result<Expr, ScriptError> {
+        let mut lhs = self.expr_cmp()?;
+        while self.eat(&Tok::AndAnd) {
+            let rhs = self.expr_cmp()?;
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn expr_cmp(&mut self) -> Result<Expr, ScriptError> {
+        let lhs = self.expr_add()?;
+        let op = match self.peek() {
+            Tok::EqEq => BinOp::Eq,
+            Tok::NotEq => BinOp::Ne,
+            Tok::Lt => BinOp::Lt,
+            Tok::Le => BinOp::Le,
+            Tok::Gt => BinOp::Gt,
+            Tok::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.expr_add()?;
+        Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn expr_add(&mut self) -> Result<Expr, ScriptError> {
+        let mut lhs = self.expr_mul()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.expr_mul()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn expr_mul(&mut self) -> Result<Expr, ScriptError> {
+        let mut lhs = self.expr_unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Rem,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.expr_unary()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn expr_unary(&mut self) -> Result<Expr, ScriptError> {
+        if self.eat(&Tok::Bang) {
+            return Ok(Expr::Unary(UnOp::Not, Box::new(self.expr_unary()?)));
+        }
+        if self.eat(&Tok::Minus) {
+            return Ok(Expr::Unary(UnOp::Neg, Box::new(self.expr_unary()?)));
+        }
+        self.expr_atom()
+    }
+
+    fn expr_atom(&mut self) -> Result<Expr, ScriptError> {
+        if self.eat(&Tok::LParen) {
+            let e = self.expr()?;
+            self.expect_tok(&Tok::RParen)?;
+            return Ok(e);
+        }
+        if self.eat(&Tok::Dollar) {
+            let name = self.expect_ident("a counter name after `$`")?;
+            let per_site = self.site_suffix()?;
+            return Ok(Expr::Counter { name, per_site });
+        }
+        match self.bump() {
+            Tok::Num(v) => Ok(Expr::Const(v)),
+            Tok::Ident(s) => Ok(match s.as_str() {
+                "pc" => Expr::Pc,
+                "func" => Expr::Func,
+                "op" => Expr::Op,
+                "tos" => Expr::Tos,
+                "tos64" => Expr::Tos64,
+                "depth" => Expr::Depth,
+                mnemonic => match opcode_by_name(mnemonic) {
+                    Some(b) => Expr::Const(i64::from(b)),
+                    None => {
+                        return Err(self.error(format!(
+                            "unknown identifier `{mnemonic}` \
+                             (counters are read with `${mnemonic}`)"
+                        )))
+                    }
+                },
+            }),
+            other => Err(self.error(format!("expected an expression, found {other}"))),
+        }
+    }
+
+    /// Parses an optional `[site]` suffix.
+    fn site_suffix(&mut self) -> Result<bool, ScriptError> {
+        if !self.eat(&Tok::LBracket) {
+            return Ok(false);
+        }
+        let kw = self.expect_ident("`site`")?;
+        if kw != "site" {
+            return Err(self.error(format!("expected `site`, found `{kw}`")));
+        }
+        self.expect_tok(&Tok::RBracket)?;
+        Ok(true)
+    }
+
+    // ---- items ----
+
+    fn actions(&mut self) -> Result<Vec<Action>, ScriptError> {
+        let mut out = Vec::new();
+        loop {
+            let kw = self.expect_ident("an action (`inc <counter>`)")?;
+            if kw != "inc" {
+                return Err(self.error(format!("expected `inc`, found `{kw}`")));
+            }
+            let counter = self.expect_ident("a counter name")?;
+            let per_site = self.site_suffix()?;
+            out.push(Action::Inc { counter, per_site });
+            let _ = self.eat(&Tok::Semi) || self.eat(&Tok::Comma);
+            if !matches!(self.peek(), Tok::Ident(s) if s == "inc") {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn rule(&mut self) -> Result<Rule, ScriptError> {
+        let selector = self.selector()?;
+        let once = self.eat_kw("once");
+        let when = if self.eat_kw("when") { Some(self.expr()?) } else { None };
+        if !self.eat_kw("do") {
+            return Err(self.error("expected `do` after the selector"));
+        }
+        let actions = self.actions()?;
+        let mut text = format!("match {selector}");
+        if once {
+            text.push_str(" once");
+        }
+        if let Some(w) = &when {
+            text.push_str(&format!(" when {w}"));
+        }
+        Ok(Rule { selector, once, when, actions, text })
+    }
+
+    fn report(&mut self) -> Result<ReportDirective, ScriptError> {
+        let section = self.expect_str("section name")?;
+        let kw = self.expect_ident("a report kind")?;
+        let kind = match kw.as_str() {
+            "top" => {
+                let n = self.expect_num("a row limit")?;
+                if n <= 0 {
+                    return Err(self.error("`top` needs a positive row limit"));
+                }
+                ReportKind::Top { n: n as usize, table: self.expect_ident("a table counter")? }
+            }
+            "total" => {
+                let label = self.expect_str("row label")?;
+                let mut counters = vec![self.expect_ident("a counter")?];
+                while self.eat(&Tok::Plus) {
+                    counters.push(self.expect_ident("a counter")?);
+                }
+                ReportKind::Total { label, counters }
+            }
+            "ratio" => {
+                let suffix = self.expect_str("label suffix")?;
+                let num = self.expect_ident("the numerator table")?;
+                self.expect_tok(&Tok::Slash)?;
+                let den = self.expect_ident("the denominator table")?;
+                ReportKind::Ratio { suffix, num, den }
+            }
+            "perfunc" => ReportKind::PerFunc { table: self.expect_ident("a table counter")? },
+            "percent" => {
+                let label = self.expect_str("row label")?;
+                ReportKind::Percent { label, table: self.expect_ident("a table counter")? }
+            }
+            "counters" => ReportKind::Counters,
+            other => {
+                return Err(self.error(format!(
+                    "unknown report kind `{other}` \
+                     (expected top/total/ratio/perfunc/percent/counters)"
+                )))
+            }
+        };
+        Ok(ReportDirective { section, kind })
+    }
+
+    fn script(&mut self) -> Result<Script, ScriptError> {
+        let mut script = Script::default();
+        loop {
+            match self.peek().clone() {
+                Tok::Eof => break,
+                Tok::Ident(kw) => {
+                    self.bump();
+                    match kw.as_str() {
+                        "monitor" => script.name = Some(self.expect_str("monitor name")?),
+                        "match" => script.rules.push(self.rule()?),
+                        "report" => script.reports.push(self.report()?),
+                        other => {
+                            return Err(self.error(format!(
+                                "expected `monitor`, `match` or `report`, found `{other}`"
+                            )))
+                        }
+                    }
+                }
+                other => {
+                    return Err(self
+                        .error(format!("expected `monitor`, `match` or `report`, found {other}")))
+                }
+            }
+        }
+        validate(&script)?;
+        Ok(script)
+    }
+}
+
+/// The declared shape of every counter: `(name, per_site)` in first-use
+/// order, as incremented by the script's rules.
+pub fn counter_shapes(script: &Script) -> Vec<(String, bool)> {
+    let mut order: Vec<(String, bool)> = Vec::new();
+    for rule in &script.rules {
+        for Action::Inc { counter, per_site } in &rule.actions {
+            if !order.iter().any(|(n, _)| n == counter) {
+                order.push((counter.clone(), *per_site));
+            }
+        }
+    }
+    order
+}
+
+/// Script-level (module-independent) validation; see the module docs.
+fn validate(script: &Script) -> Result<(), ScriptError> {
+    let mut shapes: HashMap<String, bool> = HashMap::new();
+    fn check(
+        shapes: &mut HashMap<String, bool>,
+        name: &str,
+        per_site: bool,
+    ) -> Result<(), ScriptError> {
+        match shapes.get(name) {
+            Some(&existing) if existing != per_site => {
+                Err(ScriptError::CounterKindMismatch { name: name.to_string() })
+            }
+            _ => {
+                shapes.insert(name.to_string(), per_site);
+                Ok(())
+            }
+        }
+    }
+    // Shape consistency covers reads and writes alike; report directives
+    // additionally require a counter some rule actually *increments* —
+    // a read-only counter is forever zero and reporting it is a bug.
+    let mut incremented: std::collections::HashSet<&str> = std::collections::HashSet::new();
+    for rule in &script.rules {
+        for Action::Inc { counter, per_site } in &rule.actions {
+            check(&mut shapes, counter, *per_site)?;
+            incremented.insert(counter);
+        }
+        if let Some(w) = &rule.when {
+            walk_counters(w, &mut |name, per_site| check(&mut shapes, name, per_site))?;
+        }
+    }
+
+    let shape_of = |name: &str| shapes.get(name).copied();
+    for r in &script.reports {
+        let bad = |msg: String| ScriptError::BadReport { section: r.section.clone(), msg };
+        let need = |name: &str, table: bool| -> Result<(), ScriptError> {
+            if !incremented.contains(name) {
+                return Err(bad(format!("counter `{name}` is never incremented by any rule")));
+            }
+            match shape_of(name) {
+                Some(s) if table && !s => {
+                    Err(bad(format!("counter `{name}` is a scalar; this report needs a table")))
+                }
+                _ => Ok(()),
+            }
+        };
+        match &r.kind {
+            ReportKind::Top { table, .. }
+            | ReportKind::PerFunc { table }
+            | ReportKind::Percent { table, .. } => need(table, true)?,
+            ReportKind::Ratio { num, den, .. } => {
+                need(num, true)?;
+                need(den, true)?;
+            }
+            ReportKind::Total { counters, .. } => {
+                for c in counters {
+                    need(c, false)?;
+                }
+            }
+            ReportKind::Counters => {}
+        }
+    }
+    Ok(())
+}
+
+fn walk_counters(
+    e: &Expr,
+    f: &mut impl FnMut(&str, bool) -> Result<(), ScriptError>,
+) -> Result<(), ScriptError> {
+    match e {
+        Expr::Counter { name, per_site } => f(name, *per_site),
+        Expr::Unary(_, a) => walk_counters(a, f),
+        Expr::Binary(_, a, b) => {
+            walk_counters(a, f)?;
+            walk_counters(b, f)
+        }
+        _ => Ok(()),
+    }
+}
+
+/// Parses and validates a script.
+///
+/// # Errors
+///
+/// Returns [`ScriptError`] on syntax errors, unknown opcode mnemonics,
+/// inconsistent counter shapes, or report directives referencing missing
+/// counters. Matching against a concrete module happens later, at
+/// monitor attach.
+pub fn parse(source: &str) -> Result<Script, ScriptError> {
+    let toks = lex(source)?;
+    Parser { toks, pos: 0 }.script()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_hotness_script() {
+        let s = parse(
+            r#"
+            monitor "hotness"
+            match * do inc exec[site]
+            report "top locations" top 20 exec
+            report "summary" total "total instruction executions" exec
+            "#,
+        )
+        .unwrap();
+        assert_eq!(s.title(), "hotness");
+        assert_eq!(s.rules.len(), 1);
+        assert_eq!(s.rules[0].selector, Selector::Any);
+        assert_eq!(
+            s.rules[0].actions,
+            vec![Action::Inc { counter: "exec".into(), per_site: true }]
+        );
+        assert_eq!(s.reports.len(), 2);
+    }
+
+    #[test]
+    fn parses_selectors_and_predicates() {
+        let s = parse(
+            "match branch when op == br_table || tos != 0 do inc t[site]\n\
+             match load|store do inc mem\n\
+             match loop-header do inc loops\n\
+             match func:enter do inc entries\n\
+             match func[0]+12 once do inc there\n\
+             match i32.div_s do inc divs",
+        )
+        .unwrap();
+        assert_eq!(s.rules.len(), 6);
+        assert_eq!(s.rules[1].selector, Selector::Or(vec![Selector::Load, Selector::Store]));
+        assert_eq!(s.rules[2].selector, Selector::LoopHeader);
+        assert_eq!(s.rules[3].selector, Selector::FuncEnter);
+        assert_eq!(s.rules[4].selector, Selector::At { func: 0, pc: 12 });
+        assert!(s.rules[4].once);
+        assert_eq!(s.rules[5].selector, Selector::Opcode("i32.div_s".into()));
+        // br_table folded to its opcode byte.
+        let w = s.rules[0].when.as_ref().unwrap().to_string();
+        assert_eq!(w, format!("((op == {}) || (tos != 0))", wizard_wasm::opcodes::BR_TABLE));
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let s = parse("match * when 1 + 2 * 3 == 7 && !0 do inc a").unwrap();
+        let w = s.rules[0].when.as_ref().unwrap().to_string();
+        assert_eq!(w, "(((1 + (2 * 3)) == 7) && !0)");
+    }
+
+    #[test]
+    fn rejects_unknown_names_and_mismatches() {
+        assert!(matches!(parse("match i33.add do inc a"), Err(ScriptError::UnknownOpcode { .. })));
+        assert!(matches!(
+            parse("match * do inc a; inc a[site]"),
+            Err(ScriptError::CounterKindMismatch { .. })
+        ));
+        assert!(matches!(
+            parse("match * do inc a\nreport \"s\" top 5 missing"),
+            Err(ScriptError::BadReport { .. })
+        ));
+        assert!(matches!(
+            parse("match * do inc a\nreport \"s\" top 5 a"),
+            Err(ScriptError::BadReport { .. })
+        ));
+        assert!(parse("match * when nonsense do inc a").is_err());
+        assert!(parse("monitor 5").is_err());
+        // A counter that is only *read* in a predicate is never
+        // incremented: reporting it is rejected.
+        assert!(matches!(
+            parse("match * when $ghost == 0 do inc a\nreport \"s\" total \"g\" ghost"),
+            Err(ScriptError::BadReport { .. })
+        ));
+    }
+
+    #[test]
+    fn multiple_actions_and_separators() {
+        let s = parse("match call do inc a; inc b, inc c inc d").unwrap();
+        assert_eq!(s.rules[0].actions.len(), 4);
+    }
+
+    #[test]
+    fn counter_shape_listing() {
+        let s = parse("match * do inc a[site]; inc b\nmatch call do inc a[site]").unwrap();
+        assert_eq!(counter_shapes(&s), vec![("a".to_string(), true), ("b".to_string(), false)]);
+    }
+}

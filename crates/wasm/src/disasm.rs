@@ -1,7 +1,20 @@
-//! A small disassembler for function bodies, used by the tracing monitor,
-//! the debugger REPL, and the Figure-2 code-generation harness.
+//! A disassembler for function bodies and whole modules, used by the
+//! tracing monitor, the debugger REPL, the Figure-2 code-generation
+//! harness, and the script matcher's "nearest candidates" diagnostics.
+//!
+//! Three levels of API:
+//!
+//! * [`format_instr`] / [`format_instr_in`] — one instruction as text,
+//!   the latter resolving call/global immediates against a [`Module`];
+//! * [`listing`] / [`nearest`] — structured `(pc, text)` rows of a body,
+//!   either complete or the k instructions nearest a given offset (the
+//!   form error messages embed);
+//! * [`disassemble`] / [`disassemble_func`] / [`disassemble_module`] —
+//!   indented text of a body, a function with its header, or every
+//!   locally-defined function.
 
 use crate::instr::{Imm, Instr, InstrIter};
+use crate::module::{FuncIdx, Module};
 use crate::opcodes as op;
 
 /// Formats one instruction as text, e.g. `i32.const 5` or `br_table [0 1] 2`.
@@ -30,8 +43,51 @@ pub fn format_instr(i: &Instr) -> String {
     }
 }
 
-/// Disassembles a whole function body, one indented instruction per line.
-pub fn disassemble(code: &[u8]) -> String {
+/// Formats one instruction like [`format_instr`], additionally resolving
+/// module-level immediates: `call` targets and `global.get`/`global.set`
+/// indices are annotated with the entity's name when the module knows one.
+pub fn format_instr_in(module: &Module, i: &Instr) -> String {
+    let base = format_instr(i);
+    match (i.op, &i.imm) {
+        (op::CALL, Imm::Idx(f)) => match module.func_name(*f) {
+            Some(name) => format!("{base} ;; {name}"),
+            None => base,
+        },
+        (op::GLOBAL_GET | op::GLOBAL_SET, Imm::Idx(g)) => format!("{base} ;; global[{g}]"),
+        _ => base,
+    }
+}
+
+/// Decodes a body into `(pc, text)` rows, one per instruction. A decode
+/// error terminates the listing with a `<decode error …>` row at the
+/// offending pc, so the function is total.
+pub fn listing(code: &[u8]) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for item in InstrIter::new(code) {
+        match item {
+            Ok(i) => out.push((i.pc, format_instr(&i))),
+            Err(e) => {
+                out.push((e.pc, format!("<decode error: {}>", e.msg)));
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// The `k` instructions of `code` whose offsets are nearest to `pc`
+/// (ties prefer the earlier instruction), in code order — the "nearest
+/// candidates" a location-selector error message shows when `pc` is not
+/// an instruction boundary.
+pub fn nearest(code: &[u8], pc: u32, k: usize) -> Vec<(u32, String)> {
+    let mut rows = listing(code);
+    rows.sort_by_key(|(p, _)| (p.abs_diff(pc), *p));
+    rows.truncate(k);
+    rows.sort_by_key(|(p, _)| *p);
+    rows
+}
+
+fn disassemble_with(code: &[u8], fmt: impl Fn(&Instr) -> String) -> String {
     let mut out = String::new();
     let mut indent = 0usize;
     for item in InstrIter::new(code) {
@@ -42,10 +98,40 @@ pub fn disassemble(code: &[u8]) -> String {
         if matches!(i.op, op::END | op::ELSE) {
             indent = indent.saturating_sub(1);
         }
-        out.push_str(&format!("{:>5}: {}{}\n", i.pc, "  ".repeat(indent), format_instr(&i)));
+        out.push_str(&format!("{:>5}: {}{}\n", i.pc, "  ".repeat(indent), fmt(&i)));
         if matches!(i.op, op::BLOCK | op::LOOP | op::IF | op::ELSE) {
             indent += 1;
         }
+    }
+    out
+}
+
+/// Disassembles a whole function body, one indented instruction per line.
+pub fn disassemble(code: &[u8]) -> String {
+    disassemble_with(code, format_instr)
+}
+
+/// Disassembles one locally-defined function with a header line
+/// (`func[i] <name> (params) -> (results)`) and module-resolved
+/// immediates. Returns `None` for imported or out-of-range indices.
+pub fn disassemble_func(module: &Module, func: FuncIdx) -> Option<String> {
+    let n_imp = module.num_imported_funcs();
+    if func < n_imp || func >= module.num_funcs() {
+        return None;
+    }
+    let body = &module.funcs[(func - n_imp) as usize].body;
+    let ty = module.func_type(func)?;
+    let name = module.func_name(func).unwrap_or("<anonymous>");
+    let mut out = format!("func[{func}] {name} {ty}\n");
+    out.push_str(&disassemble_with(&body.code, |i| format_instr_in(module, i)));
+    Some(out)
+}
+
+/// Disassembles every locally-defined function of the module.
+pub fn disassemble_module(module: &Module) -> String {
+    let mut out = String::new();
+    for func in module.num_imported_funcs()..module.num_funcs() {
+        out.push_str(&disassemble_func(module, func).expect("local function"));
     }
     out
 }
@@ -80,5 +166,82 @@ mod tests {
             imm: Imm::BrTable { targets: vec![0, 1], default: 2 },
         };
         assert_eq!(format_instr(&i), "br_table [0 1] 2");
+    }
+
+    /// A representative immediate for each immediate kind, so the whole
+    /// opcode table can be driven through encode → decode → format.
+    fn representative_imm(kind: crate::opcodes::ImmKind) -> Imm {
+        use crate::opcodes::ImmKind;
+        match kind {
+            ImmKind::None => Imm::None,
+            ImmKind::BlockType => Imm::Block(BlockType::Value(ValType::I64)),
+            ImmKind::Index => Imm::Idx(7),
+            ImmKind::CallIndirect => Imm::CallIndirect { type_idx: 2, table: 0 },
+            ImmKind::BrTable => Imm::BrTable { targets: vec![1, 0], default: 3 },
+            ImmKind::MemArg => Imm::Mem { align: 2, offset: 64 },
+            ImmKind::MemIndex => Imm::MemIdx(0),
+            ImmKind::ConstI32 => Imm::I32(-7),
+            ImmKind::ConstI64 => Imm::I64(1 << 40),
+            ImmKind::ConstF32 => Imm::F32(0.5),
+            ImmKind::ConstF64 => Imm::F64(-2.25),
+        }
+    }
+
+    #[test]
+    fn every_opcode_formats_with_its_immediates() {
+        let mut covered = 0;
+        for opcode in 0u8..=0xff {
+            let Some(kind) = op::imm_kind(opcode) else { continue };
+            let mut buf = Vec::new();
+            crate::instr::encode(opcode, &representative_imm(kind), &mut buf);
+            let (decoded, _) = crate::instr::decode_at(&buf, 0).unwrap();
+            let text = format_instr(&decoded);
+            assert!(text.starts_with(op::name(opcode)), "opcode {opcode:#04x} formats as {text:?}");
+            assert!(!text.contains("<invalid>"));
+            covered += 1;
+        }
+        assert_eq!(covered, 177, "full supported opcode table");
+    }
+
+    fn named_module() -> crate::module::Module {
+        use crate::builder::{FuncBuilder, ModuleBuilder};
+        let mut mb = ModuleBuilder::new();
+        let mut f = FuncBuilder::new(&[ValType::I32], &[ValType::I32]);
+        f.local_get(0);
+        mb.add_func("callee", f);
+        let mut g = FuncBuilder::new(&[ValType::I32], &[ValType::I32]);
+        g.local_get(0).call(0);
+        mb.add_func("caller", g);
+        mb.build().unwrap()
+    }
+
+    #[test]
+    fn module_aware_formatting_resolves_call_targets() {
+        let m = named_module();
+        let text = disassemble_func(&m, 1).unwrap();
+        assert!(text.starts_with("func[1] caller"), "header: {text}");
+        assert!(text.contains("call 0 ;; callee"), "resolved target: {text}");
+        assert!(disassemble_func(&m, 9).is_none());
+        let all = disassemble_module(&m);
+        assert!(all.contains("func[0] callee"));
+        assert!(all.contains("func[1] caller"));
+    }
+
+    #[test]
+    fn listing_and_nearest_candidates() {
+        let m = named_module();
+        let code = &m.funcs[1].body.code;
+        let rows = listing(code);
+        assert!(rows.len() >= 3);
+        assert_eq!(rows[0], (0, "local.get 0".to_string()));
+        // pc 1 is inside the local.get immediate: nearest candidates
+        // bracket it in code order.
+        let near = nearest(code, 1, 2);
+        assert_eq!(near.len(), 2);
+        assert_eq!(near[0].0, 0);
+        assert!(near.windows(2).all(|w| w[0].0 < w[1].0), "code order");
+        // A decode error terminates but does not panic.
+        let broken = listing(&[0x20, 0x00, 0xfe]);
+        assert!(broken.last().unwrap().1.contains("<decode error"));
     }
 }

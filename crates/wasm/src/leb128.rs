@@ -1,5 +1,24 @@
 //! LEB128 variable-length integer encoding/decoding, as used throughout the
 //! WebAssembly binary format and in-place interpreted bytecode.
+//!
+//! # Canonicality
+//!
+//! Writers always emit the shortest (canonical) encoding. Readers follow
+//! the Wasm spec's tolerance rules:
+//!
+//! * **non-canonical but in-range** encodings (zero-padded continuations,
+//!   e.g. `[0x80, 0x00]` for 0, or a redundantly sign-extended final
+//!   byte) are accepted and *normalized* to the same value the canonical
+//!   form decodes to;
+//! * encodings **longer than the type allows** (a 6th byte for `u32`/
+//!   `i32`, an 11th for `u64`/`i64`) are rejected;
+//! * for the **unsigned** readers, set payload bits beyond the target
+//!   width in the final byte are rejected (`read_u32` checks the top 4
+//!   bits of byte 5; `read_u64` the top 6 of byte 10);
+//! * for the **signed** readers, final-byte bits beyond the target width
+//!   are ignored (the value is truncated to the type's width), matching
+//!   the two's-complement reinterpretation the in-place interpreter
+//!   relies on.
 
 /// Error produced when a LEB128 value is malformed or truncated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -259,5 +278,113 @@ mod tests {
         let (got, end) = read_u32(&buf, 2).unwrap();
         assert_eq!(got, 624485);
         assert_eq!(end, buf.len());
+    }
+
+    // ---- width boundaries: exact canonical byte shapes ----
+
+    #[test]
+    fn u32_boundary_encodings_are_canonical_length() {
+        // Every `len_u32` step boundary, plus the extremes.
+        let cases: [(u32, usize); 10] = [
+            (0, 1),
+            (0x7f, 1),
+            (0x80, 2),
+            (0x3fff, 2),
+            (0x4000, 3),
+            (0x1f_ffff, 3),
+            (0x20_0000, 4),
+            (0xfff_ffff, 4),
+            (0x1000_0000, 5),
+            (u32::MAX, 5),
+        ];
+        for (v, len) in cases {
+            let mut buf = Vec::new();
+            write_u32(&mut buf, v);
+            assert_eq!(buf.len(), len, "canonical length of {v:#x}");
+            assert_eq!(len_u32(v), len);
+            assert_eq!(read_u32(&buf, 0).unwrap(), (v, len));
+        }
+    }
+
+    #[test]
+    fn signed_width_boundaries_roundtrip() {
+        // The sign-bit fenceposts where the encoding grows a byte.
+        for v in [
+            0i32,
+            63,
+            64,
+            -64,
+            -65,
+            8191,
+            8192,
+            -8192,
+            -8193,
+            i32::MAX - 1,
+            i32::MAX,
+            i32::MIN + 1,
+            i32::MIN,
+        ] {
+            let mut buf = Vec::new();
+            write_i32(&mut buf, v);
+            assert_eq!(read_i32(&buf, 0).unwrap(), (v, buf.len()), "{v}");
+        }
+        for v in [
+            i64::from(i32::MAX) + 1,
+            i64::from(i32::MIN) - 1,
+            (1 << 55) - 1,
+            1 << 55,
+            -(1 << 55),
+            i64::MAX,
+            i64::MIN,
+        ] {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            assert_eq!(read_i64(&buf, 0).unwrap(), (v, buf.len()), "{v}");
+        }
+        // i64::MIN/MAX need the full 10 bytes.
+        let mut buf = Vec::new();
+        write_i64(&mut buf, i64::MIN);
+        assert_eq!(buf.len(), 10);
+        assert_eq!(buf, [0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x7f]);
+    }
+
+    // ---- non-canonical encodings: normalized as documented ----
+
+    #[test]
+    fn noncanonical_unsigned_is_normalized() {
+        // 0 and 0x3f padded with continuation bytes decode to the same
+        // value the canonical form does.
+        assert_eq!(read_u32(&[0x80, 0x00], 0).unwrap(), (0, 2));
+        assert_eq!(read_u32(&[0xbf, 0x00], 0).unwrap(), (0x3f, 2));
+        assert_eq!(read_u32(&[0x80, 0x80, 0x80, 0x80, 0x00], 0).unwrap(), (0, 5));
+        assert_eq!(read_u64(&[0xff, 0x00], 0).unwrap(), (0x7f, 2));
+    }
+
+    #[test]
+    fn noncanonical_signed_is_normalized() {
+        // -1 spelled in two bytes instead of one.
+        assert_eq!(read_i32(&[0xff, 0x7f], 0).unwrap(), (-1, 2));
+        assert_eq!(read_i64(&[0xff, 0x7f], 0).unwrap(), (-1, 2));
+        // 63 padded with an explicit zero continuation (canonical [0x3f]).
+        assert_eq!(read_i32(&[0xbf, 0x00], 0).unwrap(), (63, 2));
+        // A full-width 5-byte i32 whose final byte sets bits beyond bit
+        // 31: the excess is truncated to the 32-bit value (-1 here).
+        assert_eq!(read_i32(&[0xff, 0xff, 0xff, 0xff, 0x7f], 0).unwrap(), (-1, 5));
+    }
+
+    #[test]
+    fn out_of_range_encodings_are_rejected() {
+        // u32: payload bits above bit 31 in byte 5.
+        assert!(read_u32(&[0x80, 0x80, 0x80, 0x80, 0x10], 0).is_err());
+        // u32/i32: a 6th byte.
+        assert!(read_u32(&[0x80, 0x80, 0x80, 0x80, 0x80, 0x00], 0).is_err());
+        assert!(read_i32(&[0x80, 0x80, 0x80, 0x80, 0x80, 0x00], 0).is_err());
+        // u64: payload bits above bit 63 in byte 10.
+        assert!(read_u64(&[0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x02], 0).is_err());
+        // u64/i64: an 11th byte.
+        assert!(read_u64(&[0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x00], 0)
+            .is_err());
+        assert!(read_i64(&[0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x00], 0)
+            .is_err());
     }
 }

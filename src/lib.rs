@@ -10,6 +10,8 @@
 //! * [`monitors`] — the Monitor Zoo;
 //! * [`pool`] — the sharded multi-process pool (fuel-sliced round-robin
 //!   scheduling of instrumented processes across worker threads);
+//! * [`script`] — wizard-script, the declarative match-rule
+//!   instrumentation language compiled onto the probe engine;
 //! * [`rewriter`] — static bytecode rewriting (intrusive baseline);
 //! * [`baselines`] — Wasabi-style, DynamoRIO-style and JVMTI-style
 //!   comparison systems;
@@ -26,5 +28,6 @@ pub use wizard_engine as engine;
 pub use wizard_monitors as monitors;
 pub use wizard_pool as pool;
 pub use wizard_rewriter as rewriter;
+pub use wizard_script as script;
 pub use wizard_suites as suites;
 pub use wizard_wasm as wasm;

@@ -286,3 +286,47 @@ fn pool_fleet_reports_match_dedicated_runs() {
         );
     }
 }
+
+/// Scripts are monitors all the way down: a wizard-script program
+/// composes with hand-written monitors on one process without
+/// interference, and a fuel-sliced (bounded) scripted run reports
+/// exactly what an unbounded one does — the transparency guarantee
+/// extends to data-driven instrumentation.
+#[test]
+fn scripted_monitors_compose_and_survive_preemption() {
+    use wizard::engine::RunOutcome;
+    use wizard::script::ScriptMonitor;
+
+    const SRC: &str = "monitor \"hotness\"\n\
+                       match * do inc exec[site]\n\
+                       report \"top locations\" top 20 exec\n\
+                       report \"summary\" total \"total instruction executions\" exec";
+    let bench = richards_benchmark(25);
+
+    // Unbounded scripted run next to a hand-written branch monitor.
+    let mut p = process(bench.module.clone(), EngineConfig::tiered());
+    let script = p.attach_monitor(ScriptMonitor::from_source(SRC).unwrap()).unwrap();
+    let branch = p.attach_monitor(BranchMonitor::new()).unwrap();
+    p.invoke_export("run", &[Value::I32(bench.n)]).unwrap();
+    let unbounded_report = script.report();
+    let solo_branches = branch.borrow().total_branches();
+    assert!(solo_branches > 0);
+
+    // The scripted counts equal the hand-written hotness monitor's.
+    let mut p = process(bench.module.clone(), EngineConfig::tiered());
+    let hot = p.attach_monitor(HotnessMonitor::new()).unwrap();
+    p.invoke_export("run", &[Value::I32(bench.n)]).unwrap();
+    assert_eq!(unbounded_report, hot.report(), "scripted vs handwritten, composed");
+
+    // Bounded (fuel-sliced) scripted run: identical report, row for row.
+    let mut p = process(bench.module, EngineConfig::tiered());
+    let script2 = p.attach_monitor(ScriptMonitor::from_source(SRC).unwrap()).unwrap();
+    let mut out = p.run_export_bounded("run", &[Value::I32(bench.n)], 500).unwrap();
+    let mut slices = 1;
+    while out == RunOutcome::OutOfFuel {
+        out = p.resume(500).unwrap();
+        slices += 1;
+    }
+    assert!(slices > 1, "the run really was preempted");
+    assert_eq!(script2.report(), unbounded_report, "bounded vs unbounded scripted run");
+}
