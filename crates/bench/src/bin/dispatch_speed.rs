@@ -1,0 +1,143 @@
+//! Dispatch speed: the lowered code pipeline vs classic byte-walking
+//! dispatch, on richards + PolyBench, interpreter-only and tiered.
+//!
+//! The lowered pipeline pays the decode tax (LEB128 immediates, side-table
+//! `HashMap` branch resolution) once per function instead of once per
+//! executed instruction; this benchmark measures what that buys in the
+//! interpreter hot loop. The classic dispatcher is the engine's
+//! pre-lowering implementation, kept selectable precisely so this
+//! comparison stays measurable ([`wizard_engine::Dispatch::Bytecode`]).
+//!
+//! Emits `BENCH_dispatch.json` (schema in `EXPERIMENTS.md`) with the
+//! shared metadata block and per-benchmark times plus geomean speedups.
+//! Outside smoke mode the interpreter geomean is asserted ≥ 1.25×, the
+//! acceptance bar for the lowering refactor.
+//!
+//! Environment: `WIZARD_SCALE`, `WIZARD_RUNS`, `WIZARD_SMOKE`.
+
+use std::time::{Duration, Instant};
+
+use wizard_bench::json::Json;
+use wizard_bench::{geomean, metadata};
+use wizard_engine::store::Linker;
+use wizard_engine::{Dispatch, EngineConfig, ExecMode, Process, Value};
+use wizard_suites::Benchmark;
+
+/// Best-of-N wall time and checksum of an uninstrumented run under
+/// `config`.
+///
+/// Unlike the figure benches (which follow §5.1 and time the entire
+/// program), this measures *execution only*: instantiation — module
+/// clone, validation, linking — is identical under both dispatchers and
+/// would only dilute the dispatch ratio being measured. One warmup
+/// invocation per process absorbs lazy lowering/compilation, and the
+/// *minimum* over `WIZARD_RUNS` repetitions is reported — the standard
+/// microbenchmark estimator for "dispatch cost without scheduler noise".
+fn time_config(b: &Benchmark, config: &EngineConfig) -> (Duration, u64) {
+    let n = wizard_bench::runs();
+    let mut best = Duration::MAX;
+    let mut checksum = 0;
+    let mut p = Process::new(b.module.clone(), config.clone(), &Linker::new())
+        .expect("benchmark instantiates");
+    p.invoke_export("run", &[Value::I32(b.n)]).expect("warmup runs");
+    for _ in 0..n {
+        let start = Instant::now();
+        let r = p.invoke_export("run", &[Value::I32(b.n)]).expect("runs");
+        best = best.min(start.elapsed());
+        checksum = r.first().map_or(0, |v| v.to_slot().0);
+    }
+    (best, checksum)
+}
+
+fn main() {
+    let scale = wizard_bench::scale();
+    let mut suite = vec![wizard_suites::richards_benchmark(match scale {
+        wizard_suites::Scale::Test => 50,
+        wizard_suites::Scale::Small => 300,
+        wizard_suites::Scale::Medium => 1000,
+    })];
+    suite.extend(wizard_suites::polybench_suite(scale));
+
+    let interp_lowered = EngineConfig::interpreter();
+    let interp_bytes = EngineConfig::interpreter_bytecode();
+    let tiered_lowered = EngineConfig::tiered();
+    let tiered_bytes =
+        EngineConfig::builder().mode(ExecMode::Tiered).dispatch(Dispatch::Bytecode).build();
+
+    println!("=== dispatch speed: lowered pipeline vs classic byte dispatch ===");
+    println!(
+        "{:<16} {:>12} {:>12} {:>9} {:>12} {:>12} {:>9}",
+        "benchmark",
+        "interp(byte)",
+        "interp(low)",
+        "speedup",
+        "tiered(byte)",
+        "tiered(low)",
+        "speedup"
+    );
+
+    let mut series = Vec::new();
+    let mut interp_speedups = Vec::new();
+    let mut tiered_speedups = Vec::new();
+    for b in &suite {
+        let (ib, cs_ib) = time_config(b, &interp_bytes);
+        let (il, cs_il) = time_config(b, &interp_lowered);
+        let (tb, cs_tb) = time_config(b, &tiered_bytes);
+        let (tl, cs_tl) = time_config(b, &tiered_lowered);
+        assert_eq!(cs_il, cs_ib, "{}: lowering changed the interpreter result", b.name);
+        assert_eq!(cs_tl, cs_tb, "{}: lowering changed the tiered result", b.name);
+        let si = ib.as_secs_f64() / il.as_secs_f64().max(1e-9);
+        let st = tb.as_secs_f64() / tl.as_secs_f64().max(1e-9);
+        interp_speedups.push(si);
+        tiered_speedups.push(st);
+        println!(
+            "{:<16} {:>10.2}ms {:>10.2}ms {:>8.2}x {:>10.2}ms {:>10.2}ms {:>8.2}x",
+            b.name,
+            ib.as_secs_f64() * 1e3,
+            il.as_secs_f64() * 1e3,
+            si,
+            tb.as_secs_f64() * 1e3,
+            tl.as_secs_f64() * 1e3,
+            st
+        );
+        series.push(Json::object([
+            ("benchmark", Json::str(b.name)),
+            ("interp_bytecode_ms", Json::num(ib.as_secs_f64() * 1e3)),
+            ("interp_lowered_ms", Json::num(il.as_secs_f64() * 1e3)),
+            ("interp_speedup", Json::num(si)),
+            ("tiered_bytecode_ms", Json::num(tb.as_secs_f64() * 1e3)),
+            ("tiered_lowered_ms", Json::num(tl.as_secs_f64() * 1e3)),
+            ("tiered_speedup", Json::num(st)),
+        ]));
+    }
+
+    let gi = geomean(&interp_speedups);
+    let gt = geomean(&tiered_speedups);
+    println!("\ngeomean interpreter speedup (lowered vs bytecode): {gi:.2}x");
+    println!("geomean tiered speedup (lowered vs bytecode):      {gt:.2}x");
+
+    // Assert before writing (matching script_overhead): a regression run
+    // must not leave a failing row for trajectory tooling to ingest.
+    if wizard_bench::smoke() {
+        println!("(smoke mode: skipping the >=1.25x interpreter geomean assertion)");
+    } else {
+        assert!(
+            gi >= 1.25,
+            "lowered interpreter dispatch must be >=1.25x over byte dispatch (got {gi:.2}x)"
+        );
+    }
+
+    let mut fields = metadata("dispatch_speed", &["richards", "polybench"], &interp_lowered);
+    fields.push(("series".to_string(), Json::array(series)));
+    fields.push((
+        "summary".to_string(),
+        Json::object([
+            ("interp_geomean_speedup", Json::num(gi)),
+            ("tiered_geomean_speedup", Json::num(gt)),
+        ]),
+    ));
+    let doc = Json::Obj(fields);
+    let path = "BENCH_dispatch.json";
+    std::fs::write(path, format!("{doc}\n")).expect("write BENCH_dispatch.json");
+    println!("wrote {path}");
+}

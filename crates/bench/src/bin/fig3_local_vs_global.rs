@@ -69,22 +69,22 @@ fn main() {
         let (min, max) = rng(v);
         Json::object([("min", Json::num(min)), ("max", Json::num(max))])
     };
-    let doc = Json::object([
-        ("bench", Json::str("fig3_local_vs_global")),
-        ("schema", Json::num(1.0)),
-        ("scale", Json::str(format!("{scale:?}").to_lowercase())),
-        ("runs", Json::num(f64::from(wizard_bench::runs()))),
-        ("series", Json::array(series)),
-        (
-            "summary",
-            Json::object([
-                ("hotness_local", summary(&hot_local)),
-                ("hotness_global", summary(&hot_global)),
-                ("branch_local", summary(&br_local)),
-                ("branch_global", summary(&br_global)),
-            ]),
-        ),
-    ]);
+    let mut fields = wizard_bench::metadata(
+        "fig3_local_vs_global",
+        &["polybench"],
+        &wizard_engine::EngineConfig::interpreter(),
+    );
+    fields.push(("series".to_string(), Json::array(series)));
+    fields.push((
+        "summary".to_string(),
+        Json::object([
+            ("hotness_local", summary(&hot_local)),
+            ("hotness_global", summary(&hot_global)),
+            ("branch_local", summary(&br_local)),
+            ("branch_global", summary(&br_global)),
+        ]),
+    ));
+    let doc = Json::Obj(fields);
     let path = "BENCH_probes.json";
     std::fs::write(path, format!("{doc}\n")).expect("write BENCH_probes.json");
     println!("\nwrote {path}");

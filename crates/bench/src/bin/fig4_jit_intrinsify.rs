@@ -66,22 +66,22 @@ fn main() {
         let (min, max) = rng(v);
         Json::object([("min", Json::num(min)), ("max", Json::num(max))])
     };
-    let doc = Json::object([
-        ("bench", Json::str("fig4_jit_intrinsify")),
-        ("schema", Json::num(1.0)),
-        ("scale", Json::str(format!("{scale:?}").to_lowercase())),
-        ("runs", Json::num(f64::from(wizard_bench::runs()))),
-        ("series", Json::array(series)),
-        (
-            "summary",
-            Json::object([
-                ("hotness_intrinsified", summary(&ranges[0])),
-                ("hotness_jit", summary(&ranges[1])),
-                ("branch_intrinsified", summary(&ranges[2])),
-                ("branch_jit", summary(&ranges[3])),
-            ]),
-        ),
-    ]);
+    let mut fields = wizard_bench::metadata(
+        "fig4_jit_intrinsify",
+        &["polybench"],
+        &wizard_engine::EngineConfig::jit(),
+    );
+    fields.push(("series".to_string(), Json::array(series)));
+    fields.push((
+        "summary".to_string(),
+        Json::object([
+            ("hotness_intrinsified", summary(&ranges[0])),
+            ("hotness_jit", summary(&ranges[1])),
+            ("branch_intrinsified", summary(&ranges[2])),
+            ("branch_jit", summary(&ranges[3])),
+        ]),
+    ));
+    let doc = Json::Obj(fields);
     let path = "BENCH_intrinsify.json";
     std::fs::write(path, format!("{doc}\n")).expect("write BENCH_intrinsify.json");
     println!("\nwrote {path}");

@@ -90,15 +90,14 @@ fn main() {
         ]));
     }
 
-    let doc = Json::object([
-        ("bench", Json::str("pool_throughput")),
-        ("schema", Json::num(1.0)),
-        ("scale", Json::str(format!("{scale:?}").to_lowercase())),
-        ("host_parallelism", Json::num(cores as f64)),
-        ("fuel_slice", Json::num(slice as f64)),
-        ("fleet", Json::array(names.iter().map(Json::str).collect())),
-        ("series", Json::array(series)),
-    ]);
+    let suite_names: Vec<&str> = names.iter().map(String::as_str).collect();
+    let mut fields = wizard_bench::metadata(
+        "pool_throughput",
+        &suite_names,
+        &EngineConfig::builder().fuel_slice(slice).build(),
+    );
+    fields.push(("series".to_string(), Json::array(series)));
+    let doc = Json::Obj(fields);
     let path = "BENCH_pool.json";
     std::fs::write(path, format!("{doc}\n")).expect("write BENCH_pool.json");
     println!("\nwrote {path}");

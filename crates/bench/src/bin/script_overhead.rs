@@ -154,30 +154,34 @@ fn main() {
     println!("\ngeomean: scripted {gs:.2}x, handwritten {gh:.2}x, rewriter {gw:.2}x");
     let ratio = gs / gh.max(1e-9);
     println!("scripted / handwritten = {ratio:.2}x (acceptance bound: 2.0x)");
-    assert!(
-        ratio <= 2.0,
-        "scripted hotness geomean overhead ({gs:.2}x) exceeds 2x the handwritten \
-         monitor ({gh:.2}x) — the lowering lost the intrinsified fast path"
-    );
+    if wizard_bench::smoke() {
+        println!("(smoke mode: skipping the <=2x scripted-overhead assertion)");
+    } else {
+        assert!(
+            ratio <= 2.0,
+            "scripted hotness geomean overhead ({gs:.2}x) exceeds 2x the handwritten \
+             monitor ({gh:.2}x) — the lowering lost the intrinsified fast path"
+        );
+    }
 
-    let doc = Json::object([
-        ("bench", Json::str("script_overhead")),
-        ("schema", Json::num(1.0)),
-        ("scale", Json::str(format!("{scale:?}").to_lowercase())),
-        ("runs", Json::num(f64::from(wizard_bench::runs()))),
-        ("analysis", Json::str("hotness")),
-        ("tier", Json::str("jit-intrinsified")),
-        ("series", Json::array(series)),
-        (
-            "geomean",
-            Json::object([
-                ("scripted", Json::num(gs)),
-                ("handwritten", Json::num(gh)),
-                ("rewriter", Json::num(gw)),
-                ("scripted_over_handwritten", Json::num(ratio)),
-            ]),
-        ),
-    ]);
+    let mut fields = wizard_bench::metadata(
+        "script_overhead",
+        &["richards", "polybench"],
+        &wizard_engine::EngineConfig::jit(),
+    );
+    fields.push(("analysis".to_string(), Json::str("hotness")));
+    fields.push(("tier".to_string(), Json::str("jit-intrinsified")));
+    fields.push(("series".to_string(), Json::array(series)));
+    fields.push((
+        "geomean".to_string(),
+        Json::object([
+            ("scripted", Json::num(gs)),
+            ("handwritten", Json::num(gh)),
+            ("rewriter", Json::num(gw)),
+            ("scripted_over_handwritten", Json::num(ratio)),
+        ]),
+    ));
+    let doc = Json::Obj(fields);
     let path = "BENCH_script.json";
     std::fs::write(path, format!("{doc}\n")).expect("write BENCH_script.json");
     println!("wrote {path}");

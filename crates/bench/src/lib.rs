@@ -107,6 +107,51 @@ pub fn scale() -> Scale {
     }
 }
 
+/// `true` when running as a CI smoke test (`WIZARD_SMOKE=1`): emitters
+/// still exercise their full measurement and JSON paths but skip hard
+/// performance assertions, which are meaningless at smoke iteration
+/// counts on shared runners.
+pub fn smoke() -> bool {
+    std::env::var("WIZARD_SMOKE").as_deref() == Ok("1")
+}
+
+/// Number of hardware threads on this host (recorded in every artifact so
+/// cross-host series stay interpretable).
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// An [`EngineConfig`] serialized for the metadata block.
+pub fn engine_json(c: &EngineConfig) -> json::Json {
+    use json::Json;
+    Json::object([
+        ("mode", Json::str(format!("{:?}", c.mode))),
+        ("dispatch", Json::str(format!("{:?}", c.dispatch))),
+        ("tierup_threshold", Json::num(f64::from(c.tierup_threshold))),
+        ("intrinsify_count", Json::Bool(c.intrinsify_count)),
+        ("intrinsify_operand", Json::Bool(c.intrinsify_operand)),
+        ("fuel_slice", c.fuel_slice.map_or(Json::Null, |n| Json::num(n as f64))),
+    ])
+}
+
+/// The shared metadata block every `BENCH_*.json` artifact starts with
+/// (schema v2): bench name, schema version, scale, runs, host parallelism,
+/// the primary engine configuration, and the suite names measured. Every
+/// emitter prepends this and appends its series-specific fields, so the
+/// artifacts stay joinable across benches and hosts.
+pub fn metadata(bench: &str, suites: &[&str], engine: &EngineConfig) -> Vec<(String, json::Json)> {
+    use json::Json;
+    vec![
+        ("bench".to_string(), Json::str(bench)),
+        ("schema".to_string(), Json::num(2.0)),
+        ("scale".to_string(), Json::str(format!("{:?}", scale()).to_lowercase())),
+        ("runs".to_string(), Json::num(f64::from(runs()))),
+        ("host_parallelism".to_string(), Json::num(host_parallelism() as f64)),
+        ("engine".to_string(), engine_json(engine)),
+        ("suites".to_string(), Json::array(suites.iter().copied().map(Json::str).collect())),
+    ]
+}
+
 fn checksum_of(results: &[Value]) -> u64 {
     results.first().map_or(0, |v| v.to_slot().0)
 }

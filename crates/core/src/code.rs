@@ -1,16 +1,19 @@
 //! Per-function code objects: in-place mutable bytecode (the substrate for
-//! *bytecode overwriting*), validation metadata, and the compiled-code slot.
+//! *bytecode overwriting*), the lowered code cache, validation metadata,
+//! and the compiled-code slot.
 
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use wizard_wasm::leb128;
 use wizard_wasm::module::FuncIdx;
 use wizard_wasm::opcodes as op;
 use wizard_wasm::types::ValType;
 use wizard_wasm::validate::FuncMeta;
 
 use crate::jit::Compiled;
+use crate::lowered::Lowered;
 
 /// A function's bytecode as shared, in-place mutable bytes.
 ///
@@ -57,63 +60,30 @@ impl CodeBytes {
 
     /// Reads an unsigned LEB128 u32 at `pos`, returning `(value, next pos)`.
     ///
+    /// Delegates to the shared [`leb128`] reader so the normalization
+    /// contract (see that module's docs) lives in exactly one place.
+    ///
     /// # Panics
     ///
     /// Panics on malformed encodings — impossible for validated code.
     #[inline]
     pub fn read_u32(&self, pos: usize) -> (u32, usize) {
-        let mut result: u32 = 0;
-        let mut shift = 0u32;
-        let mut p = pos;
-        loop {
-            let byte = self.cells[p].get();
-            p += 1;
-            result |= u32::from(byte & 0x7f) << shift;
-            if byte & 0x80 == 0 {
-                return (result, p);
-            }
-            shift += 7;
-        }
+        leb128::read_u32_by(|i| self.cells.get(i).map(Cell::get), pos)
+            .expect("validated code has well-formed LEB128")
     }
 
-    /// Reads a signed LEB128 i32 at `pos`.
+    /// Reads a signed LEB128 i32 at `pos` (shared [`leb128`] contract).
     #[inline]
     pub fn read_i32(&self, pos: usize) -> (i32, usize) {
-        let mut result: i32 = 0;
-        let mut shift = 0u32;
-        let mut p = pos;
-        loop {
-            let byte = self.cells[p].get();
-            p += 1;
-            result |= i32::from(byte & 0x7f) << shift;
-            shift += 7;
-            if byte & 0x80 == 0 {
-                if shift < 32 && byte & 0x40 != 0 {
-                    result |= -1i32 << shift;
-                }
-                return (result, p);
-            }
-        }
+        leb128::read_i32_by(|i| self.cells.get(i).map(Cell::get), pos)
+            .expect("validated code has well-formed LEB128")
     }
 
-    /// Reads a signed LEB128 i64 at `pos`.
+    /// Reads a signed LEB128 i64 at `pos` (shared [`leb128`] contract).
     #[inline]
     pub fn read_i64(&self, pos: usize) -> (i64, usize) {
-        let mut result: i64 = 0;
-        let mut shift = 0u32;
-        let mut p = pos;
-        loop {
-            let byte = self.cells[p].get();
-            p += 1;
-            result |= i64::from(byte & 0x7f) << shift;
-            shift += 7;
-            if byte & 0x80 == 0 {
-                if shift < 64 && byte & 0x40 != 0 {
-                    result |= -1i64 << shift;
-                }
-                return (result, p);
-            }
-        }
+        leb128::read_i64_by(|i| self.cells.get(i).map(Cell::get), pos)
+            .expect("validated code has well-formed LEB128")
     }
 
     /// Reads 4 little-endian bytes at `pos`.
@@ -161,10 +131,15 @@ pub struct FuncCode {
     pub compiled: RefCell<Option<Rc<Compiled>>>,
     /// Hotness counter driving tier-up.
     pub hotness: Cell<u32>,
+    /// The lowered code cache: built once on first demand (interpreter
+    /// entry, JIT compile, or location validation) and then only *patched*
+    /// by probe insertion/removal — never re-lowered by instrumentation.
+    pub lowered: RefCell<Option<Rc<Lowered>>>,
 }
 
 impl FuncCode {
-    /// Installs the probe opcode at `pc`, saving the original byte.
+    /// Installs the probe opcode at `pc`, saving the original byte. The
+    /// lowered slot (if the function is lowered) is patched in tandem.
     /// Idempotent: installing twice keeps the original original.
     pub fn install_probe_byte(&self, pc: u32) {
         let cur = self.bytes.byte(pc as usize);
@@ -173,14 +148,52 @@ impl FuncCode {
         }
         self.orig.borrow_mut().insert(pc, cur);
         self.bytes.set(pc as usize, op::PROBE);
+        if let Some(low) = &*self.lowered.borrow() {
+            let slot = low.slot_of(pc).expect("probe pc is an instruction boundary");
+            low.patch_probe(slot);
+        }
     }
 
     /// Restores the original opcode at `pc` (when the last probe at the
-    /// location is removed).
+    /// location is removed), unpatching the lowered slot in tandem.
     pub fn restore_byte(&self, pc: u32) {
         if let Some(orig) = self.orig.borrow_mut().remove(&pc) {
             self.bytes.set(pc as usize, orig);
+            if let Some(low) = &*self.lowered.borrow() {
+                let slot = low.slot_of(pc).expect("probe pc is an instruction boundary");
+                low.restore_op(slot, orig);
+            }
         }
+    }
+
+    /// The lowered form of this function, lowering now if not yet cached.
+    ///
+    /// Lowering decodes from a *clean* snapshot (probe bytes replaced by
+    /// their saved originals) and then re-applies the currently-installed
+    /// probe patches, so the result is identical whether probes were
+    /// inserted before or after the function was first lowered.
+    pub fn ensure_lowered(&self) -> Rc<Lowered> {
+        if let Some(low) = &*self.lowered.borrow() {
+            return Rc::clone(low);
+        }
+        let mut clean = self.bytes.snapshot();
+        for (pc, orig) in self.orig.borrow().iter() {
+            clean[*pc as usize] = *orig;
+        }
+        let low = Rc::new(Lowered::lower(&clean, &self.meta));
+        for pc in self.orig.borrow().keys() {
+            let slot = low.slot_of(*pc).expect("probe pc is an instruction boundary");
+            low.patch_probe(slot);
+        }
+        *self.lowered.borrow_mut() = Some(Rc::clone(&low));
+        low
+    }
+
+    /// Discards the cached lowered form (the next demand re-lowers). Used
+    /// by [`Process::relower`](crate::Process::relower); probe traffic
+    /// never takes this path.
+    pub fn drop_lowered(&self) {
+        *self.lowered.borrow_mut() = None;
     }
 
     /// The original opcode at `pc`: the saved byte if overwritten, else the
@@ -223,6 +236,7 @@ mod tests {
             version: Cell::new(0),
             compiled: RefCell::new(None),
             hotness: Cell::new(0),
+            lowered: RefCell::new(None),
         }
     }
 
@@ -256,6 +270,27 @@ mod tests {
         c.invalidate();
         assert_eq!(c.version.get(), 1);
         assert!(c.compiled.borrow().is_none());
+    }
+
+    #[test]
+    fn probe_patches_apply_to_lowered_in_tandem() {
+        let c = code(&[op::NOP, op::I32_CONST, 5, op::END]);
+        // Probe installed *before* lowering: the lowering re-applies it.
+        c.install_probe_byte(1);
+        let low = c.ensure_lowered();
+        assert_eq!(low.get(1).op, op::PROBE);
+        assert_eq!(crate::value::Slot(low.get(1).z).i32(), 5);
+        // Probe installed *after* lowering: patched in tandem.
+        c.install_probe_byte(0);
+        assert_eq!(low.get(0).op, op::PROBE);
+        c.restore_byte(0);
+        c.restore_byte(1);
+        assert_eq!(low.get(0).op, op::NOP);
+        assert_eq!(low.get(1).op, op::I32_CONST);
+        // The cache is stable: same Rc until explicitly dropped.
+        assert!(Rc::ptr_eq(&low, &c.ensure_lowered()));
+        c.drop_lowered();
+        assert!(!Rc::ptr_eq(&low, &c.ensure_lowered()));
     }
 
     #[test]

@@ -10,11 +10,13 @@ use wizard_wasm::opcodes as op;
 use wizard_wasm::types::{FuncType, GlobalType, ValType};
 use wizard_wasm::validate::{validate, ValidateError};
 
+use crate::classic;
 use crate::code::{CodeBytes, FuncCode};
 use crate::exec::{Exec, ExecState, Exit};
 use crate::frame::Tier;
 use crate::interp;
 use crate::jit;
+use crate::lowered::Lowered;
 use crate::monitor::MonitorRegistry;
 use crate::probe::{BatchOp, Pending, Probe, ProbeBatch, ProbeId, ProbeRef, ProbeRegistry, Site};
 use crate::store::{HostFn, Linker, Memory, Table};
@@ -35,11 +37,31 @@ pub enum ExecMode {
     Tiered,
 }
 
+/// How the interpreter tier dispatches instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Dispatch {
+    /// Dispatch over the lowered code cache: fixed-width instructions with
+    /// pre-decoded immediates and pre-resolved branch targets, produced by
+    /// a one-time lowering pass per function (see [`crate::lowered`]).
+    #[default]
+    Lowered,
+    /// Classic byte-walking dispatch: LEB128 immediates decoded and branch
+    /// side-table hashed on every execution. Kept as the measurable
+    /// pre-lowering baseline (`dispatch_speed` bench) and as the semantic
+    /// reference for differential testing. Execution in this mode never
+    /// lowers; probe-*location validation* still lowers the targeted
+    /// function on demand (the `pc ↔ slot` map is the shared boundary
+    /// oracle, and it is what keeps the tandem slot patching sound).
+    Bytecode,
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Tier policy.
     pub mode: ExecMode,
+    /// Interpreter dispatch strategy (lowered fast path by default).
+    pub dispatch: Dispatch,
     /// Call/backedge count at which a function tiers up (Tiered mode).
     pub tierup_threshold: u32,
     /// Intrinsify [`CountProbe`](crate::probe::CountProbe)s in compiled
@@ -63,6 +85,7 @@ impl Default for EngineConfig {
     fn default() -> EngineConfig {
         EngineConfig {
             mode: ExecMode::Tiered,
+            dispatch: Dispatch::Lowered,
             tierup_threshold: 50,
             intrinsify_count: true,
             intrinsify_operand: true,
@@ -101,6 +124,16 @@ impl EngineConfig {
         EngineConfig::default()
     }
 
+    /// Interpreter-only configuration with classic byte-walking dispatch —
+    /// the pre-lowering engine, kept as a measurable baseline.
+    pub fn interpreter_bytecode() -> EngineConfig {
+        EngineConfig {
+            mode: ExecMode::InterpOnly,
+            dispatch: Dispatch::Bytecode,
+            ..EngineConfig::default()
+        }
+    }
+
     /// Starts a builder from the default configuration.
     ///
     /// ```
@@ -130,6 +163,12 @@ impl EngineConfigBuilder {
     /// Sets the tier policy.
     pub fn mode(mut self, mode: ExecMode) -> EngineConfigBuilder {
         self.config.mode = mode;
+        self
+    }
+
+    /// Sets the interpreter dispatch strategy.
+    pub fn dispatch(mut self, dispatch: Dispatch) -> EngineConfigBuilder {
+        self.config.dispatch = dispatch;
         self
     }
 
@@ -208,6 +247,13 @@ pub struct EngineStats {
     pub fuel_consumed: u64,
     /// Out-of-fuel suspensions of bounded runs.
     pub suspensions: u64,
+    /// Functions lowered to the fixed-width internal form (each function
+    /// is lowered at most once; probe traffic patches slots in place).
+    pub functions_lowered: u64,
+    /// Forced re-lowering passes ([`Process::relower`]). Probe insertion
+    /// and removal — batched or not — never re-lower, so under normal
+    /// instrumentation traffic this stays 0.
+    pub relower_passes: u64,
 }
 
 impl EngineStats {
@@ -226,6 +272,8 @@ impl EngineStats {
             invalidation_passes,
             fuel_consumed,
             suspensions,
+            functions_lowered,
+            relower_passes,
         } = *other;
         self.probe_fires += probe_fires;
         self.global_fires += global_fires;
@@ -235,6 +283,8 @@ impl EngineStats {
         self.invalidation_passes += invalidation_passes;
         self.fuel_consumed += fuel_consumed;
         self.suspensions += suspensions;
+        self.functions_lowered += functions_lowered;
+        self.relower_passes += relower_passes;
     }
 }
 
@@ -396,8 +446,6 @@ pub struct Process {
     pub(crate) stats: EngineStats,
     /// The suspended bounded run, if any (see [`Process::run_bounded`]).
     suspended: Option<Suspended>,
-    /// Lazily computed instruction-boundary sets per local function.
-    instr_starts: RefCell<HashMap<usize, Rc<std::collections::BTreeSet<u32>>>>,
 }
 
 /// A bounded run parked at an out-of-fuel suspension point.
@@ -500,6 +548,7 @@ impl Process {
                 version: Cell::new(0),
                 compiled: RefCell::new(None),
                 hotness: Cell::new(0),
+                lowered: RefCell::new(None),
             }));
         }
 
@@ -536,7 +585,6 @@ impl Process {
             global_mode: false,
             stats: EngineStats::default(),
             suspended: None,
-            instr_starts: RefCell::new(HashMap::new()),
         };
         if let Some(s) = p.module.start {
             p.invoke(s, &[]).map_err(LinkError::StartTrapped)?;
@@ -944,46 +992,69 @@ impl Process {
     }
 
     /// Validates that `(func, pc)` names an instruction boundary of a local
-    /// function.
-    pub(crate) fn check_location(&self, func: FuncIdx, pc: u32) -> Result<(), ProbeError> {
+    /// function. Boundaries come from the lowered form's `pc ↔ slot` map
+    /// (lowering the function on first demand), so the instrumentation API
+    /// and the execution tiers share one decoding of the body.
+    pub(crate) fn check_location(&mut self, func: FuncIdx, pc: u32) -> Result<(), ProbeError> {
         let n_imp = self.module.num_imported_funcs();
         if func < n_imp || func >= self.module.num_funcs() {
             return Err(ProbeError::NotALocalFunction(func));
         }
         let lf = (func - n_imp) as usize;
-        let starts = self.instr_starts_for(lf);
-        if !starts.contains(&pc) {
-            return Err(ProbeError::InvalidPc(func, pc));
+        let low = self.lowered_for(lf);
+        match low.slot_of(pc) {
+            // The one-past-the-end sentinel maps to a slot (frames park the
+            // implicit-return pc there) but is not a probeable instruction.
+            Some(slot) if (slot as usize) < low.len() => Ok(()),
+            _ => Err(ProbeError::InvalidPc(func, pc)),
         }
+    }
+
+    /// The lowered form of local function `lf`, lowering (and counting it
+    /// in [`EngineStats::functions_lowered`]) on first demand.
+    pub(crate) fn lowered_for(&mut self, lf: usize) -> Rc<Lowered> {
+        if let Some(low) = &*self.code[lf].lowered.borrow() {
+            return Rc::clone(low);
+        }
+        let low = self.code[lf].ensure_lowered();
+        self.stats.functions_lowered += 1;
+        low
+    }
+
+    /// Discards and rebuilds the lowered form of `func`, re-applying the
+    /// currently-installed probe patches, and invalidates its compiled
+    /// code. Counted in [`EngineStats::relower_passes`].
+    ///
+    /// Instrumentation never takes this path — probe insertion/removal
+    /// patches lowered slots in place (batched invalidation passes
+    /// re-patch, they never re-lower). The API exists for tooling and
+    /// tests that mutate a function's bytecode *outside* the probe
+    /// protocol and need the caches rebuilt.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `func` is imported or out of range.
+    pub fn relower(&mut self, func: FuncIdx) -> Result<(), ProbeError> {
+        let n_imp = self.module.num_imported_funcs();
+        if func < n_imp || func >= self.module.num_funcs() {
+            return Err(ProbeError::NotALocalFunction(func));
+        }
+        let lf = (func - n_imp) as usize;
+        self.code[lf].drop_lowered();
+        let _ = self.code[lf].ensure_lowered();
+        self.code[lf].invalidate();
+        self.stats.relower_passes += 1;
         Ok(())
     }
 
-    fn instr_starts_for(&self, lf: usize) -> Rc<std::collections::BTreeSet<u32>> {
-        if let Some(s) = self.instr_starts.borrow().get(&lf) {
-            return Rc::clone(s);
-        }
-        let fc = &self.code[lf];
-        let mut clean = fc.bytes.snapshot();
-        for (pc, orig) in fc.orig.borrow().iter() {
-            clean[*pc as usize] = *orig;
-        }
-        let mut set = std::collections::BTreeSet::new();
-        for item in wizard_wasm::instr::InstrIter::new(&clean) {
-            let i = item.expect("validated code decodes");
-            set.insert(i.pc);
-        }
-        let rc = Rc::new(set);
-        self.instr_starts.borrow_mut().insert(lf, Rc::clone(&rc));
-        rc
-    }
-
     /// Ensures `lf` has valid compiled code (compiling against current
-    /// instrumentation).
+    /// instrumentation, from the shared lowered form).
     pub(crate) fn ensure_compiled(&mut self, lf: usize) {
         if self.code[lf].compiled.borrow().is_some() {
             return;
         }
-        let compiled = jit::compile(&self.code[lf], &self.probes, &self.config);
+        let low = self.lowered_for(lf);
+        let compiled = jit::compile(&self.code[lf], &low, &self.probes, &self.config);
         self.stats.compiles += 1;
         *self.code[lf].compiled.borrow_mut() = Some(Rc::new(compiled));
     }
@@ -1098,6 +1169,7 @@ fn drive(ex: &mut Exec<'_>) -> Result<Exit, Trap> {
     while !ex.frames.is_empty() {
         let tier = ex.frames.last().expect("non-empty").tier;
         let r = match tier {
+            Tier::Interp if ex.classic => classic::run_frame(ex),
             Tier::Interp => interp::run_frame(ex),
             Tier::Jit => jit::run_frame(ex),
         };

@@ -8,10 +8,12 @@ use wizard_wasm::module::FuncIdx;
 use wizard_wasm::opcodes as op;
 use wizard_wasm::validate::{FuncMeta, Target};
 
+use crate::classic;
 use crate::code::CodeBytes;
-use crate::engine::Process;
+use crate::engine::{Dispatch, Process};
 use crate::frame::{Frame, FrameAccessor, Tier};
-use crate::interp::{instrumented_table, normal_table, Handler};
+use crate::interp;
+use crate::lowered::{LTarget, Lowered};
 use crate::probe::{Location, Pending, ProbeId, ProbeRef};
 use crate::store::HostCtx;
 use crate::trap::Trap;
@@ -86,7 +88,12 @@ pub(crate) struct Exec<'p> {
     /// Call stack; `frames.last()` is the current frame (its `pc`/`cip`
     /// are authoritative only at sync points).
     pub frames: Vec<Frame>,
-    /// Live pc of the current frame.
+    /// Live cursor of the current frame. In the lowered interpreter this
+    /// is a *slot index*; in the classic (byte-walking) interpreter and in
+    /// the JIT tier's sync writes it is a byte pc. Frames always receive
+    /// byte pcs ([`Exec::sync_pc`] converts), keeping the paper's
+    /// byte-offset location space the contract everywhere outside the
+    /// lowered hot loop.
     pub pc: usize,
     /// Current function (global index).
     pub func: FuncIdx,
@@ -100,10 +107,19 @@ pub(crate) struct Exec<'p> {
     pub results: u32,
     /// Current function's bytecode.
     pub code: CodeBytes,
+    /// Current function's lowered form (lowered dispatch only). Held by
+    /// value — a small bundle of shared pointers, like [`CodeBytes`] — so
+    /// the dispatch loop reaches the op stream in one indirection.
+    pub low: Lowered,
     /// Current function's metadata.
     pub meta: Rc<FuncMeta>,
-    /// Active dispatch table (normal or global-probe-instrumented).
-    pub table: &'static [Handler; 256],
+    /// `true` when the engine is configured for classic byte dispatch
+    /// ([`Dispatch::Bytecode`]).
+    pub classic: bool,
+    /// Active lowered dispatch table (normal or global-probe-instrumented).
+    pub table: &'static [interp::Handler; 256],
+    /// Active classic dispatch table (kept in lockstep with `table`).
+    pub ctable: &'static [classic::Handler; 256],
     /// Source of activation ids.
     pub activations: u64,
     /// One-shot suppression of probe firing at a location, used when
@@ -138,9 +154,20 @@ impl Drop for ExecState {
     }
 }
 
+thread_local! {
+    /// Shared placeholder for `Exec::low` before the first frame loads —
+    /// built once per thread so every invocation (and every bounded-run
+    /// resume slice) starts with a few refcount bumps instead of fresh
+    /// allocations. Classic-dispatch runs never replace it.
+    static EMPTY_LOWERED: Lowered = Lowered::empty();
+}
+
 impl<'p> Exec<'p> {
     pub fn new(proc: &'p mut Process) -> Exec<'p> {
-        let table = if proc.global_mode { instrumented_table() } else { normal_table() };
+        let global = proc.global_mode;
+        let table = if global { interp::instrumented_table() } else { interp::normal_table() };
+        let ctable = if global { classic::instrumented_table() } else { classic::normal_table() };
+        let classic = proc.config.dispatch == Dispatch::Bytecode;
         Exec {
             proc,
             values: Vec::with_capacity(1024),
@@ -152,8 +179,11 @@ impl<'p> Exec<'p> {
             opbase: 0,
             results: 0,
             code: CodeBytes::new(&[]),
+            low: EMPTY_LOWERED.with(Clone::clone),
             meta: Rc::new(FuncMeta::default()),
+            classic,
             table,
+            ctable,
             activations: 0,
             skip_probe: None,
             metered: false,
@@ -213,37 +243,61 @@ impl<'p> Exec<'p> {
 
     // ---- frame sync ----
 
-    /// Writes the live pc back into the current frame (before probes fire or
-    /// state is otherwise observed).
+    /// `true` while `self.pc` holds a lowered slot index (the lowered
+    /// interpreter is the running tier) rather than a byte pc.
     #[inline]
-    pub fn sync_pc(&mut self) {
-        if let Some(f) = self.frames.last_mut() {
-            f.pc = self.pc;
-        }
+    fn pc_is_slot(&self) -> bool {
+        !self.classic && self.frames.last().is_some_and(|f| f.tier == Tier::Interp)
     }
 
-    /// Refreshes the cached current-frame fields from `frames.last()`.
+    /// Writes the live pc back into the current frame — converted to a
+    /// *byte* pc if the cursor is currently a lowered slot — before probes
+    /// fire or state is otherwise observed.
+    #[inline]
+    pub fn sync_pc(&mut self) {
+        if self.frames.is_empty() {
+            return;
+        }
+        let pc = if self.pc_is_slot() { self.low.pc_of(self.pc) as usize } else { self.pc };
+        self.frames.last_mut().expect("non-empty").pc = pc;
+    }
+
+    /// Refreshes the cached current-frame fields from `frames.last()`,
+    /// lowering the function on first touch (lowered dispatch only) and
+    /// converting the parked byte pc back to a slot index.
     pub fn load_cur(&mut self) {
-        let f = self.frames.last().expect("at least one frame");
-        self.pc = f.pc;
-        self.func = f.func;
-        self.lf = f.lf;
-        self.base = f.base;
-        self.opbase = f.opbase;
-        self.results = f.results;
-        let fc = &self.proc.code[f.lf];
-        self.code = fc.bytes.clone();
-        self.meta = Rc::clone(&fc.meta);
+        let (pc, tier, lf) = {
+            let f = self.frames.last().expect("at least one frame");
+            self.func = f.func;
+            self.lf = f.lf;
+            self.base = f.base;
+            self.opbase = f.opbase;
+            self.results = f.results;
+            let fc = &self.proc.code[f.lf];
+            self.code = fc.bytes.clone();
+            self.meta = Rc::clone(&fc.meta);
+            (f.pc, f.tier, f.lf)
+        };
+        if self.classic {
+            self.pc = pc;
+        } else {
+            self.low = (*self.proc.lowered_for(lf)).clone();
+            self.pc = if tier == Tier::Interp {
+                self.low.slot_of(pc as u32).expect("frame pc is an instruction boundary") as usize
+            } else {
+                pc
+            };
+        }
     }
 
     // ---- branching ----
 
-    /// Executes a resolved branch: truncate the operand stack to the label
-    /// height, carrying the top `arity` values.
+    /// The branch value shuffle shared by all tiers: truncate the operand
+    /// stack to the label height, carrying the top `keep` values.
     #[inline]
-    pub fn do_branch(&mut self, t: Target) {
-        let keep = t.arity as usize;
-        let dest = self.opbase + t.height as usize;
+    pub fn branch_values(&mut self, keep: u32, height: u32) {
+        let keep = keep as usize;
+        let dest = self.opbase + height as usize;
         let src = self.values.len() - keep;
         if src != dest {
             for k in 0..keep {
@@ -251,7 +305,20 @@ impl<'p> Exec<'p> {
             }
             self.values.truncate(dest + keep);
         }
+    }
+
+    /// Executes a side-table branch (classic byte dispatch).
+    #[inline]
+    pub fn do_branch(&mut self, t: Target) {
+        self.branch_values(t.arity, t.height);
         self.pc = t.target_pc as usize;
+    }
+
+    /// Executes a pre-resolved lowered branch (slot destination).
+    #[inline]
+    pub fn do_branch_lowered(&mut self, t: LTarget) {
+        self.branch_values(t.keep, t.height);
+        self.pc = t.slot as usize;
     }
 
     // ---- calls and returns ----
@@ -479,8 +546,10 @@ impl<'p> Exec<'p> {
         for p in ops {
             self.proc.apply_instrumentation(p);
         }
-        // The dispatch table may have changed (global-probe mode).
-        self.table = if self.proc.global_mode { instrumented_table() } else { normal_table() };
+        // The dispatch tables may have changed (global-probe mode).
+        let global = self.proc.global_mode;
+        self.table = if global { interp::instrumented_table() } else { interp::normal_table() };
+        self.ctable = if global { classic::instrumented_table() } else { classic::normal_table() };
     }
 
     /// Unwinds all frames of this invocation after a trap, invalidating

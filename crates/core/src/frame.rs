@@ -38,6 +38,13 @@ pub(crate) struct Frame {
     /// Result arity of the function.
     pub results: u32,
     /// Resume/current bytecode pc (authoritative at sync points).
+    ///
+    /// Always a *byte offset* — the paper's location space — even though
+    /// the lowered interpreter's live cursor is a slot index: `Exec`
+    /// converts through the function's `pc ↔ slot` map when parking or
+    /// loading a frame. That keeps every consumer of parked frames
+    /// (FrameAccessors, fuel suspension/resume, deoptimization, OSR
+    /// entries, probe locations) dispatch-representation-agnostic.
     pub pc: usize,
     /// Resume/current compiled-op index when `tier == Jit`.
     pub cip: usize,

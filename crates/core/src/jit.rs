@@ -1,9 +1,11 @@
 //! The JIT tier: a pre-decoded micro-op compiler and executor.
 //!
-//! This stands in for Wizard's baseline JIT (which emits x86-64). Bytecode
-//! is compiled once into a dense array of micro-ops with pre-resolved
-//! immediates and branch targets, executed by a tight dispatch loop — the
-//! same structural role machine code plays in the paper:
+//! This stands in for Wizard's baseline JIT (which emits x86-64). The
+//! function's *lowered* form ([`crate::lowered`] — immediates pre-decoded,
+//! side table fused) is compiled into a dense array of micro-ops executed
+//! by a tight dispatch loop — the same structural role machine code plays
+//! in the paper. The JIT shares the lowering with the interpreter instead
+//! of re-walking raw bytes:
 //!
 //! * local probes are *compiled into* the code at their sites;
 //! * a generic probe site requires a state checkpoint and a runtime call
@@ -19,13 +21,12 @@ use std::cell::Cell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use wizard_wasm::instr::{Imm, InstrIter};
 use wizard_wasm::opcodes as op;
-use wizard_wasm::validate::{SideEntry, Target};
 
 use crate::code::FuncCode;
 use crate::exec::{Exec, Exit, Sig};
 use crate::frame::Tier;
+use crate::lowered::{LTarget, Lowered};
 use crate::numeric;
 use crate::probe::{Location, ProbeKind, ProbeRef, ProbeRegistry};
 use crate::trap::Trap;
@@ -196,30 +197,43 @@ pub struct Compiled {
     pub osr_entry: HashMap<u32, u32>,
 }
 
-/// Compiles `fc` to micro-ops, baking in the currently-installed probes.
-pub(crate) fn compile(fc: &FuncCode, probes: &ProbeRegistry, config: &EngineConfig) -> Compiled {
-    // Decode from a cleaned snapshot: probe bytes replaced by originals.
-    let mut clean = fc.bytes.snapshot();
-    for (pc, orig) in fc.orig.borrow().iter() {
-        clean[*pc as usize] = *orig;
-    }
-    let mut ops: Vec<Op> = Vec::with_capacity(clean.len());
-    let mut ip_to_pc: Vec<u32> = Vec::with_capacity(clean.len());
-    let mut pc_to_ip: HashMap<u32, u32> = HashMap::new();
+/// Compiles `fc` from its *lowered* form to micro-ops, baking in the
+/// currently-installed probes.
+///
+/// The lowering pass already pre-decoded every immediate and fused the
+/// side table, so compilation is a single walk over fixed-width slots —
+/// the byte-decoding logic this function used to duplicate with the
+/// interpreter now lives (once) in [`crate::lowered`].
+pub(crate) fn compile(
+    fc: &FuncCode,
+    low: &Lowered,
+    probes: &ProbeRegistry,
+    config: &EngineConfig,
+) -> Compiled {
+    let nslots = low.len();
+    let mut ops: Vec<Op> = Vec::with_capacity(nslots);
+    let mut ip_to_pc: Vec<u32> = Vec::with_capacity(nslots);
+    let mut slot_to_ip: Vec<u32> = Vec::with_capacity(nslots + 1);
     let mut osr_entry: HashMap<u32, u32> = HashMap::new();
 
-    let side_br = |pc: u32| -> Target {
-        match fc.meta.side.get(&pc) {
-            Some(SideEntry::Br(t) | SideEntry::IfFalse(t) | SideEntry::ElseSkip(t)) => *t,
-            other => unreachable!("missing side entry at {pc}: {other:?}"),
-        }
-    };
-    let jt = |t: Target| JTarget { ip: t.target_pc, keep: t.arity, height: t.height };
+    // Branch targets are emitted with `ip` temporarily holding the lowered
+    // *slot*; a second pass resolves slots to op indices.
+    let jt = |t: LTarget| JTarget { ip: t.slot, keep: t.keep, height: t.height };
 
-    for item in InstrIter::new(&clean) {
-        let instr = item.expect("validated code decodes");
-        let pc = instr.pc;
-        pc_to_ip.insert(pc, ops.len() as u32);
+    for slot in 0..nslots {
+        // The unfused view: exactly one bytecode instruction per slot
+        // (fused superinstructions are an interpreter-dispatch concern).
+        // Probe-patched slots compile from the saved original instruction
+        // — `original` also recovers pre-fusion immediates if the patched
+        // slot was a fused head; the site's probes are compiled in (or
+        // intrinsified) below.
+        let pc = low.pc_of(slot);
+        let mut li = low.unfused(slot);
+        if li.op == op::PROBE {
+            li = low.original(slot, fc.orig_opcode(pc));
+        }
+        slot_to_ip.push(ops.len() as u32);
+        let opb = li.op;
         // Probe site: intrinsify if every probe at the site supports it,
         // otherwise fall back to a single generic probe op that dispatches
         // the whole site list through the runtime.
@@ -249,66 +263,34 @@ pub(crate) fn compile(fc: &FuncCode, probes: &ProbeRegistry, config: &EngineConf
                 ip_to_pc.push(pc);
             }
         }
-        if instr.op == op::LOOP {
+        if opb == op::LOOP {
             osr_entry.insert(pc, ops.len() as u32);
         }
-        let emitted: Option<Op> = match instr.op {
+        let emitted: Option<Op> = match opb {
             op::NOP | op::BLOCK | op::LOOP | op::END => None,
             op::UNREACHABLE => Some(Op::Unreachable),
-            op::BR => Some(Op::Br(jt(side_br(pc)))),
-            op::BR_IF => Some(Op::BrIf(jt(side_br(pc)))),
-            op::IF => Some(Op::BrIfZero(jt(side_br(pc)))),
-            op::ELSE => Some(Op::Br(jt(side_br(pc)))),
-            op::BR_TABLE => match fc.meta.side.get(&pc) {
-                Some(SideEntry::Table(entries)) => {
-                    Some(Op::BrTable(entries.iter().map(|t| jt(*t)).collect()))
-                }
-                other => unreachable!("missing br_table side entry: {other:?}"),
-            },
+            op::BR | op::ELSE => Some(Op::Br(jt(low.target(li.x)))),
+            op::BR_IF => Some(Op::BrIf(jt(low.target(li.x)))),
+            op::IF => Some(Op::BrIfZero(jt(low.target(li.x)))),
+            op::BR_TABLE => Some(Op::BrTable(low.table(li.x).iter().map(|t| jt(*t)).collect())),
             op::RETURN => Some(Op::Return),
-            op::CALL => match instr.imm {
-                Imm::Idx(callee) => Some(Op::Call { callee, ret_pc: next_pc(&clean, pc) }),
-                _ => unreachable!(),
-            },
-            op::CALL_INDIRECT => match instr.imm {
-                Imm::CallIndirect { type_idx, .. } => {
-                    Some(Op::CallIndirect { type_idx, ret_pc: next_pc(&clean, pc) })
-                }
-                _ => unreachable!(),
-            },
+            op::CALL => Some(Op::Call { callee: li.x, ret_pc: low.pc_of(slot + 1) }),
+            op::CALL_INDIRECT => {
+                Some(Op::CallIndirect { type_idx: li.x, ret_pc: low.pc_of(slot + 1) })
+            }
             op::DROP => Some(Op::Drop),
             op::SELECT => Some(Op::Select),
-            op::LOCAL_GET => Some(Op::LocalGet(idx(&instr.imm))),
-            op::LOCAL_SET => Some(Op::LocalSet(idx(&instr.imm))),
-            op::LOCAL_TEE => Some(Op::LocalTee(idx(&instr.imm))),
-            op::GLOBAL_GET => Some(Op::GlobalGet(idx(&instr.imm))),
-            op::GLOBAL_SET => Some(Op::GlobalSet(idx(&instr.imm))),
+            op::LOCAL_GET => Some(Op::LocalGet(li.x)),
+            op::LOCAL_SET => Some(Op::LocalSet(li.x)),
+            op::LOCAL_TEE => Some(Op::LocalTee(li.x)),
+            op::GLOBAL_GET => Some(Op::GlobalGet(li.x)),
+            op::GLOBAL_SET => Some(Op::GlobalSet(li.x)),
             op::MEMORY_SIZE => Some(Op::MemorySize),
             op::MEMORY_GROW => Some(Op::MemoryGrow),
-            op::I32_CONST => match instr.imm {
-                Imm::I32(v) => Some(Op::Const(Slot::from_i32(v).0)),
-                _ => unreachable!(),
-            },
-            op::I64_CONST => match instr.imm {
-                Imm::I64(v) => Some(Op::Const(Slot::from_i64(v).0)),
-                _ => unreachable!(),
-            },
-            op::F32_CONST => match instr.imm {
-                Imm::F32(v) => Some(Op::Const(Slot::from_f32(v).0)),
-                _ => unreachable!(),
-            },
-            op::F64_CONST => match instr.imm {
-                Imm::F64(v) => Some(Op::Const(Slot::from_f64(v).0)),
-                _ => unreachable!(),
-            },
-            b if op::is_load(b) => match instr.imm {
-                Imm::Mem { offset, .. } => Some(Op::Load { op: b, offset }),
-                _ => unreachable!(),
-            },
-            b if op::is_store(b) => match instr.imm {
-                Imm::Mem { offset, .. } => Some(Op::Store { op: b, offset }),
-                _ => unreachable!(),
-            },
+            // The lowering already holds const payloads as slot bits.
+            op::I32_CONST | op::I64_CONST | op::F32_CONST | op::F64_CONST => Some(Op::Const(li.z)),
+            b if op::is_load(b) => Some(Op::Load { op: b, offset: li.x }),
+            b if op::is_store(b) => Some(Op::Store { op: b, offset: li.x }),
             b if numeric::is_binop(b) => Some(Op::Bin(b)),
             b if numeric::is_unop(b) => Some(Op::Un(b)),
             b => unreachable!("unhandled opcode {b:#04x} in validated code"),
@@ -318,11 +300,12 @@ pub(crate) fn compile(fc: &FuncCode, probes: &ProbeRegistry, config: &EngineConf
             ip_to_pc.push(pc);
         }
     }
+    // Sentinel: branches to one-past-the-end resolve to the return path.
+    slot_to_ip.push(ops.len() as u32);
 
-    // Resolve branch targets: JTarget.ip currently holds a bytecode pc.
-    let end_ip = ops.len() as u32;
+    // Resolve branch targets: JTarget.ip currently holds a lowered slot.
     let map = |t: &mut JTarget| {
-        t.ip = pc_to_ip.get(&t.ip).copied().unwrap_or(end_ip);
+        t.ip = slot_to_ip[t.ip as usize];
     };
     for o in &mut ops {
         match o {
@@ -337,35 +320,6 @@ pub(crate) fn compile(fc: &FuncCode, probes: &ProbeRegistry, config: &EngineConf
     }
 
     Compiled { version: fc.version.get(), ops, ip_to_pc, osr_entry }
-}
-
-fn idx(imm: &Imm) -> u32 {
-    match imm {
-        Imm::Idx(v) => *v,
-        _ => unreachable!("decoder invariant"),
-    }
-}
-
-fn next_pc(clean: &[u8], pc: u32) -> u32 {
-    let (_, next) = wizard_wasm::instr::decode_at(clean, pc as usize).expect("validated");
-    next as u32
-}
-
-impl Exec<'_> {
-    /// Branch value shuffle shared with the interpreter's `do_branch`, but
-    /// without touching the pc.
-    #[inline]
-    fn branch_values(&mut self, keep: u32, height: u32) {
-        let keep = keep as usize;
-        let dest = self.opbase + height as usize;
-        let src = self.values.len() - keep;
-        if src != dest {
-            for k in 0..keep {
-                self.values[dest + k] = self.values[src + k];
-            }
-            self.values.truncate(dest + keep);
-        }
-    }
 }
 
 /// Runs the current (JIT-tier) frame until the invocation finishes, the

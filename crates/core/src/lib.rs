@@ -5,11 +5,15 @@
 //!
 //! # Architecture
 //!
-//! * **In-place interpreter** ([`interp`](crate)): executes original
-//!   bytecode through a 256-entry dispatch table of handler function
-//!   pointers, with a precomputed branch side table. Global probes are
+//! * **Lowered interpreter** ([`lowered`]): each function body is lowered
+//!   *once* into fixed-width internal instructions — immediates
+//!   pre-decoded, branch side table fused into pre-resolved targets — and
+//!   the interpreter dispatches over lowered slots through a 256-entry
+//!   handler table. A bidirectional `pc ↔ slot` map keeps the paper's
+//!   byte-offset location space as the public contract. Global probes are
 //!   implemented by *switching the dispatch table pointer* — zero overhead
-//!   when disabled.
+//!   when disabled. The classic byte-walking dispatch survives as
+//!   [`Dispatch::Bytecode`], the measured baseline for the lowering win.
 //! * **Local probes** are implemented by *bytecode overwriting*: the probed
 //!   instruction's opcode byte is replaced by a reserved probe opcode, and
 //!   the original is kept on the side — zero overhead for uninstrumented
@@ -145,12 +149,14 @@
 
 #![warn(missing_docs)]
 
+mod classic;
 pub mod code;
 mod engine;
 pub mod exec;
 pub mod frame;
 mod interp;
 pub mod jit;
+pub mod lowered;
 pub mod monitor;
 pub mod numeric;
 pub mod probe;
@@ -159,8 +165,8 @@ pub mod trap;
 pub mod value;
 
 pub use engine::{
-    EngineConfig, EngineConfigBuilder, EngineStats, ExecMode, LinkError, ProbeError, Process,
-    RunOutcome,
+    Dispatch, EngineConfig, EngineConfigBuilder, EngineStats, ExecMode, LinkError, ProbeError,
+    Process, RunOutcome,
 };
 pub use exec::{FrameModError, FrameView, ProbeCtx};
 pub use frame::{FrameAccessor, Tier};

@@ -445,6 +445,11 @@ mod tests {
             }
             assert!(outcome.stats.suspensions > 0);
             assert!(outcome.stats.fuel_consumed > 0);
+            // Lowering counters aggregate fleet-wide: each of the 8 jobs
+            // lowered its one function exactly once, and probe/suspension
+            // traffic never re-lowered anything.
+            assert_eq!(outcome.stats.functions_lowered, 8);
+            assert_eq!(outcome.stats.relower_passes, 0);
             // Jobs come back in submission order regardless of sharding.
             let names: Vec<&str> = outcome.jobs.iter().map(|j| j.name.as_str()).collect();
             assert_eq!(names, (0..8).map(|k| format!("sum-{k}")).collect::<Vec<_>>());

@@ -35,19 +35,27 @@ impl core::fmt::Display for LebError {
 
 impl std::error::Error for LebError {}
 
-/// Reads an unsigned LEB128 `u32` from `buf` at `pos`.
+/// Reads an unsigned LEB128 `u32` through an arbitrary byte source.
 ///
-/// Returns the value and the position of the first byte after the integer.
+/// This is the *one* implementation of the `u32` decoding/normalization
+/// contract; the slice reader ([`read_u32`]) and the engine's
+/// `Cell`-backed in-place bytecode reader both delegate here, so the
+/// tolerance rules above cannot drift between the decoder and the
+/// interpreter. `byte_at` returns `None` past the end of the source.
 ///
 /// # Errors
 ///
 /// Returns [`LebError`] if the encoding is truncated or exceeds 32 bits.
-pub fn read_u32(buf: &[u8], pos: usize) -> Result<(u32, usize), LebError> {
+#[inline]
+pub fn read_u32_by(
+    mut byte_at: impl FnMut(usize) -> Option<u8>,
+    pos: usize,
+) -> Result<(u32, usize), LebError> {
     let mut result: u32 = 0;
     let mut shift = 0u32;
     let mut p = pos;
     loop {
-        let byte = *buf.get(p).ok_or(LebError { offset: pos })?;
+        let byte = byte_at(p).ok_or(LebError { offset: pos })?;
         p += 1;
         if shift == 28 && byte & 0xf0 != 0 {
             return Err(LebError { offset: pos });
@@ -61,6 +69,17 @@ pub fn read_u32(buf: &[u8], pos: usize) -> Result<(u32, usize), LebError> {
             return Err(LebError { offset: pos });
         }
     }
+}
+
+/// Reads an unsigned LEB128 `u32` from `buf` at `pos`.
+///
+/// Returns the value and the position of the first byte after the integer.
+///
+/// # Errors
+///
+/// Returns [`LebError`] if the encoding is truncated or exceeds 32 bits.
+pub fn read_u32(buf: &[u8], pos: usize) -> Result<(u32, usize), LebError> {
+    read_u32_by(|i| buf.get(i).copied(), pos)
 }
 
 /// Reads an unsigned LEB128 `u64` from `buf` at `pos`.
@@ -89,17 +108,22 @@ pub fn read_u64(buf: &[u8], pos: usize) -> Result<(u64, usize), LebError> {
     }
 }
 
-/// Reads a signed LEB128 `i32` from `buf` at `pos`.
+/// Reads a signed LEB128 `i32` through an arbitrary byte source (the
+/// shared implementation behind [`read_i32`]; see [`read_u32_by`]).
 ///
 /// # Errors
 ///
 /// Returns [`LebError`] if the encoding is truncated or exceeds 32 bits.
-pub fn read_i32(buf: &[u8], pos: usize) -> Result<(i32, usize), LebError> {
+#[inline]
+pub fn read_i32_by(
+    mut byte_at: impl FnMut(usize) -> Option<u8>,
+    pos: usize,
+) -> Result<(i32, usize), LebError> {
     let mut result: i32 = 0;
     let mut shift = 0u32;
     let mut p = pos;
     loop {
-        let byte = *buf.get(p).ok_or(LebError { offset: pos })?;
+        let byte = byte_at(p).ok_or(LebError { offset: pos })?;
         p += 1;
         result |= (i32::from(byte & 0x7f)) << shift;
         shift += 7;
@@ -115,17 +139,31 @@ pub fn read_i32(buf: &[u8], pos: usize) -> Result<(i32, usize), LebError> {
     }
 }
 
-/// Reads a signed LEB128 `i64` from `buf` at `pos`.
+/// Reads a signed LEB128 `i32` from `buf` at `pos`.
+///
+/// # Errors
+///
+/// Returns [`LebError`] if the encoding is truncated or exceeds 32 bits.
+pub fn read_i32(buf: &[u8], pos: usize) -> Result<(i32, usize), LebError> {
+    read_i32_by(|i| buf.get(i).copied(), pos)
+}
+
+/// Reads a signed LEB128 `i64` through an arbitrary byte source (the
+/// shared implementation behind [`read_i64`]; see [`read_u32_by`]).
 ///
 /// # Errors
 ///
 /// Returns [`LebError`] if the encoding is truncated or exceeds 64 bits.
-pub fn read_i64(buf: &[u8], pos: usize) -> Result<(i64, usize), LebError> {
+#[inline]
+pub fn read_i64_by(
+    mut byte_at: impl FnMut(usize) -> Option<u8>,
+    pos: usize,
+) -> Result<(i64, usize), LebError> {
     let mut result: i64 = 0;
     let mut shift = 0u32;
     let mut p = pos;
     loop {
-        let byte = *buf.get(p).ok_or(LebError { offset: pos })?;
+        let byte = byte_at(p).ok_or(LebError { offset: pos })?;
         p += 1;
         result |= (i64::from(byte & 0x7f)) << shift;
         shift += 7;
@@ -139,6 +177,15 @@ pub fn read_i64(buf: &[u8], pos: usize) -> Result<(i64, usize), LebError> {
             return Err(LebError { offset: pos });
         }
     }
+}
+
+/// Reads a signed LEB128 `i64` from `buf` at `pos`.
+///
+/// # Errors
+///
+/// Returns [`LebError`] if the encoding is truncated or exceeds 64 bits.
+pub fn read_i64(buf: &[u8], pos: usize) -> Result<(i64, usize), LebError> {
+    read_i64_by(|i| buf.get(i).copied(), pos)
 }
 
 /// Appends an unsigned LEB128 `u32` to `out`.

@@ -1,0 +1,282 @@
+//! Differential testing of the execution pipeline — the safety net for the
+//! lowering refactor, wired into `cargo test` (unlike `proptests.rs`,
+//! which needs the external `proptest` crate).
+//!
+//! A deterministic PRNG drives a small program generator over the builder
+//! DSL (arithmetic, locals, `if`/`else`, nested loops, trapping division).
+//! Every generated module must behave *identically* — results, traps,
+//! monitor reports — across:
+//!
+//! * the lowered interpreter (the new fast path, fused superinstructions
+//!   included) vs the classic byte-walking dispatcher (the semantic
+//!   reference);
+//! * interpreter-only vs JIT-only vs tiered execution;
+//! * uninstrumented vs probe-instrumented (hotness counts every
+//!   instruction, exercising probe patches on fused and unfused slots);
+//! * unbounded vs fuel-bounded execution resumed across suspensions.
+
+use wizard::engine::store::Linker;
+use wizard::engine::{Dispatch, EngineConfig, ExecMode, Process, RunOutcome, Trap, Value};
+use wizard::monitors::HotnessMonitor;
+use wizard::wasm::builder::{FuncBuilder, ModuleBuilder};
+use wizard::wasm::types::ValType::I32;
+use wizard::wasm::Module;
+
+/// xorshift64* — deterministic, dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Emits a random i32 expression of bounded depth; every path leaves
+/// exactly one i32 on the stack. `locals` is the number of readable
+/// locals (params + declared).
+fn emit_expr(f: &mut FuncBuilder, rng: &mut Rng, locals: u32, depth: u32) {
+    if depth == 0 || rng.below(4) == 0 {
+        if rng.below(2) == 0 {
+            f.i32_const(rng.next() as i32);
+        } else {
+            f.local_get(rng.below(u64::from(locals)) as u32);
+        }
+        return;
+    }
+    match rng.below(12) {
+        0..=5 => {
+            emit_expr(f, rng, locals, depth - 1);
+            emit_expr(f, rng, locals, depth - 1);
+            match rng.below(6) {
+                0 => f.i32_add(),
+                1 => f.i32_sub(),
+                2 => f.i32_mul(),
+                3 => f.i32_and(),
+                4 => f.i32_xor(),
+                _ => f.i32_or(),
+            };
+        }
+        6 => {
+            emit_expr(f, rng, locals, depth - 1);
+            emit_expr(f, rng, locals, depth - 1);
+            // Trapping operations: division by zero and overflow must
+            // unwind identically everywhere.
+            if rng.below(2) == 0 {
+                f.i32_div_s();
+            } else {
+                f.i32_rem_s();
+            }
+        }
+        7 => {
+            emit_expr(f, rng, locals, depth - 1);
+            f.i32_eqz();
+        }
+        8 => {
+            emit_expr(f, rng, locals, depth - 1);
+            emit_expr(f, rng, locals, depth - 1);
+            f.i32_lt_s();
+        }
+        9 => {
+            emit_expr(f, rng, locals, depth - 1);
+            emit_expr(f, rng, locals, depth - 1);
+            emit_expr(f, rng, locals, depth - 1);
+            f.select();
+        }
+        _ => {
+            emit_expr(f, rng, locals, depth - 1);
+            emit_expr(f, rng, locals, depth - 1);
+            match rng.below(3) {
+                0 => f.i32_shl(),
+                1 => f.i32_shr_s(),
+                _ => f.i32_rotl(),
+            };
+        }
+    }
+}
+
+/// Picks a writable local: never index 0 — that is the parameter, which
+/// bounds the outer loop; overwriting it would make generated programs
+/// run unboundedly.
+fn writable(rng: &mut Rng, locals: u32) -> u32 {
+    1 + rng.below(u64::from(locals - 1)) as u32
+}
+
+/// Emits a random statement (net stack effect zero).
+fn emit_stmt(f: &mut FuncBuilder, rng: &mut Rng, locals: u32, depth: u32) {
+    match rng.below(4) {
+        // local := expr
+        0 | 1 => {
+            emit_expr(f, rng, locals, 2);
+            let dst = writable(rng, locals);
+            f.local_set(dst);
+        }
+        // if/else on a random condition
+        2 => {
+            emit_expr(f, rng, locals, 2);
+            f.if_(wizard::wasm::types::BlockType::Empty);
+            emit_expr(f, rng, locals, 1);
+            let dst = writable(rng, locals);
+            f.local_set(dst);
+            if rng.below(2) == 0 {
+                f.else_();
+                emit_expr(f, rng, locals, 1);
+                let dst = writable(rng, locals);
+                f.local_set(dst);
+            }
+            f.end();
+        }
+        // small nested constant loop
+        _ => {
+            if depth > 0 {
+                let i = f.local(I32);
+                let n = 1 + rng.below(4) as i32;
+                let inner = 1 + rng.below(2) as u32;
+                f.for_const(i, n, |f| {
+                    for _ in 0..inner {
+                        emit_stmt(f, rng, locals, depth - 1);
+                    }
+                });
+            } else {
+                emit_expr(f, rng, locals, 1);
+                let dst = writable(rng, locals);
+                f.local_set(dst);
+            }
+        }
+    }
+}
+
+/// Builds a random module: one exported `run(i32) -> i32` with a
+/// parameter-bounded outer loop whose body is a random statement list,
+/// returning a mix of the locals.
+fn random_module(seed: u64) -> Module {
+    let mut rng = Rng::new(seed);
+    let mut mb = ModuleBuilder::new();
+    let mut f = FuncBuilder::new(&[I32], &[I32]);
+    let n_locals = 2 + rng.below(3) as u32; // declared i32 locals
+    for _ in 0..n_locals {
+        f.local(I32);
+    }
+    let locals = 1 + n_locals; // param + declared
+    let i = f.local(I32);
+    let n_stmts = 1 + rng.below(3);
+    f.for_range(i, 0, |f| {
+        for _ in 0..n_stmts {
+            emit_stmt(f, &mut rng, locals, 1);
+        }
+    });
+    // Fold every local into the result.
+    f.local_get(0);
+    for k in 1..locals {
+        f.local_get(k);
+        f.i32_add();
+    }
+    mb.add_func("run", f);
+    mb.build().expect("generated module validates")
+}
+
+fn configs() -> Vec<(&'static str, EngineConfig)> {
+    vec![
+        ("interp-lowered", EngineConfig::interpreter()),
+        ("interp-bytecode", EngineConfig::interpreter_bytecode()),
+        ("jit", EngineConfig::jit()),
+        ("tiered-lowered", EngineConfig::builder().tierup_threshold(2).build()),
+        (
+            "tiered-bytecode",
+            EngineConfig::builder()
+                .mode(ExecMode::Tiered)
+                .dispatch(Dispatch::Bytecode)
+                .tierup_threshold(2)
+                .build(),
+        ),
+    ]
+}
+
+fn run_plain(m: &Module, config: EngineConfig, arg: i32) -> Result<Vec<Value>, Trap> {
+    let mut p = Process::new(m.clone(), config, &Linker::new()).expect("instantiates");
+    p.invoke_export("run", &[Value::I32(arg)])
+}
+
+/// Results and traps are identical across every dispatcher and tier.
+#[test]
+fn random_programs_agree_across_dispatchers_and_tiers() {
+    for seed in 0..40u64 {
+        let m = random_module(seed);
+        for arg in [0i32, 3, 17] {
+            let reference = run_plain(&m, EngineConfig::interpreter_bytecode(), arg);
+            for (name, config) in configs() {
+                let got = run_plain(&m, config, arg);
+                assert_eq!(got, reference, "seed {seed} arg {arg} config {name}");
+            }
+        }
+    }
+}
+
+/// Probe-instrumented runs (hotness counts every instruction — every slot
+/// probed, fused or not) produce identical results AND identical reports
+/// across dispatchers and tiers, and never perturb the program.
+#[test]
+fn random_programs_probed_reports_are_dispatcher_invariant() {
+    for seed in 0..20u64 {
+        let m = random_module(seed + 1000);
+        let arg = 9i32;
+        let reference = run_plain(&m, EngineConfig::interpreter_bytecode(), arg);
+        let mut reports = Vec::new();
+        for (name, config) in configs() {
+            let mut p = Process::new(m.clone(), config, &Linker::new()).expect("instantiates");
+            let mon = p.attach_monitor(HotnessMonitor::new()).expect("attach");
+            let got = p.invoke_export("run", &[Value::I32(arg)]);
+            assert_eq!(got, reference, "seed {seed} config {name}: probes perturbed the program");
+            reports.push((name, mon.report()));
+        }
+        let (ref_name, ref_report) = &reports[0];
+        for (name, report) in &reports[1..] {
+            assert_eq!(report, ref_report, "seed {seed}: {name} report differs from {ref_name}");
+        }
+    }
+}
+
+/// Fuel-bounded runs suspended and resumed across tiny slices finish with
+/// the same results, traps, and monitor reports as unbounded runs.
+#[test]
+fn random_programs_bounded_runs_are_transparent() {
+    for seed in 0..12u64 {
+        let m = random_module(seed + 2000);
+        let arg = 7i32;
+        for (name, config) in configs() {
+            let mut unbounded =
+                Process::new(m.clone(), config.clone(), &Linker::new()).expect("instantiates");
+            let mon_u = unbounded.attach_monitor(HotnessMonitor::new()).expect("attach");
+            let expect = unbounded.invoke_export("run", &[Value::I32(arg)]);
+
+            let mut bounded =
+                Process::new(m.clone(), config, &Linker::new()).expect("instantiates");
+            let mon_b = bounded.attach_monitor(HotnessMonitor::new()).expect("attach");
+            let got = (|| {
+                let mut out = bounded.run_export_bounded("run", &[Value::I32(arg)], 37)?;
+                while out == RunOutcome::OutOfFuel {
+                    out = bounded.resume(37)?;
+                }
+                Ok(out.done().expect("done"))
+            })();
+            assert_eq!(got, expect, "seed {seed} config {name}: bounded result differs");
+            assert_eq!(
+                mon_b.report(),
+                mon_u.report(),
+                "seed {seed} config {name}: bounded report differs"
+            );
+        }
+    }
+}
