@@ -1,0 +1,183 @@
+//! Instantiation throughput: cold (validate + build + link) vs warm
+//! (link-only from a shared `ModuleArtifact`), plus per-process resident
+//! code size under copy-on-write instrumentation overlays.
+//!
+//! A fleet running N jobs of the same kernel used to pay the whole code
+//! pipeline — decode/validate/lower/compile — N times and hold N copies of
+//! byte-identical code. The shared-artifact refactor pays it once:
+//! `ModuleArtifact::new` validates and owns the per-function lowered code,
+//! and `Process::instantiate` only links (imports, memory/table/segments).
+//! This benchmark measures what that buys per instantiation, and what a
+//! process actually keeps resident when it instruments one function.
+//!
+//! Emits `BENCH_instantiate.json` (schema in `EXPERIMENTS.md`) with the
+//! shared metadata block. Outside smoke mode, warm instantiation of the
+//! validation-dominated `wide-60` workload is asserted ≥ 5× faster than
+//! cold — the acceptance bar for the artifact split. (Kernels with large
+//! linear memories pay the same memory-zeroing cost on both paths, which
+//! is why the bar is pinned to the workload that isolates the pipeline.)
+//!
+//! Environment: `WIZARD_SCALE`, `WIZARD_RUNS`, `WIZARD_SMOKE`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use wizard_bench::json::Json;
+use wizard_bench::metadata;
+use wizard_engine::store::Linker;
+use wizard_engine::{CountProbe, EngineConfig, ModuleArtifact, Process};
+use wizard_wasm::builder::{FuncBuilder, ModuleBuilder};
+use wizard_wasm::module::Module;
+use wizard_wasm::types::ValType::I32;
+
+/// A wide, memory-less module: 60 straight-line functions. Validation and
+/// lowering dominate its instantiation cost, isolating exactly the work
+/// the shared artifact amortizes.
+fn wide_module() -> Module {
+    let mut mb = ModuleBuilder::new();
+    for k in 0..60 {
+        let mut f = FuncBuilder::new(&[I32], &[I32]);
+        f.local_get(0);
+        for j in 0..24 {
+            f.i32_const(k * 31 + j).i32_add().i32_const(3).i32_mul();
+        }
+        mb.add_func(&format!("f{k}"), f);
+    }
+    mb.build().expect("wide module validates")
+}
+
+/// Mean seconds per iteration of `work`, best of 3 batches.
+fn time_per_iter(iters: u32, mut work: impl FnMut()) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            work();
+        }
+        best = best.min(start.elapsed() / iters);
+    }
+    best
+}
+
+struct Row {
+    name: &'static str,
+    cold: Duration,
+    warm: Duration,
+    artifact_bytes: usize,
+    probed_overlay_bytes: usize,
+}
+
+fn measure(name: &'static str, module: &Module, iters: u32) -> Row {
+    let config = EngineConfig::default();
+
+    // Cold: the owned-module path — every instantiation validates, builds
+    // a private artifact, links. (The module clone is part of the cold
+    // fleet story too: each job owns its module.)
+    let cold = time_per_iter(iters, || {
+        let p = Process::new(module.clone(), config.clone(), &Linker::new()).expect("instantiates");
+        std::hint::black_box(&p);
+    });
+
+    // Warm: the shared path — validate + lower once, then link-only
+    // instantiations off the Arc.
+    let artifact = Arc::new(ModuleArtifact::new(module.clone()).expect("validates"));
+    artifact.lower_all();
+    let warm = time_per_iter(iters, || {
+        let p = Process::instantiate(Arc::clone(&artifact), config.clone(), &Linker::new())
+            .expect("instantiates");
+        std::hint::black_box(&p);
+    });
+
+    // Resident code: a clean sibling keeps 0 private bytes; probing one
+    // function copy-on-writes exactly that function.
+    let mut probed = Process::instantiate(Arc::clone(&artifact), config.clone(), &Linker::new())
+        .expect("instantiates");
+    assert_eq!(probed.resident_overlay_bytes(), 0, "{name}: clean process holds private code");
+    let func = artifact.module().num_imported_funcs();
+    probed.add_local_probe_val(func, 0, CountProbe::new()).expect("probes");
+    let probed_overlay_bytes = probed.resident_overlay_bytes();
+    assert!(probed_overlay_bytes > 0, "{name}: probe did not copy-on-write");
+
+    Row { name, cold, warm, artifact_bytes: artifact.code_size_bytes(), probed_overlay_bytes }
+}
+
+fn main() {
+    let scale = wizard_bench::scale();
+    let iters = match scale {
+        wizard_suites::Scale::Test => 10,
+        wizard_suites::Scale::Small => 100,
+        wizard_suites::Scale::Medium => 300,
+    } * wizard_bench::runs();
+
+    let wide = wide_module();
+    let richards = wizard_suites::richards_benchmark(1).module;
+    let pb = wizard_suites::polybench_suite(scale);
+    let gemm = &pb.iter().find(|b| b.name == "gemm").expect("gemm in suite").module;
+
+    println!("=== instantiation throughput: cold vs warm (shared artifact) ===");
+    println!(
+        "{:<12} {:>12} {:>12} {:>9} {:>14} {:>16}",
+        "workload", "cold/inst", "warm/inst", "speedup", "artifact bytes", "probed overlay"
+    );
+
+    let rows = vec![
+        measure("wide-60", &wide, iters),
+        measure("richards", &richards, iters),
+        measure("gemm", gemm, iters),
+    ];
+
+    let mut series = Vec::new();
+    let mut wide_speedup = 0.0;
+    for r in &rows {
+        let speedup = r.cold.as_secs_f64() / r.warm.as_secs_f64().max(1e-12);
+        if r.name == "wide-60" {
+            wide_speedup = speedup;
+        }
+        println!(
+            "{:<12} {:>10.1}us {:>10.1}us {:>8.1}x {:>14} {:>16}",
+            r.name,
+            r.cold.as_secs_f64() * 1e6,
+            r.warm.as_secs_f64() * 1e6,
+            speedup,
+            r.artifact_bytes,
+            r.probed_overlay_bytes
+        );
+        series.push(Json::object([
+            ("workload", Json::str(r.name)),
+            ("cold_us", Json::num(r.cold.as_secs_f64() * 1e6)),
+            ("warm_us", Json::num(r.warm.as_secs_f64() * 1e6)),
+            ("warm_speedup", Json::num(speedup)),
+            ("artifact_code_bytes", Json::num(r.artifact_bytes as f64)),
+            ("clean_overlay_bytes", Json::num(0.0)),
+            ("probed_overlay_bytes", Json::num(r.probed_overlay_bytes as f64)),
+        ]));
+    }
+
+    println!("\nwarm speedup on the validation-dominated workload (wide-60): {wide_speedup:.1}x");
+
+    // Assert before writing (matching the other emitters): a regression
+    // run must not leave a failing row for trajectory tooling to ingest.
+    if wizard_bench::smoke() {
+        println!("(smoke mode: skipping the >=5x warm-instantiation assertion)");
+    } else {
+        assert!(
+            wide_speedup >= 5.0,
+            "warm instantiation must be >=5x cold on wide-60 (got {wide_speedup:.1}x)"
+        );
+    }
+
+    let mut fields = metadata(
+        "instantiate_throughput",
+        &["wide-60", "richards", "polybench"],
+        &EngineConfig::default(),
+    );
+    fields.push(("series".to_string(), Json::array(series)));
+    fields.push((
+        "summary".to_string(),
+        Json::object([("wide_warm_speedup", Json::num(wide_speedup))]),
+    ));
+    let doc = Json::Obj(fields);
+    let path = "BENCH_instantiate.json";
+    std::fs::write(path, format!("{doc}\n")).expect("write BENCH_instantiate.json");
+    println!("wrote {path}");
+}

@@ -166,12 +166,12 @@ fn op_loop(ex: &mut Exec, _b: u8) -> Result<(), Sig> {
         if h >= ex.proc.config.tierup_threshold {
             ex.proc.ensure_compiled(ex.lf);
             let compiled = ex.proc.code[ex.lf].compiled.borrow().clone().expect("just compiled");
-            if let Some(&ip) = compiled.osr_entry.get(&(ex.pc as u32)) {
+            if let Some(&ip) = compiled.code.osr_entry.get(&(ex.pc as u32)) {
                 let f = ex.frames.last_mut().expect("frame");
                 f.tier = Tier::Jit;
                 f.cip = ip as usize;
                 f.pc = ex.pc + 2; // unused while in JIT, kept sane
-                f.code_version = compiled.version;
+                f.code_version = compiled.version();
                 ex.proc.stats.tier_ups += 1;
                 return Err(Sig::Switch);
             }

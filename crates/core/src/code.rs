@@ -1,10 +1,32 @@
-//! Per-function code objects: in-place mutable bytecode (the substrate for
-//! *bytecode overwriting*), the lowered code cache, validation metadata,
-//! and the compiled-code slot.
+//! Per-function **instrumentation overlays**: the process-local, mutable
+//! half of the code pipeline.
+//!
+//! The immutable half — pristine bytecode, validation metadata, the shared
+//! lowered form — lives in the `Arc`-shared
+//! [`FuncArtifact`]. A [`FuncOverlay`] owns
+//! everything one process may mutate about one function:
+//!
+//! * the **copy-on-write instrumented code**: the first probe installed in
+//!   a function copies its bytes and lowered op stream into process-local
+//!   storage ([`FuncOverlay::install_probe_byte`]), and removing the last
+//!   probe drops the copy again so the process *rejoins* the shared
+//!   artifact ([`FuncOverlay::restore_byte`]) — sibling processes of the
+//!   same artifact never observe either transition;
+//! * the saved original opcodes of probe-overwritten locations;
+//! * the instrumentation version and the compiled-code slot (probe-free
+//!   code is shared from the artifact; instrumented code is private);
+//! * the hotness counter driving tier-up.
+//!
+//! Local probes still work by *bytecode overwriting* (paper §4.2): the
+//! probed instruction's opcode byte is replaced by [`op::PROBE`] on the
+//! overlay copy; immediates are never touched, so all other offsets remain
+//! valid — the property that makes overwriting vastly simpler than
+//! bytecode injection.
 
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use wizard_wasm::leb128;
 use wizard_wasm::module::FuncIdx;
@@ -12,50 +34,72 @@ use wizard_wasm::opcodes as op;
 use wizard_wasm::types::ValType;
 use wizard_wasm::validate::FuncMeta;
 
+use crate::artifact::FuncArtifact;
 use crate::jit::Compiled;
-use crate::lowered::Lowered;
+use crate::lowered::{Lowered, LoweredView, OverlayOps};
 
-/// A function's bytecode as shared, in-place mutable bytes.
+/// A process-local copy-on-write byte stream (mirrors
+/// [`OverlayOps`] one level down).
+pub type OverlayBytes = Rc<[Cell<u8>]>;
+
+/// A function's bytecode as the execution tiers read it: the artifact's
+/// shared pristine bytes, overlaid by the process-local copy-on-write
+/// cells once the function is instrumented.
 ///
-/// Local probes overwrite a single opcode byte with [`op::PROBE`]; immediates
-/// are never touched, so all other offsets remain valid — the property that
-/// makes overwriting vastly simpler than bytecode injection (paper §4.2).
+/// Uninstrumented processes read (and share) the pristine bytes directly;
+/// a probe materializes the overlay and flips every reader of this view to
+/// the instrumented copy. The view itself is read-only — writes go through
+/// [`FuncOverlay`], which owns the overlay cells.
 #[derive(Debug, Clone)]
 pub struct CodeBytes {
-    cells: Rc<[Cell<u8>]>,
+    shared: Arc<[u8]>,
+    local: Option<OverlayBytes>,
 }
 
 impl CodeBytes {
-    /// Wraps a bytecode vector.
+    /// Wraps a byte slice as a (pristine, shared) code view. Used by tests
+    /// and as the empty placeholder; real processes get their views from
+    /// [`FuncOverlay::bytes_view`].
     pub fn new(bytes: &[u8]) -> CodeBytes {
-        CodeBytes { cells: bytes.iter().map(|b| Cell::new(*b)).collect() }
+        CodeBytes { shared: Arc::from(bytes), local: None }
+    }
+
+    pub(crate) fn with_overlay(shared: Arc<[u8]>, local: Option<OverlayBytes>) -> CodeBytes {
+        CodeBytes { shared, local }
     }
 
     /// Code length in bytes.
     pub fn len(&self) -> usize {
-        self.cells.len()
+        self.shared.len()
     }
 
     /// `true` if the body is empty.
     pub fn is_empty(&self) -> bool {
-        self.cells.is_empty()
+        self.shared.is_empty()
+    }
+
+    /// `true` while this view reads a process-local copy-on-write byte
+    /// stream instead of the artifact's.
+    pub fn is_overlaid(&self) -> bool {
+        self.local.is_some()
     }
 
     /// Reads the byte at `pc`.
     #[inline]
     pub fn byte(&self, pc: usize) -> u8 {
-        self.cells[pc].get()
+        match &self.local {
+            Some(cells) => cells[pc].get(),
+            None => self.shared[pc],
+        }
     }
 
-    /// Overwrites the byte at `pc`.
+    /// Reads the byte at `pc`, if in range.
     #[inline]
-    pub fn set(&self, pc: usize, b: u8) {
-        self.cells[pc].set(b);
-    }
-
-    /// Copies the current bytes out (used by the JIT compiler and tests).
-    pub fn snapshot(&self) -> Vec<u8> {
-        self.cells.iter().map(Cell::get).collect()
+    fn get(&self, pc: usize) -> Option<u8> {
+        match &self.local {
+            Some(cells) => cells.get(pc).map(Cell::get),
+            None => self.shared.get(pc).copied(),
+        }
     }
 
     /// Reads an unsigned LEB128 u32 at `pos`, returning `(value, next pos)`.
@@ -68,22 +112,19 @@ impl CodeBytes {
     /// Panics on malformed encodings — impossible for validated code.
     #[inline]
     pub fn read_u32(&self, pos: usize) -> (u32, usize) {
-        leb128::read_u32_by(|i| self.cells.get(i).map(Cell::get), pos)
-            .expect("validated code has well-formed LEB128")
+        leb128::read_u32_by(|i| self.get(i), pos).expect("validated code has well-formed LEB128")
     }
 
     /// Reads a signed LEB128 i32 at `pos` (shared [`leb128`] contract).
     #[inline]
     pub fn read_i32(&self, pos: usize) -> (i32, usize) {
-        leb128::read_i32_by(|i| self.cells.get(i).map(Cell::get), pos)
-            .expect("validated code has well-formed LEB128")
+        leb128::read_i32_by(|i| self.get(i), pos).expect("validated code has well-formed LEB128")
     }
 
     /// Reads a signed LEB128 i64 at `pos` (shared [`leb128`] contract).
     #[inline]
     pub fn read_i64(&self, pos: usize) -> (i64, usize) {
-        leb128::read_i64_by(|i| self.cells.get(i).map(Cell::get), pos)
-            .expect("validated code has well-formed LEB128")
+        leb128::read_i64_by(|i| self.get(i), pos).expect("validated code has well-formed LEB128")
     }
 
     /// Reads 4 little-endian bytes at `pos`.
@@ -91,7 +132,7 @@ impl CodeBytes {
     pub fn read_f32_bits(&self, pos: usize) -> (u32, usize) {
         let mut v = 0u32;
         for i in 0..4 {
-            v |= u32::from(self.cells[pos + i].get()) << (8 * i);
+            v |= u32::from(self.byte(pos + i)) << (8 * i);
         }
         (v, pos + 4)
     }
@@ -101,106 +142,231 @@ impl CodeBytes {
     pub fn read_f64_bits(&self, pos: usize) -> (u64, usize) {
         let mut v = 0u64;
         for i in 0..8 {
-            v |= u64::from(self.cells[pos + i].get()) << (8 * i);
+            v |= u64::from(self.byte(pos + i)) << (8 * i);
         }
         (v, pos + 8)
     }
 }
 
-/// The engine's per-function code object.
+/// The engine's per-process, per-function code object: a shared
+/// [`FuncArtifact`] plus this process's instrumentation overlay and tier
+/// state.
 #[derive(Debug)]
-pub struct FuncCode {
-    /// Global function index.
-    pub func: FuncIdx,
-    /// In-place mutable bytecode.
-    pub bytes: CodeBytes,
+pub struct FuncOverlay {
+    /// The shared, immutable half.
+    art: Arc<FuncArtifact>,
+    /// Copy-on-write instrumented bytecode; `None` while uninstrumented.
+    bytes: RefCell<Option<OverlayBytes>>,
+    /// Copy-on-write lowered op stream, patched in tandem with `bytes`;
+    /// `None` while uninstrumented.
+    ops: RefCell<Option<OverlayOps>>,
     /// Original opcodes of probe-overwritten locations.
     pub orig: RefCell<HashMap<u32, u8>>,
-    /// Branch side table and other validation metadata.
-    pub meta: Rc<FuncMeta>,
-    /// Types of params followed by declared locals.
-    pub local_types: Rc<[ValType]>,
-    /// Number of parameters.
-    pub num_params: u32,
-    /// Number of results (0 or 1).
-    pub num_results: u32,
-    /// Instrumentation version; bumped whenever probes are inserted or
+    /// Instrumentation version; bumped (strictly monotonically — see
+    /// [`FuncOverlay::invalidate`]) whenever probes are inserted or
     /// removed in this function, invalidating compiled code (paper §4.5).
     pub version: Cell<u32>,
-    /// Compiled (JIT-tier) code, if any and still valid.
+    /// Compiled (JIT-tier) code, if any and still valid. While the
+    /// function is probe-free this wraps the artifact's shared baseline
+    /// op stream; otherwise it is private.
     pub compiled: RefCell<Option<Rc<Compiled>>>,
     /// Hotness counter driving tier-up.
     pub hotness: Cell<u32>,
-    /// The lowered code cache: built once on first demand (interpreter
-    /// entry, JIT compile, or location validation) and then only *patched*
-    /// by probe insertion/removal — never re-lowered by instrumentation.
-    pub lowered: RefCell<Option<Rc<Lowered>>>,
 }
 
-impl FuncCode {
-    /// Installs the probe opcode at `pc`, saving the original byte. The
-    /// lowered slot (if the function is lowered) is patched in tandem.
+impl FuncOverlay {
+    /// A fresh (uninstrumented) overlay over `art`.
+    pub fn new(art: Arc<FuncArtifact>) -> FuncOverlay {
+        FuncOverlay {
+            art,
+            bytes: RefCell::new(None),
+            ops: RefCell::new(None),
+            orig: RefCell::new(HashMap::new()),
+            version: Cell::new(0),
+            compiled: RefCell::new(None),
+            hotness: Cell::new(0),
+        }
+    }
+
+    /// The shared half.
+    pub fn artifact(&self) -> &Arc<FuncArtifact> {
+        &self.art
+    }
+
+    /// Global function index.
+    pub fn func(&self) -> FuncIdx {
+        self.art.func
+    }
+
+    /// Validation metadata.
+    pub fn meta(&self) -> &Arc<FuncMeta> {
+        &self.art.meta
+    }
+
+    /// Types of params followed by declared locals.
+    pub fn local_types(&self) -> &Arc<[ValType]> {
+        &self.art.local_types
+    }
+
+    /// Number of parameters.
+    pub fn num_params(&self) -> u32 {
+        self.art.num_params
+    }
+
+    /// Number of results (0 or 1).
+    pub fn num_results(&self) -> u32 {
+        self.art.num_results
+    }
+
+    /// Total local slots (params + declared locals).
+    pub fn num_slots(&self) -> u32 {
+        self.art.num_slots()
+    }
+
+    /// `true` while this process holds a copy-on-write instrumented copy
+    /// of the function (i.e. at least one probe byte is installed).
+    pub fn has_overlay(&self) -> bool {
+        self.bytes.borrow().is_some()
+    }
+
+    /// The byte view the execution tiers read: pristine shared bytes, or
+    /// the instrumented overlay copy.
+    pub fn bytes_view(&self) -> CodeBytes {
+        CodeBytes::with_overlay(Arc::clone(&self.art.bytes), self.bytes.borrow().clone())
+    }
+
+    /// The lowered view the execution tiers dispatch through (lowering the
+    /// shared form on first demand): shared pristine slots, or the
+    /// patched overlay copy.
+    pub fn lowered_view(&self) -> LoweredView {
+        let low = (**self.art.lowered()).clone();
+        match &*self.ops.borrow() {
+            Some(ops) => LoweredView::overlaid(low, Rc::clone(ops)),
+            None => LoweredView::shared(low),
+        }
+    }
+
+    /// The byte at `pc` as this process sees it.
+    pub fn byte_at(&self, pc: usize) -> u8 {
+        match &*self.bytes.borrow() {
+            Some(cells) => cells[pc].get(),
+            None => self.art.bytes[pc],
+        }
+    }
+
+    /// Body length in bytes.
+    pub fn len(&self) -> usize {
+        self.art.bytes.len()
+    }
+
+    /// `true` if the body is empty.
+    pub fn is_empty(&self) -> bool {
+        self.art.bytes.is_empty()
+    }
+
+    /// Bytes of process-private code this overlay currently holds (the
+    /// copy-on-write copies; 0 while uninstrumented) — the "resident code
+    /// size" a process pays only for the functions it instruments.
+    pub fn overlay_size_bytes(&self) -> usize {
+        let bytes = self.bytes.borrow().as_ref().map_or(0, |b| b.len());
+        let ops = self
+            .ops
+            .borrow()
+            .as_ref()
+            .map_or(0, |o| o.len() * core::mem::size_of::<crate::lowered::LInstr>());
+        bytes + ops
+    }
+
+    /// Copies the shared bytes and lowered op stream into process-local
+    /// storage — the copy-on-write step. Returns the overlay handles;
+    /// idempotent after the first call.
+    fn materialize(&self) -> (OverlayBytes, OverlayOps, &Arc<Lowered>) {
+        let low = self.art.lowered();
+        let bytes = self
+            .bytes
+            .borrow_mut()
+            .get_or_insert_with(|| self.art.bytes.iter().map(|&b| Cell::new(b)).collect())
+            .clone();
+        let ops = self.ops.borrow_mut().get_or_insert_with(|| low.cow_ops()).clone();
+        (bytes, ops, low)
+    }
+
+    /// Drops the copy-on-write copies: the process rejoins the shared
+    /// artifact (including its fused superinstructions — an overlay head
+    /// unfused by probe traffic re-fuses for free here, and probe-freeness
+    /// makes the shared baseline JIT code eligible again).
+    fn rejoin(&self) {
+        debug_assert!(self.orig.borrow().is_empty(), "rejoin requires no live probe bytes");
+        *self.bytes.borrow_mut() = None;
+        *self.ops.borrow_mut() = None;
+    }
+
+    /// Installs the probe opcode at `pc` on the overlay copy
+    /// (materializing it if this is the function's first probe), saving
+    /// the original byte and patching the lowered slot in tandem.
     /// Idempotent: installing twice keeps the original original.
-    pub fn install_probe_byte(&self, pc: u32) {
-        let cur = self.bytes.byte(pc as usize);
+    ///
+    /// Returns `true` if this call materialized the overlay (the caller
+    /// counts it in [`EngineStats::overlay_copies`](crate::EngineStats)).
+    pub fn install_probe_byte(&self, pc: u32) -> bool {
+        let copied = !self.has_overlay();
+        let (bytes, ops, low) = self.materialize();
+        let cur = bytes[pc as usize].get();
         if cur == op::PROBE {
-            return;
+            return copied;
         }
         self.orig.borrow_mut().insert(pc, cur);
-        self.bytes.set(pc as usize, op::PROBE);
-        if let Some(low) = &*self.lowered.borrow() {
-            let slot = low.slot_of(pc).expect("probe pc is an instruction boundary");
-            low.patch_probe(slot);
-        }
+        bytes[pc as usize].set(op::PROBE);
+        let slot = low.slot_of(pc).expect("probe pc is an instruction boundary");
+        low.patch_probe(&ops, slot);
+        copied
     }
 
     /// Restores the original opcode at `pc` (when the last probe at the
-    /// location is removed), unpatching the lowered slot in tandem.
-    pub fn restore_byte(&self, pc: u32) {
-        if let Some(orig) = self.orig.borrow_mut().remove(&pc) {
-            self.bytes.set(pc as usize, orig);
-            if let Some(low) = &*self.lowered.borrow() {
-                let slot = low.slot_of(pc).expect("probe pc is an instruction boundary");
-                low.restore_op(slot, orig);
-            }
-        }
-    }
-
-    /// The lowered form of this function, lowering now if not yet cached.
+    /// location is removed), unpatching the lowered slot in tandem. When
+    /// the last probed location in the *function* is restored, the overlay
+    /// copies are dropped and the process rejoins the shared artifact.
     ///
-    /// Lowering decodes from a *clean* snapshot (probe bytes replaced by
-    /// their saved originals) and then re-applies the currently-installed
-    /// probe patches, so the result is identical whether probes were
-    /// inserted before or after the function was first lowered.
-    pub fn ensure_lowered(&self) -> Rc<Lowered> {
-        if let Some(low) = &*self.lowered.borrow() {
-            return Rc::clone(low);
+    /// Returns `true` if this call dropped the overlay (rejoined).
+    pub fn restore_byte(&self, pc: u32) -> bool {
+        let Some(orig) = self.orig.borrow_mut().remove(&pc) else {
+            return false;
+        };
+        let (bytes, ops, low) = self.materialize();
+        bytes[pc as usize].set(orig);
+        let slot = low.slot_of(pc).expect("probe pc is an instruction boundary");
+        low.restore_op(&ops, slot, orig);
+        if self.orig.borrow().is_empty() {
+            self.rejoin();
+            return true;
         }
-        let mut clean = self.bytes.snapshot();
-        for (pc, orig) in self.orig.borrow().iter() {
-            clean[*pc as usize] = *orig;
-        }
-        let low = Rc::new(Lowered::lower(&clean, &self.meta));
-        for pc in self.orig.borrow().keys() {
-            let slot = low.slot_of(*pc).expect("probe pc is an instruction boundary");
-            low.patch_probe(slot);
-        }
-        *self.lowered.borrow_mut() = Some(Rc::clone(&low));
-        low
+        false
     }
 
-    /// Discards the cached lowered form (the next demand re-lowers). Used
-    /// by [`Process::relower`](crate::Process::relower); probe traffic
-    /// never takes this path.
-    pub fn drop_lowered(&self) {
-        *self.lowered.borrow_mut() = None;
+    /// Rebuilds the overlay copies from the shared artifact, re-applying
+    /// the currently-installed probe patches. Used by
+    /// [`Process::relower`](crate::Process::relower); probe traffic never
+    /// takes this path. A function with no overlay is left sharing the
+    /// artifact (nothing to rebuild).
+    pub fn rebuild_overlay(&self) {
+        if !self.has_overlay() {
+            return;
+        }
+        *self.bytes.borrow_mut() = None;
+        *self.ops.borrow_mut() = None;
+        let (bytes, ops, low) = self.materialize();
+        for &pc in self.orig.borrow().keys() {
+            bytes[pc as usize].set(op::PROBE);
+            let slot = low.slot_of(pc).expect("probe pc is an instruction boundary");
+            low.patch_probe(&ops, slot);
+        }
     }
 
     /// The original opcode at `pc`: the saved byte if overwritten, else the
     /// current byte.
     #[inline]
     pub fn orig_opcode(&self, pc: u32) -> u8 {
-        let cur = self.bytes.byte(pc as usize);
+        let cur = self.byte_at(pc as usize);
         if cur != op::PROBE {
             return cur;
         }
@@ -208,89 +374,122 @@ impl FuncCode {
     }
 
     /// Invalidates compiled code and bumps the instrumentation version.
+    ///
+    /// The version is strictly monotonic — never reused — because live
+    /// JIT frames detect staleness by comparing their recorded version
+    /// against the current compile's; a recurring version would let a
+    /// parked frame resume at a saved `cip` inside a differently-laid-out
+    /// op stream. Baseline-code sharing does not need version 0: it is
+    /// keyed on probe-freeness ([`FuncOverlay::has_overlay`]), and the
+    /// per-process [`Compiled`] wrapper stamps the shared op stream with
+    /// the process's current version.
     pub fn invalidate(&self) {
-        self.version.set(self.version.get() + 1);
         *self.compiled.borrow_mut() = None;
-    }
-
-    /// Total local slots (params + declared locals).
-    pub fn num_slots(&self) -> u32 {
-        self.local_types.len() as u32
+        self.version.set(self.version.get() + 1);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wizard_wasm::validate::FuncMeta;
+    use crate::artifact::ModuleArtifact;
+    use wizard_wasm::builder::{FuncBuilder, ModuleBuilder};
+    use wizard_wasm::types::ValType::I32;
 
-    fn code(bytes: &[u8]) -> FuncCode {
-        FuncCode {
-            func: 0,
-            bytes: CodeBytes::new(bytes),
-            orig: RefCell::new(HashMap::new()),
-            meta: Rc::new(FuncMeta::default()),
-            local_types: Rc::from(vec![].into_boxed_slice()),
-            num_params: 0,
-            num_results: 0,
-            version: Cell::new(0),
-            compiled: RefCell::new(None),
-            hotness: Cell::new(0),
-            lowered: RefCell::new(None),
-        }
+    /// Builds an overlay over a real validated single-function module:
+    /// `inc(x) = x + k` with enough body to probe.
+    fn overlay() -> FuncOverlay {
+        let mut mb = ModuleBuilder::new();
+        let mut f = FuncBuilder::new(&[I32], &[I32]);
+        f.nop().local_get(0).i32_const(5).i32_add();
+        mb.add_func("inc", f);
+        let art = ModuleArtifact::new(mb.build().unwrap()).unwrap();
+        FuncOverlay::new(Arc::clone(&art.funcs()[0]))
     }
 
     #[test]
-    fn overwrite_and_restore() {
-        let c = code(&[op::NOP, op::I32_CONST, 5, op::END]);
-        c.install_probe_byte(1);
-        assert_eq!(c.bytes.byte(1), op::PROBE);
-        assert_eq!(c.orig_opcode(1), op::I32_CONST);
-        // Immediate untouched.
-        assert_eq!(c.bytes.byte(2), 5);
-        c.restore_byte(1);
-        assert_eq!(c.bytes.byte(1), op::I32_CONST);
-        assert_eq!(c.orig_opcode(1), op::I32_CONST);
+    fn overwrite_and_restore_round_trip_rejoins() {
+        let c = overlay();
+        assert!(!c.has_overlay());
+        let copied = c.install_probe_byte(0);
+        assert!(copied, "first probe copies");
+        assert!(c.has_overlay());
+        assert_eq!(c.byte_at(0), op::PROBE);
+        assert_eq!(c.orig_opcode(0), op::NOP);
+        // Pristine shared bytes untouched.
+        assert_eq!(c.artifact().bytes[0], op::NOP);
+        // Second probe in the same function: no new copy.
+        let pc1 = 1; // local.get 0
+        assert!(!c.install_probe_byte(pc1));
+        assert_eq!(c.orig_opcode(pc1), op::LOCAL_GET);
+        // Restores: the last one drops the overlay entirely.
+        assert!(!c.restore_byte(pc1));
+        assert!(c.has_overlay());
+        assert!(c.restore_byte(0), "last restore rejoins the artifact");
+        assert!(!c.has_overlay());
+        assert_eq!(c.byte_at(0), op::NOP);
+        assert_eq!(c.overlay_size_bytes(), 0);
     }
 
     #[test]
     fn double_install_keeps_original() {
-        let c = code(&[op::NOP, op::END]);
+        let c = overlay();
         c.install_probe_byte(0);
         c.install_probe_byte(0);
         assert_eq!(c.orig_opcode(0), op::NOP);
         c.restore_byte(0);
-        assert_eq!(c.bytes.byte(0), op::NOP);
+        assert_eq!(c.byte_at(0), op::NOP);
     }
 
     #[test]
-    fn invalidate_bumps_version_and_drops_compiled() {
-        let c = code(&[op::END]);
+    fn invalidate_versions_are_strictly_monotonic() {
+        let c = overlay();
         assert_eq!(c.version.get(), 0);
+        c.install_probe_byte(0);
         c.invalidate();
         assert_eq!(c.version.get(), 1);
         assert!(c.compiled.borrow().is_none());
+        c.restore_byte(0);
+        c.invalidate();
+        // Rejoin does NOT reset the version: a recurring version would be
+        // an ABA hazard for the JIT's stale-frame check. Baseline sharing
+        // is keyed on probe-freeness, not on version 0.
+        assert_eq!(c.version.get(), 2);
+        assert!(!c.has_overlay());
     }
 
     #[test]
     fn probe_patches_apply_to_lowered_in_tandem() {
-        let c = code(&[op::NOP, op::I32_CONST, 5, op::END]);
-        // Probe installed *before* lowering: the lowering re-applies it.
+        let c = overlay();
+        // The shared lowered form fuses `const;add`; probing the const
+        // (pc 3, after nop + local.get) patches the overlay copy only.
+        let low_shared = c.artifact().lowered().clone();
+        let pc_const = 3; // nop; local.get 0; i32.const 5 starts at byte 3
+        c.install_probe_byte(pc_const);
+        let view = c.lowered_view();
+        assert!(view.is_overlaid());
+        let slot = view.slot_of(pc_const).unwrap() as usize;
+        assert_eq!(view.get(slot).op, op::PROBE);
+        assert_eq!(crate::value::Slot(view.get(slot).z).i32(), 5, "immediates survive");
+        assert_ne!(low_shared.get(slot).op, op::PROBE, "shared form untouched");
+        // Restore rejoins: the view reads shared (re-fused) slots again.
+        c.restore_byte(pc_const);
+        let view = c.lowered_view();
+        assert!(!view.is_overlaid());
+        assert_eq!(view.ops_addr(), low_shared.ops_addr());
+    }
+
+    #[test]
+    fn rebuild_overlay_preserves_probe_patches() {
+        let c = overlay();
         c.install_probe_byte(1);
-        let low = c.ensure_lowered();
-        assert_eq!(low.get(1).op, op::PROBE);
-        assert_eq!(crate::value::Slot(low.get(1).z).i32(), 5);
-        // Probe installed *after* lowering: patched in tandem.
-        c.install_probe_byte(0);
-        assert_eq!(low.get(0).op, op::PROBE);
-        c.restore_byte(0);
-        c.restore_byte(1);
-        assert_eq!(low.get(0).op, op::NOP);
-        assert_eq!(low.get(1).op, op::I32_CONST);
-        // The cache is stable: same Rc until explicitly dropped.
-        assert!(Rc::ptr_eq(&low, &c.ensure_lowered()));
-        c.drop_lowered();
-        assert!(!Rc::ptr_eq(&low, &c.ensure_lowered()));
+        let before = c.lowered_view();
+        c.rebuild_overlay();
+        let after = c.lowered_view();
+        assert_ne!(before.ops_addr(), after.ops_addr(), "fresh copy");
+        let slot = after.slot_of(1).unwrap() as usize;
+        assert_eq!(after.get(slot).op, op::PROBE, "probe patch re-applied");
+        assert_eq!(c.byte_at(1), op::PROBE);
     }
 
     #[test]

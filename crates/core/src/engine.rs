@@ -1,22 +1,23 @@
 //! The engine facade: configuration, instantiation, invocation, and the
 //! public dynamic-instrumentation API.
 
-use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use wizard_wasm::module::{ConstExpr, FuncIdx, ImportDesc, Module};
 use wizard_wasm::opcodes as op;
 use wizard_wasm::types::{FuncType, GlobalType, ValType};
-use wizard_wasm::validate::{validate, ValidateError};
+use wizard_wasm::validate::ValidateError;
 
+use crate::artifact::ModuleArtifact;
 use crate::classic;
-use crate::code::{CodeBytes, FuncCode};
+use crate::code::FuncOverlay;
 use crate::exec::{Exec, ExecState, Exit};
 use crate::frame::Tier;
 use crate::interp;
 use crate::jit;
-use crate::lowered::Lowered;
+use crate::lowered::LoweredView;
 use crate::monitor::MonitorRegistry;
 use crate::probe::{BatchOp, Pending, Probe, ProbeBatch, ProbeId, ProbeRef, ProbeRegistry, Site};
 use crate::store::{HostFn, Linker, Memory, Table};
@@ -254,6 +255,21 @@ pub struct EngineStats {
     /// and removal — batched or not — never re-lower, so under normal
     /// instrumentation traffic this stays 0.
     pub relower_passes: u64,
+    /// Instantiations served from an already-built shared
+    /// [`ModuleArtifact`] by an artifact cache (e.g. `wizard-pool`'s):
+    /// validation, lowering and baseline compilation were all skipped.
+    /// Caches contribute this counter when fleet stats are merged;
+    /// processes themselves never increment it.
+    pub artifact_cache_hits: u64,
+    /// Artifact-cache lookups that had to build (validate) the artifact.
+    /// Contributed by caches, like [`EngineStats::artifact_cache_hits`].
+    pub artifact_cache_misses: u64,
+    /// Copy-on-write overlay materializations: the first probe this
+    /// process installed in each function copied that function's bytes
+    /// and lowered slots into process-local storage. Detaching the last
+    /// probe drops the copy again (rejoining the shared artifact), so
+    /// this counts copies *made*, not copies currently resident.
+    pub overlay_copies: u64,
 }
 
 impl EngineStats {
@@ -274,6 +290,9 @@ impl EngineStats {
             suspensions,
             functions_lowered,
             relower_passes,
+            artifact_cache_hits,
+            artifact_cache_misses,
+            overlay_copies,
         } = *other;
         self.probe_fires += probe_fires;
         self.global_fires += global_fires;
@@ -285,6 +304,9 @@ impl EngineStats {
         self.suspensions += suspensions;
         self.functions_lowered += functions_lowered;
         self.relower_passes += relower_passes;
+        self.artifact_cache_hits += artifact_cache_hits;
+        self.artifact_cache_misses += artifact_cache_misses;
+        self.overlay_copies += overlay_copies;
     }
 }
 
@@ -431,15 +453,16 @@ impl std::error::Error for ProbeError {}
 /// # }
 /// ```
 pub struct Process {
-    pub(crate) module: Rc<Module>,
+    pub(crate) artifact: Arc<ModuleArtifact>,
+    pub(crate) module: Arc<Module>,
     pub(crate) config: EngineConfig,
-    pub(crate) code: Vec<Rc<FuncCode>>,
+    pub(crate) code: Vec<Rc<FuncOverlay>>,
     pub(crate) host: Vec<HostFn>,
     pub(crate) memory: Option<Memory>,
     pub(crate) table: Table,
     pub(crate) globals: Vec<u64>,
     pub(crate) global_types: Vec<GlobalType>,
-    pub(crate) func_types: Vec<FuncType>,
+    pub(crate) func_types: Arc<[FuncType]>,
     pub(crate) probes: ProbeRegistry,
     pub(crate) monitors: MonitorRegistry,
     pub(crate) global_mode: bool,
@@ -459,6 +482,12 @@ impl Process {
     /// Validates, links and instantiates `module`, running data/element
     /// segment initialization and the start function.
     ///
+    /// This is the *owned-module* path: it builds a private
+    /// [`ModuleArtifact`] and instantiates from it. Fleets running many
+    /// instances of the same module should build the artifact once and use
+    /// [`Process::instantiate`] instead, paying validation, lowering and
+    /// baseline compilation a single time for all of them.
+    ///
     /// # Errors
     ///
     /// Returns a [`LinkError`] on validation failure, unresolved imports,
@@ -468,9 +497,33 @@ impl Process {
         config: EngineConfig,
         linker: &Linker,
     ) -> Result<Process, LinkError> {
-        let meta = validate(&module)?;
-        let module = Rc::new(module);
-        let n_imp = module.num_imported_funcs();
+        let artifact = Arc::new(ModuleArtifact::new(module)?);
+        Process::instantiate(artifact, config, linker)
+    }
+
+    /// Links and instantiates a process from a pre-built, possibly shared
+    /// [`ModuleArtifact`] — running data/element segment initialization
+    /// and the start function, but **skipping validation** (the artifact
+    /// is validated by construction) and sharing the artifact's lowered
+    /// and baseline-compiled code.
+    ///
+    /// Processes instantiated from the same artifact execute from the
+    /// same shared code until they instrument it: instrumentation is
+    /// per-process — the first probe on a function copy-on-writes just
+    /// that function into the probing process
+    /// ([`EngineStats::overlay_copies`]), and sibling processes never
+    /// observe it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LinkError`] on unresolved imports, out-of-bounds
+    /// segments, or a trapping start function.
+    pub fn instantiate(
+        artifact: Arc<ModuleArtifact>,
+        config: EngineConfig,
+        linker: &Linker,
+    ) -> Result<Process, LinkError> {
+        let module = Arc::clone(artifact.module());
 
         // Resolve imports.
         let mut host: Vec<HostFn> = Vec::new();
@@ -512,11 +565,9 @@ impl Process {
             }
         }
 
-        // Function types across the whole index space.
-        let mut func_types = Vec::with_capacity(module.num_funcs() as usize);
-        for i in 0..module.num_funcs() {
-            func_types.push(module.func_type(i).expect("validated").clone());
-        }
+        // Function types across the whole index space (shared, precomputed
+        // by the artifact — warm instantiation clones one Arc).
+        let func_types = Arc::clone(artifact.func_types());
 
         // Globals: imported first, then module-defined.
         let mut global_types: Vec<GlobalType> = Vec::new();
@@ -531,26 +582,10 @@ impl Process {
             globals.push(v);
         }
 
-        // Code objects.
-        let mut code = Vec::with_capacity(module.funcs.len());
-        for (i, (f, m)) in module.funcs.iter().zip(meta.funcs.iter()).enumerate() {
-            let ty = &module.types[f.type_idx as usize];
-            let mut local_types: Vec<ValType> = ty.params.clone();
-            local_types.extend(f.body.flat_locals());
-            code.push(Rc::new(FuncCode {
-                func: n_imp + i as u32,
-                bytes: CodeBytes::new(&f.body.code),
-                orig: RefCell::new(HashMap::new()),
-                meta: Rc::new(m.clone()),
-                local_types: Rc::from(local_types.into_boxed_slice()),
-                num_params: ty.params.len() as u32,
-                num_results: ty.results.len() as u32,
-                version: Cell::new(0),
-                compiled: RefCell::new(None),
-                hotness: Cell::new(0),
-                lowered: RefCell::new(None),
-            }));
-        }
+        // Code objects: fresh (empty) per-process overlays over the
+        // artifact's shared per-function code.
+        let code: Vec<Rc<FuncOverlay>> =
+            artifact.funcs().iter().map(|fa| Rc::new(FuncOverlay::new(Arc::clone(fa)))).collect();
 
         // Memory + data segments.
         let mut memory = module.memory0().map(|m| Memory::new(m.limits));
@@ -571,6 +606,7 @@ impl Process {
         }
 
         let mut p = Process {
+            artifact,
             module,
             config,
             code,
@@ -922,8 +958,10 @@ impl Process {
         );
         let created = self.probes.insert_local(id, func, pc, probe);
         let lf = (func - n_imp) as usize;
-        if created {
-            self.code[lf].install_probe_byte(pc);
+        if created && self.code[lf].install_probe_byte(pc) {
+            // First probe in this function: its bytes and lowered slots
+            // were just copy-on-wrote into the process-local overlay.
+            self.stats.overlay_copies += 1;
         }
         lf
     }
@@ -949,6 +987,9 @@ impl Process {
             Site::Local(func, pc) => {
                 let lf = (func - self.module.num_imported_funcs()) as usize;
                 if emptied {
+                    // Restoring the function's last probed location drops
+                    // the copy-on-write overlay: the process rejoins the
+                    // shared artifact's code.
                     self.code[lf].restore_byte(pc);
                 }
                 Some(lf)
@@ -1001,7 +1042,7 @@ impl Process {
             return Err(ProbeError::NotALocalFunction(func));
         }
         let lf = (func - n_imp) as usize;
-        let low = self.lowered_for(lf);
+        let low = self.lowered_view_for(lf);
         match low.slot_of(pc) {
             // The one-past-the-end sentinel maps to a slot (frames park the
             // implicit-return pc there) but is not a probeable instruction.
@@ -1010,26 +1051,30 @@ impl Process {
         }
     }
 
-    /// The lowered form of local function `lf`, lowering (and counting it
-    /// in [`EngineStats::functions_lowered`]) on first demand.
-    pub(crate) fn lowered_for(&mut self, lf: usize) -> Rc<Lowered> {
-        if let Some(low) = &*self.code[lf].lowered.borrow() {
-            return Rc::clone(low);
+    /// The lowered view of local function `lf`. The *shared* lowered form
+    /// is built inside the artifact on the first demand from any sibling
+    /// process; if this call is the one that builds it, it is counted in
+    /// this process's [`EngineStats::functions_lowered`] (instantiating
+    /// from a warm artifact therefore reports 0 lowering work).
+    pub(crate) fn lowered_view_for(&mut self, lf: usize) -> LoweredView {
+        let (_, lowered_now) = self.code[lf].artifact().lowered_init();
+        if lowered_now {
+            self.stats.functions_lowered += 1;
         }
-        let low = self.code[lf].ensure_lowered();
-        self.stats.functions_lowered += 1;
-        low
+        self.code[lf].lowered_view()
     }
 
-    /// Discards and rebuilds the lowered form of `func`, re-applying the
-    /// currently-installed probe patches, and invalidates its compiled
-    /// code. Counted in [`EngineStats::relower_passes`].
+    /// Rebuilds `func`'s process-local overlay from the shared artifact,
+    /// re-applying the currently-installed probe patches, and invalidates
+    /// its compiled code. Counted in [`EngineStats::relower_passes`]. A
+    /// function this process never instrumented has no overlay to rebuild;
+    /// the call still invalidates (and recounts).
     ///
     /// Instrumentation never takes this path — probe insertion/removal
-    /// patches lowered slots in place (batched invalidation passes
+    /// patches overlay slots in place (batched invalidation passes
     /// re-patch, they never re-lower). The API exists for tooling and
-    /// tests that mutate a function's bytecode *outside* the probe
-    /// protocol and need the caches rebuilt.
+    /// tests that need a function's process-local caches provably rebuilt.
+    /// The shared artifact itself is immutable and is never re-lowered.
     ///
     /// # Errors
     ///
@@ -1040,20 +1085,44 @@ impl Process {
             return Err(ProbeError::NotALocalFunction(func));
         }
         let lf = (func - n_imp) as usize;
-        self.code[lf].drop_lowered();
-        let _ = self.code[lf].ensure_lowered();
+        self.code[lf].rebuild_overlay();
         self.code[lf].invalidate();
         self.stats.relower_passes += 1;
         Ok(())
     }
 
-    /// Ensures `lf` has valid compiled code (compiling against current
-    /// instrumentation, from the shared lowered form).
+    /// Ensures `lf` has valid compiled code.
+    ///
+    /// While the function is probe-free (never instrumented, or all
+    /// probes detached) its code is identical across the whole fleet: the
+    /// artifact's shared baseline ([`CompiledCode`](crate::jit) is plain
+    /// data) is compiled once and wrapped for this process with empty
+    /// probe bindings, stamped with the process's *current* version (the
+    /// version stream stays monotonic for live-frame staleness checks).
+    /// Instrumented functions compile privately against this process's
+    /// probe list.
     pub(crate) fn ensure_compiled(&mut self, lf: usize) {
         if self.code[lf].compiled.borrow().is_some() {
             return;
         }
-        let low = self.lowered_for(lf);
+        if !self.code[lf].has_overlay() {
+            // Route through lowered_view_for so the (possible) first
+            // lowering is stat-attributed in exactly one place.
+            let _ = self.lowered_view_for(lf);
+            let (code, compiled_now) = self.code[lf].artifact().baseline_compiled();
+            if compiled_now {
+                self.stats.compiles += 1;
+            }
+            let compiled = jit::Compiled {
+                code: Arc::clone(code),
+                version: self.code[lf].version.get(),
+                cells: Vec::new(),
+                operands: Vec::new(),
+            };
+            *self.code[lf].compiled.borrow_mut() = Some(Rc::new(compiled));
+            return;
+        }
+        let low = self.lowered_view_for(lf);
         let compiled = jit::compile(&self.code[lf], &low, &self.probes, &self.config);
         self.stats.compiles += 1;
         *self.code[lf].compiled.borrow_mut() = Some(Rc::new(compiled));
@@ -1089,7 +1158,7 @@ impl Process {
             return false;
         }
         let fc = &self.code[(func - n_imp) as usize];
-        (pc as usize) < fc.bytes.len() && fc.bytes.byte(pc as usize) == op::PROBE
+        (pc as usize) < fc.len() && fc.byte_at(pc as usize) == op::PROBE
     }
 
     /// `true` if the function currently has valid compiled (JIT-tier) code.
@@ -1116,11 +1185,68 @@ impl Process {
         self.ensure_compiled(lf);
         let compiled = self.code[lf].compiled.borrow().clone().expect("just compiled");
         let mut out = String::new();
-        for (ip, o) in compiled.ops.iter().enumerate() {
-            let pc = compiled.ip_to_pc[ip];
+        for (ip, o) in compiled.code.ops.iter().enumerate() {
+            let pc = compiled.code.ip_to_pc[ip];
             out.push_str(&format!("{ip:>4} (pc {pc:>4}): {o:?}\n"));
         }
         Ok(out)
+    }
+
+    // ---- shared-artifact introspection ----
+
+    /// The shared [`ModuleArtifact`] this process executes from. Two
+    /// processes with `Arc::ptr_eq` artifacts share validated metadata,
+    /// lowered code and baseline compiled code.
+    pub fn artifact(&self) -> &Arc<ModuleArtifact> {
+        &self.artifact
+    }
+
+    /// `true` while this process holds a copy-on-write instrumented copy
+    /// of `func` (i.e. at least one of its own probes is installed there).
+    /// Imported functions report `false`.
+    pub fn has_overlay(&self, func: FuncIdx) -> bool {
+        let n_imp = self.module.num_imported_funcs();
+        if func < n_imp || func >= self.module.num_funcs() {
+            return false;
+        }
+        self.code[(func - n_imp) as usize].has_overlay()
+    }
+
+    /// Identity (address) of the lowered op stream this process would
+    /// dispatch `func` from — the artifact's shared stream until a probe
+    /// lands, the process-local overlay copy after. Two uninstrumented
+    /// sibling processes report the *same* address: they literally share
+    /// the code. Lowers the function if it never ran.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `func` is imported or out of range.
+    pub fn code_identity(&mut self, func: FuncIdx) -> Result<usize, ProbeError> {
+        let n_imp = self.module.num_imported_funcs();
+        if func < n_imp || func >= self.module.num_funcs() {
+            return Err(ProbeError::NotALocalFunction(func));
+        }
+        Ok(self.lowered_view_for((func - n_imp) as usize).ops_addr())
+    }
+
+    /// Identity (address) of the compiled op stream of `func`, if it has
+    /// valid JIT code. Sibling processes running un-instrumented code
+    /// report the same address (the artifact's shared baseline).
+    pub fn compiled_identity(&self, func: FuncIdx) -> Option<usize> {
+        let n_imp = self.module.num_imported_funcs();
+        if func < n_imp || func >= self.module.num_funcs() {
+            return None;
+        }
+        self.code[(func - n_imp) as usize].compiled.borrow().as_ref().map(|c| c.code_addr())
+    }
+
+    /// Bytes of process-private code this process currently holds in
+    /// copy-on-write overlays — 0 for an uninstrumented process, which
+    /// executes entirely from the shared artifact. (The paper's detach
+    /// guarantee, extended to memory: removing the last probe returns
+    /// this to 0.)
+    pub fn resident_overlay_bytes(&self) -> usize {
+        self.code.iter().map(|c| c.overlay_size_bytes()).sum()
     }
 }
 

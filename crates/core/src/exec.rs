@@ -3,6 +3,7 @@
 //! and the [`ProbeCtx`] / [`FrameView`] APIs that M-code programs against.
 
 use std::rc::Rc;
+use std::sync::Arc;
 
 use wizard_wasm::module::FuncIdx;
 use wizard_wasm::opcodes as op;
@@ -13,7 +14,7 @@ use crate::code::CodeBytes;
 use crate::engine::{Dispatch, Process};
 use crate::frame::{Frame, FrameAccessor, Tier};
 use crate::interp;
-use crate::lowered::{LTarget, Lowered};
+use crate::lowered::{LTarget, LoweredView};
 use crate::probe::{Location, Pending, ProbeId, ProbeRef};
 use crate::store::HostCtx;
 use crate::trap::Trap;
@@ -105,14 +106,17 @@ pub(crate) struct Exec<'p> {
     pub opbase: usize,
     /// Result arity of the current function.
     pub results: u32,
-    /// Current function's bytecode.
+    /// Current function's bytecode view (shared pristine bytes, or the
+    /// process-local instrumented overlay).
     pub code: CodeBytes,
-    /// Current function's lowered form (lowered dispatch only). Held by
+    /// Current function's lowered view (lowered dispatch only). Held by
     /// value — a small bundle of shared pointers, like [`CodeBytes`] — so
-    /// the dispatch loop reaches the op stream in one indirection.
-    pub low: Lowered,
+    /// the dispatch loop reaches the op stream in one indirection. Reads
+    /// the artifact's shared op stream until this process instruments the
+    /// function, then its copy-on-write overlay.
+    pub low: LoweredView,
     /// Current function's metadata.
-    pub meta: Rc<FuncMeta>,
+    pub meta: Arc<FuncMeta>,
     /// `true` when the engine is configured for classic byte dispatch
     /// ([`Dispatch::Bytecode`]).
     pub classic: bool,
@@ -159,7 +163,7 @@ thread_local! {
     /// built once per thread so every invocation (and every bounded-run
     /// resume slice) starts with a few refcount bumps instead of fresh
     /// allocations. Classic-dispatch runs never replace it.
-    static EMPTY_LOWERED: Lowered = Lowered::empty();
+    static EMPTY_LOWERED: LoweredView = LoweredView::empty();
 }
 
 impl<'p> Exec<'p> {
@@ -180,7 +184,7 @@ impl<'p> Exec<'p> {
             results: 0,
             code: CodeBytes::new(&[]),
             low: EMPTY_LOWERED.with(Clone::clone),
-            meta: Rc::new(FuncMeta::default()),
+            meta: Arc::new(FuncMeta::default()),
             classic,
             table,
             ctable,
@@ -274,14 +278,14 @@ impl<'p> Exec<'p> {
             self.opbase = f.opbase;
             self.results = f.results;
             let fc = &self.proc.code[f.lf];
-            self.code = fc.bytes.clone();
-            self.meta = Rc::clone(&fc.meta);
+            self.code = fc.bytes_view();
+            self.meta = Arc::clone(fc.meta());
             (f.pc, f.tier, f.lf)
         };
         if self.classic {
             self.pc = pc;
         } else {
-            self.low = (*self.proc.lowered_for(lf)).clone();
+            self.low = self.proc.lowered_view_for(lf);
             self.pc = if tier == Tier::Interp {
                 self.low.slot_of(pc as u32).expect("frame pc is an instruction boundary") as usize
             } else {
@@ -370,15 +374,15 @@ impl<'p> Exec<'p> {
         let (num_params, num_slots, results, max_height, code_version) = {
             let fc = &self.proc.code[lf];
             let code_version = if tier == Tier::Jit {
-                fc.compiled.borrow().as_ref().map_or(0, |c| c.version)
+                fc.compiled.borrow().as_ref().map_or(0, |c| c.version())
             } else {
                 0
             };
             (
-                fc.num_params as usize,
+                fc.num_params() as usize,
                 fc.num_slots() as usize,
-                fc.num_results,
-                fc.meta.max_height as usize,
+                fc.num_results(),
+                fc.meta().max_height as usize,
                 code_version,
             )
         };
@@ -466,8 +470,11 @@ impl<'p> Exec<'p> {
             let caller = self.frames.last_mut().expect("non-empty");
             if caller.tier == Tier::Jit {
                 let fc = &self.proc.code[caller.lf];
-                let stale =
-                    fc.compiled.borrow().as_ref().is_none_or(|c| c.version != caller.code_version);
+                let stale = fc
+                    .compiled
+                    .borrow()
+                    .as_ref()
+                    .is_none_or(|c| c.version() != caller.code_version);
                 if stale || self.proc.global_mode || caller.deopt_requested {
                     caller.tier = Tier::Interp;
                     caller.deopt_requested = false;
@@ -542,6 +549,7 @@ impl<'p> Exec<'p> {
 
     /// Applies queued instrumentation changes (end of an event's dispatch).
     pub fn apply_pending(&mut self) {
+        let had_ops = !self.proc.probes.pending.is_empty();
         let ops = std::mem::take(&mut self.proc.probes.pending);
         for p in ops {
             self.proc.apply_instrumentation(p);
@@ -550,6 +558,14 @@ impl<'p> Exec<'p> {
         let global = self.proc.global_mode;
         self.table = if global { interp::instrumented_table() } else { interp::normal_table() };
         self.ctable = if global { classic::instrumented_table() } else { classic::normal_table() };
+        // Instrumenting the current function may have copy-on-wrote (or
+        // rejoined) its code: the cached byte/lowered views would keep
+        // reading the stale stream. Reload them from the frame — the pc
+        // was synced before the probes fired, so this is view-identity
+        // for the cursor and only swaps the op/byte sources.
+        if had_ops && !self.frames.is_empty() {
+            self.load_cur();
+        }
     }
 
     /// Unwinds all frames of this invocation after a trap, invalidating
@@ -751,7 +767,7 @@ impl<'a, 'p> FrameView<'a, 'p> {
     pub fn local(&self, i: u32) -> Option<Value> {
         let f = &self.ex.frames[self.index];
         let lf = f.lf;
-        let ty = *self.ex.proc.code[lf].local_types.get(i as usize)?;
+        let ty = *self.ex.proc.code[lf].local_types().get(i as usize)?;
         let raw = self.ex.values[f.base + i as usize];
         Some(Value::from_slot(Slot(raw), ty))
     }
@@ -771,8 +787,10 @@ impl<'a, 'p> FrameView<'a, 'p> {
         let f = &self.ex.frames[self.index];
         let lf = f.lf;
         let base = f.base;
-        let ty =
-            *self.ex.proc.code[lf].local_types.get(i as usize).ok_or(FrameModError::OutOfRange)?;
+        let ty = *self.ex.proc.code[lf]
+            .local_types()
+            .get(i as usize)
+            .ok_or(FrameModError::OutOfRange)?;
         if v.ty() != ty {
             return Err(FrameModError::TypeMismatch);
         }

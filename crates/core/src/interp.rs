@@ -256,13 +256,13 @@ fn op_loop(ex: &mut Exec, _li: LInstr) -> Result<(), Sig> {
             ex.proc.ensure_compiled(ex.lf);
             let compiled = ex.proc.code[ex.lf].compiled.borrow().clone().expect("just compiled");
             let pc_b = ex.low.pc_of(ex.pc);
-            if let Some(&ip) = compiled.osr_entry.get(&pc_b) {
+            if let Some(&ip) = compiled.code.osr_entry.get(&pc_b) {
                 let next_pc_b = ex.low.pc_of(ex.pc + 1);
                 let f = ex.frames.last_mut().expect("frame");
                 f.tier = Tier::Jit;
                 f.cip = ip as usize;
                 f.pc = next_pc_b as usize; // unused while in JIT, kept sane
-                f.code_version = compiled.version;
+                f.code_version = compiled.version();
                 ex.proc.stats.tier_ups += 1;
                 return Err(Sig::Switch);
             }
@@ -561,11 +561,16 @@ fn op_probe(ex: &mut Exec, _li: LInstr) -> Result<(), Sig> {
     } else {
         ex.fire_local_probes(pc);
     }
-    // The firing probes may have removed themselves (restoring the slot);
-    // re-read and dispatch the original opcode either way. For a slot that
-    // was a fused head, `original` recovers the true pre-fusion
-    // immediates — the patched slot may carry the fused encoding.
-    let cur = ex.low.get(slot);
+    // The firing probes may have removed themselves (restoring the slot —
+    // and, if that was the function's last probe, rejoining the shared
+    // *re-fused* op stream); re-read and dispatch the original opcode
+    // either way. The read must be `unfused`: exactly one bytecode
+    // instruction executes for the fuel unit already charged, and in
+    // global-probe mode the covered instructions must still get their own
+    // fires. For a slot that was a fused head, `original` recovers the
+    // true pre-fusion immediates — the patched slot may carry the fused
+    // encoding.
+    let cur = ex.low.unfused(slot);
     let orig = if cur.op == op::PROBE {
         let byte = ex.proc.code[ex.lf].orig_opcode(pc);
         ex.low.original(slot, byte)

@@ -16,17 +16,33 @@
 //! * inserting/removing probes bumps the function's instrumentation
 //!   version, invalidating compiled code; executing frames deoptimize back
 //!   to the interpreter in place (paper §4.5–4.6, strategy 4).
+//!
+//! Compiled code is split in two layers so probe-free code can be shared:
+//!
+//! * [`CompiledCode`] is plain data (`Send + Sync`): the op stream, pc
+//!   metadata and OSR entries. Probe sites reference their M-code through
+//!   *indices* into the binding tables, never through pointers.
+//! * [`Compiled`] binds a `CompiledCode` to one process: the counter cells
+//!   and probe references the indices resolve against. Code compiled at
+//!   instrumentation version 0 has empty bindings, so the artifact caches
+//!   one `Arc<CompiledCode>` and every uninstrumented process of the
+//!   module executes the very same compiled ops
+//!   ([`FuncArtifact::baseline_compiled`](crate::artifact::FuncArtifact)).
+//!   The first probe invalidates only that process's binding; siblings
+//!   keep running the shared code.
 
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
+use wizard_wasm::module::FuncIdx;
 use wizard_wasm::opcodes as op;
 
-use crate::code::FuncCode;
+use crate::code::FuncOverlay;
 use crate::exec::{Exec, Exit, Sig};
 use crate::frame::Tier;
-use crate::lowered::{LTarget, Lowered};
+use crate::lowered::{LTarget, Lowered, LoweredView};
 use crate::numeric;
 use crate::probe::{Location, ProbeKind, ProbeRef, ProbeRegistry};
 use crate::trap::Trap;
@@ -44,7 +60,8 @@ pub struct JTarget {
     pub height: u32,
 }
 
-/// One compiled micro-op.
+/// One compiled micro-op. Plain data — probe sites carry indices into the
+/// owning [`Compiled`]'s binding tables, keeping the op stream shareable.
 #[derive(Clone)]
 pub enum Op {
     /// Push a constant slot.
@@ -120,14 +137,14 @@ pub enum Op {
     /// Intrinsified counter probe: inline increment, no call (Figure 2,
     /// "counter probe").
     CountBump {
-        /// The shared counter.
-        cell: Rc<Cell<u64>>,
+        /// Index into [`Compiled::cells`].
+        cell: u32,
     },
     /// Intrinsified top-of-stack operand probe: direct call with the
     /// operand value, no FrameAccessor (Figure 2, "operand probe").
     OperandProbe {
-        /// The probe to fire.
-        probe: ProbeRef,
+        /// Index into [`Compiled::operands`].
+        probe: u32,
         /// Bytecode pc of the probed instruction.
         pc: u32,
     },
@@ -183,10 +200,12 @@ impl core::fmt::Debug for Op {
     }
 }
 
-/// A function compiled to micro-ops.
+/// A function compiled to micro-ops: the shareable, process-independent
+/// layer (plain data, `Send + Sync`).
 #[derive(Debug)]
-pub struct Compiled {
-    /// Instrumentation version this code was specialized against.
+pub struct CompiledCode {
+    /// Instrumentation version this code was specialized against (0 for
+    /// the shared probe-free baseline).
     pub version: u32,
     /// The op stream.
     pub ops: Vec<Op>,
@@ -197,24 +216,92 @@ pub struct Compiled {
     pub osr_entry: HashMap<u32, u32>,
 }
 
-/// Compiles `fc` from its *lowered* form to micro-ops, baking in the
+/// Compiled code bound to one process: the shareable op stream plus the
+/// probe bindings its probe-site indices resolve against. Version-0 code
+/// has empty bindings and wraps the artifact's shared `Arc<CompiledCode>`.
+pub struct Compiled {
+    /// The (possibly shared) op stream.
+    pub code: Arc<CompiledCode>,
+    /// The owning process's instrumentation version this binding is valid
+    /// for. For privately-compiled code this equals `code.version`; for
+    /// the shared baseline it is the process's version at wrap time
+    /// (`code.version` stays 0 there). Stamped per process so versions
+    /// observed by live frames stay strictly monotonic even though the
+    /// baseline op stream is reused across probe/detach cycles.
+    pub version: u32,
+    /// Counter cells referenced by [`Op::CountBump`].
+    pub cells: Vec<Rc<Cell<u64>>>,
+    /// Operand probes referenced by [`Op::OperandProbe`].
+    pub operands: Vec<ProbeRef>,
+}
+
+impl core::fmt::Debug for Compiled {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Compiled")
+            .field("code", &self.code)
+            .field("cells", &self.cells.len())
+            .field("operands", &self.operands.len())
+            .finish()
+    }
+}
+
+impl Compiled {
+    /// The instrumentation version this process-bound code is valid for.
+    #[inline]
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Address of the op stream, for sharing assertions.
+    pub fn code_addr(&self) -> usize {
+        Arc::as_ptr(&self.code) as usize
+    }
+}
+
+/// Compiles the probe-free baseline (instrumentation version 0) of `func`
+/// from the shared lowered form. The result references no process state
+/// and is cached on the [`FuncArtifact`](crate::artifact::FuncArtifact),
+/// shared by every process until it instruments the function.
+pub(crate) fn compile_baseline(func: FuncIdx, low: &Arc<Lowered>) -> CompiledCode {
+    let view = LoweredView::shared((**low).clone());
+    let (code, cells, operands) = compile_inner(func, &view, None, 0);
+    debug_assert!(cells.is_empty() && operands.is_empty(), "baseline has no probe sites");
+    code
+}
+
+/// Compiles `fc` from its *lowered* view to micro-ops, baking in the
 /// currently-installed probes.
 ///
 /// The lowering pass already pre-decoded every immediate and fused the
-/// side table, so compilation is a single walk over fixed-width slots —
-/// the byte-decoding logic this function used to duplicate with the
-/// interpreter now lives (once) in [`crate::lowered`].
+/// side table, so compilation is a single walk over fixed-width slots.
 pub(crate) fn compile(
-    fc: &FuncCode,
-    low: &Lowered,
+    fc: &FuncOverlay,
+    low: &LoweredView,
     probes: &ProbeRegistry,
     config: &EngineConfig,
 ) -> Compiled {
+    let version = fc.version.get();
+    let (code, cells, operands) =
+        compile_inner(fc.func(), low, Some((fc, probes, config)), version);
+    Compiled { code: Arc::new(code), version, cells, operands }
+}
+
+/// The shared compilation walk. `instr` carries the probe context for
+/// instrumented compiles; `None` compiles the pristine baseline.
+#[allow(clippy::type_complexity)]
+fn compile_inner(
+    func: FuncIdx,
+    low: &LoweredView,
+    instr: Option<(&FuncOverlay, &ProbeRegistry, &EngineConfig)>,
+    version: u32,
+) -> (CompiledCode, Vec<Rc<Cell<u64>>>, Vec<ProbeRef>) {
     let nslots = low.len();
     let mut ops: Vec<Op> = Vec::with_capacity(nslots);
     let mut ip_to_pc: Vec<u32> = Vec::with_capacity(nslots);
     let mut slot_to_ip: Vec<u32> = Vec::with_capacity(nslots + 1);
     let mut osr_entry: HashMap<u32, u32> = HashMap::new();
+    let mut cells: Vec<Rc<Cell<u64>>> = Vec::new();
+    let mut operands: Vec<ProbeRef> = Vec::new();
 
     // Branch targets are emitted with `ip` temporarily holding the lowered
     // *slot*; a second pass resolves slots to op indices.
@@ -230,6 +317,7 @@ pub(crate) fn compile(
         let pc = low.pc_of(slot);
         let mut li = low.unfused(slot);
         if li.op == op::PROBE {
+            let fc = instr.expect("probe opcodes only occur on instrumented overlays").0;
             li = low.original(slot, fc.orig_opcode(pc));
         }
         slot_to_ip.push(ops.len() as u32);
@@ -237,30 +325,34 @@ pub(crate) fn compile(
         // Probe site: intrinsify if every probe at the site supports it,
         // otherwise fall back to a single generic probe op that dispatches
         // the whole site list through the runtime.
-        if let Some(list) = probes.locals_at(fc.func, pc) {
-            let all_intrinsic = list.iter().all(|(_, p)| match p.borrow().kind() {
-                ProbeKind::Count => config.intrinsify_count,
-                ProbeKind::Operand => config.intrinsify_operand,
-                ProbeKind::Generic => false,
-            });
-            if all_intrinsic {
-                for (_, p) in list.iter() {
-                    let kind = p.borrow().kind();
-                    match kind {
-                        ProbeKind::Count => {
-                            let cell = p.borrow().count_cell().expect("count probe has cell");
-                            ops.push(Op::CountBump { cell });
+        if let Some((_, probes, config)) = instr {
+            if let Some(list) = probes.locals_at(func, pc) {
+                let all_intrinsic = list.iter().all(|(_, p)| match p.borrow().kind() {
+                    ProbeKind::Count => config.intrinsify_count,
+                    ProbeKind::Operand => config.intrinsify_operand,
+                    ProbeKind::Generic => false,
+                });
+                if all_intrinsic {
+                    for (_, p) in list.iter() {
+                        let kind = p.borrow().kind();
+                        match kind {
+                            ProbeKind::Count => {
+                                let cell = p.borrow().count_cell().expect("count probe has cell");
+                                cells.push(cell);
+                                ops.push(Op::CountBump { cell: cells.len() as u32 - 1 });
+                            }
+                            ProbeKind::Operand => {
+                                operands.push(Rc::clone(p));
+                                ops.push(Op::OperandProbe { probe: operands.len() as u32 - 1, pc });
+                            }
+                            ProbeKind::Generic => unreachable!("checked all_intrinsic"),
                         }
-                        ProbeKind::Operand => {
-                            ops.push(Op::OperandProbe { probe: Rc::clone(p), pc });
-                        }
-                        ProbeKind::Generic => unreachable!("checked all_intrinsic"),
+                        ip_to_pc.push(pc);
                     }
+                } else {
+                    ops.push(Op::Probe { pc });
                     ip_to_pc.push(pc);
                 }
-            } else {
-                ops.push(Op::Probe { pc });
-                ip_to_pc.push(pc);
             }
         }
         if opb == op::LOOP {
@@ -319,7 +411,7 @@ pub(crate) fn compile(
         }
     }
 
-    Compiled { version: fc.version.get(), ops, ip_to_pc, osr_entry }
+    (CompiledCode { version, ops, ip_to_pc, osr_entry }, cells, operands)
 }
 
 /// Runs the current (JIT-tier) frame until the invocation finishes, the
@@ -337,14 +429,15 @@ pub(crate) fn run_frame(ex: &mut Exec) -> Result<Exit, Trap> {
             deopt_here(ex);
             return Ok(Exit::Redispatch);
         };
-        if compiled.version != expect_version {
+        if compiled.version() != expect_version {
             deopt_here(ex);
             return Ok(Exit::Redispatch);
         }
         let func = ex.func;
+        let code = &compiled.code;
         let mut ip = start_ip;
         loop {
-            if ip >= compiled.ops.len() {
+            if ip >= code.ops.len() {
                 // Fell off the end: return.
                 ex.frames.last_mut().expect("frame").cip = ip;
                 match ex.do_return(Tier::Jit) {
@@ -361,9 +454,9 @@ pub(crate) fn run_frame(ex: &mut Exec) -> Result<Exit, Trap> {
             // probes have not fired yet — `cip` resumes compiled code
             // exactly here, and `pc` is a valid interpreter resume point if
             // the code is invalidated while suspended.
-            if ex.metered && (ip == 0 || compiled.ip_to_pc[ip] != compiled.ip_to_pc[ip - 1]) {
+            if ex.metered && (ip == 0 || code.ip_to_pc[ip] != code.ip_to_pc[ip - 1]) {
                 if ex.fuel == 0 {
-                    let pc = compiled.ip_to_pc[ip] as usize;
+                    let pc = code.ip_to_pc[ip] as usize;
                     ex.pc = pc;
                     let f = ex.frames.last_mut().expect("frame");
                     f.cip = ip;
@@ -372,7 +465,7 @@ pub(crate) fn run_frame(ex: &mut Exec) -> Result<Exit, Trap> {
                 }
                 ex.fuel -= 1;
             }
-            match &compiled.ops[ip] {
+            match &code.ops[ip] {
                 Op::Const(v) => ex.values.push(*v),
                 Op::LocalGet(i) => {
                     let v = ex.values[ex.base + *i as usize];
@@ -511,13 +604,16 @@ pub(crate) fn run_frame(ex: &mut Exec) -> Result<Exit, Trap> {
                 Op::Unreachable => return trap(ex, Trap::Unreachable),
                 Op::CountBump { cell } => {
                     // Fully-inlined counter: the intrinsified fast path.
+                    let cell = &compiled.cells[*cell as usize];
                     cell.set(cell.get() + 1);
                 }
                 Op::OperandProbe { probe, pc } => {
                     // Direct call with the top-of-stack value; no runtime
                     // dispatch, no FrameAccessor.
                     let top = ex.peek();
-                    probe.borrow_mut().fire_operand(Location { func, pc: *pc }, top);
+                    compiled.operands[*probe as usize]
+                        .borrow_mut()
+                        .fire_operand(Location { func, pc: *pc }, top);
                 }
                 Op::Probe { pc } => {
                     // Generic probe site: checkpoint (sync pc/cip), then fire
@@ -535,7 +631,7 @@ pub(crate) fn run_frame(ex: &mut Exec) -> Result<Exit, Trap> {
                     // (paper §4.6, strategy 4).
                     let deopt_needed = {
                         let f = ex.frames.last().expect("frame");
-                        ex.proc.code[lf].version.get() != compiled.version
+                        ex.proc.code[lf].version.get() != compiled.version()
                             || f.deopt_requested
                             || ex.proc.global_mode
                     };
@@ -552,7 +648,7 @@ pub(crate) fn run_frame(ex: &mut Exec) -> Result<Exit, Trap> {
                         f.deopt_requested = false;
                         // The probes at this pc already fired; suppress the
                         // interpreter's re-fire if the probe byte remains.
-                        if ex.proc.code[lf].bytes.byte(pcv as usize) == op::PROBE {
+                        if ex.proc.code[lf].byte_at(pcv as usize) == op::PROBE {
                             ex.skip_probe = Some(Location { func, pc: pcv });
                         }
                         ex.proc.stats.deopts += 1;

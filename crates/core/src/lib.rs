@@ -5,6 +5,15 @@
 //!
 //! # Architecture
 //!
+//! * **Shared artifacts & copy-on-write overlays** ([`artifact`],
+//!   [`code`]): a [`ModuleArtifact`] holds everything process-independent
+//!   — the validated module, side-table metadata, per-function lowered
+//!   code and probe-free baseline JIT code — built once, `Arc`-shared and
+//!   `Send + Sync`. [`Process::instantiate`] links against it without
+//!   re-validating; uninstrumented processes execute *the same* shared
+//!   code (pointer-equal), and the first probe a process installs in a
+//!   function copy-on-writes just that function into its private overlay
+//!   — invisible to siblings, dropped again when the last probe detaches.
 //! * **Lowered interpreter** ([`lowered`]): each function body is lowered
 //!   *once* into fixed-width internal instructions — immediates
 //!   pre-decoded, branch side table fused into pre-resolved targets — and
@@ -149,6 +158,7 @@
 
 #![warn(missing_docs)]
 
+pub mod artifact;
 mod classic;
 pub mod code;
 mod engine;
@@ -164,6 +174,7 @@ pub mod store;
 pub mod trap;
 pub mod value;
 
+pub use artifact::{FuncArtifact, ModuleArtifact};
 pub use engine::{
     Dispatch, EngineConfig, EngineConfigBuilder, EngineStats, ExecMode, LinkError, ProbeError,
     Process, RunOutcome,

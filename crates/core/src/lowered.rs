@@ -1,5 +1,5 @@
-//! The lowered code cache: one-time translation of validated bytecode into
-//! fixed-width internal instructions with pre-decoded immediates and
+//! The lowered code pipeline: one-time translation of validated bytecode
+//! into fixed-width internal instructions with pre-decoded immediates and
 //! pre-resolved branch targets.
 //!
 //! The in-place interpreter pays a *decode tax* when it dispatches over raw
@@ -10,6 +10,19 @@
 //! side table fused into a dense target array, and the interpreter then
 //! dispatches over *slots* — no LEB, no hashing in the hot loop.
 //!
+//! Since the shared-artifact refactor the lowered form is split in two:
+//!
+//! * [`Lowered`] is the **immutable, thread-safe shared form** — all
+//!   `Arc`-backed, `Send + Sync`, built once per function inside a
+//!   [`ModuleArtifact`](crate::artifact::ModuleArtifact) and shared by
+//!   every process instantiated from it. Nothing ever mutates it.
+//! * [`LoweredView`] is the **per-process read view** the execution tiers
+//!   dispatch through: normally it reads straight from the shared op
+//!   stream (zero copies, pointer-shared across processes); once the
+//!   process installs a probe in the function, the view reads from the
+//!   process-local **copy-on-write op stream** owned by that function's
+//!   [`FuncOverlay`](crate::code::FuncOverlay).
+//!
 //! Two properties make this compatible with the paper's instrumentation
 //! design:
 //!
@@ -18,16 +31,18 @@
 //!   [`Lowered::slot_of`]), and frames always park byte pcs at sync points,
 //!   so probes, monitors, script matching, disassembly, fuel suspension and
 //!   deoptimization all keep speaking byte offsets.
-//! * **Probe patching works exactly like bytecode overwriting.** A slot is
-//!   one instruction; installing a probe overwrites the slot's *opcode
-//!   field* with the probe opcode (immediates untouched), and removal
-//!   restores it — the same O(1) patch/restore the paper performs on the
-//!   opcode byte (§4.2), applied to the lowered form in tandem. Batched
-//!   invalidation passes re-patch slots; they never re-lower.
+//! * **Probe patching works exactly like bytecode overwriting** — on the
+//!   overlay's copy. A slot is one instruction; installing a probe
+//!   overwrites the copied slot's *opcode field* with the probe opcode
+//!   (immediates untouched), and removal restores it — the same O(1)
+//!   patch/restore the paper performs on the opcode byte (§4.2). The
+//!   shared form is never touched, which is what makes instrumentation
+//!   invisible to sibling processes of the same artifact.
 
 use std::cell::Cell;
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
+use std::sync::Arc;
 
 use wizard_wasm::instr::{Imm, InstrIter};
 use wizard_wasm::opcodes as op;
@@ -100,7 +115,7 @@ pub struct LTarget {
 /// One fixed-width lowered instruction.
 ///
 /// `op` reuses the Wasm opcode byte space (including the reserved probe
-/// opcode when the slot is patched), so the interpreter's 256-entry
+/// opcode when an overlay slot is patched), so the interpreter's 256-entry
 /// dispatch tables — normal and global-probe-instrumented — carry over
 /// unchanged in shape. The immediate fields are interpreted per opcode:
 ///
@@ -116,7 +131,7 @@ pub struct LTarget {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LInstr {
     /// Lowered opcode (Wasm opcode byte space, a fused superinstruction
-    /// opcode, or `op::PROBE` when patched).
+    /// opcode, or `op::PROBE` when an overlay slot is patched).
     pub op: u8,
     /// Secondary opcode of a fused superinstruction (the second
     /// instruction's binop byte); 0 otherwise. Lives in what would be
@@ -142,32 +157,42 @@ impl LInstr {
     }
 }
 
-/// A function body lowered to fixed-width instructions.
+/// A process-local copy-on-write op stream: the mutable half of the
+/// overlay, materialized from [`Lowered::cow_ops`] when the first probe
+/// lands in a function and dropped again when the last probe leaves.
+pub type OverlayOps = Rc<[Cell<LInstr>]>;
+
+/// A function body lowered to fixed-width instructions — the **immutable,
+/// shared form**.
 ///
-/// The op stream is shared, in-place mutable (each slot's opcode field can
-/// be overwritten with the probe opcode and restored), mirroring
-/// [`CodeBytes`](crate::code::CodeBytes) one level up.
+/// Every field is `Arc`-backed plain data: the whole structure is
+/// `Send + Sync` and is shared by reference between every process
+/// instantiated from the same
+/// [`ModuleArtifact`](crate::artifact::ModuleArtifact). Instrumentation
+/// never mutates it; probe patching operates on a per-process
+/// [`OverlayOps`] copy read through a [`LoweredView`].
 #[derive(Debug, Clone)]
 pub struct Lowered {
-    /// One slot per bytecode instruction, in code order.
-    ops: Rc<[Cell<LInstr>]>,
+    /// One slot per bytecode instruction, in code order (pristine:
+    /// superinstructions fused, no probe opcodes).
+    ops: Arc<[LInstr]>,
     /// Pre-resolved branch targets (side table fused in), referenced by
     /// `x` of `br`/`br_if`/`if`/`else` slots.
-    pub targets: Rc<[LTarget]>,
+    pub targets: Arc<[LTarget]>,
     /// `br_table` target lists (targets then default, matching the side
     /// table), referenced by `x` of `br_table` slots.
-    pub tables: Rc<[Box<[LTarget]>]>,
+    pub tables: Arc<[Box<[LTarget]>]>,
     /// slot → byte pc of the instruction; one extra sentinel entry mapping
     /// `slot == len()` to the body's byte length (one-past-the-end).
-    slot_to_pc: Rc<[u32]>,
+    slot_to_pc: Arc<[u32]>,
     /// byte pc → slot; `u32::MAX` for offsets that are not instruction
     /// boundaries; one extra sentinel entry for `pc == body len`.
-    pc_to_slot: Rc<[u32]>,
+    pc_to_slot: Arc<[u32]>,
     /// Original (unfused) head instructions of fused superinstruction
     /// slots, keyed by head slot — consulted to unfuse when a probe lands
-    /// on a covered slot, and by consumers that need the strict
-    /// one-instruction-per-slot view ([`Lowered::unfused`]).
-    fused: Rc<HashMap<u32, LInstr>>,
+    /// on a covered overlay slot, and by consumers that need the strict
+    /// one-instruction-per-slot view ([`LoweredView::unfused`]).
+    fused: Arc<HashMap<u32, LInstr>>,
 }
 
 impl Lowered {
@@ -262,35 +287,18 @@ impl Lowered {
         let fused = fuse(&mut ops, &targets, &tables);
 
         Lowered {
-            ops: ops.into_iter().map(Cell::new).collect(),
+            ops: ops.into(),
             targets: targets.into(),
             tables: tables.into(),
             slot_to_pc: slot_to_pc.into(),
             pc_to_slot: pc_to_slot.into(),
-            fused: Rc::new(fused),
+            fused: Arc::new(fused),
         }
     }
 
     /// An empty lowering (placeholder before the first frame loads).
     pub fn empty() -> Lowered {
         Lowered::lower(&[], &FuncMeta::default())
-    }
-
-    /// The slot's instruction with fusion undone: a fused head reports its
-    /// original first instruction (the covered slot always holds its
-    /// original second instruction). Consumers that need the strict
-    /// one-instruction-per-slot view — the JIT compiler, fuel-metered
-    /// execution (exactly one fuel unit per bytecode instruction), and
-    /// global-probe dispatch (a probe fires before *every* instruction) —
-    /// read through this instead of [`Lowered::get`].
-    #[inline]
-    pub fn unfused(&self, slot: usize) -> LInstr {
-        let li = self.ops[slot].get();
-        if is_fused(li.op) {
-            self.fused[&(slot as u32)]
-        } else {
-            li
-        }
     }
 
     /// Number of instruction slots.
@@ -304,10 +312,10 @@ impl Lowered {
         self.ops.is_empty()
     }
 
-    /// Reads the instruction at `slot`.
+    /// Reads the pristine (shared-form) instruction at `slot`.
     #[inline]
     pub fn get(&self, slot: usize) -> LInstr {
-        self.ops[slot].get()
+        self.ops[slot]
     }
 
     /// Byte pc of the instruction at `slot` (`slot == len()` maps to the
@@ -339,29 +347,54 @@ impl Lowered {
         &self.tables[idx as usize]
     }
 
-    /// Overwrites the opcode field at `slot` with the probe opcode,
-    /// returning the previous opcode — the lowered-form analogue of
-    /// overwriting the opcode byte. Immediates are untouched, so the
-    /// original handler decodes nothing when the probe re-dispatches it.
+    /// Address of the shared op stream — the identity tests and benches
+    /// use to assert that two processes really dispatch from the same
+    /// memory until a probe lands.
+    pub fn ops_addr(&self) -> usize {
+        self.ops.as_ptr() as usize
+    }
+
+    /// Size of the lowered form in bytes (op stream + targets + maps) —
+    /// the per-process memory a shared artifact saves its siblings.
+    pub fn size_bytes(&self) -> usize {
+        self.ops.len() * core::mem::size_of::<LInstr>()
+            + self.targets.len() * core::mem::size_of::<LTarget>()
+            + self.tables.iter().map(|t| t.len() * core::mem::size_of::<LTarget>()).sum::<usize>()
+            + (self.slot_to_pc.len() + self.pc_to_slot.len()) * core::mem::size_of::<u32>()
+    }
+
+    /// Materializes a process-local copy of the op stream — the
+    /// copy-on-write step, taken by a
+    /// [`FuncOverlay`](crate::code::FuncOverlay) when the first probe
+    /// lands in the function.
+    pub fn cow_ops(&self) -> OverlayOps {
+        self.ops.iter().map(|&o| Cell::new(o)).collect()
+    }
+
+    /// Overwrites the opcode field of overlay slot `slot` with the probe
+    /// opcode, returning the previous opcode — the lowered-form analogue
+    /// of overwriting the opcode byte, applied to the process-local copy.
+    /// Immediates are untouched, so the original handler decodes nothing
+    /// when the probe re-dispatches it.
     ///
     /// If the slot is covered by a fused superinstruction, the fused head
     /// is restored to its original single instruction first — sequential
     /// flow must reach the probed slot, never skip over it. (A probe on a
     /// fused *head* needs no unfusing: the probe handler re-dispatches the
     /// saved original opcode, whose immediates the patched slot retains.)
-    pub fn patch_probe(&self, slot: u32) -> u8 {
+    pub fn patch_probe(&self, ops: &[Cell<LInstr>], slot: u32) -> u8 {
         // Scan back over the longest possible fused region for a head that
         // covers this slot (fusions never overlap, so at most one does).
         for d in 1..=3u32 {
             let Some(head) = slot.checked_sub(d) else { break };
-            let cell = &self.ops[head as usize];
+            let cell = &ops[head as usize];
             let opcode = cell.get().op;
             if is_fused(opcode) && fused_len(opcode) as u32 > d {
                 cell.set(self.fused[&head]);
                 break;
             }
         }
-        let cell = &self.ops[slot as usize];
+        let cell = &ops[slot as usize];
         let mut li = cell.get();
         let prev = li.op;
         li.op = op::PROBE;
@@ -369,42 +402,157 @@ impl Lowered {
         prev
     }
 
-    /// Restores the opcode field at `slot` (when the last probe at the
-    /// location is removed). A slot that was a fused head is restored to
-    /// its full *original* instruction (not re-fused) — its immediate
-    /// fields held the fused encoding, and a head that probe traffic
-    /// touched stays unfused: degradation, never incorrectness.
-    pub fn restore_op(&self, slot: u32, orig: u8) {
+    /// Restores the opcode field of overlay slot `slot` (when the last
+    /// probe at the location is removed). A slot that was a fused head is
+    /// restored to its full *original* instruction (not re-fused) — its
+    /// immediate fields held the fused encoding, and a head that probe
+    /// traffic touched stays unfused in the overlay: degradation, never
+    /// incorrectness. (When the *last* probe leaves the whole function the
+    /// overlay copy is dropped entirely and the process rejoins the
+    /// shared, still-fused op stream.)
+    pub fn restore_op(&self, ops: &[Cell<LInstr>], slot: u32, orig: u8) {
         if let Some(o) = self.fused.get(&slot) {
             debug_assert_eq!(o.op, orig, "saved byte opcode matches the fused head's original");
-            self.ops[slot as usize].set(*o);
+            ops[slot as usize].set(*o);
             return;
         }
-        let cell = &self.ops[slot as usize];
+        let cell = &ops[slot as usize];
         let mut li = cell.get();
         li.op = orig;
         cell.set(li);
     }
 
-    /// The original single instruction at a *probe-patched* `slot`:
-    /// `orig_byte` supplies the overwritten opcode (saved on the bytecode
-    /// side), and if the slot was a fused head its original immediates
-    /// come from the fusion map — the patched slot itself may carry the
-    /// fused encoding.
+    /// The original single instruction behind a (possibly fused or
+    /// probe-patched) slot whose current encoding is `li`: `orig_byte`
+    /// supplies the overwritten opcode (saved on the bytecode side), and
+    /// if the slot was a fused head its original immediates come from the
+    /// fusion map — the patched slot itself may carry the fused encoding.
     #[inline]
-    pub fn original(&self, slot: usize, orig_byte: u8) -> LInstr {
+    fn original_of(&self, slot: usize, mut li: LInstr, orig_byte: u8) -> LInstr {
         if let Some(o) = self.fused.get(&(slot as u32)) {
             return *o;
         }
-        let mut li = self.ops[slot].get();
         li.op = orig_byte;
         li
     }
+}
 
-    /// Number of fused superinstruction heads currently in the op stream
-    /// (diagnostics/tests).
+/// The per-process read view of a function's lowered code: shared pristine
+/// ops by default, the process-local [`OverlayOps`] copy once the function
+/// is instrumented. Cheap to clone (a bundle of shared pointers); the
+/// execution tiers hold one by value per live frame.
+#[derive(Debug, Clone)]
+pub struct LoweredView {
+    shared: Lowered,
+    local: Option<OverlayOps>,
+}
+
+impl LoweredView {
+    /// A view reading straight from the shared form (uninstrumented).
+    pub fn shared(low: Lowered) -> LoweredView {
+        LoweredView { shared: low, local: None }
+    }
+
+    /// A view reading through a process-local overlay op stream.
+    pub fn overlaid(low: Lowered, ops: OverlayOps) -> LoweredView {
+        LoweredView { shared: low, local: Some(ops) }
+    }
+
+    /// An empty view (placeholder before the first frame loads).
+    pub fn empty() -> LoweredView {
+        LoweredView::shared(Lowered::empty())
+    }
+
+    /// `true` while this view reads a process-local copy-on-write op
+    /// stream instead of the shared artifact's.
+    pub fn is_overlaid(&self) -> bool {
+        self.local.is_some()
+    }
+
+    /// Address of the op stream this view dispatches from (overlay copy
+    /// if present, shared otherwise) — the pointer identity used by
+    /// sharing assertions.
+    pub fn ops_addr(&self) -> usize {
+        match &self.local {
+            Some(ops) => ops.as_ptr() as usize,
+            None => self.shared.ops_addr(),
+        }
+    }
+
+    /// Reads the instruction at `slot` (overlay copy if present).
+    #[inline]
+    pub fn get(&self, slot: usize) -> LInstr {
+        match &self.local {
+            Some(ops) => ops[slot].get(),
+            None => self.shared.get(slot),
+        }
+    }
+
+    /// The slot's instruction with fusion undone: a fused head reports its
+    /// original first instruction (the covered slot always holds its
+    /// original second instruction). Consumers that need the strict
+    /// one-instruction-per-slot view — the JIT compiler, fuel-metered
+    /// execution (exactly one fuel unit per bytecode instruction), and
+    /// global-probe dispatch (a probe fires before *every* instruction) —
+    /// read through this instead of [`LoweredView::get`].
+    #[inline]
+    pub fn unfused(&self, slot: usize) -> LInstr {
+        let li = self.get(slot);
+        if is_fused(li.op) {
+            self.shared.fused[&(slot as u32)]
+        } else {
+            li
+        }
+    }
+
+    /// The original single instruction behind a probe-patched `slot`:
+    /// `orig_byte` supplies the overwritten opcode (saved on the bytecode
+    /// side), and a slot that was a fused head recovers its pre-fusion
+    /// immediates from the fusion map.
+    #[inline]
+    pub fn original(&self, slot: usize, orig_byte: u8) -> LInstr {
+        self.shared.original_of(slot, self.get(slot), orig_byte)
+    }
+
+    /// Number of instruction slots.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.shared.len()
+    }
+
+    /// `true` if the body lowered to no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.shared.is_empty()
+    }
+
+    /// Byte pc of the instruction at `slot`; see [`Lowered::pc_of`].
+    #[inline]
+    pub fn pc_of(&self, slot: usize) -> u32 {
+        self.shared.pc_of(slot)
+    }
+
+    /// Slot of the instruction at byte `pc`; see [`Lowered::slot_of`].
+    #[inline]
+    pub fn slot_of(&self, pc: u32) -> Option<u32> {
+        self.shared.slot_of(pc)
+    }
+
+    /// Resolves a target index of a `br`/`br_if`/`if`/`else` slot.
+    #[inline]
+    pub fn target(&self, idx: u32) -> LTarget {
+        self.shared.target(idx)
+    }
+
+    /// Resolves a `br_table` slot's target list.
+    #[inline]
+    pub fn table(&self, idx: u32) -> &[LTarget] {
+        self.shared.table(idx)
+    }
+
+    /// Number of fused superinstruction heads currently visible to this
+    /// view (diagnostics/tests).
     pub fn fused_count(&self) -> usize {
-        self.ops.iter().filter(|c| is_fused(c.get().op)).count()
+        (0..self.len()).filter(|&s| is_fused(self.get(s).op)).count()
     }
 }
 
@@ -417,8 +565,8 @@ impl Lowered {
 /// its original instruction and is simply skipped by sequential flow — so
 /// the `pc ↔ slot` bijection, branch targets, and probe locations are
 /// untouched. A pair is fusable only when the covered slot is not a branch
-/// target; probes landing on covered slots unfuse the head at patch time
-/// ([`Lowered::patch_probe`]).
+/// target; probes landing on covered slots unfuse the head of the overlay
+/// copy at patch time ([`Lowered::patch_probe`]).
 fn fuse(
     ops: &mut [LInstr],
     targets: &[LTarget],
@@ -514,6 +662,12 @@ mod tests {
     }
 
     #[test]
+    fn lowered_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Lowered>();
+    }
+
+    #[test]
     fn slots_map_bijectively_to_instruction_boundaries() {
         let mut f = FuncBuilder::new(&[I32], &[I32]);
         f.local_get(0).i32_const(624_485).i32_add();
@@ -536,36 +690,44 @@ mod tests {
         let mut f = FuncBuilder::new(&[I32], &[I32]);
         f.local_get(0).i32_const(-99_999).i32_add();
         let (_, low) = lowered_for(f);
-        assert_eq!(low.get(0).op, wizard_wasm::opcodes::LOCAL_GET);
-        assert_eq!(low.get(0).x, 0);
+        let view = LoweredView::shared(low);
+        assert_eq!(view.get(0).op, wizard_wasm::opcodes::LOCAL_GET);
+        assert_eq!(view.get(0).x, 0);
         // `i32.const; i32.add` fuses; the head keeps the const payload and
         // the covered slot keeps the original add.
-        assert_eq!(low.get(1).op, FUSED_CONST_BIN);
-        assert_eq!(low.get(1).y, wizard_wasm::opcodes::I32_ADD);
-        assert_eq!(Slot(low.get(1).z).i32(), -99_999);
-        assert_eq!(low.unfused(1).op, wizard_wasm::opcodes::I32_CONST);
-        assert_eq!(low.get(2).op, wizard_wasm::opcodes::I32_ADD);
+        assert_eq!(view.get(1).op, FUSED_CONST_BIN);
+        assert_eq!(view.get(1).y, wizard_wasm::opcodes::I32_ADD);
+        assert_eq!(Slot(view.get(1).z).i32(), -99_999);
+        assert_eq!(view.unfused(1).op, wizard_wasm::opcodes::I32_CONST);
+        assert_eq!(view.get(2).op, wizard_wasm::opcodes::I32_ADD);
     }
 
     #[test]
-    fn fusion_pairs_and_probe_unfusing() {
+    fn fusion_pairs_and_probe_unfusing_on_the_overlay() {
         let mut f = FuncBuilder::new(&[I32], &[I32]);
         f.local_get(0).local_get(0).i32_add();
         let (_, low) = lowered_for(f);
         // `local.get; local.get; i32.add` fuses into one three-wide
         // superinstruction; the covered slots keep their originals.
-        assert_eq!(low.get(0).op, FUSED_GET_GET_BIN);
-        assert_eq!(low.get(0).y, wizard_wasm::opcodes::I32_ADD);
-        assert_eq!(low.fused_count(), 1);
-        assert_eq!(low.unfused(0).op, wizard_wasm::opcodes::LOCAL_GET);
-        assert_eq!(low.get(1).op, wizard_wasm::opcodes::LOCAL_GET);
-        assert_eq!(low.get(2).op, wizard_wasm::opcodes::I32_ADD);
-        // A probe on a covered slot restores the head: sequential flow
-        // must reach the probed instruction.
-        low.patch_probe(2);
-        assert_eq!(low.get(0).op, wizard_wasm::opcodes::LOCAL_GET);
-        assert_eq!(low.get(2).op, wizard_wasm::opcodes::PROBE);
-        assert_eq!(low.fused_count(), 0);
+        let shared = LoweredView::shared(low.clone());
+        assert_eq!(shared.get(0).op, FUSED_GET_GET_BIN);
+        assert_eq!(shared.get(0).y, wizard_wasm::opcodes::I32_ADD);
+        assert_eq!(shared.fused_count(), 1);
+        assert_eq!(shared.unfused(0).op, wizard_wasm::opcodes::LOCAL_GET);
+        assert_eq!(shared.get(1).op, wizard_wasm::opcodes::LOCAL_GET);
+        assert_eq!(shared.get(2).op, wizard_wasm::opcodes::I32_ADD);
+        // A probe on a covered slot patches the *overlay copy* and
+        // restores the head there: sequential flow must reach the probed
+        // instruction. The shared form stays fused and untouched.
+        let ops = low.cow_ops();
+        low.patch_probe(&ops, 2);
+        let view = LoweredView::overlaid(low.clone(), Rc::clone(&ops));
+        assert_eq!(view.get(0).op, wizard_wasm::opcodes::LOCAL_GET);
+        assert_eq!(view.get(2).op, wizard_wasm::opcodes::PROBE);
+        assert_eq!(view.fused_count(), 0);
+        assert_eq!(shared.get(0).op, FUSED_GET_GET_BIN, "shared form untouched");
+        assert_eq!(shared.fused_count(), 1);
+        assert_ne!(view.ops_addr(), shared.ops_addr());
     }
 
     #[test]
@@ -621,18 +783,22 @@ mod tests {
         let mut f = FuncBuilder::new(&[I32], &[I32]);
         f.local_get(0).i32_const(7).i32_add();
         let (_, low) = lowered_for(f);
+        let ops = low.cow_ops();
         // Slot 1 is a fused `const;add` head; patching it installs the
         // probe over the *fused* op while the immediates stay intact, and
         // the probe handler re-dispatches via the saved byte opcode.
-        let prev = low.patch_probe(1);
+        let prev = low.patch_probe(&ops, 1);
         assert_eq!(prev, FUSED_CONST_BIN);
-        assert_eq!(low.get(1).op, wizard_wasm::opcodes::PROBE);
-        assert_eq!(Slot(low.get(1).z).i32(), 7, "immediate untouched by patching");
-        // Restoring with the *byte* opcode (what FuncCode saved) leaves a
-        // correct, merely-unfused instruction.
-        low.restore_op(1, wizard_wasm::opcodes::I32_CONST);
-        assert_eq!(low.get(1).op, wizard_wasm::opcodes::I32_CONST);
-        assert_eq!(Slot(low.get(1).z).i32(), 7);
+        let view = LoweredView::overlaid(low.clone(), Rc::clone(&ops));
+        assert_eq!(view.get(1).op, wizard_wasm::opcodes::PROBE);
+        assert_eq!(Slot(view.get(1).z).i32(), 7, "immediate untouched by patching");
+        // Restoring with the *byte* opcode (what the overlay saved) leaves
+        // a correct, merely-unfused instruction.
+        low.restore_op(&ops, 1, wizard_wasm::opcodes::I32_CONST);
+        assert_eq!(view.get(1).op, wizard_wasm::opcodes::I32_CONST);
+        assert_eq!(Slot(view.get(1).z).i32(), 7);
+        // The shared form never saw any of it.
+        assert_eq!(low.get(1).op, FUSED_CONST_BIN);
     }
 
     #[test]
@@ -641,5 +807,8 @@ mod tests {
         assert!(low.is_empty());
         assert_eq!(low.pc_of(0), 0);
         assert_eq!(low.slot_of(0), Some(0));
+        let view = LoweredView::empty();
+        assert!(view.is_empty());
+        assert!(!view.is_overlaid());
     }
 }

@@ -24,6 +24,19 @@
 //! thread), which is what lets an `Rc`-based analysis run per-process in a
 //! multi-threaded fleet.
 //!
+//! Since the shared-artifact refactor the pool also amortizes the *code
+//! pipeline*: every run owns an [`ArtifactCache`] keyed by module identity
+//! (the module's canonical binary encoding) and shared across all worker
+//! threads. The first job running a module validates and builds its
+//! [`ModuleArtifact`]; every later job — on *any* shard — instantiates
+//! from the shared artifact with
+//! [`Process::instantiate`], skipping validation, lowering and baseline
+//! JIT compilation entirely, and executing from the very same lowered
+//! code until its own monitor installs a probe (which copy-on-writes only
+//! the probed functions, invisibly to sibling jobs). Cache traffic is
+//! reported fleet-wide through
+//! [`EngineStats::artifact_cache_hits`]/[`EngineStats::artifact_cache_misses`].
+//!
 //! ```
 //! use std::sync::Arc;
 //! use wizard_engine::{EngineConfig, Value};
@@ -62,13 +75,17 @@
 #![warn(missing_docs)]
 
 use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use wizard_engine::store::Linker;
-use wizard_engine::{EngineConfig, EngineStats, Monitor, Process, Report, RunOutcome, Value};
+use wizard_engine::{
+    EngineConfig, EngineStats, ModuleArtifact, Monitor, Process, Report, RunOutcome, Value,
+};
 use wizard_wasm::module::Module;
+use wizard_wasm::validate::ValidateError;
 
 /// Fuel slice used when [`EngineConfig::fuel_slice`] is unset: large
 /// enough to amortize scheduling, small enough to interleave sub-second
@@ -103,6 +120,123 @@ impl PoolConfig {
 /// Builds a monitor on the worker thread that will own it. The factory
 /// crosses threads; the `Rc`-based monitor it creates never does.
 pub type MonitorFactory = Arc<dyn Fn() -> Rc<RefCell<dyn Monitor>> + Send + Sync>;
+
+/// A thread-safe cache of built [`ModuleArtifact`]s keyed by **module
+/// identity** — the module's canonical binary encoding, so byte-identical
+/// modules submitted as separate [`Job`]s (fleets clone their kernels per
+/// job) resolve to one shared artifact regardless of which shard asks
+/// first.
+///
+/// One lives inside every [`Pool::run`]; hold your own in an `Arc` and use
+/// [`Pool::run_with_cache`] to keep artifacts warm *across* runs.
+#[derive(Default)]
+pub struct ArtifactCache {
+    map: Mutex<HashMap<Vec<u8>, Arc<ModuleArtifact>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ArtifactCache {
+    /// An empty cache.
+    pub fn new() -> ArtifactCache {
+        ArtifactCache::default()
+    }
+
+    /// The shared artifact for `module`, building (and validating) it on
+    /// first sight of this module identity.
+    ///
+    /// The lock is held only for map lookups/inserts, never across a
+    /// build: a shard validating a large new module does not stall other
+    /// shards' cache hits on unrelated modules. Two shards racing on the
+    /// *same* new module may both build it; the first insert wins, the
+    /// loser adopts the winner's artifact (so pointer-sharing always
+    /// holds) and the duplicate build is discarded — a bounded, transient
+    /// cost taken in exchange for an uncontended hit path.
+    ///
+    /// Each lookup pays one canonical encoding of the module to compute
+    /// its identity key — O(module size), the price of content-keyed
+    /// identity without trusting pointer or name identity; it is small
+    /// against the validation/lowering/compilation the hit skips.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ValidateError`] if the module is invalid; failures
+    /// are not cached (each submission of an invalid module re-reports).
+    pub fn artifact_for(&self, module: &Module) -> Result<Arc<ModuleArtifact>, ValidateError> {
+        self.lookup(module).map(|(art, _)| art)
+    }
+
+    /// As [`ArtifactCache::artifact_for`], additionally reporting whether
+    /// the lookup was served from cache (`true`) or built the artifact
+    /// (`false`) — so callers sharing one cache across concurrent runs can
+    /// attribute traffic to the run that caused it instead of diffing the
+    /// global counters.
+    ///
+    /// # Errors
+    ///
+    /// As [`ArtifactCache::artifact_for`].
+    pub fn lookup(&self, module: &Module) -> Result<(Arc<ModuleArtifact>, bool), ValidateError> {
+        let key = wizard_wasm::encode::encode(module);
+        if let Some(art) = self.map.lock().expect("artifact cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((Arc::clone(art), true));
+        }
+        let art = Arc::new(ModuleArtifact::new(module.clone())?);
+        match self.map.lock().expect("artifact cache poisoned").entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                // Lost the build race: adopt the canonical artifact.
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Ok((Arc::clone(e.get()), true))
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                v.insert(Arc::clone(&art));
+                Ok((art, false))
+            }
+        }
+    }
+
+    /// Number of distinct module identities cached.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("artifact cache poisoned").len()
+    }
+
+    /// `true` if no artifact has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from an already-built artifact.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that built (validated) the artifact.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// The cache's traffic as an [`EngineStats`] contribution (only the
+    /// `artifact_cache_*` counters are set), ready to merge into a fleet
+    /// aggregate.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            artifact_cache_hits: self.hits(),
+            artifact_cache_misses: self.misses(),
+            ..EngineStats::default()
+        }
+    }
+}
+
+impl core::fmt::Debug for ArtifactCache {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ArtifactCache")
+            .field("modules", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
 
 /// One unit of work: a module to instantiate, an exported entry point to
 /// call, and (optionally) a monitor to attach for the job's lifetime.
@@ -252,6 +386,14 @@ impl Pool {
     /// first `run_export_bounded` turn onward; a hostile start function
     /// can stall its shard during setup.
     pub fn run(self) -> PoolOutcome {
+        self.run_with_cache(&Arc::new(ArtifactCache::new()))
+    }
+
+    /// As [`Pool::run`], but instantiating through a caller-owned
+    /// [`ArtifactCache`] — artifacts built (or found) in this run stay in
+    /// the cache, so a long-lived server reuses them across successive
+    /// fleets instead of re-validating its kernels every run.
+    pub fn run_with_cache(self, cache: &Arc<ArtifactCache>) -> PoolOutcome {
         let shards = self.config.shards.max(1);
         let fuel_slice = self.config.fuel_slice();
 
@@ -262,14 +404,18 @@ impl Pool {
         }
 
         let mut outcomes: Vec<(usize, JobOutcome)> = Vec::new();
+        let mut cache_stats = EngineStats::default();
         if shards == 1 {
             // Single shard: run inline, no thread overhead.
-            outcomes = run_shard(
+            let shard_out = run_shard(
                 0,
                 partitions.pop().expect("one partition"),
                 self.config.engine,
                 fuel_slice,
+                cache,
             );
+            cache_stats.merge(&shard_out.cache_stats);
+            outcomes = shard_out.jobs;
         } else {
             let engine = self.config.engine;
             let handles: Vec<_> = partitions
@@ -277,11 +423,14 @@ impl Pool {
                 .enumerate()
                 .map(|(shard, part)| {
                     let engine = engine.clone();
-                    std::thread::spawn(move || run_shard(shard, part, engine, fuel_slice))
+                    let cache = Arc::clone(cache);
+                    std::thread::spawn(move || run_shard(shard, part, engine, fuel_slice, &cache))
                 })
                 .collect();
             for h in handles {
-                outcomes.extend(h.join().expect("shard worker panicked"));
+                let shard_out = h.join().expect("shard worker panicked");
+                cache_stats.merge(&shard_out.cache_stats);
+                outcomes.extend(shard_out.jobs);
             }
         }
         outcomes.sort_by_key(|(idx, _)| *idx);
@@ -298,6 +447,11 @@ impl Pool {
                 }
             }
         }
+        // The cache traffic *this run caused* joins the fleet counters —
+        // tallied per shard from lookup results, so concurrent runs
+        // sharing one cache never cross-attribute each other's traffic.
+        // (Processes never touch the artifact_cache_* fields themselves.)
+        stats.merge(&cache_stats);
         PoolOutcome { jobs, stats, merged_reports }
     }
 }
@@ -314,16 +468,27 @@ struct Task {
     slices: u64,
 }
 
-/// The shard scheduler: instantiate every assigned job, then round-robin
-/// fuel slices over the live set until all are done.
+/// What one shard hands back: its job outcomes plus the artifact-cache
+/// traffic *its* lookups caused (only the `artifact_cache_*` counters of
+/// `cache_stats` are set).
+struct ShardOutcome {
+    jobs: Vec<(usize, JobOutcome)>,
+    cache_stats: EngineStats,
+}
+
+/// The shard scheduler: instantiate every assigned job (through the
+/// fleet-shared artifact cache, so shards warm each other), then
+/// round-robin fuel slices over the live set until all are done.
 fn run_shard(
     shard: usize,
     jobs: Vec<(usize, Job)>,
     engine: EngineConfig,
     fuel_slice: u64,
-) -> Vec<(usize, JobOutcome)> {
+    cache: &ArtifactCache,
+) -> ShardOutcome {
     let mut done: Vec<(usize, JobOutcome)> = Vec::new();
     let mut live: VecDeque<Task> = VecDeque::new();
+    let mut cache_stats = EngineStats::default();
 
     for (idx, job) in jobs {
         let failed = |name: String, error: String| {
@@ -339,7 +504,18 @@ fn run_shard(
                 },
             )
         };
-        match Process::new(job.module, engine.clone(), &Linker::new()) {
+        let instantiated = cache
+            .lookup(&job.module)
+            .map_err(wizard_engine::LinkError::from)
+            .and_then(|(art, hit)| {
+                if hit {
+                    cache_stats.artifact_cache_hits += 1;
+                } else {
+                    cache_stats.artifact_cache_misses += 1;
+                }
+                Process::instantiate(art, engine.clone(), &Linker::new())
+            });
+        match instantiated {
             Ok(mut process) => {
                 let monitor = match &job.monitor {
                     Some(make) => {
@@ -384,7 +560,7 @@ fn run_shard(
             Err(trap) => done.push((t.idx, finish(shard, t, Err(trap.to_string())))),
         }
     }
-    done
+    ShardOutcome { jobs: done, cache_stats }
 }
 
 /// Finalizes a task: detach its monitor (restoring the zero-overhead
@@ -445,11 +621,16 @@ mod tests {
             }
             assert!(outcome.stats.suspensions > 0);
             assert!(outcome.stats.fuel_consumed > 0);
-            // Lowering counters aggregate fleet-wide: each of the 8 jobs
-            // lowered its one function exactly once, and probe/suspension
-            // traffic never re-lowered anything.
-            assert_eq!(outcome.stats.functions_lowered, 8);
+            // The artifact cache resolves all 8 byte-identical modules to
+            // one shared artifact: one build, 7 hits — regardless of how
+            // the jobs landed on shards — and the single shared function
+            // is lowered exactly once for the whole fleet.
+            assert_eq!(outcome.stats.artifact_cache_misses, 1);
+            assert_eq!(outcome.stats.artifact_cache_hits, 7);
+            assert_eq!(outcome.stats.functions_lowered, 1);
             assert_eq!(outcome.stats.relower_passes, 0);
+            // Nobody probed anything: zero copy-on-write copies were made.
+            assert_eq!(outcome.stats.overlay_copies, 0);
             // Jobs come back in submission order regardless of sharding.
             let names: Vec<&str> = outcome.jobs.iter().map(|j| j.name.as_str()).collect();
             assert_eq!(names, (0..8).map(|k| format!("sum-{k}")).collect::<Vec<_>>());
@@ -489,6 +670,51 @@ mod tests {
             Some(per_job.iter().sum()),
         );
         assert_eq!(outcome.merged_reports.len(), 1, "one analysis → one merged report");
+    }
+
+    #[test]
+    fn monitored_fleets_pay_copy_on_write_only_for_what_they_probe() {
+        let config =
+            PoolConfig { shards: 2, engine: EngineConfig::builder().fuel_slice(300).build() };
+        let mut pool = Pool::new(config);
+        // 3 monitored + 3 unmonitored jobs of the same module.
+        fleet(&mut pool, 3, 50, true);
+        fleet(&mut pool, 3, 50, false);
+        let outcome = pool.run();
+        assert!(outcome.all_ok());
+        // One shared artifact for all six jobs...
+        assert_eq!(outcome.stats.artifact_cache_misses, 1);
+        assert_eq!(outcome.stats.artifact_cache_hits, 5);
+        // ...each monitored job copy-on-wrote the (single) function it
+        // probed; unmonitored jobs copied nothing. Detach at job end
+        // rejoined the artifact, so the copies were transient.
+        assert_eq!(outcome.stats.overlay_copies, 3);
+        for j in &outcome.jobs {
+            let monitored = j.report.is_some();
+            assert_eq!(j.stats.overlay_copies, u64::from(monitored), "{}", j.name);
+        }
+    }
+
+    #[test]
+    fn caller_owned_cache_stays_warm_across_runs() {
+        let cache = Arc::new(ArtifactCache::new());
+        for run in 0..2 {
+            let mut pool = Pool::new(PoolConfig::default());
+            fleet(&mut pool, 4, 20, false);
+            let outcome = pool.run_with_cache(&cache);
+            assert!(outcome.all_ok());
+            if run == 0 {
+                assert_eq!(outcome.stats.artifact_cache_misses, 1);
+                assert_eq!(outcome.stats.artifact_cache_hits, 3);
+            } else {
+                // Second fleet: the artifact survived the first run.
+                assert_eq!(outcome.stats.artifact_cache_misses, 0);
+                assert_eq!(outcome.stats.artifact_cache_hits, 4);
+            }
+        }
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 7);
     }
 
     #[test]

@@ -150,6 +150,25 @@ mod tests {
     }
 
     #[test]
+    fn suite_modules_are_cached_and_deterministic() {
+        // The registries memoize their built modules; repeated calls hand
+        // out byte-identical clones (so a fleet's jobs all resolve to one
+        // shared artifact in wizard-pool's cache).
+        let a = polybench::all();
+        let b = polybench::all();
+        let enc = |m: &wizard_wasm::Module| wizard_wasm::encode::encode(m);
+        for ((na, ma), (nb, mb)) in a.iter().zip(b.iter()) {
+            assert_eq!(na, nb);
+            assert_eq!(enc(ma), enc(mb), "{na}: cached module differs across calls");
+        }
+        assert_eq!(
+            enc(&richards::module()),
+            enc(&richards::module()),
+            "richards module is deterministic"
+        );
+    }
+
+    #[test]
     fn cubic_kernels_get_smaller_sizes() {
         let pb = polybench_suite(Scale::Small);
         let heat = pb.iter().find(|b| b.name == "heat-3d").unwrap();

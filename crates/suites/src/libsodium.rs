@@ -400,8 +400,15 @@ pub fn box_easy() -> Module {
     finish("box_easy", f)
 }
 
-/// Returns every libsodium-style kernel as `(name, module)`.
+/// The built suite, memoized — see `polybench::all` for the rationale.
+static ALL: std::sync::LazyLock<Vec<(&'static str, Module)>> = std::sync::LazyLock::new(build_all);
+
+/// Returns every libsodium-style kernel as `(name, module)` (cached).
 pub fn all() -> Vec<(&'static str, Module)> {
+    ALL.clone()
+}
+
+fn build_all() -> Vec<(&'static str, Module)> {
     vec![
         ("stream", stream_chacha20()),
         ("onetimeauth", onetimeauth()),

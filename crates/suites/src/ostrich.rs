@@ -573,8 +573,15 @@ pub fn randombytes() -> Module {
     mb.build().expect("randombytes validates")
 }
 
-/// Returns every Ostrich-style kernel as `(name, module)`.
+/// The built suite, memoized — see `polybench::all` for the rationale.
+static ALL: std::sync::LazyLock<Vec<(&'static str, Module)>> = std::sync::LazyLock::new(build_all);
+
+/// Returns every Ostrich-style kernel as `(name, module)` (cached).
 pub fn all() -> Vec<(&'static str, Module)> {
+    ALL.clone()
+}
+
+fn build_all() -> Vec<(&'static str, Module)> {
     vec![
         ("lavamd", lavamd()),
         ("fft", fft()),

@@ -17,10 +17,15 @@ const QUEUE: i32 = 0x100; // ring buffer of 64 i32 packets
 const QMASK: i32 = 63;
 const STATE: i32 = 0x400; // per-task i32 state words (4 tasks)
 
-/// Builds the Richards-style module. `run(loops) -> i32` returns the
-/// scheduler checksum after `loops` scheduling steps.
+/// The built module, memoized: construction is deterministic, so fleets
+/// spawning many Richards jobs clone the cached module instead of
+/// re-assembling it per job.
+static MODULE: std::sync::LazyLock<Module> = std::sync::LazyLock::new(build_clean);
+
+/// Builds the Richards-style module (cached). `run(loops) -> i32` returns
+/// the scheduler checksum after `loops` scheduling steps.
 pub fn module() -> Module {
-    build_clean()
+    MODULE.clone()
 }
 
 fn build_clean() -> Module {

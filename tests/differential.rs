@@ -15,8 +15,12 @@
 //!   instruction, exercising probe patches on fused and unfused slots);
 //! * unbounded vs fuel-bounded execution resumed across suspensions.
 
+use std::sync::Arc;
+
 use wizard::engine::store::Linker;
-use wizard::engine::{Dispatch, EngineConfig, ExecMode, Process, RunOutcome, Trap, Value};
+use wizard::engine::{
+    Dispatch, EngineConfig, ExecMode, ModuleArtifact, Process, RunOutcome, Trap, Value,
+};
 use wizard::monitors::HotnessMonitor;
 use wizard::wasm::builder::{FuncBuilder, ModuleBuilder};
 use wizard::wasm::types::ValType::I32;
@@ -244,6 +248,78 @@ fn random_programs_probed_reports_are_dispatcher_invariant() {
         let (ref_name, ref_report) = &reports[0];
         for (name, report) in &reports[1..] {
             assert_eq!(report, ref_report, "seed {seed}: {name} report differs from {ref_name}");
+        }
+    }
+}
+
+/// Shared-artifact arm: two processes instantiated from one
+/// `Arc<ModuleArtifact>` — one probed (every instruction) and then
+/// detached, one left alone — must match an owned-module process
+/// instruction-for-instruction and report-for-report, across every
+/// dispatcher/tier and under fuel-bounded execution.
+#[test]
+fn random_programs_shared_artifact_processes_match_owned() {
+    for seed in 0..12u64 {
+        let m = random_module(seed + 3000);
+        let arg = 8i32;
+        let artifact = Arc::new(ModuleArtifact::new(m.clone()).expect("validates"));
+        for (name, config) in configs() {
+            // Reference: an owned-module process with the same monitor.
+            let mut owned =
+                Process::new(m.clone(), config.clone(), &Linker::new()).expect("instantiates");
+            let mon_o = owned.attach_monitor(HotnessMonitor::new()).expect("attach");
+            let expect = owned.invoke_export("run", &[Value::I32(arg)]);
+
+            let mut probed =
+                Process::instantiate(Arc::clone(&artifact), config.clone(), &Linker::new())
+                    .expect("instantiates");
+            let mut sibling =
+                Process::instantiate(Arc::clone(&artifact), config.clone(), &Linker::new())
+                    .expect("instantiates");
+
+            // The probed sibling, fuel-bounded across tiny slices.
+            let mon_p = probed.attach_monitor(HotnessMonitor::new()).expect("attach");
+            let got = (|| {
+                let mut out = probed.run_export_bounded("run", &[Value::I32(arg)], 29)?;
+                while out == RunOutcome::OutOfFuel {
+                    out = probed.resume(29)?;
+                }
+                Ok(out.done().expect("done"))
+            })();
+            assert_eq!(
+                got, expect,
+                "seed {seed} config {name}: shared-artifact result differs from owned"
+            );
+            assert_eq!(
+                mon_p.report(),
+                mon_o.report(),
+                "seed {seed} config {name}: shared-artifact report differs from owned"
+            );
+
+            // The uninstrumented sibling: identical program behavior, zero
+            // instrumentation observed, zero copies paid.
+            let got_sib = sibling.invoke_export("run", &[Value::I32(arg)]);
+            assert_eq!(got_sib, expect, "seed {seed} config {name}: sibling result differs");
+            assert_eq!(sibling.stats().probe_fires, 0, "seed {seed} {name}: sibling saw probes");
+            assert_eq!(sibling.resident_overlay_bytes(), 0);
+
+            // Detach restores sharing: the probed process drops its copies
+            // and rejoins the artifact's code.
+            let handle = mon_p.handle();
+            probed.detach_monitor(handle).expect("detach");
+            assert_eq!(
+                probed.resident_overlay_bytes(),
+                0,
+                "seed {seed} config {name}: detach left overlay copies resident"
+            );
+            if config.dispatch != Dispatch::Bytecode {
+                let func = probed.module().export_func("run").unwrap();
+                assert_eq!(
+                    probed.code_identity(func).unwrap(),
+                    sibling.code_identity(func).unwrap(),
+                    "seed {seed} config {name}: detach did not rejoin the shared code"
+                );
+            }
         }
     }
 }

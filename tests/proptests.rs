@@ -203,6 +203,56 @@ proptest! {
         prop_assert_eq!(&reports[0], &reports[1]);
     }
 
+    /// The shared-artifact property: two processes off one
+    /// `Arc<ModuleArtifact>` — one probed then detached, one untouched —
+    /// match an owned-module process result-for-result and
+    /// report-for-report, the sibling never observes the probes, and
+    /// detach rejoins the shared code. (The dependency-free generator in
+    /// `tests/differential.rs` mirrors this across all dispatchers and
+    /// fuel-bounded runs; this version gets proptest's shrinking.)
+    #[test]
+    fn shared_artifact_processes_match_owned(e in expr_strategy(), arg in any::<i32>()) {
+        use std::sync::Arc;
+        use wizard::engine::ModuleArtifact;
+        let m = module_for(&e);
+        let mut owned = Process::new(m.clone(), EngineConfig::interpreter(), &Linker::new())
+            .unwrap();
+        let mon_o = owned.attach_monitor(wizard::monitors::HotnessMonitor::new()).unwrap();
+        let expect = owned.invoke_export("run", &[Value::I32(arg)]);
+
+        let artifact = Arc::new(ModuleArtifact::new(m).unwrap());
+        let mut probed = Process::instantiate(
+            Arc::clone(&artifact),
+            EngineConfig::interpreter(),
+            &Linker::new(),
+        )
+        .unwrap();
+        let mut sibling = Process::instantiate(
+            Arc::clone(&artifact),
+            EngineConfig::interpreter(),
+            &Linker::new(),
+        )
+        .unwrap();
+        let mon_p = probed.attach_monitor(wizard::monitors::HotnessMonitor::new()).unwrap();
+        let got = probed.invoke_export("run", &[Value::I32(arg)]);
+        prop_assert_eq!(&got, &expect);
+        prop_assert_eq!(mon_p.report(), mon_o.report());
+
+        let got_sib = sibling.invoke_export("run", &[Value::I32(arg)]);
+        prop_assert_eq!(&got_sib, &expect);
+        prop_assert_eq!(sibling.stats().probe_fires, 0);
+        prop_assert_eq!(sibling.resident_overlay_bytes(), 0);
+
+        let handle = mon_p.handle();
+        probed.detach_monitor(handle).unwrap();
+        prop_assert_eq!(probed.resident_overlay_bytes(), 0);
+        let func = probed.module().export_func("run").unwrap();
+        prop_assert_eq!(
+            probed.code_identity(func).unwrap(),
+            sibling.code_identity(func).unwrap()
+        );
+    }
+
     /// Random probe insert/remove sequences: the registry, the probe
     /// bytes, and fire counts stay consistent.
     #[test]
