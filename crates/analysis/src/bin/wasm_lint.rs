@@ -1,0 +1,54 @@
+//! Lints every suite kernel and translation-validates its lowered form.
+//!
+//! CI runs this in the smoke step: any lowering mismatch is a hard
+//! failure (exit 1 with the func/pc-precise diagnostic); lint findings
+//! are reported as a per-kernel summary.
+
+use std::collections::HashMap;
+
+use wizard_analysis::{lint_module, validate_lowering, LintKind};
+use wizard_engine::ModuleArtifact;
+use wizard_suites::{all_suites, richards_benchmark, Scale};
+
+fn main() {
+    let mut kernels = all_suites(Scale::Test);
+    kernels.push(richards_benchmark(1));
+
+    let mut total: HashMap<LintKind, usize> = HashMap::new();
+    let mut validated = 0usize;
+    for b in kernels {
+        let name = format!("{}/{}", b.suite, b.name);
+        let artifact = match ModuleArtifact::new(b.module) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("{name}: failed validation: {e}");
+                std::process::exit(1);
+            }
+        };
+        artifact.lower_all();
+        if let Err(e) = validate_lowering(&artifact) {
+            eprintln!("{name}: {e}");
+            std::process::exit(1);
+        }
+        validated += 1;
+
+        let findings = lint_module(artifact.module());
+        if !findings.is_empty() {
+            let mut per: HashMap<LintKind, usize> = HashMap::new();
+            for f in &findings {
+                *per.entry(f.kind).or_default() += 1;
+                *total.entry(f.kind).or_default() += 1;
+            }
+            let mut kinds: Vec<String> = per.iter().map(|(k, n)| format!("{k}: {n}")).collect();
+            kinds.sort();
+            println!("{name}: {}", kinds.join(", "));
+        }
+    }
+
+    let mut summary: Vec<String> = total.iter().map(|(k, n)| format!("{k}: {n}")).collect();
+    summary.sort();
+    println!(
+        "wasm-lint: {validated} kernels lowering-validated; findings: {}",
+        if summary.is_empty() { "none".to_string() } else { summary.join(", ") }
+    );
+}

@@ -1,0 +1,278 @@
+//! Control-flow graphs over decoded function bodies.
+//!
+//! Basic blocks are derived from the validator's branch side table
+//! ([`FuncMeta::side`]): block leaders are the function entry, every
+//! branch-target pc, and every instruction following a control transfer.
+//! Edges carry the side table's [`Target`] (destination pc, carried
+//! arity, stack height to truncate to), which is exactly the information
+//! the dataflow driver needs to flow abstract stacks across merge points
+//! without tracking the structured control stack.
+
+use std::collections::{HashMap, HashSet};
+
+use wizard_wasm::instr::{Instr, InstrIter};
+use wizard_wasm::opcodes as op;
+use wizard_wasm::validate::{FuncMeta, SideEntry, Target};
+
+/// One edge out of a basic block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Index of the successor block.
+    pub block: usize,
+    /// The side-table target, for branch edges: carried arity and the
+    /// operand-stack height to truncate to. `None` on fall-through edges
+    /// (the abstract stack passes through unchanged).
+    pub target: Option<Target>,
+}
+
+/// A maximal straight-line instruction sequence.
+#[derive(Debug, Clone, Default)]
+pub struct Block {
+    /// Index of the first instruction (into [`Cfg::instrs`]).
+    pub start: usize,
+    /// One past the last instruction.
+    pub end: usize,
+    /// Successor edges, in taken-before-fallthrough-irrelevant code order.
+    pub succs: Vec<Edge>,
+}
+
+/// A function body's control-flow graph.
+#[derive(Debug)]
+pub struct Cfg {
+    /// Decoded instructions in code order.
+    pub instrs: Vec<Instr>,
+    /// Basic blocks in code order; block 0 is the entry.
+    pub blocks: Vec<Block>,
+    /// Reverse postorder over the blocks *reachable from entry*.
+    pub rpo: Vec<usize>,
+    /// pcs that are targets of CFG back-edges — the analysis-side
+    /// definition of a loop header.
+    pub loop_headers: Vec<u32>,
+}
+
+/// `true` if the instruction unconditionally ends straight-line flow.
+fn is_terminator(o: u8) -> bool {
+    matches!(o, op::BR | op::BR_TABLE | op::RETURN | op::UNREACHABLE | op::ELSE)
+}
+
+/// `true` if the instruction ends a block but may fall through.
+fn ends_block(o: u8) -> bool {
+    is_terminator(o) || matches!(o, op::BR_IF | op::IF)
+}
+
+impl Cfg {
+    /// Builds the CFG of a validated function body from its bytes and
+    /// validation metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics on undecodable bytes or missing side-table entries —
+    /// impossible for validated code.
+    pub fn build(bytes: &[u8], meta: &FuncMeta) -> Cfg {
+        let instrs: Vec<Instr> =
+            InstrIter::new(bytes).map(|i| i.expect("validated code decodes")).collect();
+        let index_of_pc: HashMap<u32, usize> =
+            instrs.iter().enumerate().map(|(i, ins)| (ins.pc, i)).collect();
+
+        // Leaders: entry, branch targets, and instructions after control
+        // transfers. A target of `bytes.len()` is the implicit function
+        // exit — no block there.
+        let mut leaders: HashSet<usize> = HashSet::new();
+        leaders.insert(0);
+        let add_target = |t: &Target, leaders: &mut HashSet<usize>| {
+            if let Some(&i) = index_of_pc.get(&t.target_pc) {
+                leaders.insert(i);
+            }
+        };
+        for entry in meta.side.values() {
+            match entry {
+                SideEntry::Br(t) | SideEntry::IfFalse(t) | SideEntry::ElseSkip(t) => {
+                    add_target(t, &mut leaders);
+                }
+                SideEntry::Table(ts) => {
+                    for t in ts {
+                        add_target(t, &mut leaders);
+                    }
+                }
+            }
+        }
+        for (i, ins) in instrs.iter().enumerate() {
+            if ends_block(ins.op) && i + 1 < instrs.len() {
+                leaders.insert(i + 1);
+            }
+        }
+
+        // Blocks in code order.
+        let mut starts: Vec<usize> = leaders.into_iter().collect();
+        starts.sort_unstable();
+        let block_of_start: HashMap<usize, usize> =
+            starts.iter().enumerate().map(|(b, &s)| (s, b)).collect();
+        let mut blocks: Vec<Block> = Vec::with_capacity(starts.len());
+        for (b, &start) in starts.iter().enumerate() {
+            let end = starts.get(b + 1).copied().unwrap_or(instrs.len());
+            blocks.push(Block { start, end, succs: Vec::new() });
+        }
+
+        // Successor edges.
+        let block_of_pc = |pc: u32| index_of_pc.get(&pc).and_then(|i| block_of_start.get(i));
+        for block in &mut blocks {
+            let last = block.end - 1;
+            let ins = &instrs[last];
+            let mut succs = Vec::new();
+            let fall = |succs: &mut Vec<Edge>| {
+                if last + 1 < instrs.len() {
+                    succs.push(Edge { block: block_of_start[&(last + 1)], target: None });
+                }
+            };
+            let branch = |t: &Target, succs: &mut Vec<Edge>| {
+                if let Some(&blk) = block_of_pc(t.target_pc) {
+                    succs.push(Edge { block: blk, target: Some(*t) });
+                }
+            };
+            match ins.op {
+                op::BR | op::ELSE => {
+                    if let Some(SideEntry::Br(t) | SideEntry::ElseSkip(t) | SideEntry::IfFalse(t)) =
+                        meta.side.get(&ins.pc)
+                    {
+                        branch(t, &mut succs);
+                    }
+                }
+                op::BR_IF | op::IF => {
+                    fall(&mut succs);
+                    if let Some(SideEntry::Br(t) | SideEntry::IfFalse(t)) = meta.side.get(&ins.pc) {
+                        branch(t, &mut succs);
+                    }
+                }
+                op::BR_TABLE => {
+                    if let Some(SideEntry::Table(ts)) = meta.side.get(&ins.pc) {
+                        for t in ts {
+                            branch(t, &mut succs);
+                        }
+                    }
+                }
+                op::RETURN | op::UNREACHABLE => {}
+                _ => fall(&mut succs),
+            }
+            block.succs = succs;
+        }
+
+        // Iterative DFS for postorder; reversed gives RPO. Wasm control
+        // flow is reducible, so an edge into a block with a smaller or
+        // equal RPO number is a back edge.
+        let mut state = vec![0u8; blocks.len()]; // 0 unvisited, 1 on stack, 2 done
+        let mut post: Vec<usize> = Vec::with_capacity(blocks.len());
+        let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+        state[0] = 1;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            if *next < blocks[b].succs.len() {
+                let s = blocks[b].succs[*next].block;
+                *next += 1;
+                if state[s] == 0 {
+                    state[s] = 1;
+                    stack.push((s, 0));
+                }
+            } else {
+                state[b] = 2;
+                post.push(b);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<usize> = post.into_iter().rev().collect();
+        let mut rpo_num = vec![usize::MAX; blocks.len()];
+        for (n, &b) in rpo.iter().enumerate() {
+            rpo_num[b] = n;
+        }
+        let mut loop_headers: Vec<u32> = Vec::new();
+        for &b in &rpo {
+            for e in &blocks[b].succs {
+                if rpo_num[e.block] != usize::MAX && rpo_num[e.block] <= rpo_num[b] {
+                    let pc = instrs[blocks[e.block].start].pc;
+                    if !loop_headers.contains(&pc) {
+                        loop_headers.push(pc);
+                    }
+                }
+            }
+        }
+        loop_headers.sort_unstable();
+
+        Cfg { instrs, blocks, rpo, loop_headers }
+    }
+
+    /// The block containing instruction index `i`, by binary search.
+    pub fn block_of_instr(&self, i: usize) -> usize {
+        match self.blocks.binary_search_by_key(&i, |b| b.start) {
+            Ok(b) => b,
+            Err(next) => next - 1,
+        }
+    }
+
+    /// `true` if the block is reachable from the entry.
+    pub fn is_reachable(&self, block: usize) -> bool {
+        self.rpo.contains(&block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wizard_wasm::builder::{FuncBuilder, ModuleBuilder};
+    use wizard_wasm::types::ValType::I32;
+    use wizard_wasm::validate::validate;
+
+    fn cfg_for(f: FuncBuilder) -> Cfg {
+        let mut mb = ModuleBuilder::new();
+        mb.add_func("f", f);
+        let m = mb.build().expect("validates");
+        let meta = validate(&m).expect("validates");
+        Cfg::build(&m.funcs[0].body.code, &meta.funcs[0])
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let mut f = FuncBuilder::new(&[I32], &[I32]);
+        f.local_get(0).i32_const(1).i32_add();
+        let cfg = cfg_for(f);
+        assert_eq!(cfg.blocks.len(), 1);
+        assert_eq!(cfg.rpo, vec![0]);
+        assert!(cfg.loop_headers.is_empty());
+    }
+
+    #[test]
+    fn loop_back_edge_targets_match_validator_loop_headers() {
+        let mut f = FuncBuilder::new(&[I32], &[I32]);
+        let i = f.local(I32);
+        f.for_range(i, 0, |f| {
+            f.nop();
+        });
+        f.local_get(0);
+        let mut mb = ModuleBuilder::new();
+        mb.add_func("f", f);
+        let m = mb.build().expect("validates");
+        let meta = validate(&m).expect("validates");
+        let cfg = Cfg::build(&m.funcs[0].body.code, &meta.funcs[0]);
+        assert_eq!(cfg.loop_headers.len(), 1);
+        // Back-edge targets are exactly the pcs the validator recorded as
+        // `loop` headers — actually-looping ones, a subset in general.
+        for pc in &cfg.loop_headers {
+            assert!(meta.funcs[0].loop_headers.contains(pc));
+        }
+        assert!(cfg.blocks.len() > 2, "loop body splits blocks");
+    }
+
+    #[test]
+    fn code_after_unconditional_branch_is_unreachable() {
+        let mut f = FuncBuilder::new(&[I32], &[I32]);
+        f.local_get(0);
+        f.return_();
+        f.i32_const(7).drop_();
+        let cfg = cfg_for(f);
+        let dead = cfg
+            .blocks
+            .iter()
+            .enumerate()
+            .filter(|(b, _)| !cfg.is_reachable(*b))
+            .map(|(_, blk)| blk.end - blk.start)
+            .sum::<usize>();
+        assert!(dead >= 2, "const+drop after return are unreachable, got {dead}");
+    }
+}

@@ -1,0 +1,510 @@
+//! Generic forward abstract interpretation over a [`Cfg`].
+//!
+//! The driver owns the structural part of every analysis — decoding,
+//! stack bookkeeping via the validator's signature tables
+//! ([`numeric_sig`], [`mem_access_type`]), block-edge stack surgery via
+//! side-table targets, and worklist iteration in reverse postorder.
+//! A [`Domain`] supplies only the lattice: how values join, what a
+//! constant is, and what a pure numeric op does to abstract operands.
+//!
+//! Reachability is not a separate domain: a block whose entry state is
+//! still `None` at fixpoint was never reached from the function entry.
+
+use wizard_engine::numeric;
+use wizard_engine::value::Slot;
+use wizard_wasm::instr::{Imm, Instr};
+use wizard_wasm::module::Module;
+use wizard_wasm::opcodes as op;
+use wizard_wasm::types::ValType;
+use wizard_wasm::validate::{mem_access_type, numeric_sig, Target};
+
+use crate::cfg::Cfg;
+
+/// An abstract-value lattice plus transfer functions for value-producing
+/// instructions. Everything structural (stack depths, edge arities,
+/// iteration order) lives in the driver.
+pub trait Domain {
+    /// The abstract value.
+    type V: Clone + PartialEq;
+
+    /// The no-information element.
+    fn top(&self) -> Self::V;
+
+    /// Least upper bound of two abstract values.
+    fn join(&self, a: &Self::V, b: &Self::V) -> Self::V;
+
+    /// Abstract value of a `*.const` instruction.
+    fn constant(&self, op: u8, imm: &Imm) -> Self::V;
+
+    /// Initial abstract value of a local. Wasm zero-initialises declared
+    /// locals, so non-param locals may be treated as constants.
+    fn local_init(&self, ty: ValType, is_param: bool) -> Self::V;
+
+    /// Result of a pure numeric op over abstract operands (in push
+    /// order: `args[0]` is deepest).
+    fn numeric(&self, op: u8, args: &[Self::V]) -> Self::V;
+
+    /// A value of statically-known type but unknown content (loads,
+    /// globals, call results, `memory.size`).
+    fn of_type(&self, ty: ValType) -> Self::V;
+}
+
+/// Abstract machine state at an instruction boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct State<V> {
+    /// Operand stack, bottom first.
+    pub stack: Vec<V>,
+    /// All locals: params then declared locals.
+    pub locals: Vec<V>,
+}
+
+/// Fixpoint result of running a [`Domain`] over one function.
+pub struct FuncAnalysis<V> {
+    /// Entry state of each block; `None` means statically unreachable.
+    pub block_entry: Vec<Option<State<V>>>,
+}
+
+/// Runs `domain` to fixpoint over `cfg` and returns per-block entry
+/// states. `local_types` must cover params and declared locals;
+/// `num_params` says how many are params.
+pub fn analyze<D: Domain>(
+    cfg: &Cfg,
+    module: &Module,
+    domain: &D,
+    local_types: &[ValType],
+    num_params: usize,
+) -> FuncAnalysis<D::V> {
+    let mut block_entry: Vec<Option<State<D::V>>> = vec![None; cfg.blocks.len()];
+    let entry = State {
+        stack: Vec::new(),
+        locals: local_types
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| domain.local_init(t, i < num_params))
+            .collect(),
+    };
+    block_entry[*cfg.rpo.first().unwrap_or(&0)] = Some(entry);
+
+    let mut rpo_num = vec![usize::MAX; cfg.blocks.len()];
+    for (n, &b) in cfg.rpo.iter().enumerate() {
+        rpo_num[b] = n;
+    }
+    let mut in_list = vec![false; cfg.blocks.len()];
+    let mut worklist: Vec<usize> = cfg.rpo.clone();
+    worklist.reverse(); // pop() yields RPO order
+    for &b in &worklist {
+        in_list[b] = true;
+    }
+
+    while let Some(b) = worklist.pop() {
+        in_list[b] = false;
+        let Some(entry) = block_entry[b].clone() else { continue };
+        let mut st = entry;
+        for i in cfg.blocks[b].start..cfg.blocks[b].end {
+            transfer(domain, module, &cfg.instrs[i], &mut st);
+        }
+        for e in &cfg.blocks[b].succs.clone() {
+            let mut out = st.clone();
+            if let Some(t) = e.target {
+                apply_target(&mut out, &t);
+            }
+            let changed = match &mut block_entry[e.block] {
+                Some(old) => join_into(domain, old, &out),
+                slot @ None => {
+                    *slot = Some(out);
+                    true
+                }
+            };
+            if changed && !in_list[e.block] {
+                in_list[e.block] = true;
+                // Keep the worklist roughly RPO-sorted: push, then let
+                // pops reprocess; correctness only needs termination.
+                worklist.push(e.block);
+                worklist.sort_unstable_by_key(|&x| std::cmp::Reverse(rpo_num[x]));
+            }
+        }
+    }
+
+    FuncAnalysis { block_entry }
+}
+
+impl<V: Clone + PartialEq> FuncAnalysis<V> {
+    /// Replays reachable blocks from their entry states, calling `f`
+    /// with each instruction and the abstract state *before* it
+    /// (`None` for statically-unreachable instructions).
+    pub fn for_each_instr<D: Domain<V = V>>(
+        &self,
+        cfg: &Cfg,
+        module: &Module,
+        domain: &D,
+        mut f: impl FnMut(&Instr, Option<&State<V>>),
+    ) {
+        for (b, blk) in cfg.blocks.iter().enumerate() {
+            match &self.block_entry[b] {
+                None => {
+                    for i in blk.start..blk.end {
+                        f(&cfg.instrs[i], None);
+                    }
+                }
+                Some(entry) => {
+                    let mut st = entry.clone();
+                    for i in blk.start..blk.end {
+                        f(&cfg.instrs[i], Some(&st));
+                        transfer(domain, module, &cfg.instrs[i], &mut st);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Branch-edge stack surgery: keep the top `arity` values, truncate the
+/// rest to the target's recorded height, re-push the kept values.
+fn apply_target<V: Clone>(st: &mut State<V>, t: &Target) {
+    let arity = (t.arity as usize).min(st.stack.len());
+    let kept: Vec<V> = st.stack.split_off(st.stack.len() - arity);
+    st.stack.truncate(t.height as usize);
+    st.stack.extend(kept);
+}
+
+/// Joins `new` into `old`; returns `true` if `old` changed.
+fn join_into<D: Domain>(domain: &D, old: &mut State<D::V>, new: &State<D::V>) -> bool {
+    let mut changed = false;
+    // Validated code has equal stack heights at merge points; clamp
+    // defensively anyway.
+    if old.stack.len() != new.stack.len() {
+        let n = old.stack.len().min(new.stack.len());
+        old.stack.truncate(n);
+        changed = true;
+    }
+    for (o, n) in old.stack.iter_mut().zip(&new.stack) {
+        let j = domain.join(o, n);
+        if j != *o {
+            *o = j;
+            changed = true;
+        }
+    }
+    for (o, n) in old.locals.iter_mut().zip(&new.locals) {
+        let j = domain.join(o, n);
+        if j != *o {
+            *o = j;
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Pops `n` values (defensively tolerating underflow on malformed input).
+fn popn<V>(st: &mut State<V>, n: usize) -> Vec<V> {
+    let n = n.min(st.stack.len());
+    st.stack.split_off(st.stack.len() - n)
+}
+
+/// The single-instruction transfer function. Stack arity comes from the
+/// validator's own signature tables, so the analysis cannot drift from
+/// what validation accepted.
+pub fn transfer<D: Domain>(domain: &D, module: &Module, ins: &Instr, st: &mut State<D::V>) {
+    match ins.op {
+        op::NOP
+        | op::BLOCK
+        | op::LOOP
+        | op::END
+        | op::BR
+        | op::ELSE
+        | op::RETURN
+        | op::UNREACHABLE => {}
+        op::IF | op::BR_IF | op::BR_TABLE => {
+            popn(st, 1);
+        }
+        op::DROP => {
+            popn(st, 1);
+        }
+        op::SELECT => {
+            let mut args = popn(st, 3);
+            let _cond = args.pop();
+            let b = args.pop();
+            let a = args.pop();
+            st.stack.push(match (a, b) {
+                (Some(a), Some(b)) => domain.join(&a, &b),
+                _ => domain.top(),
+            });
+        }
+        op::LOCAL_GET => {
+            if let Imm::Idx(i) = ins.imm {
+                let v = st.locals.get(i as usize).cloned().unwrap_or_else(|| domain.top());
+                st.stack.push(v);
+            }
+        }
+        op::LOCAL_SET => {
+            if let Imm::Idx(i) = ins.imm {
+                if let Some(v) = popn(st, 1).pop() {
+                    if let Some(l) = st.locals.get_mut(i as usize) {
+                        *l = v;
+                    }
+                }
+            }
+        }
+        op::LOCAL_TEE => {
+            if let Imm::Idx(i) = ins.imm {
+                if let (Some(v), Some(l)) =
+                    (st.stack.last().cloned(), st.locals.get_mut(i as usize))
+                {
+                    *l = v;
+                }
+            }
+        }
+        op::GLOBAL_GET => {
+            let ty = match ins.imm {
+                Imm::Idx(i) => module.globals.get(i as usize).map(|g| g.ty.value),
+                _ => None,
+            };
+            st.stack.push(ty.map_or_else(|| domain.top(), |t| domain.of_type(t)));
+        }
+        op::GLOBAL_SET => {
+            popn(st, 1);
+        }
+        op::I32_LOAD..=op::I64_LOAD32_U => {
+            popn(st, 1);
+            let (ty, _, _) = mem_access_type(ins.op);
+            st.stack.push(domain.of_type(ty));
+        }
+        op::I32_STORE..=op::I64_STORE32 => {
+            popn(st, 2);
+        }
+        op::MEMORY_SIZE => st.stack.push(domain.of_type(ValType::I32)),
+        op::MEMORY_GROW => {
+            popn(st, 1);
+            st.stack.push(domain.of_type(ValType::I32));
+        }
+        op::I32_CONST..=op::F64_CONST => st.stack.push(domain.constant(ins.op, &ins.imm)),
+        op::CALL | op::CALL_INDIRECT => {
+            let (fty, extra) = match ins.imm {
+                Imm::Idx(f) => (module.func_type(f), 0),
+                Imm::CallIndirect { type_idx, .. } => (module.types.get(type_idx as usize), 1),
+                _ => (None, 0),
+            };
+            if let Some(fty) = fty {
+                popn(st, fty.params.len() + extra);
+                for &r in &fty.results {
+                    st.stack.push(domain.of_type(r));
+                }
+            }
+        }
+        o => {
+            if let Some((params, result)) = numeric_sig(o) {
+                let args = popn(st, params.len());
+                if result.is_some() {
+                    st.stack.push(domain.numeric(o, &args));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stock domains
+// ---------------------------------------------------------------------------
+
+/// Abstract value of the constancy domain: a known 64-bit slot pattern
+/// or no information.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbsConst {
+    /// The value is this exact slot bit pattern on every execution.
+    Const(u64),
+    /// Anything.
+    Unknown,
+}
+
+/// Constant propagation through `const`/`local.get`/`local.set` and
+/// pure numeric ops, folded with the engine's own [`numeric`] kernels so
+/// analysis results bit-match execution.
+pub struct ConstDomain;
+
+impl Domain for ConstDomain {
+    type V = AbsConst;
+
+    fn top(&self) -> AbsConst {
+        AbsConst::Unknown
+    }
+
+    fn join(&self, a: &AbsConst, b: &AbsConst) -> AbsConst {
+        if a == b {
+            *a
+        } else {
+            AbsConst::Unknown
+        }
+    }
+
+    fn constant(&self, _op: u8, imm: &Imm) -> AbsConst {
+        match *imm {
+            Imm::I32(v) => AbsConst::Const(Slot::from_i32(v).0),
+            Imm::I64(v) => AbsConst::Const(Slot::from_i64(v).0),
+            Imm::F32(v) => AbsConst::Const(Slot::from_f32(v).0),
+            Imm::F64(v) => AbsConst::Const(Slot::from_f64(v).0),
+            _ => AbsConst::Unknown,
+        }
+    }
+
+    fn local_init(&self, _ty: ValType, is_param: bool) -> AbsConst {
+        // Declared locals are zero-initialised by the spec; params are
+        // caller-controlled.
+        if is_param {
+            AbsConst::Unknown
+        } else {
+            AbsConst::Const(0)
+        }
+    }
+
+    fn numeric(&self, o: u8, args: &[AbsConst]) -> AbsConst {
+        let slot = |v: &AbsConst| match v {
+            AbsConst::Const(bits) => Some(Slot(*bits)),
+            AbsConst::Unknown => None,
+        };
+        let folded = match args {
+            [a] if numeric::is_unop(o) => slot(a).map(|a| numeric::unop(o, a)),
+            [a, b] if numeric::is_binop(o) => {
+                slot(a).zip(slot(b)).map(|(a, b)| numeric::binop(o, a, b))
+            }
+            _ => None,
+        };
+        match folded {
+            // A folding that traps is not a constant — the instruction
+            // never produces a value there.
+            Some(Ok(v)) => AbsConst::Const(v.0),
+            _ => AbsConst::Unknown,
+        }
+    }
+
+    fn of_type(&self, _ty: ValType) -> AbsConst {
+        AbsConst::Unknown
+    }
+}
+
+/// Stack shape/type domain: tracks the [`ValType`] of every stack slot
+/// (`None` = type unknown, only possible in unreachable-adjacent code).
+pub struct TypeDomain;
+
+impl Domain for TypeDomain {
+    type V = Option<ValType>;
+
+    fn top(&self) -> Option<ValType> {
+        None
+    }
+
+    fn join(&self, a: &Option<ValType>, b: &Option<ValType>) -> Option<ValType> {
+        if a == b {
+            *a
+        } else {
+            None
+        }
+    }
+
+    fn constant(&self, o: u8, _imm: &Imm) -> Option<ValType> {
+        Some(match o {
+            op::I32_CONST => ValType::I32,
+            op::I64_CONST => ValType::I64,
+            op::F32_CONST => ValType::F32,
+            _ => ValType::F64,
+        })
+    }
+
+    fn local_init(&self, ty: ValType, _is_param: bool) -> Option<ValType> {
+        Some(ty)
+    }
+
+    fn numeric(&self, o: u8, _args: &[Option<ValType>]) -> Option<ValType> {
+        numeric_sig(o).and_then(|(_, r)| r)
+    }
+
+    fn of_type(&self, ty: ValType) -> Option<ValType> {
+        Some(ty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wizard_wasm::builder::{FuncBuilder, ModuleBuilder};
+    use wizard_wasm::types::ValType::I32;
+    use wizard_wasm::validate::{validate, FuncMeta};
+
+    fn analyze_first<D: Domain>(
+        f: FuncBuilder,
+        domain: &D,
+    ) -> (Module, FuncMeta, Cfg, FuncAnalysis<D::V>) {
+        let mut mb = ModuleBuilder::new();
+        mb.add_func("f", f);
+        let m = mb.build().expect("validates");
+        let meta = validate(&m).expect("validates");
+        let fm = meta.funcs[0].clone();
+        let cfg = Cfg::build(&m.funcs[0].body.code, &fm);
+        let decl = &m.funcs[0];
+        let fty = m.types[decl.type_idx as usize].clone();
+        let mut local_types = fty.params.clone();
+        local_types.extend(decl.body.flat_locals());
+        let fa = analyze(&cfg, &m, domain, &local_types, fty.params.len());
+        (m, fm, cfg, fa)
+    }
+
+    #[test]
+    fn constants_fold_through_arithmetic() {
+        let mut f = FuncBuilder::new(&[I32], &[I32]);
+        f.i32_const(6).i32_const(7).i32_mul();
+        let (m, _fm, cfg, fa) = analyze_first(f, &ConstDomain);
+        let mut at_end = None;
+        fa.for_each_instr(&cfg, &m, &ConstDomain, |ins, st| {
+            if ins.op == op::END {
+                at_end = st.map(|s| s.stack.clone());
+            }
+        });
+        let stack = at_end.expect("end is reachable");
+        assert_eq!(stack, vec![AbsConst::Const(42)]);
+    }
+
+    #[test]
+    fn zero_initialised_local_is_constant_until_clobbered_in_loop() {
+        let mut f = FuncBuilder::new(&[I32], &[I32]);
+        let x = f.local(I32);
+        let i = f.local(I32);
+        f.for_range(i, 0, |f| {
+            f.local_get(x).i32_const(1).i32_add().local_set(x);
+        });
+        f.local_get(x);
+        let (m, _fm, cfg, fa) = analyze_first(f, &ConstDomain);
+        // After the loop, x joined over iterations must be Unknown.
+        let mut last_get = None;
+        fa.for_each_instr(&cfg, &m, &ConstDomain, |ins, st| {
+            if ins.op == op::LOCAL_GET {
+                last_get = st.map(|s| s.locals[1]);
+            }
+        });
+        assert_eq!(last_get, Some(AbsConst::Unknown));
+    }
+
+    #[test]
+    fn type_domain_tracks_stack_shape() {
+        let mut f = FuncBuilder::new(&[I32], &[I32]);
+        f.local_get(0).i32_const(1).i32_add();
+        let (m, _fm, cfg, fa) = analyze_first(f, &TypeDomain);
+        let mut shapes = Vec::new();
+        fa.for_each_instr(&cfg, &m, &TypeDomain, |_, st| {
+            shapes.push(st.map(|s| s.stack.len()));
+        });
+        // local.get, i32.const, i32.add, end
+        assert_eq!(shapes, vec![Some(0), Some(1), Some(2), Some(1)]);
+    }
+
+    #[test]
+    fn division_by_constant_zero_does_not_fold() {
+        let mut f = FuncBuilder::new(&[I32], &[I32]);
+        f.i32_const(1).i32_const(0).op(op::I32_DIV_U);
+        let (m, _fm, cfg, fa) = analyze_first(f, &ConstDomain);
+        let mut at_end = None;
+        fa.for_each_instr(&cfg, &m, &ConstDomain, |ins, st| {
+            if ins.op == op::END {
+                at_end = st.map(|s| s.stack.clone());
+            }
+        });
+        assert_eq!(at_end.expect("reachable"), vec![AbsConst::Unknown]);
+    }
+}

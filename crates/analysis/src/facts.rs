@@ -1,0 +1,145 @@
+//! Per-site dataflow facts packaged for probe-lowering consumers.
+//!
+//! A probe fires *before* its instruction, so the interesting fact at a
+//! site is the abstract state of the operand stack at the instruction
+//! boundary: is the site reachable at all, is the stack empty (so `tos`
+//! reads as zero), or is the top of stack a compile-time constant?
+
+use std::collections::HashMap;
+
+use wizard_wasm::module::FuncIdx;
+use wizard_wasm::module::Module;
+use wizard_wasm::validate::validate;
+
+use crate::cfg::Cfg;
+use crate::dataflow::{analyze, AbsConst, ConstDomain};
+
+/// What is statically known about the operand stack immediately before
+/// one instruction (i.e. at the point a probe at that pc would fire).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TosFact {
+    /// The instruction is statically unreachable.
+    Unreachable,
+    /// The operand stack is empty here on every execution.
+    Empty,
+    /// The top of stack is always this slot bit pattern.
+    Const(u64),
+    /// Nothing useful is known.
+    #[default]
+    Unknown,
+}
+
+/// Facts for every instruction boundary of one function.
+#[derive(Debug, Clone, Default)]
+pub struct FuncFacts {
+    /// Fact per pc (byte offset of the opcode).
+    pub by_pc: HashMap<u32, TosFact>,
+}
+
+impl FuncFacts {
+    /// The fact at `pc`, defaulting to [`TosFact::Unknown`] for pcs the
+    /// analysis did not see (e.g. non-boundary offsets).
+    pub fn at(&self, pc: u32) -> TosFact {
+        self.by_pc.get(&pc).copied().unwrap_or(TosFact::Unknown)
+    }
+}
+
+/// Constancy/reachability facts for every local function of a module.
+#[derive(Debug, Clone, Default)]
+pub struct ModuleFacts {
+    /// Facts keyed by *global* function index (imports have none).
+    pub funcs: HashMap<FuncIdx, FuncFacts>,
+}
+
+impl ModuleFacts {
+    /// Runs the constancy analysis over every local function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the module does not validate — callers hold modules
+    /// that already passed validation.
+    pub fn compute(module: &Module) -> ModuleFacts {
+        let meta = validate(module).expect("module was validated");
+        let n_imp = module.num_imported_funcs();
+        let mut funcs = HashMap::new();
+        for (i, decl) in module.funcs.iter().enumerate() {
+            let fm = &meta.funcs[i];
+            let cfg = Cfg::build(&decl.body.code, fm);
+            let fty = &module.types[decl.type_idx as usize];
+            let mut local_types = fty.params.clone();
+            local_types.extend(decl.body.flat_locals());
+            let fa = analyze(&cfg, module, &ConstDomain, &local_types, fty.params.len());
+            let mut by_pc = HashMap::new();
+            fa.for_each_instr(&cfg, module, &ConstDomain, |ins, st| {
+                let fact = match st {
+                    None => TosFact::Unreachable,
+                    Some(s) => match s.stack.last() {
+                        None => TosFact::Empty,
+                        Some(AbsConst::Const(bits)) => TosFact::Const(*bits),
+                        Some(AbsConst::Unknown) => TosFact::Unknown,
+                    },
+                };
+                by_pc.insert(ins.pc, fact);
+            });
+            funcs.insert(n_imp + i as u32, FuncFacts { by_pc });
+        }
+        ModuleFacts { funcs }
+    }
+
+    /// The fact at `(func, pc)`; [`TosFact::Unknown`] for unknown sites.
+    pub fn at(&self, func: FuncIdx, pc: u32) -> TosFact {
+        self.funcs.get(&func).map_or(TosFact::Unknown, |f| f.at(pc))
+    }
+
+    /// Loop-header pcs of `func` as discovered by CFG back-edge
+    /// detection (used for parity checks against the validator's
+    /// syntactic `loop_headers`).
+    pub fn cfg_loop_headers(module: &Module, local_index: usize) -> Vec<u32> {
+        let meta = validate(module).expect("module was validated");
+        let decl = &module.funcs[local_index];
+        Cfg::build(&decl.body.code, &meta.funcs[local_index]).loop_headers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wizard_wasm::builder::{FuncBuilder, ModuleBuilder};
+    use wizard_wasm::instr::InstrIter;
+    use wizard_wasm::opcodes as op;
+    use wizard_wasm::types::ValType::I32;
+
+    #[test]
+    fn facts_classify_empty_const_and_unknown() {
+        let mut f = FuncBuilder::new(&[I32], &[I32]);
+        f.i32_const(5); // stack empty before this
+        f.local_get(0); // tos == Const(5) before this
+        f.i32_add(); // tos unknown (param) before this
+        let mut mb = ModuleBuilder::new();
+        mb.add_func("f", f);
+        let m = mb.build().expect("validates");
+        let facts = ModuleFacts::compute(&m);
+        let pcs: Vec<u32> =
+            InstrIter::new(&m.funcs[0].body.code).map(|i| i.expect("decodes").pc).collect();
+        assert_eq!(facts.at(0, pcs[0]), TosFact::Empty);
+        assert_eq!(facts.at(0, pcs[1]), TosFact::Const(5));
+        assert_eq!(facts.at(0, pcs[2]), TosFact::Unknown);
+    }
+
+    #[test]
+    fn dead_code_is_unreachable() {
+        let mut f = FuncBuilder::new(&[I32], &[I32]);
+        f.local_get(0).return_();
+        f.i32_const(9);
+        let mut mb = ModuleBuilder::new();
+        mb.add_func("f", f);
+        let m = mb.build().expect("validates");
+        let facts = ModuleFacts::compute(&m);
+        let dead_pc = InstrIter::new(&m.funcs[0].body.code)
+            .map(|i| i.expect("decodes"))
+            .find(|i| i.op == op::I32_CONST)
+            .expect("const present")
+            .pc;
+        assert_eq!(facts.at(0, dead_pc), TosFact::Unreachable);
+    }
+}

@@ -1,0 +1,189 @@
+//! A small lint pass over validated modules, built on the constancy
+//! and reachability analyses: statically-dead instructions,
+//! constant-foldable numeric ops, and redundant `local.get x;
+//! local.set x` pairs.
+
+use std::fmt;
+
+use wizard_engine::numeric;
+use wizard_engine::value::Slot;
+use wizard_wasm::instr::Imm;
+use wizard_wasm::module::FuncIdx;
+use wizard_wasm::module::Module;
+use wizard_wasm::opcodes as op;
+use wizard_wasm::validate::{numeric_sig, validate};
+
+use crate::cfg::Cfg;
+use crate::dataflow::{analyze, AbsConst, ConstDomain};
+
+/// What a lint finding is about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LintKind {
+    /// The instruction can never execute.
+    DeadCode,
+    /// A numeric op whose operands are compile-time constants.
+    ConstFoldable,
+    /// `local.get x` immediately followed by `local.set x`.
+    RedundantGetSet,
+}
+
+impl fmt::Display for LintKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LintKind::DeadCode => "dead-code",
+            LintKind::ConstFoldable => "const-foldable",
+            LintKind::RedundantGetSet => "redundant-get-set",
+        })
+    }
+}
+
+/// One lint finding, located by global function index and byte pc.
+#[derive(Debug, Clone)]
+pub struct LintFinding {
+    /// Global function index.
+    pub func: FuncIdx,
+    /// Byte offset of the offending instruction.
+    pub pc: u32,
+    /// Finding category.
+    pub kind: LintKind,
+    /// Human-readable detail.
+    pub msg: String,
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] func {} pc={}: {}", self.kind, self.func, self.pc, self.msg)
+    }
+}
+
+/// Lints every local function of a validated module.
+///
+/// # Panics
+///
+/// Panics if the module does not validate.
+pub fn lint_module(module: &Module) -> Vec<LintFinding> {
+    let meta = validate(module).expect("module was validated");
+    let n_imp = module.num_imported_funcs();
+    let mut findings = Vec::new();
+    for (i, decl) in module.funcs.iter().enumerate() {
+        let func = n_imp + i as u32;
+        let cfg = Cfg::build(&decl.body.code, &meta.funcs[i]);
+        let fty = &module.types[decl.type_idx as usize];
+        let mut local_types = fty.params.clone();
+        local_types.extend(decl.body.flat_locals());
+        let fa = analyze(&cfg, module, &ConstDomain, &local_types, fty.params.len());
+
+        let mut prev: Option<(u8, u32, u32)> = None; // (op, idx, pc)
+        fa.for_each_instr(&cfg, module, &ConstDomain, |ins, st| {
+            match st {
+                None => {
+                    // `end`/`else` are structure, not computation; flagging
+                    // them as dead is noise.
+                    if !matches!(ins.op, op::END | op::ELSE) {
+                        findings.push(LintFinding {
+                            func,
+                            pc: ins.pc,
+                            kind: LintKind::DeadCode,
+                            msg: "statically unreachable".into(),
+                        });
+                    }
+                }
+                Some(s) => {
+                    if let Some((params, _)) = numeric_sig(ins.op) {
+                        let n = params.len();
+                        if s.stack.len() >= n {
+                            let args = &s.stack[s.stack.len() - n..];
+                            let consts: Vec<Slot> = args
+                                .iter()
+                                .filter_map(|a| match a {
+                                    AbsConst::Const(b) => Some(Slot(*b)),
+                                    AbsConst::Unknown => None,
+                                })
+                                .collect();
+                            let folded = match consts.as_slice() {
+                                [a] if numeric::is_unop(ins.op) => numeric::unop(ins.op, *a).ok(),
+                                [a, b] if numeric::is_binop(ins.op) => {
+                                    numeric::binop(ins.op, *a, *b).ok()
+                                }
+                                _ => None,
+                            };
+                            if let Some(v) = folded {
+                                findings.push(LintFinding {
+                                    func,
+                                    pc: ins.pc,
+                                    kind: LintKind::ConstFoldable,
+                                    msg: format!(
+                                        "operands are constant; folds to slot bits {:#x}",
+                                        v.0
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            // Syntactic redundant get/set detection, independent of facts.
+            if let (Some((op::LOCAL_GET, gi, gpc)), op::LOCAL_SET, Imm::Idx(si)) =
+                (prev, ins.op, &ins.imm)
+            {
+                if gi == *si {
+                    findings.push(LintFinding {
+                        func,
+                        pc: gpc,
+                        kind: LintKind::RedundantGetSet,
+                        msg: format!("local.get {gi}; local.set {gi} is a no-op"),
+                    });
+                }
+            }
+            prev = match (ins.op, &ins.imm) {
+                (op::LOCAL_GET, Imm::Idx(x)) => Some((op::LOCAL_GET, *x, ins.pc)),
+                _ => None,
+            };
+        });
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wizard_wasm::builder::{FuncBuilder, ModuleBuilder};
+    use wizard_wasm::types::ValType::I32;
+
+    fn lint(f: FuncBuilder) -> Vec<LintFinding> {
+        let mut mb = ModuleBuilder::new();
+        mb.add_func("f", f);
+        lint_module(&mb.build().expect("validates"))
+    }
+
+    #[test]
+    fn reports_constant_foldable_and_redundant_pairs() {
+        let mut f = FuncBuilder::new(&[I32], &[I32]);
+        f.i32_const(6).i32_const(7).i32_mul().drop_();
+        f.local_get(0).local_set(0);
+        f.local_get(0);
+        let findings = lint(f);
+        assert!(findings
+            .iter()
+            .any(|f| f.kind == LintKind::ConstFoldable && f.msg.contains("0x2a")));
+        assert!(findings.iter().any(|f| f.kind == LintKind::RedundantGetSet));
+    }
+
+    #[test]
+    fn reports_dead_code_after_return() {
+        let mut f = FuncBuilder::new(&[I32], &[I32]);
+        f.local_get(0).return_();
+        f.i32_const(1).drop_();
+        f.local_get(0);
+        let findings = lint(f);
+        let dead = findings.iter().filter(|f| f.kind == LintKind::DeadCode).count();
+        assert!(dead >= 2, "const+drop are dead, got {dead}: {findings:?}");
+    }
+
+    #[test]
+    fn clean_code_is_quiet() {
+        let mut f = FuncBuilder::new(&[I32], &[I32]);
+        f.local_get(0).i32_const(1).i32_add();
+        assert!(lint(f).is_empty());
+    }
+}

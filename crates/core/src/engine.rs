@@ -80,6 +80,13 @@ pub struct EngineConfig {
     /// budget explicitly. Schedulers like `wizard-pool` read this as the
     /// per-turn budget to pass to the bounded API.
     pub fuel_slice: Option<u64>,
+    /// Run the translation validator over every function's lowered form
+    /// at instantiation (debug builds and CI). Requires a validator to be
+    /// registered via [`register_lowering_validator`] — the engine crate
+    /// is dependency-free, so the analysis crate (`wizard-analysis`)
+    /// injects its `validate_lowering` through that hook (call its
+    /// `install_engine_validator()`).
+    pub validate_lowering: bool,
 }
 
 impl Default for EngineConfig {
@@ -93,6 +100,7 @@ impl Default for EngineConfig {
             max_call_depth: 10_000,
             max_value_stack: 1 << 22,
             fuel_slice: None,
+            validate_lowering: false,
         }
     }
 }
@@ -215,6 +223,13 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Enables/disables translation validation of the lowered form at
+    /// instantiation; see [`EngineConfig::validate_lowering`].
+    pub fn validate_lowering(mut self, on: bool) -> EngineConfigBuilder {
+        self.config.validate_lowering = on;
+        self
+    }
+
     /// Finalizes the configuration.
     pub fn build(self) -> EngineConfig {
         self.config
@@ -270,6 +285,10 @@ pub struct EngineStats {
     /// probe drops the copy again (rejoining the shared artifact), so
     /// this counts copies *made*, not copies currently resident.
     pub overlay_copies: u64,
+    /// Successful translation-validation passes over a module's lowered
+    /// form ([`EngineConfig::validate_lowering`]); one per instantiation
+    /// that ran the registered validator.
+    pub lowering_validations: u64,
 }
 
 impl EngineStats {
@@ -293,6 +312,7 @@ impl EngineStats {
             artifact_cache_hits,
             artifact_cache_misses,
             overlay_copies,
+            lowering_validations,
         } = *other;
         self.probe_fires += probe_fires;
         self.global_fires += global_fires;
@@ -307,6 +327,7 @@ impl EngineStats {
         self.artifact_cache_hits += artifact_cache_hits;
         self.artifact_cache_misses += artifact_cache_misses;
         self.overlay_copies += overlay_copies;
+        self.lowering_validations += lowering_validations;
     }
 }
 
@@ -352,6 +373,10 @@ pub enum LinkError {
     SegmentOutOfBounds(&'static str),
     /// The start function trapped.
     StartTrapped(Trap),
+    /// Translation validation of the lowered form was requested
+    /// ([`EngineConfig::validate_lowering`]) and the registered validator
+    /// rejected the module — or no validator was registered at all.
+    LoweringInvalid(String),
 }
 
 impl core::fmt::Display for LinkError {
@@ -367,6 +392,7 @@ impl core::fmt::Display for LinkError {
             }
             LinkError::SegmentOutOfBounds(k) => write!(f, "{k} segment out of bounds"),
             LinkError::StartTrapped(t) => write!(f, "start function trapped: {t}"),
+            LinkError::LoweringInvalid(msg) => write!(f, "lowering validation failed: {msg}"),
         }
     }
 }
@@ -377,6 +403,23 @@ impl From<ValidateError> for LinkError {
     fn from(e: ValidateError) -> LinkError {
         LinkError::Validate(e)
     }
+}
+
+/// The shape of an injectable byte→lowered translation validator.
+pub type LoweringValidator = fn(&ModuleArtifact) -> Result<(), String>;
+
+/// The registered byte→lowered translation validator, if any. The engine
+/// crate is dependency-free by design, so the validator itself lives in
+/// `wizard-analysis` and is injected here at startup.
+static LOWERING_VALIDATOR: std::sync::OnceLock<LoweringValidator> = std::sync::OnceLock::new();
+
+/// Registers the translation validator consulted when a process is
+/// instantiated with [`EngineConfig::validate_lowering`] set. First
+/// registration wins; later calls are no-ops (the hook is set once per
+/// process lifetime). `wizard_analysis::install_engine_validator()` is
+/// the canonical caller.
+pub fn register_lowering_validator(f: LoweringValidator) {
+    let _ = LOWERING_VALIDATOR.set(f);
 }
 
 /// Error from the dynamic instrumentation API.
@@ -622,6 +665,17 @@ impl Process {
             stats: EngineStats::default(),
             suspended: None,
         };
+        if p.config.validate_lowering {
+            let Some(validator) = LOWERING_VALIDATOR.get() else {
+                return Err(LinkError::LoweringInvalid(
+                    "no validator registered; call wizard_analysis::install_engine_validator()"
+                        .into(),
+                ));
+            };
+            p.artifact.lower_all();
+            validator(&p.artifact).map_err(LinkError::LoweringInvalid)?;
+            p.stats.lowering_validations += 1;
+        }
         if let Some(s) = p.module.start {
             p.invoke(s, &[]).map_err(LinkError::StartTrapped)?;
         }

@@ -176,8 +176,8 @@ pub mod value;
 
 pub use artifact::{FuncArtifact, ModuleArtifact};
 pub use engine::{
-    Dispatch, EngineConfig, EngineConfigBuilder, EngineStats, ExecMode, LinkError, ProbeError,
-    Process, RunOutcome,
+    register_lowering_validator, Dispatch, EngineConfig, EngineConfigBuilder, EngineStats,
+    ExecMode, LinkError, ProbeError, Process, RunOutcome,
 };
 pub use exec::{FrameModError, FrameView, ProbeCtx};
 pub use frame::{FrameAccessor, Tier};

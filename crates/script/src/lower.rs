@@ -439,6 +439,60 @@ pub fn materialize_rule(rule: &Rule, sites: &[Site], bank: &mut CounterBank) {
     }
 }
 
+/// Dataflow facts about one site, as consumed by the lowering pass —
+/// the bridge from `wizard-analysis`'s
+/// [`TosFact`](wizard_analysis::TosFact) to predicate folding. The
+/// default (no facts) lowers exactly as before the analysis existed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SiteFacts {
+    /// The site can never execute: no probe is installed at all (its
+    /// zero table rows are still materialized, so reports are
+    /// row-identical to an unfactored lowering).
+    pub unreachable: bool,
+    /// The operand stack is provably empty when the probe fires, so
+    /// `tos`/`tos64` read as 0 ([`eval`] maps an absent top slot to 0).
+    pub stack_empty: bool,
+    /// The top of stack is provably this slot bit pattern.
+    pub tos_const: Option<u64>,
+}
+
+impl SiteFacts {
+    /// The constant slot `tos` reads at this site, if any.
+    fn tos_slot(&self) -> Option<Slot> {
+        if self.stack_empty {
+            // An empty stack reads as 0 through both `tos` and `tos64`.
+            Some(Slot(0))
+        } else {
+            self.tos_const.map(Slot)
+        }
+    }
+}
+
+/// Substitutes provably-constant `tos`/`tos64` reads before folding,
+/// mirroring [`eval`]'s slot conversions exactly (`tos` truncates to
+/// i32, `tos64` reads the full slot).
+fn substitute_tos(e: &Expr, facts: SiteFacts) -> Expr {
+    let Some(slot) = facts.tos_slot() else { return e.clone() };
+    match e {
+        Expr::Tos => Expr::Const(i64::from(slot.i32())),
+        Expr::Tos64 => Expr::Const(slot.i64()),
+        Expr::Unary(op, a) => Expr::Unary(*op, Box::new(substitute_tos(a, facts))),
+        Expr::Binary(op, a, b) => Expr::Binary(
+            *op,
+            Box::new(substitute_tos(a, facts)),
+            Box::new(substitute_tos(b, facts)),
+        ),
+        _ => e.clone(),
+    }
+}
+
+/// [`simplify`] with dataflow facts folded in: `tos` reads at sites with
+/// a provably-constant (or provably-empty) stack become constants first,
+/// often collapsing the whole predicate.
+pub fn simplify_with_facts(e: &Expr, site: Site, facts: SiteFacts) -> Expr {
+    simplify(&substitute_tos(e, facts), site)
+}
+
 /// Lowers one rule at its matched sites, returning the probes to
 /// install. The rule's cells are materialized first (idempotently) —
 /// when lowering a multi-rule script, call [`materialize_rule`] for
@@ -451,11 +505,34 @@ pub fn lower_rule(
     bank: &mut CounterBank,
     dropped: &mut usize,
 ) -> Vec<LoweredProbe> {
+    lower_rule_with_facts(rule_index, rule, sites, &[], bank, dropped)
+}
+
+/// [`lower_rule`] with per-site dataflow facts: unreachable sites get no
+/// probe, and provably-constant `tos` predicates fold — demoting shapes
+/// (generic → operand → count → nothing) without changing any observable
+/// count. `facts` is indexed like `sites`; an empty slice (or
+/// [`SiteFacts::default`] entries) disables fact-driven folding.
+pub fn lower_rule_with_facts(
+    rule_index: usize,
+    rule: &Rule,
+    sites: &[Site],
+    facts: &[SiteFacts],
+    bank: &mut CounterBank,
+    dropped: &mut usize,
+) -> Vec<LoweredProbe> {
     materialize_rule(rule, sites, bank);
 
     let mut out = Vec::new();
-    for site in sites {
-        let simplified = rule.when.as_ref().map(|w| simplify(w, *site));
+    for (i, site) in sites.iter().enumerate() {
+        let fact = facts.get(i).copied().unwrap_or_default();
+        if fact.unreachable {
+            // The probe could never fire; its cells are already
+            // materialized above, so reports keep the zero rows.
+            *dropped += 1;
+            continue;
+        }
+        let simplified = rule.when.as_ref().map(|w| simplify_with_facts(w, *site, fact));
         if let Some(Expr::Const(v)) = &simplified {
             if !truthy(*v) {
                 *dropped += 1;
@@ -632,6 +709,68 @@ mod tests {
         );
         assert_eq!(lowered[0].kind, ProbeKind::Generic);
         assert_eq!(lowered[1].kind, ProbeKind::Operand, "i32.add always pops");
+    }
+
+    #[test]
+    fn facts_fold_tos_predicates_to_cheaper_shapes() {
+        // `local.get` doesn't consume an operand, so `tos == 0` is
+        // normally a Generic probe — but with a provably-empty stack the
+        // predicate folds to constant-true (Count), and with a
+        // provably-nonzero top it folds to constant-false (no probe).
+        let script = parse("match * when tos == 0 do inc a[site]").unwrap();
+        let sites =
+            [site(op::LOCAL_GET, 0, 0), site(op::LOCAL_GET, 0, 2), site(op::LOCAL_GET, 0, 4)];
+        let mut bank = CounterBank::default();
+        let mut dropped = 0;
+
+        let baseline = lower_rule(0, &script.rules[0], &sites, &mut bank, &mut dropped);
+        assert!(baseline.iter().all(|p| p.kind == ProbeKind::Generic));
+
+        let facts = [
+            SiteFacts { stack_empty: true, ..SiteFacts::default() },
+            SiteFacts { tos_const: Some(Slot::from_i32(7).0), ..SiteFacts::default() },
+            SiteFacts::default(),
+        ];
+        let mut bank = CounterBank::default();
+        let mut dropped = 0;
+        let lowered =
+            lower_rule_with_facts(0, &script.rules[0], &sites, &facts, &mut bank, &mut dropped);
+        assert_eq!(lowered.len(), 2, "constant-false site installs nothing");
+        assert_eq!(lowered[0].kind, ProbeKind::Count, "empty stack folds tos==0 to true");
+        assert_eq!(lowered[0].residual, None);
+        assert_eq!(lowered[1].kind, ProbeKind::Generic, "no facts, no demotion");
+        assert_eq!(dropped, 1);
+    }
+
+    #[test]
+    fn unreachable_sites_drop_probes_but_keep_zero_rows() {
+        let script = parse("match * do inc t[site]").unwrap();
+        let sites = [site(op::NOP, 0, 0), site(op::NOP, 0, 1)];
+        let facts = [SiteFacts::default(), SiteFacts { unreachable: true, ..SiteFacts::default() }];
+        let mut bank = CounterBank::default();
+        let mut dropped = 0;
+        let lowered =
+            lower_rule_with_facts(0, &script.rules[0], &sites, &facts, &mut bank, &mut dropped);
+        assert_eq!(lowered.len(), 1);
+        assert_eq!(dropped, 1);
+        // The dead site still reports as a zero row.
+        let table = bank.table("t").unwrap();
+        assert_eq!(table.len(), 2);
+        assert_eq!(table[&Location { func: 0, pc: 1 }].get(), 0);
+    }
+
+    #[test]
+    fn tos64_substitution_matches_eval_conversions() {
+        // A constant top slot must fold through `tos` (i32 view) and
+        // `tos64` (full slot) exactly as `eval` would read them.
+        let slot = Slot::from_i64(-1);
+        let w = pred_of("match * when tos == -1 && tos64 == -1 do inc a");
+        let folded = simplify_with_facts(
+            &w,
+            site(op::NOP, 0, 0),
+            SiteFacts { tos_const: Some(slot.0), ..SiteFacts::default() },
+        );
+        assert_eq!(folded, Expr::Const(1));
     }
 
     #[test]

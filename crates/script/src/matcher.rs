@@ -8,13 +8,14 @@
 //! `PC` is not an instruction boundary reports the nearest instruction
 //! boundaries, disassembled.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use wizard_engine::Location;
 use wizard_wasm::disasm;
 use wizard_wasm::instr::InstrIter;
 use wizard_wasm::module::Module;
 use wizard_wasm::opcodes as op;
+use wizard_wasm::validate::validate;
 
 use crate::ast::{Rule, Selector};
 use crate::error::ScriptError;
@@ -36,13 +37,20 @@ pub struct Site {
 pub struct ModuleIndex {
     /// `(site, is_first_of_body, is_last_of_body)` in code order.
     instrs: Vec<(Site, bool, bool)>,
+    /// `(func, pc)` of every loop header, from the validator's side
+    /// metadata rather than re-matching the `loop` opcode syntactically —
+    /// the semantic definition survives any future site reordering by
+    /// the lowering pipeline.
+    loop_headers: HashSet<(u32, u32)>,
 }
 
 impl ModuleIndex {
     /// Decodes all locally-defined function bodies.
     pub fn new(module: &Module) -> ModuleIndex {
+        let meta = validate(module).expect("module was validated");
         let n_imp = module.num_imported_funcs();
         let mut out = Vec::new();
+        let mut loop_headers = HashSet::new();
         for (i, f) in module.funcs.iter().enumerate() {
             let func = n_imp + i as u32;
             let start = out.len();
@@ -55,8 +63,14 @@ impl ModuleIndex {
             if let Some(last) = out.last_mut() {
                 last.2 = true;
             }
+            loop_headers.extend(meta.funcs[i].loop_headers.iter().map(|&pc| (func, pc)));
         }
-        ModuleIndex { instrs: out }
+        ModuleIndex { instrs: out, loop_headers }
+    }
+
+    /// `true` if the validator recorded `(func, pc)` as a loop header.
+    pub fn is_loop_header(&self, func: u32, pc: u32) -> bool {
+        self.loop_headers.contains(&(func, pc))
     }
 }
 
@@ -82,6 +96,7 @@ fn mnemonic_bytes(selector: &Selector, out: &mut HashMap<String, u8>) {
 fn matches(
     selector: &Selector,
     mnemonics: &HashMap<String, u8>,
+    index: &ModuleIndex,
     site: Site,
     first: bool,
     last: bool,
@@ -92,12 +107,12 @@ fn matches(
         Selector::Branch => matches!(site.opcode, op::IF | op::BR_IF | op::BR_TABLE),
         Selector::Load => op::is_load(site.opcode),
         Selector::Store => op::is_store(site.opcode),
-        Selector::LoopHeader => site.opcode == op::LOOP,
+        Selector::LoopHeader => index.is_loop_header(site.loc.func, site.loc.pc),
         Selector::FuncEnter => first,
         Selector::FuncExit => site.opcode == op::RETURN || (last && site.opcode == op::END),
         Selector::Opcode(name) => mnemonics.get(name).is_some_and(|wanted| *wanted == site.opcode),
         Selector::At { func, pc } => site.loc == Location { func: *func, pc: *pc },
-        Selector::Or(alts) => alts.iter().any(|a| matches(a, mnemonics, site, first, last)),
+        Selector::Or(alts) => alts.iter().any(|a| matches(a, mnemonics, index, site, first, last)),
     }
 }
 
@@ -185,7 +200,9 @@ pub fn match_rule_indexed(
     let sites: Vec<Site> = index
         .instrs
         .iter()
-        .filter(|(site, first, last)| matches(&rule.selector, &mnemonics, *site, *first, *last))
+        .filter(|(site, first, last)| {
+            matches(&rule.selector, &mnemonics, index, *site, *first, *last)
+        })
         .map(|(site, _, _)| *site)
         .collect();
     if sites.is_empty() {
@@ -244,6 +261,30 @@ mod tests {
         let exits = sites_of("match func:exit do inc a");
         assert_eq!(exits.len(), 2);
         assert!(exits.iter().all(|s| s.opcode == op::END));
+    }
+
+    #[test]
+    fn loop_header_parity_between_metadata_and_syntax() {
+        // The selector now resolves through the validator's loop-header
+        // metadata; on unreordered code that must coincide with the
+        // syntactic `loop` opcode definition it replaced, and the CFG
+        // back-edge targets of actually-looping code must be a subset.
+        let m = module();
+        let meta = validate(&m).unwrap();
+        let semantic: Vec<Site> = sites_of("match loop-header do inc a");
+        let index = ModuleIndex::new(&m);
+        let syntactic: Vec<Site> =
+            index.instrs.iter().map(|(s, _, _)| *s).filter(|s| s.opcode == op::LOOP).collect();
+        assert_eq!(semantic, syntactic);
+        for s in &semantic {
+            assert!(meta.funcs[s.loc.func as usize].loop_headers.contains(&s.loc.pc));
+        }
+        // CFG back-edge parity: every back-edge target is a loop header.
+        for (i, f) in m.funcs.iter().enumerate() {
+            for pc in wizard_analysis::cfg::Cfg::build(&f.body.code, &meta.funcs[i]).loop_headers {
+                assert!(index.is_loop_header(i as u32, pc), "back edge to non-loop pc={pc}");
+            }
+        }
     }
 
     #[test]

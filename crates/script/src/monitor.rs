@@ -11,9 +11,11 @@ use wizard_engine::{
 };
 use wizard_wasm::module::Module;
 
+use wizard_analysis::{ModuleFacts, TosFact};
+
 use crate::ast::{ReportKind, Script};
 use crate::error::ScriptError;
-use crate::lower::{lower_rule, materialize_rule, CounterBank, LoweredProbe};
+use crate::lower::{lower_rule_with_facts, materialize_rule, CounterBank, LoweredProbe, SiteFacts};
 use crate::matcher::{match_rule_indexed, ModuleIndex, Site};
 use crate::parse;
 
@@ -38,6 +40,7 @@ struct Attached {
     labels: HashMap<u32, String>,
     matched_sites: usize,
     dropped_sites: usize,
+    warnings: Vec<String>,
 }
 
 /// A [`Monitor`] executing a wizard-script program.
@@ -50,12 +53,27 @@ struct Attached {
 pub struct ScriptMonitor {
     script: Script,
     attached: Option<Attached>,
+    use_facts: bool,
 }
 
 impl ScriptMonitor {
     /// Creates a monitor over a parsed script.
+    ///
+    /// Attach-time lowering consults per-site dataflow facts (stack
+    /// shape and top-of-stack constancy from [`wizard_analysis`]) to
+    /// fold `tos` predicates and drop probes at statically-unreachable
+    /// sites; disable with [`ScriptMonitor::without_facts`].
     pub fn new(script: Script) -> ScriptMonitor {
-        ScriptMonitor { script, attached: None }
+        ScriptMonitor { script, attached: None, use_facts: true }
+    }
+
+    /// Disables fact-driven lowering: every site compiles exactly as if
+    /// no static analysis ran. Reports are identical either way — facts
+    /// only change *how* a probe observes, never *what* it counts.
+    #[must_use]
+    pub fn without_facts(mut self) -> ScriptMonitor {
+        self.use_facts = false;
+        self
     }
 
     /// Parses `source` and creates the monitor.
@@ -107,6 +125,25 @@ impl ScriptMonitor {
     pub fn counter(&self, name: &str) -> u64 {
         self.attached.as_ref().map_or(0, |a| a.bank.sum(name))
     }
+
+    /// Attach-time diagnostics: rules whose every matched site the
+    /// analysis proved unreachable (the rule installs nothing and its
+    /// counters stay zero), in the same spirit as the matcher's
+    /// nearest-candidate hints.
+    pub fn warnings(&self) -> &[String] {
+        self.attached.as_ref().map_or(&[], |a| &a.warnings)
+    }
+}
+
+/// Maps an analysis fact about the stack *before* a site to the
+/// lowering-facts shape `lower_rule_with_facts` consumes.
+fn site_facts(fact: TosFact) -> SiteFacts {
+    match fact {
+        TosFact::Unreachable => SiteFacts { unreachable: true, ..SiteFacts::default() },
+        TosFact::Empty => SiteFacts { stack_empty: true, ..SiteFacts::default() },
+        TosFact::Const(bits) => SiteFacts { tos_const: Some(bits), ..SiteFacts::default() },
+        TosFact::Unknown => SiteFacts::default(),
+    }
 }
 
 fn func_label(module: &Module, func: u32) -> String {
@@ -125,9 +162,11 @@ impl Monitor for ScriptMonitor {
         let mut matched_sites = 0;
         let mut dropped_sites = 0;
         let mut labels = HashMap::new();
+        let mut warnings = Vec::new();
         {
             let module = ctx.module();
             let index = ModuleIndex::new(module);
+            let facts = self.use_facts.then(|| ModuleFacts::compute(module));
             // Phase 1: match every rule and materialize every counter
             // cell, so predicate reads of a table resolve to the live
             // cells even when the incrementing rule comes later.
@@ -141,9 +180,30 @@ impl Monitor for ScriptMonitor {
                 materialize_rule(rule, &sites, &mut bank);
                 matched.push(sites);
             }
-            // Phase 2: classify and lower.
+            // Phase 2: classify and lower, consulting the per-site facts.
             for (i, (rule, sites)) in self.script.rules.iter().zip(&matched).enumerate() {
-                lowered.extend(lower_rule(i, rule, sites, &mut bank, &mut dropped_sites));
+                let site_facts: Vec<SiteFacts> = facts.as_ref().map_or_else(Vec::new, |mf| {
+                    sites.iter().map(|s| site_facts(mf.at(s.loc.func, s.loc.pc))).collect()
+                });
+                if !sites.is_empty()
+                    && !site_facts.is_empty()
+                    && site_facts.iter().all(|f| f.unreachable)
+                {
+                    warnings.push(format!(
+                        "rule {i} (`{}`) matches only statically-unreachable sites; \
+                         all {} probes dropped and its counters will stay zero",
+                        rule.text,
+                        sites.len()
+                    ));
+                }
+                lowered.extend(lower_rule_with_facts(
+                    i,
+                    rule,
+                    sites,
+                    &site_facts,
+                    &mut bank,
+                    &mut dropped_sites,
+                ));
             }
         }
 
@@ -166,7 +226,8 @@ impl Monitor for ScriptMonitor {
                 residual: p.residual,
             });
         }
-        self.attached = Some(Attached { bank, lowering, labels, matched_sites, dropped_sites });
+        self.attached =
+            Some(Attached { bank, lowering, labels, matched_sites, dropped_sites, warnings });
         Ok(())
     }
 
@@ -410,6 +471,72 @@ mod tests {
         // very first execution where both fire in order bump-then-read.
         assert_eq!(totals[0], 1, "reader-before-writer sees live cells");
         assert_eq!(totals[1], 0, "writer-before-reader observes the bump");
+    }
+
+    #[test]
+    fn facts_demote_generic_probes_with_row_identical_reports() {
+        // `tos` over a non-operand-consuming site normally forces a
+        // Generic probe; where the analysis proves the operand stack
+        // empty, `tos` reads 0, the predicate folds, and the probe
+        // demotes to a plain counter. The reported rows must not move.
+        let src = "match local.get when tos == 0 do inc cold[site]\n\
+                   report \"summary\" total \"cold\" cold";
+        let run = |use_facts: bool| {
+            let mut p = sum_process(EngineConfig::interpreter());
+            let mut mon = ScriptMonitor::from_source(src).unwrap();
+            if !use_facts {
+                mon = mon.without_facts();
+            }
+            let m = p.attach_monitor(mon).unwrap();
+            // The engine's installed shapes agree with the classification.
+            for l in m.borrow().lowering() {
+                let kinds = p.probe_kinds_at(l.loc.func, l.loc.pc);
+                assert!(kinds.contains(&l.kind), "at {}: {kinds:?} vs {:?}", l.loc, l.kind);
+            }
+            p.invoke_export("sum", &[Value::I32(6)]).unwrap();
+            let out = (m.borrow().kind_counts(), m.report());
+            out
+        };
+        let ((count_on, _, generic_on), report_on) = run(true);
+        let ((count_off, _, generic_off), report_off) = run(false);
+        assert_eq!(count_off, 0, "without facts every tos predicate stays generic");
+        assert!(generic_off > 0);
+        assert!(count_on >= 1, "provably-empty-stack sites demote to Count");
+        assert!(generic_on < generic_off);
+        assert_eq!(report_on, report_off, "demotion must not change reported rows");
+    }
+
+    #[test]
+    fn all_unreachable_rules_warn_and_install_nothing() {
+        // The only i32.const sits after an unconditional branch; the
+        // rule matches it, the analysis proves it dead, and attach
+        // surfaces a diagnostic instead of silently counting nothing.
+        let mut mb = ModuleBuilder::new();
+        let mut f = FuncBuilder::new(&[I32], &[I32]);
+        f.local_get(0).br(0);
+        f.i32_const(9).drop_();
+        f.local_get(0);
+        mb.add_func("id", f);
+        let module = mb.build().unwrap();
+        let src = "match i32.const do inc dead[site]\n\
+                   report \"summary\" total \"dead\" dead";
+        let mut p = Process::new(module, EngineConfig::interpreter(), &Linker::new()).unwrap();
+        let m = p.attach_monitor(ScriptMonitor::from_source(src).unwrap()).unwrap();
+        {
+            let mon = m.borrow();
+            assert_eq!(mon.lowering().len(), 0);
+            assert_eq!(mon.dropped_sites(), 1);
+            assert_eq!(mon.warnings().len(), 1);
+            let w = &mon.warnings()[0];
+            assert!(w.contains("match i32.const"), "{w}");
+            assert!(w.contains("statically-unreachable"), "{w}");
+        }
+        assert_eq!(p.probed_location_count(), 0);
+        p.invoke_export("id", &[Value::I32(3)]).unwrap();
+        assert_eq!(m.borrow().counter("dead"), 0);
+        // The materialized row still reports, at zero.
+        let r = m.report();
+        assert_eq!(r.get("summary").unwrap().count_of("dead"), Some(0));
     }
 
     #[test]

@@ -815,7 +815,15 @@ fn idx(imm: &Imm) -> u32 {
 
 /// Returns `(address type, value type, natural alignment log2)` for a memory
 /// access opcode.
-fn mem_access_type(o: u8) -> (ValType, ValType, u32) {
+///
+/// Public because static analyses (`wizard-analysis`) reuse the validator's
+/// signature knowledge as their abstract transfer functions.
+///
+/// # Panics
+///
+/// Panics if `o` is not a memory-access opcode
+/// ([`crate::opcodes::is_memory_access`]).
+pub fn mem_access_type(o: u8) -> (ValType, ValType, u32) {
     use crate::opcodes::*;
     let (v, natural) = match o {
         I32_LOAD | I32_STORE => (ValType::I32, 2),
@@ -833,9 +841,12 @@ fn mem_access_type(o: u8) -> (ValType, ValType, u32) {
 }
 
 /// Signature table for value-polymorphism-free numeric instructions:
-/// returns `(operand types, result type)`.
+/// returns `(operand types, result type)`, or `None` if `o` is not a
+/// numeric instruction. Public for the same reason as
+/// [`mem_access_type`]: analyses derive their stack transfer functions
+/// from the validator's signatures rather than re-deriving them.
 #[allow(clippy::too_many_lines)]
-fn numeric_sig(o: u8) -> Option<(&'static [ValType], Option<ValType>)> {
+pub fn numeric_sig(o: u8) -> Option<(&'static [ValType], Option<ValType>)> {
     use crate::opcodes::*;
     use ValType::{F32, F64, I32, I64};
     const I32_1: &[ValType] = &[I32];

@@ -5,6 +5,8 @@
 //! Re-exports the member crates:
 //!
 //! * [`wasm`] — module IR, binary codec, validator, assembler DSL;
+//! * [`analysis`] — CFG/dataflow framework and the translation validator
+//!   for the lowered pipeline (`wasm-lint`, `validate_lowering`);
 //! * [`engine`] — the multi-tier engine with probes, FrameAccessor, JIT
 //!   intrinsification and deoptimization (the paper's contribution);
 //! * [`monitors`] — the Monitor Zoo;
@@ -23,6 +25,7 @@
 
 #![warn(missing_docs)]
 
+pub use wizard_analysis as analysis;
 pub use wizard_baselines as baselines;
 pub use wizard_engine as engine;
 pub use wizard_monitors as monitors;

@@ -324,6 +324,41 @@ fn random_programs_shared_artifact_processes_match_owned() {
     }
 }
 
+/// Translation-validator arm: every random module's lowered form is
+/// effect-equivalent to its byte form — checked directly over the
+/// artifact, through the engine-side `validate_lowering(true)` hook, and
+/// again after a full probe insert/remove cycle (instrumentation must
+/// never perturb the canonical lowering).
+#[test]
+fn random_programs_lowerings_translation_validate() {
+    wizard::analysis::install_engine_validator();
+
+    // Direct arm: lower and validate a wide sweep of random modules.
+    for seed in 0..500u64 {
+        let m = random_module(seed + 4000);
+        let artifact = ModuleArtifact::new(m).expect("validates");
+        artifact.lower_all();
+        wizard::analysis::validate_lowering(&artifact)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+
+    // Engine-hook arm: instantiate with validation enabled, probe every
+    // instruction, run, detach, and re-validate the shared lowering.
+    for seed in 0..40u64 {
+        let m = random_module(seed + 4000);
+        let artifact = Arc::new(ModuleArtifact::new(m).expect("validates"));
+        let config = EngineConfig::builder().validate_lowering(true).build();
+        let mut p = Process::instantiate(Arc::clone(&artifact), config, &Linker::new())
+            .unwrap_or_else(|e| panic!("seed {seed}: validated instantiate failed: {e}"));
+        assert_eq!(p.stats().lowering_validations, 1, "seed {seed}");
+        let mon = p.attach_monitor(HotnessMonitor::new()).expect("attach");
+        let _ = p.invoke_export("run", &[Value::I32(5)]);
+        p.detach_monitor(mon.handle()).expect("detach");
+        wizard::analysis::validate_lowering(&artifact)
+            .unwrap_or_else(|e| panic!("seed {seed} after probe cycle: {e}"));
+    }
+}
+
 /// Fuel-bounded runs suspended and resumed across tiny slices finish with
 /// the same results, traps, and monitor reports as unbounded runs.
 #[test]

@@ -253,6 +253,31 @@ proptest! {
         );
     }
 
+    /// The translation-validation property: every random module's lowered
+    /// form is effect-equivalent to its byte form, and stays so after a
+    /// probe insert/remove cycle. (A dependency-free 500-seed sweep of the
+    /// same property is wired into `cargo test` as
+    /// `tests/differential.rs`; this version gets proptest's shrinking.)
+    #[test]
+    fn random_modules_translation_validate(e in expr_strategy(), arg in any::<i32>()) {
+        use std::sync::Arc;
+        use wizard::engine::ModuleArtifact;
+        let m = module_for(&e);
+        let artifact = Arc::new(ModuleArtifact::new(m).unwrap());
+        artifact.lower_all();
+        prop_assert!(wizard::analysis::validate_lowering(&artifact).is_ok());
+
+        wizard::analysis::install_engine_validator();
+        let config = EngineConfig::builder().validate_lowering(true).build();
+        let mut p = Process::instantiate(Arc::clone(&artifact), config, &Linker::new())
+            .unwrap();
+        prop_assert_eq!(p.stats().lowering_validations, 1);
+        let mon = p.attach_monitor(wizard::monitors::HotnessMonitor::new()).unwrap();
+        p.invoke_export("run", &[Value::I32(arg)]).unwrap();
+        p.detach_monitor(mon.handle()).unwrap();
+        prop_assert!(wizard::analysis::validate_lowering(&artifact).is_ok());
+    }
+
     /// Random probe insert/remove sequences: the registry, the probe
     /// bytes, and fire counts stay consistent.
     #[test]
