@@ -170,6 +170,7 @@ pub mod lowered;
 pub mod monitor;
 pub mod numeric;
 pub mod probe;
+pub mod shims;
 pub mod store;
 pub mod trap;
 pub mod value;
@@ -188,5 +189,6 @@ pub use probe::{
     ClosureProbe, CountProbe, EmptyOperandProbe, EmptyProbe, Location, Probe, ProbeBatch, ProbeId,
     ProbeKind, ProbeRef,
 };
+pub use shims::{ShimError, Shims};
 pub use trap::Trap;
 pub use value::{Slot, Value};

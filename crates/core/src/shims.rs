@@ -1,0 +1,579 @@
+//! Host-shim registry: canonical, deterministic host implementations for
+//! the import namespaces real-world binaries expect (`env`,
+//! `wasi_snapshot_preview1`, `spectest`).
+//!
+//! The engine links imports through a [`Linker`], which maps
+//! `(module, name)` pairs to host closures but knows nothing about what a
+//! *typical* binary needs. [`Shims`] sits one level above: it is a typed
+//! registry of well-known host functions and globals, can build a
+//! [`Linker`] for any module whose imports it covers, and reports a
+//! precise [`ShimError`] — naming the import, its kind, the expected and
+//! actual signatures, and what *is* registered in that namespace — when a
+//! module needs something it does not provide.
+//!
+//! Every shim is deterministic: instead of performing I/O, observable
+//! effects (logged values, written buffers, issued timestamps) are folded
+//! into a [digest](Shims::digest) and per-shim call counters. That makes
+//! host calls *differentially testable*: two runs of the same program on
+//! different dispatchers must produce identical digests, so the
+//! conformance harness can assert that instrumentation and tiering never
+//! perturb the host boundary.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use wizard_wasm::module::{ImportDesc, Module};
+use wizard_wasm::types::{FuncType, ValType};
+
+use crate::store::{HostCtx, Linker};
+use crate::trap::Trap;
+use crate::value::Value;
+
+/// Error building a [`Linker`] for a module from a shim registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShimError {
+    /// No shim is registered under the import's `(module, name)` pair.
+    /// Carries the names registered in that namespace for the message.
+    UnknownImport {
+        /// Import module namespace.
+        module: String,
+        /// Import name.
+        name: String,
+        /// Import kind ("function" or "global").
+        kind: &'static str,
+        /// Shims registered under the same namespace and kind.
+        known: Vec<String>,
+    },
+    /// A function shim exists but its signature differs from the type the
+    /// module declares for the import.
+    SignatureMismatch {
+        /// Import module namespace.
+        module: String,
+        /// Import name.
+        name: String,
+        /// The registered shim's signature.
+        want: String,
+        /// The module's declared signature.
+        got: String,
+    },
+    /// A global shim exists but its value type differs.
+    GlobalTypeMismatch {
+        /// Import module namespace.
+        module: String,
+        /// Import name.
+        name: String,
+        /// The registered global's type.
+        want: ValType,
+        /// The module's declared type.
+        got: ValType,
+    },
+    /// The import kind itself (memory or table) is not instantiable by
+    /// this engine; the module must define it locally.
+    UnsupportedKind {
+        /// Import module namespace.
+        module: String,
+        /// Import name.
+        name: String,
+        /// Import kind ("memory" or "table").
+        kind: &'static str,
+    },
+}
+
+impl core::fmt::Display for ShimError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ShimError::UnknownImport { module, name, kind, known } => {
+                write!(f, "no host shim registered for {kind} import {module}.{name}")?;
+                if known.is_empty() {
+                    write!(f, " (namespace {module:?} has no registered {kind} shims)")
+                } else {
+                    write!(f, " (registered {kind} shims in {module:?}: {})", known.join(", "))
+                }
+            }
+            ShimError::SignatureMismatch { module, name, want, got } => write!(
+                f,
+                "host shim {module}.{name} has signature {want}, but the module imports it \
+                 as {got}"
+            ),
+            ShimError::GlobalTypeMismatch { module, name, want, got } => write!(
+                f,
+                "host global {module}.{name} has type {want:?}, but the module imports it \
+                 as {got:?}"
+            ),
+            ShimError::UnsupportedKind { module, name, kind } => write!(
+                f,
+                "imported {kind} {module}.{name} is not supported by this engine; the module \
+                 must define its {kind} locally"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShimError {}
+
+/// Shared mutable state behind every shim closure: call counters and the
+/// deterministic digest of everything the host observed.
+#[derive(Debug, Default)]
+struct ShimState {
+    calls: RefCell<BTreeMap<String, u64>>,
+    digest: Cell<u64>,
+    ticks: Cell<i64>,
+    rand: Cell<u64>,
+}
+
+impl ShimState {
+    fn record(&self, key: &str) {
+        *self.calls.borrow_mut().entry(key.to_string()).or_insert(0) += 1;
+    }
+
+    /// Folds an observed value into the digest (xor-rotate-multiply; the
+    /// same mixer as the suites' checksums).
+    fn mix(&self, v: u64) {
+        let d = (self.digest.get() ^ v).rotate_left(13).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        self.digest.set(d);
+    }
+}
+
+/// Formats a function type like `(i32, i64) -> (i32)` for error messages.
+fn fmt_sig(params: &[ValType], results: &[ValType]) -> String {
+    fn list(ts: &[ValType]) -> String {
+        ts.iter()
+            .map(|t| match t {
+                ValType::I32 => "i32",
+                ValType::I64 => "i64",
+                ValType::F32 => "f32",
+                ValType::F64 => "f64",
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+    format!("({}) -> ({})", list(params), list(results))
+}
+
+/// A typed host-shim registry. See the module docs for the contract.
+///
+/// # Examples
+///
+/// ```
+/// use wizard_engine::shims::Shims;
+/// use wizard_wasm::builder::{FuncBuilder, ModuleBuilder};
+/// use wizard_wasm::types::ValType::I32;
+///
+/// let mut mb = ModuleBuilder::new();
+/// let log = mb.import_func("env", "log_i32", &[I32], &[]);
+/// let mut f = FuncBuilder::new(&[I32], &[]);
+/// f.local_get(0).call(log);
+/// mb.add_func("run", f);
+/// let module = mb.build().unwrap();
+///
+/// let shims = Shims::standard();
+/// let linker = shims.linker_for(&module).unwrap();
+/// # let _ = linker;
+/// ```
+#[derive(Debug)]
+pub struct Shims {
+    linker: Linker,
+    func_sigs: BTreeMap<(String, String), FuncType>,
+    global_types: BTreeMap<(String, String), ValType>,
+    state: Rc<ShimState>,
+}
+
+impl Shims {
+    /// Creates an empty registry (no shims). Use [`Shims::standard`] for
+    /// the canonical set.
+    pub fn new() -> Shims {
+        Shims {
+            linker: Linker::new(),
+            func_sigs: BTreeMap::new(),
+            global_types: BTreeMap::new(),
+            state: Rc::new(ShimState::default()),
+        }
+    }
+
+    /// Registers a typed host function shim. The closure receives the
+    /// shared [`HostCtx`] and arguments like a raw [`Linker`] closure.
+    pub fn func(
+        &mut self,
+        module: &str,
+        name: &str,
+        params: &[ValType],
+        results: &[ValType],
+        f: impl Fn(&mut HostCtx<'_>, &[Value]) -> Result<Vec<Value>, Trap> + 'static,
+    ) -> &mut Self {
+        self.func_sigs
+            .insert((module.to_string(), name.to_string()), FuncType::new(params, results));
+        let state = Rc::clone(&self.state);
+        let key = format!("{module}.{name}");
+        self.linker.func(module, name, move |ctx, args| {
+            state.record(&key);
+            f(ctx, args)
+        });
+        self
+    }
+
+    /// Registers an imported-global shim.
+    pub fn global(&mut self, module: &str, name: &str, v: Value) -> &mut Self {
+        self.global_types.insert((module.to_string(), name.to_string()), v.ty());
+        self.linker.global(module, name, v);
+        self
+    }
+
+    /// The canonical registry: deterministic logging, tracing, abort and
+    /// clock shims under `env`, a WASI-preview1 subset, and the spectest
+    /// printing shims. Every observable effect folds into the digest.
+    pub fn standard() -> Shims {
+        let mut s = Shims::new();
+        use ValType::{F64, I32, I64};
+
+        let st = Rc::clone(&s.state);
+        s.func("env", "log_i32", &[I32], &[], move |_, args| {
+            if let Value::I32(v) = args[0] {
+                st.mix(v as u32 as u64);
+            }
+            Ok(vec![])
+        });
+        let st = Rc::clone(&s.state);
+        s.func("env", "log_i64", &[I64], &[], move |_, args| {
+            if let Value::I64(v) = args[0] {
+                st.mix(v as u64);
+            }
+            Ok(vec![])
+        });
+        let st = Rc::clone(&s.state);
+        s.func("env", "log_f64", &[F64], &[], move |_, args| {
+            if let Value::F64(v) = args[0] {
+                st.mix(v.to_bits());
+            }
+            Ok(vec![])
+        });
+        // AssemblyScript-style abort(msg, file, line, col): traps with the
+        // location so the failure is attributable.
+        s.func("env", "abort", &[I32, I32, I32, I32], &[], |_, args| {
+            Err(Trap::Host(format!(
+                "abort(msg={:?}, file={:?}, line={:?}, col={:?})",
+                args[0], args[1], args[2], args[3]
+            )))
+        });
+        // A deterministic monotonic clock: each call returns the next tick,
+        // so identical call sequences observe identical times everywhere.
+        let st = Rc::clone(&s.state);
+        s.func("env", "ticks", &[], &[I64], move |_, _| {
+            let t = st.ticks.get();
+            st.ticks.set(t + 1);
+            st.mix(t as u64);
+            Ok(vec![Value::I64(t)])
+        });
+        // trace(ptr, len): folds a guest byte range into the digest.
+        let st = Rc::clone(&s.state);
+        s.func("env", "trace", &[I32, I32], &[], move |ctx, args| {
+            let (Value::I32(ptr), Value::I32(len)) = (args[0], args[1]) else {
+                return Err(Trap::Host("trace: bad argument types".into()));
+            };
+            let mem = ctx.memory.as_ref().ok_or_else(|| Trap::Host("trace: no memory".into()))?;
+            let (start, end) = (ptr as u32 as usize, ptr as u32 as usize + len as u32 as usize);
+            let bytes = mem
+                .data()
+                .get(start..end)
+                .ok_or_else(|| Trap::Host("trace: out of bounds".into()))?;
+            for &b in bytes {
+                st.mix(u64::from(b));
+            }
+            Ok(vec![])
+        });
+
+        let st = Rc::clone(&s.state);
+        s.func("spectest", "print_i32", &[I32], &[], move |_, args| {
+            if let Value::I32(v) = args[0] {
+                st.mix(v as u32 as u64);
+            }
+            Ok(vec![])
+        });
+
+        // WASI preview1 subset. fd_write consumes iovecs from guest memory,
+        // digests the bytes, reports the total written, and returns errno 0.
+        let st = Rc::clone(&s.state);
+        s.func("wasi_snapshot_preview1", "fd_write", &[I32, I32, I32, I32], &[I32], move |ctx, args| {
+            let (Value::I32(_fd), Value::I32(iovs), Value::I32(iovs_len), Value::I32(nwritten)) =
+                (args[0], args[1], args[2], args[3])
+            else {
+                return Err(Trap::Host("fd_write: bad argument types".into()));
+            };
+            let mem =
+                ctx.memory.as_mut().ok_or_else(|| Trap::Host("fd_write: no memory".into()))?;
+            let mut total: u32 = 0;
+            for k in 0..iovs_len as u32 {
+                let base = iovs as u32 + k * 8;
+                let ptr = u32::from_le_bytes(mem.read::<4>(base, 0).map_err(wasi_oob)?);
+                let len = u32::from_le_bytes(mem.read::<4>(base, 4).map_err(wasi_oob)?);
+                let (s0, s1) = (ptr as usize, ptr as usize + len as usize);
+                let bytes =
+                    mem.data().get(s0..s1).ok_or_else(|| wasi_oob(Trap::MemoryOutOfBounds))?;
+                for &b in bytes {
+                    st.mix(u64::from(b));
+                }
+                total = total.wrapping_add(len);
+            }
+            mem.write::<4>(nwritten as u32, 0, total.to_le_bytes()).map_err(wasi_oob)?;
+            Ok(vec![Value::I32(0)])
+        });
+        // random_get: a deterministic xorshift64* stream, so "randomness"
+        // is identical across dispatchers and runs.
+        let st = Rc::clone(&s.state);
+        s.func("wasi_snapshot_preview1", "random_get", &[I32, I32], &[I32], move |ctx, args| {
+            let (Value::I32(buf), Value::I32(len)) = (args[0], args[1]) else {
+                return Err(Trap::Host("random_get: bad argument types".into()));
+            };
+            let mem =
+                ctx.memory.as_mut().ok_or_else(|| Trap::Host("random_get: no memory".into()))?;
+            for k in 0..len as u32 {
+                let mut x = st.rand.get() | 1;
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                st.rand.set(x);
+                let byte = (x.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 56) as u8;
+                mem.write::<1>(buf as u32 + k, 0, [byte]).map_err(wasi_oob)?;
+                st.mix(u64::from(byte));
+            }
+            Ok(vec![Value::I32(0)])
+        });
+        s.func("wasi_snapshot_preview1", "proc_exit", &[I32], &[], |_, args| {
+            Err(Trap::Host(format!("proc_exit({:?})", args[0])))
+        });
+
+        // Well-known globals: emscripten-style layout bases plus a gas
+        // budget the corpus contracts consult.
+        s.global("env", "__memory_base", Value::I32(1024));
+        s.global("env", "__table_base", Value::I32(0));
+        s.global("env", "gas_limit", Value::I64(1_000_000));
+        s.global("spectest", "global_i32", Value::I32(666));
+        s
+    }
+
+    /// Builds a [`Linker`] covering `module`'s imports, or a precise
+    /// [`ShimError`] naming the first import this registry cannot satisfy.
+    ///
+    /// The returned linker shares this registry's counters and digest, so
+    /// several processes linked from one `Shims` accumulate into the same
+    /// observation state.
+    ///
+    /// # Errors
+    ///
+    /// [`ShimError::UnknownImport`] for an unregistered `(module, name)`,
+    /// [`ShimError::SignatureMismatch`] / [`ShimError::GlobalTypeMismatch`]
+    /// for a type conflict, and [`ShimError::UnsupportedKind`] for memory
+    /// or table imports (an engine-level restriction).
+    pub fn linker_for(&self, module: &Module) -> Result<Linker, ShimError> {
+        for imp in &module.imports {
+            let key = (imp.module.clone(), imp.name.clone());
+            match &imp.desc {
+                ImportDesc::Func(type_idx) => {
+                    let Some(want) = self.func_sigs.get(&key) else {
+                        return Err(self.unknown(imp, "function"));
+                    };
+                    let got = module.types.get(*type_idx as usize);
+                    if got != Some(want) {
+                        return Err(ShimError::SignatureMismatch {
+                            module: imp.module.clone(),
+                            name: imp.name.clone(),
+                            want: fmt_sig(&want.params, &want.results),
+                            got: got.map_or_else(
+                                || format!("bad type index {type_idx}"),
+                                |t| fmt_sig(&t.params, &t.results),
+                            ),
+                        });
+                    }
+                }
+                ImportDesc::Global(g) => {
+                    let Some(want) = self.global_types.get(&key) else {
+                        return Err(self.unknown(imp, "global"));
+                    };
+                    if *want != g.value {
+                        return Err(ShimError::GlobalTypeMismatch {
+                            module: imp.module.clone(),
+                            name: imp.name.clone(),
+                            want: *want,
+                            got: g.value,
+                        });
+                    }
+                }
+                ImportDesc::Memory(_) => {
+                    return Err(ShimError::UnsupportedKind {
+                        module: imp.module.clone(),
+                        name: imp.name.clone(),
+                        kind: "memory",
+                    });
+                }
+                ImportDesc::Table(_) => {
+                    return Err(ShimError::UnsupportedKind {
+                        module: imp.module.clone(),
+                        name: imp.name.clone(),
+                        kind: "table",
+                    });
+                }
+            }
+        }
+        Ok(self.linker.clone())
+    }
+
+    fn unknown(&self, imp: &wizard_wasm::module::Import, kind: &'static str) -> ShimError {
+        let keys: Vec<&(String, String)> = match kind {
+            "function" => self.func_sigs.keys().collect(),
+            _ => self.global_types.keys().collect(),
+        };
+        let known =
+            keys.into_iter().filter(|(m, _)| *m == imp.module).map(|(_, n)| n.clone()).collect();
+        ShimError::UnknownImport { module: imp.module.clone(), name: imp.name.clone(), kind, known }
+    }
+
+    /// Times a shim has been called, by `"module.name"` key.
+    pub fn calls(&self, key: &str) -> u64 {
+        self.state.calls.borrow().get(key).copied().unwrap_or(0)
+    }
+
+    /// Total host calls observed through this registry.
+    pub fn total_calls(&self) -> u64 {
+        self.state.calls.borrow().values().sum()
+    }
+
+    /// Per-shim call counts in deterministic (sorted) order.
+    pub fn call_counts(&self) -> Vec<(String, u64)> {
+        self.state.calls.borrow().iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+
+    /// The deterministic digest of everything shims observed: logged
+    /// values, traced/written guest bytes, issued ticks. Two runs of the
+    /// same program must produce the same digest regardless of dispatcher,
+    /// tier, or instrumentation.
+    pub fn digest(&self) -> u64 {
+        self.state.digest.get()
+    }
+
+    /// Resets counters, digest, and deterministic clock/rng streams.
+    pub fn reset(&self) {
+        self.state.calls.borrow_mut().clear();
+        self.state.digest.set(0);
+        self.state.ticks.set(0);
+        self.state.rand.set(0);
+    }
+}
+
+impl Default for Shims {
+    fn default() -> Shims {
+        Shims::standard()
+    }
+}
+
+/// Maps a guest-memory trap inside a WASI shim to a host trap that names
+/// the shim boundary (the guest handed us a bad pointer).
+fn wasi_oob(_: Trap) -> Trap {
+    Trap::Host("wasi: guest buffer out of bounds".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EngineConfig, Process};
+    use wizard_wasm::builder::{FuncBuilder, ModuleBuilder};
+    use wizard_wasm::module::ConstExpr;
+    use wizard_wasm::types::ValType::{I32, I64};
+
+    #[test]
+    fn resolves_known_imports_and_runs() {
+        let mut mb = ModuleBuilder::new();
+        let log = mb.import_func("env", "log_i32", &[I32], &[]);
+        let mut f = FuncBuilder::new(&[I32], &[I32]);
+        f.local_get(0).call(log);
+        f.local_get(0).i32_const(2).i32_mul();
+        mb.add_func("run", f);
+        let m = mb.build().unwrap();
+
+        let shims = Shims::standard();
+        let linker = shims.linker_for(&m).unwrap();
+        let mut p = Process::new(m, EngineConfig::default(), &linker).unwrap();
+        let r = p.invoke_export("run", &[Value::I32(21)]).unwrap();
+        assert_eq!(r, vec![Value::I32(42)]);
+        assert_eq!(shims.calls("env.log_i32"), 1);
+        assert_ne!(shims.digest(), 0);
+    }
+
+    #[test]
+    fn unknown_import_error_lists_namespace() {
+        let mut mb = ModuleBuilder::new();
+        mb.import_func("env", "nonexistent", &[I32], &[]);
+        let m = mb.build_unchecked();
+        let err = Shims::standard().linker_for(&m).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("no host shim registered for function import env.nonexistent"),
+            "{msg}"
+        );
+        assert!(msg.contains("log_i32"), "{msg}");
+    }
+
+    #[test]
+    fn signature_mismatch_error_names_both_signatures() {
+        let mut mb = ModuleBuilder::new();
+        // log_i32 imported with the wrong signature (i64 -> i64).
+        mb.import_func("env", "log_i32", &[I64], &[I64]);
+        let m = mb.build_unchecked();
+        let err = Shims::standard().linker_for(&m).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "host shim env.log_i32 has signature (i32) -> (), but the module imports it \
+             as (i64) -> (i64)"
+        );
+    }
+
+    #[test]
+    fn imported_global_resolves_and_mismatch_is_precise() {
+        let mut mb = ModuleBuilder::new();
+        let mut f = FuncBuilder::new(&[], &[I64]);
+        f.global_get(0);
+        mb.add_func("get", f);
+        let mut m = mb.build_unchecked();
+        m.imports.push(wizard_wasm::module::Import {
+            module: "env".into(),
+            name: "gas_limit".into(),
+            desc: ImportDesc::Global(wizard_wasm::types::GlobalType { value: I64, mutable: false }),
+        });
+        let shims = Shims::standard();
+        let linker = shims.linker_for(&m).unwrap();
+        let mut p = Process::new(m.clone(), EngineConfig::default(), &linker).unwrap();
+        assert_eq!(p.invoke_export("get", &[]).unwrap(), vec![Value::I64(1_000_000)]);
+
+        // Same import demanded as i32: precise type error.
+        m.imports[0].desc =
+            ImportDesc::Global(wizard_wasm::types::GlobalType { value: I32, mutable: false });
+        let err = shims.linker_for(&m).unwrap_err();
+        assert!(matches!(err, ShimError::GlobalTypeMismatch { got: I32, want: I64, .. }), "{err}");
+    }
+
+    #[test]
+    fn digest_is_deterministic_across_processes() {
+        let mut mb = ModuleBuilder::new();
+        let log = mb.import_func("env", "log_i64", &[I64], &[]);
+        let g = mb.global(I64, true, ConstExpr::I64(3));
+        let mut f = FuncBuilder::new(&[I32], &[I32]);
+        let i = f.local(I32);
+        f.for_range(i, 0, |f| {
+            f.global_get(g).i64_const(7).i64_mul().global_set(g);
+            f.global_get(g).call(log);
+        });
+        f.i32_const(0);
+        mb.add_func("run", f);
+        let m = mb.build().unwrap();
+
+        let mut digests = Vec::new();
+        for _ in 0..2 {
+            let shims = Shims::standard();
+            let linker = shims.linker_for(&m).unwrap();
+            let mut p = Process::new(m.clone(), EngineConfig::default(), &linker).unwrap();
+            p.invoke_export("run", &[Value::I32(5)]).unwrap();
+            assert_eq!(shims.calls("env.log_i64"), 5);
+            digests.push(shims.digest());
+        }
+        assert_eq!(digests[0], digests[1]);
+    }
+}

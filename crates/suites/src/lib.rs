@@ -11,10 +11,12 @@
 
 #![warn(missing_docs)]
 
+pub mod corpus;
 pub mod dsl;
 pub mod libsodium;
 pub mod ostrich;
 pub mod polybench;
+pub mod randgen;
 pub mod richards;
 
 use wizard_wasm::module::Module;

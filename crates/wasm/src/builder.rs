@@ -76,6 +76,34 @@ impl ModuleBuilder {
         idx
     }
 
+    /// Imports a global. Imported globals precede local globals in the
+    /// index space, so all global imports must be declared before the
+    /// first [`ModuleBuilder::global`] call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a local global has already been declared.
+    pub fn import_global(
+        &mut self,
+        module: &str,
+        name: &str,
+        value: ValType,
+        mutable: bool,
+    ) -> GlobalIdx {
+        assert!(
+            self.module.globals.is_empty(),
+            "global imports must precede local global declarations"
+        );
+        self.module.imports.push(Import {
+            module: module.into(),
+            name: name.into(),
+            desc: ImportDesc::Global(GlobalType { value, mutable }),
+        });
+        self.module.imports.iter().filter(|i| matches!(i.desc, ImportDesc::Global(_))).count()
+            as GlobalIdx
+            - 1
+    }
+
     /// Declares a function signature and reserves its index, allowing
     /// forward references (e.g. mutual recursion). The body must later be
     /// supplied with [`ModuleBuilder::define_func`].

@@ -28,11 +28,39 @@ impl std::error::Error for DecodeError {}
 struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
+    /// Name of the section currently being decoded ("" in the preamble).
+    /// Every error message names the enclosing section so a failure in a
+    /// multi-megabyte binary is attributable without a hex dump.
+    section: &'static str,
+    /// Index of the entry within the current section, where meaningful.
+    entry: Option<u32>,
 }
 
 impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0, section: "", entry: None }
+    }
+
+    fn enter(&mut self, section: &'static str) {
+        self.section = section;
+        self.entry = None;
+    }
+
+    /// Prefixes `msg` with the enclosing section/entry context.
+    fn context(&self, msg: String) -> String {
+        match (self.section, self.entry) {
+            ("", _) => msg,
+            (s, None) => format!("in {s} section: {msg}"),
+            (s, Some(i)) => format!("in {s} section, entry {i}: {msg}"),
+        }
+    }
+
     fn err(&self, msg: impl Into<String>) -> DecodeError {
-        DecodeError { offset: self.pos, msg: msg.into() }
+        DecodeError { offset: self.pos, msg: self.context(msg.into()) }
+    }
+
+    fn err_at(&self, offset: usize, msg: impl Into<String>) -> DecodeError {
+        DecodeError { offset, msg: self.context(msg.into()) }
     }
 
     fn byte(&mut self) -> Result<u8, DecodeError> {
@@ -43,21 +71,21 @@ impl<'a> Reader<'a> {
 
     fn u32(&mut self) -> Result<u32, DecodeError> {
         let (v, p) = leb128::read_u32(self.buf, self.pos)
-            .map_err(|e| DecodeError { offset: e.offset, msg: "bad LEB128 u32".into() })?;
+            .map_err(|e| self.err_at(e.offset, "bad LEB128 u32"))?;
         self.pos = p;
         Ok(v)
     }
 
     fn i32(&mut self) -> Result<i32, DecodeError> {
         let (v, p) = leb128::read_i32(self.buf, self.pos)
-            .map_err(|e| DecodeError { offset: e.offset, msg: "bad LEB128 i32".into() })?;
+            .map_err(|e| self.err_at(e.offset, "bad LEB128 i32"))?;
         self.pos = p;
         Ok(v)
     }
 
     fn i64(&mut self) -> Result<i64, DecodeError> {
         let (v, p) = leb128::read_i64(self.buf, self.pos)
-            .map_err(|e| DecodeError { offset: e.offset, msg: "bad LEB128 i64".into() })?;
+            .map_err(|e| self.err_at(e.offset, "bad LEB128 i64"))?;
         self.pos = p;
         Ok(v)
     }
@@ -105,7 +133,18 @@ impl<'a> Reader<'a> {
                 ConstExpr::F64(f64::from_le_bytes(b))
             }
             op::GLOBAL_GET => ConstExpr::GlobalGet(self.u32()?),
-            b => return Err(self.err(format!("unsupported const expr opcode {b:#x}"))),
+            b => {
+                let pos = self.pos - 1; // point at the opcode byte itself
+                let detail = match op::unsupported_class(b) {
+                    Some(class) => format!("({class} is outside the MVP subset)"),
+                    None => {
+                        "(const exprs support only i32/i64/f32/f64.const and global.get)".into()
+                    }
+                };
+                return Err(
+                    self.err_at(pos, format!("unsupported const-expr opcode {b:#04x} {detail}"))
+                );
+            }
         };
         let end = self.byte()?;
         if end != op::END {
@@ -124,7 +163,7 @@ impl<'a> Reader<'a> {
 ///
 /// Returns [`DecodeError`] on malformed input.
 pub fn decode(bytes: &[u8]) -> Result<Module, DecodeError> {
-    let mut r = Reader { buf: bytes, pos: 0 };
+    let mut r = Reader::new(bytes);
     if r.bytes(4)? != b"\0asm" {
         return Err(r.err("bad magic"));
     }
@@ -134,30 +173,40 @@ pub fn decode(bytes: &[u8]) -> Result<Module, DecodeError> {
     let mut m = Module::new();
     let mut last_section = 0u8;
     while r.pos < bytes.len() {
+        r.enter("");
         let id = r.byte()?;
         let size = r.u32()? as usize;
         let end = r.pos + size;
         if end > bytes.len() {
-            return Err(r.err("section extends past end of module"));
+            return Err(r.err(format!("section {} extends past end of module", section_name(id))));
         }
         if id != 0 {
             if id <= last_section {
-                return Err(r.err(format!("section {id} out of order")));
+                return Err(r.err(format!(
+                    "section {} out of order (must follow section {})",
+                    section_name(id),
+                    section_name(last_section)
+                )));
             }
             last_section = id;
         }
+        r.enter(section_name(id));
         match id {
             0 => {
                 let start = r.pos;
                 let name = r.name()?;
                 let remaining = end - r.pos;
                 let payload = r.bytes(remaining)?.to_vec();
+                if name == "name" {
+                    decode_name_section(&payload, &mut m);
+                }
                 m.customs.push(CustomSection { name, bytes: payload });
                 debug_assert!(r.pos == end, "custom section fully consumed from {start}");
             }
             1 => {
                 let n = r.u32()?;
-                for _ in 0..n {
+                for i in 0..n {
+                    r.entry = Some(i);
                     if r.byte()? != 0x60 {
                         return Err(r.err("bad functype tag"));
                     }
@@ -176,7 +225,8 @@ pub fn decode(bytes: &[u8]) -> Result<Module, DecodeError> {
             }
             2 => {
                 let n = r.u32()?;
-                for _ in 0..n {
+                for i in 0..n {
+                    r.entry = Some(i);
                     let module = r.name()?;
                     let name = r.name()?;
                     let desc = match r.byte()? {
@@ -204,14 +254,16 @@ pub fn decode(bytes: &[u8]) -> Result<Module, DecodeError> {
             }
             3 => {
                 let n = r.u32()?;
-                for _ in 0..n {
+                for i in 0..n {
+                    r.entry = Some(i);
                     let t = r.u32()?;
                     m.funcs.push(FuncDecl { type_idx: t, body: FuncBody::default() });
                 }
             }
             4 => {
                 let n = r.u32()?;
-                for _ in 0..n {
+                for i in 0..n {
+                    r.entry = Some(i);
                     if r.byte()? != 0x70 {
                         return Err(r.err("only funcref tables supported"));
                     }
@@ -220,13 +272,15 @@ pub fn decode(bytes: &[u8]) -> Result<Module, DecodeError> {
             }
             5 => {
                 let n = r.u32()?;
-                for _ in 0..n {
+                for i in 0..n {
+                    r.entry = Some(i);
                     m.memories.push(MemoryType { limits: r.limits()? });
                 }
             }
             6 => {
                 let n = r.u32()?;
-                for _ in 0..n {
+                for i in 0..n {
+                    r.entry = Some(i);
                     let value = r.val_type()?;
                     let mutable = match r.byte()? {
                         0 => false,
@@ -239,7 +293,8 @@ pub fn decode(bytes: &[u8]) -> Result<Module, DecodeError> {
             }
             7 => {
                 let n = r.u32()?;
-                for _ in 0..n {
+                for i in 0..n {
+                    r.entry = Some(i);
                     let name = r.name()?;
                     let kind = match r.byte()? {
                         0x00 => ExternKind::Func,
@@ -257,7 +312,8 @@ pub fn decode(bytes: &[u8]) -> Result<Module, DecodeError> {
             }
             9 => {
                 let n = r.u32()?;
-                for _ in 0..n {
+                for i in 0..n {
+                    r.entry = Some(i);
                     let table = r.u32()?;
                     if table != 0 {
                         return Err(r.err("element segment table index must be 0"));
@@ -277,6 +333,7 @@ pub fn decode(bytes: &[u8]) -> Result<Module, DecodeError> {
                     return Err(r.err("code count does not match function count"));
                 }
                 for i in 0..n {
+                    r.entry = Some(i as u32);
                     let size = r.u32()? as usize;
                     let body_end = r.pos + size;
                     let nl = r.u32()?;
@@ -300,7 +357,8 @@ pub fn decode(bytes: &[u8]) -> Result<Module, DecodeError> {
             }
             11 => {
                 let n = r.u32()?;
-                for _ in 0..n {
+                for i in 0..n {
+                    r.entry = Some(i);
                     let memory = r.u32()?;
                     if memory != 0 {
                         return Err(r.err("data segment memory index must be 0"));
@@ -313,11 +371,60 @@ pub fn decode(bytes: &[u8]) -> Result<Module, DecodeError> {
             }
             b => return Err(r.err(format!("unknown section id {b}"))),
         }
+        r.entry = None;
         if r.pos != end {
-            return Err(r.err(format!("section {id} size mismatch")));
+            return Err(r.err("section size mismatch (content does not fill declared size)"));
         }
     }
     Ok(m)
+}
+
+/// The spec name of section `id` (for diagnostics).
+fn section_name(id: u8) -> &'static str {
+    match id {
+        0 => "custom",
+        1 => "type",
+        2 => "import",
+        3 => "function",
+        4 => "table",
+        5 => "memory",
+        6 => "global",
+        7 => "export",
+        8 => "start",
+        9 => "element",
+        10 => "code",
+        11 => "data",
+        _ => "unknown",
+    }
+}
+
+/// Best-effort decoding of the `name` custom section's function-names
+/// subsection into [`Module::names`]. Malformed name payloads are ignored
+/// (the section is advisory metadata; a bad one must not reject a module
+/// that is otherwise valid).
+fn decode_name_section(payload: &[u8], m: &mut Module) {
+    let mut r = Reader::new(payload);
+    while r.pos < payload.len() {
+        let Ok(subsection) = r.byte() else { return };
+        let Ok(size) = r.u32() else { return };
+        let end = r.pos + size as usize;
+        if end > payload.len() {
+            return;
+        }
+        if subsection == 1 {
+            // Function names: vec of (func index, name) assignments.
+            let Ok(n) = r.u32() else { return };
+            for _ in 0..n {
+                let (Ok(idx), Ok(name)) = (r.u32(), r.name()) else { return };
+                let idx = idx as usize;
+                if idx >= m.names.len() {
+                    m.names.resize(idx + 1, None);
+                }
+                m.names[idx] = Some(name);
+            }
+        }
+        r.pos = end;
+    }
 }
 
 #[cfg(test)]
@@ -394,6 +501,82 @@ mod tests {
         for cut in [bytes.len() - 1, bytes.len() / 2, 9] {
             assert!(decode(&bytes[..cut]).is_err(), "cut at {cut}");
         }
+    }
+
+    /// Pins the diagnostic format for an unsupported const-expr opcode:
+    /// the error names the enclosing section, the entry index, and the
+    /// byte offset of the offending opcode.
+    #[test]
+    fn unsupported_const_expr_diagnostic_names_section_entry_and_offset() {
+        // A module with one global whose init expr is `i32.add` (0x6a).
+        let bytes: Vec<u8> = [
+            b"\0asm".as_slice(),
+            &1u32.to_le_bytes(),
+            // global section: id 6, size 5, count 1, i32 mut, then 0x6a.
+            &[6, 5, 1, 0x7f, 0x01, 0x6a, 0x0b],
+        ]
+        .concat();
+        let err = decode(&bytes).unwrap_err();
+        // The opcode byte sits at offset 13: 8 (preamble) + 2 (id+size) +
+        // 3 (count, valtype, mutability).
+        assert_eq!(
+            err.to_string(),
+            "decode error at byte 13: in global section, entry 0: unsupported const-expr \
+             opcode 0x6a (const exprs support only i32/i64/f32/f64.const and global.get)"
+        );
+    }
+
+    /// A post-MVP opcode in a const expr names the feature class instead.
+    #[test]
+    fn const_expr_ref_null_diagnostic_names_feature() {
+        let bytes: Vec<u8> = [
+            b"\0asm".as_slice(),
+            &1u32.to_le_bytes(),
+            // global section with `ref.null funcref` (0xd0 0x70) as init.
+            &[6, 6, 1, 0x7f, 0x00, 0xd0, 0x70, 0x0b],
+        ]
+        .concat();
+        let err = decode(&bytes).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "decode error at byte 13: in global section, entry 0: unsupported const-expr \
+             opcode 0xd0 (reference types is outside the MVP subset)"
+        );
+    }
+
+    /// Truncation inside a section names the section in the error.
+    #[test]
+    fn truncated_type_section_error_names_section() {
+        // type section claiming 2 entries but containing only a tag byte.
+        let bytes: Vec<u8> = [b"\0asm".as_slice(), &1u32.to_le_bytes(), &[1, 2, 2, 0x60]].concat();
+        let err = decode(&bytes).unwrap_err();
+        assert!(err.msg.starts_with("in type section, entry 0:"), "{err}");
+        assert_eq!(err.offset, 12, "{err}");
+    }
+
+    #[test]
+    fn function_names_decoded_from_name_section() {
+        let m = sample_module();
+        let bytes = encode(&m);
+        // Append a hand-built `name` custom section: subsection 1
+        // (function names), assigning "inc" to func 0 and "main" to 1.
+        let mut payload = vec![4, b'n', b'a', b'm', b'e'];
+        let assignments =
+            [vec![0u8, 3, b'i', b'n', b'c'], vec![1u8, 4, b'm', b'a', b'i', b'n']].concat();
+        payload.push(1); // subsection id
+        payload.push((assignments.len() + 1) as u8); // subsection size
+        payload.push(2); // count
+        payload.extend_from_slice(&assignments);
+        let mut with_names = bytes.clone();
+        with_names.push(0); // custom section id
+        with_names.push(payload.len() as u8);
+        with_names.extend_from_slice(&payload);
+        let m2 = decode(&with_names).unwrap();
+        assert_eq!(m2.func_name(0), Some("inc"));
+        assert_eq!(m2.func_name(1), Some("main"));
+        // The raw custom section is preserved verbatim, so re-encoding
+        // is byte-identical even though names were also parsed.
+        assert_eq!(encode(&m2), with_names);
     }
 
     #[test]

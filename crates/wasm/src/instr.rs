@@ -103,8 +103,12 @@ fn read_block_type(code: &[u8], pos: usize, at: usize) -> Result<(BlockType, usi
 /// engine-reserved probe byte (which is not valid module bytecode).
 pub fn decode_at(code: &[u8], pc: usize) -> Result<(Instr, usize), InstrError> {
     let opcode = *code.get(pc).ok_or_else(|| err(pc, "pc out of bounds"))?;
-    let kind =
-        op::imm_kind(opcode).ok_or_else(|| err(pc, format!("invalid opcode {opcode:#04x}")))?;
+    let kind = op::imm_kind(opcode).ok_or_else(|| match op::unsupported_class(opcode) {
+        Some(class) => {
+            err(pc, format!("unsupported opcode {opcode:#04x}: {class} is outside the MVP subset"))
+        }
+        None => err(pc, format!("invalid opcode {opcode:#04x}")),
+    })?;
     let mut pos = pc + 1;
     let lerr = |_| err(pc, "truncated immediate");
     let imm = match kind {

@@ -270,6 +270,25 @@ pub fn is_valid(op: u8) -> bool {
     imm_kind(op).is_some()
 }
 
+/// Classifies a byte that is *not* in the supported set but is a known
+/// opcode (or prefix byte) of a post-MVP proposal, so decode/validate
+/// errors can say which feature a real-world binary needs rather than
+/// just "invalid opcode". Returns `None` for genuinely undefined bytes.
+pub fn unsupported_class(op: u8) -> Option<&'static str> {
+    Some(match op {
+        0x06..=0x0a | 0x18 | 0x19 | 0x1f => "exception handling",
+        0x12 | 0x13 => "tail calls",
+        0x14 | 0x15 => "typed function references",
+        0x1c => "reference types (typed select)",
+        0x25 | 0x26 => "reference types (table access)",
+        0xd0..=0xd2 => "reference types",
+        0xfc => "the 0xfc prefix (saturating truncation / bulk memory)",
+        0xfd => "the 0xfd prefix (SIMD)",
+        0xfe => "the 0xfe prefix (threads/atomics)",
+        _ => return None,
+    })
+}
+
 /// Returns the mnemonic for `op` (for tracing and disassembly).
 pub fn name(op: u8) -> &'static str {
     match op {

@@ -729,7 +729,16 @@ impl<'m> FuncValidator<'m> {
             _ => {
                 // Numeric operations: uniform signature table.
                 let (pops, push) = numeric_sig(o).ok_or_else(|| {
-                    self.err(format!("unsupported opcode {:#04x} ({})", o, op::name(o)))
+                    self.err(match op::unsupported_class(o) {
+                        Some(class) => format!(
+                            "unsupported opcode {o:#04x}: {class} is outside the MVP subset"
+                        ),
+                        None => format!(
+                            "unsupported opcode {o:#04x} ({}): not in the MVP \
+                             numeric/memory/control subset",
+                            op::name(o)
+                        ),
+                    })
                 })?;
                 for t in pops.iter().rev() {
                     self.pop_expect(*t)?;
@@ -927,5 +936,47 @@ mod tests {
         let err = validate(&m).unwrap_err().to_string();
         assert!(err.contains("3 results"), "{err}");
         assert!(!err.contains("used by"), "{err}");
+    }
+
+    /// Builds a module whose single `[] -> []` function has `code` as its
+    /// raw body (for feeding the validator bytes the builder cannot emit).
+    fn module_with_raw_body(code: Vec<u8>) -> Module {
+        let mut m = Module::new();
+        m.types.push(FuncType::new(&[], &[]));
+        m.funcs.push(FuncDecl { type_idx: 0, body: FuncBody { locals: vec![], code } });
+        m
+    }
+
+    /// Pins the diagnostic format for known post-MVP opcodes: the error
+    /// names the enclosing function, the byte offset (pc), and the feature
+    /// class a real-world binary would need.
+    #[test]
+    fn unsupported_prefix_opcode_error_names_function_offset_and_class() {
+        // 0xfc prefix (e.g. memory.copy) at pc=1, after a nop.
+        let m = module_with_raw_body(vec![op::NOP, 0xfc, 0x0a, 0x00, 0x00, op::END]);
+        let err = validate(&m).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "validation error in func 0 at pc=1: unsupported opcode 0xfc: \
+             the 0xfc prefix (saturating truncation / bulk memory) is outside the MVP subset"
+        );
+
+        // ref.null (reference types) at pc=0.
+        let m = module_with_raw_body(vec![0xd0, 0x70, op::END]);
+        let err = validate(&m).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "validation error in func 0 at pc=0: unsupported opcode 0xd0: \
+             reference types is outside the MVP subset"
+        );
+    }
+
+    /// A genuinely undefined byte is reported as invalid, still with
+    /// function and offset context.
+    #[test]
+    fn undefined_opcode_error_is_distinct_from_unsupported() {
+        let m = module_with_raw_body(vec![0xff, op::END]);
+        let err = validate(&m).unwrap_err();
+        assert_eq!(err.to_string(), "validation error in func 0 at pc=0: invalid opcode 0xff");
     }
 }

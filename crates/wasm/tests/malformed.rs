@@ -1,0 +1,275 @@
+//! Malformed-binary negative suite: every broken input must produce a
+//! precise [`wizard_wasm::decode::DecodeError`] — with a byte offset and
+//! a message naming the enclosing section (and entry, where applicable)
+//! — never a panic and never a silent success.
+//!
+//! The corrupted binaries are assembled by hand, byte by byte, so the
+//! suite does not depend on the encoder under test.
+
+use wizard_wasm::decode::{decode, DecodeError};
+
+/// Wasm magic + version header.
+const HEADER: [u8; 8] = [0x00, 0x61, 0x73, 0x6d, 0x01, 0x00, 0x00, 0x00];
+
+/// Assembles `id` + LEB size + payload (payloads here are all < 128 B).
+fn sec(id: u8, payload: &[u8]) -> Vec<u8> {
+    assert!(payload.len() < 128);
+    let mut v = vec![id, payload.len() as u8];
+    v.extend_from_slice(payload);
+    v
+}
+
+/// A module from raw section chunks.
+fn module(sections: &[Vec<u8>]) -> Vec<u8> {
+    let mut v = HEADER.to_vec();
+    for s in sections {
+        v.extend_from_slice(s);
+    }
+    v
+}
+
+/// A minimal valid type section: one `(i32) -> i32` functype.
+fn type_section() -> Vec<u8> {
+    sec(1, &[0x01, 0x60, 0x01, 0x7f, 0x01, 0x7f])
+}
+
+struct Case {
+    name: &'static str,
+    bytes: Vec<u8>,
+    /// Substring the error message must contain.
+    want: &'static str,
+    /// Exact byte offset, when pinned.
+    offset: Option<usize>,
+}
+
+fn cases() -> Vec<Case> {
+    let case = |name, bytes, want| Case { name, bytes, want, offset: None };
+    let case_at = |name, bytes, want, off| Case { name, bytes, want, offset: Some(off) };
+    vec![
+        // ---- header ----
+        case("empty-input", vec![], "unexpected end"),
+        case("truncated-magic", b"\x00as".to_vec(), "unexpected end"),
+        case("wrong-magic", b"\x00elf\x01\x00\x00\x00".to_vec(), "bad magic"),
+        case("wrong-version", b"\x00asm\x02\x00\x00\x00".to_vec(), "unsupported version"),
+        // ---- section framing ----
+        case_at("section-size-truncated", module(&[vec![0x01]]), "bad LEB128 u32", 9),
+        case(
+            "section-extends-past-end",
+            module(&[vec![0x01, 0x0a, 0x60]]),
+            "section type extends past end of module",
+        ),
+        case("unknown-section-id", module(&[sec(12, &[])]), "unknown section id 12"),
+        case(
+            "sections-out-of-order",
+            module(&[sec(3, &[0x00]), type_section()]),
+            "section type out of order (must follow section function)",
+        ),
+        case(
+            "duplicate-section",
+            module(&[type_section(), type_section()]),
+            "section type out of order",
+        ),
+        case(
+            "section-size-mismatch",
+            // One functype plus a stray trailing byte inside the declared size.
+            module(&[sec(1, &[0x01, 0x60, 0x00, 0x00, 0xaa])]),
+            "section size mismatch (content does not fill declared size)",
+        ),
+        // ---- bad LEB128 ----
+        case(
+            "overlong-leb-count",
+            // 6-byte u32 LEB as the type-section count.
+            module(&[sec(1, &[0x80, 0x80, 0x80, 0x80, 0x80, 0x01])]),
+            "in type section: bad LEB128 u32",
+        ),
+        case(
+            "leb-payload-bits-out-of-range",
+            // 5-byte u32 whose final byte sets bits above bit 31.
+            module(&[sec(1, &[0xff, 0xff, 0xff, 0xff, 0x7f])]),
+            "in type section: bad LEB128 u32",
+        ),
+        // ---- oversized counts ----
+        case(
+            "oversized-type-count",
+            // Count claims 1000 entries; the section (and module) end first.
+            module(&[sec(1, &[0xe8, 0x07])]),
+            "in type section, entry 0: unexpected end",
+        ),
+        case(
+            "oversized-local-count",
+            // 200_000 i32 locals declared in one run.
+            module(&[
+                type_section(),
+                sec(3, &[0x01, 0x00]),
+                sec(10, &[0x01, 0x07, 0x01, 0xc0, 0x9a, 0x0c, 0x7f, 0x00, 0x0b]),
+            ]),
+            "too many locals",
+        ),
+        // ---- type section ----
+        case(
+            "bad-functype-tag",
+            module(&[sec(1, &[0x01, 0x61])]),
+            "in type section, entry 0: bad functype tag",
+        ),
+        case(
+            "bad-value-type",
+            module(&[sec(1, &[0x01, 0x60, 0x01, 0x19, 0x00])]),
+            "in type section, entry 0: bad value type 0x19",
+        ),
+        // ---- imports/exports ----
+        case(
+            "bad-import-kind",
+            module(&[type_section(), sec(2, &[0x01, 0x01, b'e', 0x01, b'f', 0x05, 0x00])]),
+            "in import section, entry 0: bad import kind 0x5",
+        ),
+        case(
+            "import-name-not-utf8",
+            module(&[type_section(), sec(2, &[0x01, 0x02, 0xff, 0xfe, 0x01, b'f', 0x00, 0x00])]),
+            "in import section, entry 0: name is not UTF-8",
+        ),
+        case(
+            "bad-export-kind",
+            module(&[sec(7, &[0x01, 0x01, b'e', 0x05, 0x00])]),
+            "in export section, entry 0: bad export kind 0x5",
+        ),
+        // ---- tables/memories/globals ----
+        case(
+            "non-funcref-table",
+            module(&[sec(4, &[0x01, 0x6f, 0x00, 0x01])]),
+            "in table section, entry 0: only funcref tables supported",
+        ),
+        case(
+            "bad-limits-flag",
+            module(&[sec(5, &[0x01, 0x07])]),
+            "in memory section, entry 0: bad limits flag 0x7",
+        ),
+        case(
+            "bad-global-mutability",
+            module(&[sec(6, &[0x01, 0x7f, 0x02, 0x41, 0x00, 0x0b])]),
+            "in global section, entry 0: bad mutability 0x2",
+        ),
+        case_at(
+            "global-init-runtime-opcode",
+            // i32.add (0x6a) inside a const expr.
+            module(&[sec(6, &[0x01, 0x7f, 0x01, 0x6a, 0x0b])]),
+            "unsupported const-expr opcode 0x6a",
+            13,
+        ),
+        // ---- segments ----
+        case(
+            "element-table-index-nonzero",
+            module(&[sec(9, &[0x01, 0x01, 0x41, 0x00, 0x0b, 0x00])]),
+            "in element section, entry 0: element segment table index must be 0",
+        ),
+        case(
+            "data-memory-index-nonzero",
+            module(&[sec(11, &[0x01, 0x01, 0x41, 0x00, 0x0b, 0x00])]),
+            "in data section, entry 0: data segment memory index must be 0",
+        ),
+        case(
+            "data-bytes-truncated",
+            // Data segment claims 16 bytes; only 2 are present.
+            module(&[sec(11, &[0x01, 0x00, 0x41, 0x00, 0x0b, 0x10, 0xaa, 0xbb])]),
+            "in data section, entry 0: unexpected end",
+        ),
+        // ---- code section ----
+        case(
+            "code-count-mismatch",
+            module(&[type_section(), sec(3, &[0x01, 0x00]), sec(10, &[0x00])]),
+            "in code section: code count does not match function count",
+        ),
+        case(
+            "code-body-size-overruns",
+            module(&[
+                type_section(),
+                sec(3, &[0x01, 0x00]),
+                // Body claims 0x7f bytes; the module ends long before that.
+                sec(10, &[0x01, 0x7f, 0x00, 0x0b]),
+            ]),
+            "in code section, entry 0: bad code body size",
+        ),
+    ]
+}
+
+#[test]
+fn malformed_binaries_fail_with_precise_errors() {
+    for c in cases() {
+        let err: DecodeError = match decode(&c.bytes) {
+            Err(e) => e,
+            Ok(_) => panic!("{}: malformed binary decoded successfully", c.name),
+        };
+        let display = err.to_string();
+        assert!(
+            display.contains(c.want),
+            "{}: error {display:?} does not contain {:?}",
+            c.name,
+            c.want
+        );
+        assert!(
+            display.starts_with(&format!("decode error at byte {}", err.offset)),
+            "{}: display {display:?} does not lead with the byte offset",
+            c.name
+        );
+        assert!(
+            err.offset <= c.bytes.len(),
+            "{}: offset {} exceeds input length {}",
+            c.name,
+            err.offset,
+            c.bytes.len()
+        );
+        if let Some(want_off) = c.offset {
+            assert_eq!(err.offset, want_off, "{}: wrong offset in {display:?}", c.name);
+        }
+    }
+}
+
+/// Truncating a valid module at *every* byte boundary errors cleanly —
+/// the classic fuzz regression for out-of-bounds reads.
+#[test]
+fn every_truncation_of_a_valid_module_errors_cleanly() {
+    // type + function + memory + global + export + code + data sections.
+    let sections = [
+        type_section(),
+        sec(3, &[0x01, 0x00]),
+        sec(5, &[0x01, 0x00, 0x01]),
+        sec(6, &[0x01, 0x7f, 0x01, 0x41, 0x2a, 0x0b]),
+        sec(7, &[0x01, 0x03, b'r', b'u', b'n', 0x00, 0x00]),
+        sec(10, &[0x01, 0x07, 0x00, 0x20, 0x00, 0x41, 0x04, 0x6a, 0x0b]),
+        sec(11, &[0x01, 0x00, 0x41, 0x00, 0x0b, 0x02, 0xca, 0xfe]),
+    ];
+    let full = module(&sections);
+    // A cut landing exactly on a section boundary leaves a shorter but
+    // well-formed module (cutting after the code section is the
+    // exception: declared functions would lack bodies — but this layout
+    // puts code second-to-last, so only `full.len()` itself qualifies).
+    let mut boundaries = vec![HEADER.len()];
+    let mut at = HEADER.len();
+    for s in &sections {
+        at += s.len();
+        boundaries.push(at);
+    }
+    assert!(decode(&full).is_ok(), "the uncorrupted module must decode");
+    for cut in 0..full.len() {
+        if boundaries.contains(&cut) {
+            continue;
+        }
+        let err = decode(&full[..cut])
+            .expect_err(&format!("truncation at byte {cut} decoded successfully"));
+        assert!(err.offset <= cut, "truncation at {cut}: offset {} past input", err.offset);
+    }
+}
+
+/// Flipping the section id of each section to a smaller id (forcing an
+/// order violation) names both sections in the error.
+#[test]
+fn section_order_errors_name_both_sections() {
+    let bytes = module(&[type_section(), sec(3, &[0x01, 0x00]), sec(2, &[0x00])]);
+    let err = decode(&bytes).expect_err("import section after function section");
+    assert_eq!(
+        err.to_string(),
+        format!(
+            "decode error at byte {}: section import out of order (must follow section function)",
+            err.offset
+        )
+    );
+}

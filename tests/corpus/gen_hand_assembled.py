@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Generates the hand-assembled .wasm binaries checked in next to this file.
+
+These are written byte-by-byte, deliberately NOT via the repo's own
+encoder, so the decoder is tested against an independent producer:
+
+* hand_add4.wasm      — minimal canonical module: run(n) = n + 4.
+* hand_noncanon.wasm  — the same semantics, but every section size,
+                        count, index, and const immediate is a padded
+                        (non-canonical, in-range) LEB128. Decodes to an
+                        equivalent module; re-encoding canonicalizes, so
+                        the bytes do NOT round-trip identically — this
+                        pins the spec's normalization tolerance.
+* hand_start_data.wasm — start function + mutable global + memory + data
+                        segment: start loads the first word of the data
+                        segment into the global; run(n) = n * global.
+
+Run from the repo root:  python3 tests/corpus/gen_hand_assembled.py
+"""
+
+import os
+
+
+def uleb(v: int) -> bytes:
+    out = bytearray()
+    while True:
+        b = v & 0x7F
+        v >>= 7
+        if v:
+            out.append(b | 0x80)
+        else:
+            out.append(b)
+            return bytes(out)
+
+
+def uleb_pad(v: int, width: int) -> bytes:
+    """Non-canonical unsigned LEB: zero-padded to `width` bytes."""
+    out = bytearray()
+    for _ in range(width - 1):
+        out.append((v & 0x7F) | 0x80)
+        v >>= 7
+    assert 0 <= v <= 0x7F
+    out.append(v)
+    return bytes(out)
+
+
+def sleb_pad(v: int, width: int) -> bytes:
+    """Non-canonical signed LEB for small non-negative v."""
+    assert 0 <= v < 0x40
+    out = bytearray()
+    cur = v
+    for _ in range(width - 1):
+        out.append((cur & 0x7F) | 0x80)
+        cur >>= 7
+    out.append(cur)  # high bits clear => sign bit 0
+    return bytes(out)
+
+
+def section(sid: int, payload: bytes, size_width: int = 0) -> bytes:
+    size = uleb_pad(len(payload), size_width) if size_width else uleb(len(payload))
+    return bytes([sid]) + size + payload
+
+
+MAGIC = bytes.fromhex("0061736d01000000")
+RUN = b"\x03run"
+
+
+def hand_add4() -> bytes:
+    types = section(1, b"\x01\x60\x01\x7f\x01\x7f")
+    funcs = section(3, b"\x01\x00")
+    exports = section(7, b"\x01" + RUN + b"\x00\x00")
+    body = b"\x00" + b"\x20\x00" + b"\x41\x04" + b"\x6a" + b"\x0b"
+    code = section(10, b"\x01" + uleb(len(body)) + body)
+    # name section: function 0 is called "add4".
+    namesub = b"\x01\x00\x04add4"
+    names = section(0, b"\x04name" + b"\x01" + uleb(len(namesub)) + namesub)
+    return MAGIC + types + funcs + exports + code + names
+
+
+def hand_noncanon() -> bytes:
+    # Same module as hand_add4 (minus the name section), with padded LEBs
+    # everywhere the format reads an integer.
+    types = section(1, uleb_pad(1, 2) + b"\x60\x01\x7f\x01\x7f", size_width=2)
+    funcs = section(3, uleb_pad(1, 3) + uleb_pad(0, 2), size_width=2)
+    exports = section(7, uleb_pad(1, 2) + RUN + b"\x00" + uleb_pad(0, 2), size_width=2)
+    body = (
+        b"\x00"  # local decl count (canonical: padded locals tested via funcs)
+        + b"\x20" + uleb_pad(0, 2)  # local.get 0, padded index
+        + b"\x41" + sleb_pad(4, 3)  # i32.const 4, padded immediate
+        + b"\x6a\x0b"
+    )
+    code = section(10, uleb_pad(1, 2) + uleb_pad(len(body), 2) + body, size_width=3)
+    return MAGIC + types + funcs + exports + code
+
+
+def hand_start_data() -> bytes:
+    types = section(1, b"\x02" + b"\x60\x00\x00" + b"\x60\x01\x7f\x01\x7f")
+    funcs = section(3, b"\x02\x00\x01")
+    memory = section(5, b"\x01\x00\x01")
+    globals_ = section(6, b"\x01\x7f\x01" + b"\x41\x00\x0b")
+    exports = section(7, b"\x01" + RUN + b"\x00\x01")
+    start = section(8, b"\x00")
+    init_body = b"\x00" + b"\x41\x00" + b"\x28\x02\x10" + b"\x24\x00" + b"\x0b"
+    run_body = b"\x00" + b"\x20\x00" + b"\x23\x00" + b"\x6c" + b"\x0b"
+    code = section(
+        10,
+        b"\x02"
+        + uleb(len(init_body)) + init_body
+        + uleb(len(run_body)) + run_body,
+    )
+    payload = b"corpus"
+    data = section(11, b"\x01\x00" + b"\x41\x10\x0b" + uleb(len(payload)) + payload)
+    return MAGIC + types + funcs + memory + globals_ + exports + start + code + data
+
+
+def main() -> None:
+    here = os.path.dirname(os.path.abspath(__file__))
+    for name, build in [
+        ("hand_add4.wasm", hand_add4),
+        ("hand_noncanon.wasm", hand_noncanon),
+        ("hand_start_data.wasm", hand_start_data),
+    ]:
+        path = os.path.join(here, name)
+        with open(path, "wb") as f:
+            f.write(build())
+        print(f"wrote {path} ({os.path.getsize(path)} bytes)")
+
+
+if __name__ == "__main__":
+    main()
