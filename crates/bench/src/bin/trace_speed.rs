@@ -1,0 +1,167 @@
+//! Streaming-trace capture speed: what `wizard-trace`'s branch tracer
+//! costs at runtime and how compact the stream is. Runs Richards +
+//! PolyBench on the JIT tier (operand probes intrinsified) twice —
+//! untraced baseline vs `StreamingTraceMonitor` capturing every branch
+//! outcome to an in-memory sink — and reports:
+//!
+//! * **overhead** — traced / baseline execution time;
+//! * **events/sec** — branch events captured per second of traced run;
+//! * **bytes/branch** and **bits/branch** — stream size over branch
+//!   count, *including* the stream header, site dictionary, and block
+//!   framing (the whole cost of the artifact on disk).
+//!
+//! The compact format spends one byte per small-delta branch (taken bit
+//! folded into the tag), so on branchy code the amortized cost should
+//! sit well under two bytes per branch: outside smoke mode the bench
+//! asserts `bytes/branch <= 2.0` on Richards.
+//!
+//! Emits `BENCH_trace.json` (schema in `EXPERIMENTS.md`).
+//!
+//! Environment: `WIZARD_SCALE`, `WIZARD_RUNS`, `WIZARD_SMOKE`.
+
+use std::time::{Duration, Instant};
+
+use wizard_bench::json::Json;
+use wizard_engine::store::Linker;
+use wizard_engine::{EngineConfig, Process, Value};
+use wizard_suites::Benchmark;
+use wizard_trace::{decode_trace, StreamingTraceMonitor, TraceCounters};
+
+/// One traced or untraced execution; instantiation and attach/detach
+/// stay outside the timed region, so the overhead ratio isolates what
+/// the probes cost while the program runs.
+fn run_once(b: &Benchmark, traced: bool) -> (Duration, TraceCounters, Vec<u8>) {
+    let mut p =
+        Process::new(b.module.clone(), EngineConfig::jit(), &Linker::new()).expect("instantiates");
+    if traced {
+        let m = p.attach_monitor(StreamingTraceMonitor::in_memory()).expect("attach");
+        let start = Instant::now();
+        p.invoke_export("run", &[Value::I32(b.n)]).expect("runs");
+        let t = start.elapsed();
+        p.detach_monitor(m.handle()).expect("detach");
+        let mon = m.borrow();
+        assert!(mon.sink_error().is_none(), "{}: sink failed mid-stream", b.name);
+        let data = mon.trace_data().expect("in-memory tracer");
+        (t, mon.counters(), data)
+    } else {
+        let start = Instant::now();
+        p.invoke_export("run", &[Value::I32(b.n)]).expect("runs");
+        (start.elapsed(), TraceCounters::default(), Vec::new())
+    }
+}
+
+/// Best-of-N runs (same discipline as the other figure emitters); the
+/// captured stream is deterministic across runs, so the last one is
+/// kept (and cross-checked against its predecessor).
+fn measure(b: &Benchmark, traced: bool) -> (Duration, TraceCounters, Vec<u8>) {
+    let mut best = Duration::MAX;
+    let mut out: Option<(TraceCounters, Vec<u8>)> = None;
+    for _ in 0..wizard_bench::runs().max(3) {
+        let (t, c, data) = run_once(b, traced);
+        best = best.min(t);
+        if let Some((prev_c, prev_data)) = &out {
+            assert_eq!((prev_c, prev_data), (&c, &data), "{}: capture not deterministic", b.name);
+        }
+        out = Some((c, data));
+    }
+    let (c, data) = out.expect("at least one run");
+    (best, c, data)
+}
+
+fn main() {
+    let scale = wizard_bench::scale();
+    let mut suite = vec![wizard_suites::richards_benchmark(match scale {
+        wizard_suites::Scale::Test => 50,
+        wizard_suites::Scale::Small => 300,
+        wizard_suites::Scale::Medium => 1000,
+    })];
+    suite.extend(wizard_suites::polybench_suite(scale));
+
+    println!("=== streaming trace capture: overhead and stream density (JIT) ===");
+    println!(
+        "{:<16} {:>10} {:>12} {:>10} {:>12} {:>12} {:>10}",
+        "benchmark", "branches", "bytes", "B/branch", "events/sec", "overhead", "baseline"
+    );
+
+    let mut series = Vec::new();
+    let mut richards_bpb = None;
+    let mut total_events = 0u64;
+    let mut total_bytes = 0u64;
+    for b in &suite {
+        let (base, _, _) = measure(b, false);
+        let (traced, c, data) = measure(b, true);
+        assert_eq!(c.bytes, data.len() as u64, "{}: counters disagree with the sink", b.name);
+        // The stream must remain well-formed at bench scale, not just in
+        // unit tests: decode the full capture once per benchmark.
+        let (_, events) = decode_trace(&data)
+            .unwrap_or_else(|e| panic!("{}: captured stream does not decode: {e}", b.name));
+        assert_eq!(events.len() as u64, c.events, "{}: decoded event count drifts", b.name);
+
+        let overhead = traced.as_secs_f64() / base.as_secs_f64().max(1e-12);
+        let bpb = c.bytes as f64 / c.branches.max(1) as f64;
+        let eps = c.events as f64 / traced.as_secs_f64().max(1e-12);
+        if b.name == "richards" {
+            richards_bpb = Some(bpb);
+        }
+        total_events += c.events;
+        total_bytes += c.bytes;
+        println!(
+            "{:<16} {:>10} {:>12} {:>10.3} {:>11.2}M {:>11.2}x {:>9.1}us",
+            b.name,
+            c.branches,
+            c.bytes,
+            bpb,
+            eps / 1e6,
+            overhead,
+            base.as_secs_f64() * 1e6
+        );
+        series.push(Json::object([
+            ("benchmark", Json::str(b.name)),
+            ("branches", Json::num(c.branches as f64)),
+            ("events", Json::num(c.events as f64)),
+            ("stream_bytes", Json::num(c.bytes as f64)),
+            ("bytes_per_branch", Json::num(bpb)),
+            ("bits_per_branch", Json::num(bpb * 8.0)),
+            ("events_per_sec", Json::num(eps)),
+            ("baseline_us", Json::num(base.as_secs_f64() * 1e6)),
+            ("traced_us", Json::num(traced.as_secs_f64() * 1e6)),
+            ("overhead", Json::num(overhead)),
+        ]));
+    }
+
+    let richards_bpb = richards_bpb.expect("suite includes richards");
+    println!(
+        "\nrichards: {richards_bpb:.3} bytes/branch ({:.2} bits/branch); \
+         suite total {total_events} events, {total_bytes} bytes",
+        richards_bpb * 8.0
+    );
+    if wizard_bench::smoke() {
+        println!("(smoke mode: skipping the <=2.0 bytes/branch assertion)");
+    } else {
+        assert!(
+            richards_bpb <= 2.0,
+            "richards stream density regressed: {richards_bpb:.3} bytes/branch \
+             (bound: 2.0) — the delta encoder is no longer packing branches"
+        );
+    }
+
+    let mut fields =
+        wizard_bench::metadata("trace_speed", &["richards", "polybench"], &EngineConfig::jit());
+    fields.push(("tier".to_string(), Json::str("jit-intrinsified")));
+    fields.push(("sink".to_string(), Json::str("memory")));
+    fields.push(("series".to_string(), Json::array(series)));
+    fields.push((
+        "summary".to_string(),
+        Json::object([
+            ("benchmarks", Json::num(suite.len() as f64)),
+            ("total_events", Json::num(total_events as f64)),
+            ("total_bytes", Json::num(total_bytes as f64)),
+            ("richards_bytes_per_branch", Json::num(richards_bpb)),
+            ("richards_bits_per_branch", Json::num(richards_bpb * 8.0)),
+        ]),
+    ));
+    let doc = Json::Obj(fields);
+    let path = "BENCH_trace.json";
+    std::fs::write(path, format!("{doc}\n")).expect("write BENCH_trace.json");
+    println!("wrote {path}");
+}

@@ -289,6 +289,15 @@ pub struct EngineStats {
     /// form ([`EngineConfig::validate_lowering`]); one per instantiation
     /// that ran the registered validator.
     pub lowering_validations: u64,
+    /// Trace events captured by streaming trace monitors attached to this
+    /// process. Contributed at detach time via [`Process::record_trace`]
+    /// (intrinsified operand fires bypass the runtime, so the engine
+    /// cannot count them itself).
+    pub trace_events: u64,
+    /// Encoded trace bytes emitted to trace sinks, including stream
+    /// header and block framing. Contributed like
+    /// [`EngineStats::trace_events`].
+    pub trace_bytes: u64,
 }
 
 impl EngineStats {
@@ -313,6 +322,8 @@ impl EngineStats {
             artifact_cache_misses,
             overlay_copies,
             lowering_validations,
+            trace_events,
+            trace_bytes,
         } = *other;
         self.probe_fires += probe_fires;
         self.global_fires += global_fires;
@@ -328,6 +339,8 @@ impl EngineStats {
         self.artifact_cache_misses += artifact_cache_misses;
         self.overlay_copies += overlay_copies;
         self.lowering_validations += lowering_validations;
+        self.trace_events += trace_events;
+        self.trace_bytes += trace_bytes;
     }
 }
 
@@ -700,6 +713,16 @@ impl Process {
     /// Resets the activity counters.
     pub fn reset_stats(&mut self) {
         self.stats = EngineStats::default();
+    }
+
+    /// Credits trace capture activity to this process's counters
+    /// ([`EngineStats::trace_events`] / [`EngineStats::trace_bytes`]).
+    /// Called by streaming trace monitors from `on_detach`, because
+    /// intrinsified operand fires never cross the runtime and so cannot
+    /// be counted engine-side.
+    pub fn record_trace(&mut self, events: u64, bytes: u64) {
+        self.stats.trace_events += events;
+        self.stats.trace_bytes += bytes;
     }
 
     /// Read-only view of linear memory (if the module has one).

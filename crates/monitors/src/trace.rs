@@ -2,19 +2,28 @@
 //! executes. "Wizard already offers the perfect mechanism: the global
 //! probe" — this is one global probe using the standard probe context,
 //! nothing engine-special.
+//!
+//! The full line stream goes to a [`TraceSink`] (in-memory by default;
+//! file or channel via [`TraceMonitor::with_sink`]), so traces are no
+//! longer truncated at a line cap — only the in-memory *preview* window
+//! used by [`TraceMonitor::lines`] and the report is bounded.
 
 use std::cell::RefCell;
+use std::io;
 use std::rc::Rc;
 
-use wizard_engine::{ClosureProbe, InstrumentationCtx, Monitor, ProbeError, Report};
+use wizard_engine::{ClosureProbe, InstrumentationCtx, Monitor, ProbeError, Process, Report};
+use wizard_trace::{MemorySink, TraceSink};
 use wizard_wasm::opcodes as op;
 
 /// Records (and optionally prints) every executed instruction.
-#[derive(Debug)]
 pub struct TraceMonitor {
     lines: Rc<RefCell<Vec<String>>>,
     count: Rc<RefCell<u64>>,
-    max_lines: usize,
+    preview: usize,
+    sink: Rc<RefCell<Box<dyn TraceSink>>>,
+    memory: Option<MemorySink>,
+    sink_error: Rc<RefCell<Option<io::Error>>>,
 }
 
 impl Default for TraceMonitor {
@@ -24,24 +33,56 @@ impl Default for TraceMonitor {
 }
 
 impl TraceMonitor {
-    /// Creates a trace monitor retaining at most `max_lines` lines (the
-    /// event *count* is always exact).
-    pub fn new(max_lines: usize) -> TraceMonitor {
+    /// Creates a trace monitor retaining at most `preview` lines in
+    /// memory for [`TraceMonitor::lines`] / the report. The *complete*
+    /// stream — every line, uncapped — goes to the sink (an in-memory
+    /// one here; see [`TraceMonitor::with_sink`]), and the event count
+    /// is always exact.
+    pub fn new(preview: usize) -> TraceMonitor {
+        let memory = MemorySink::new();
         TraceMonitor {
             lines: Rc::new(RefCell::new(Vec::new())),
             count: Rc::new(RefCell::new(0)),
-            max_lines,
+            preview,
+            sink: Rc::new(RefCell::new(Box::new(memory.clone()) as Box<dyn TraceSink>)),
+            memory: Some(memory),
+            sink_error: Rc::new(RefCell::new(None)),
         }
     }
 
-    /// The retained trace lines.
+    /// As [`TraceMonitor::new`], but streaming the full trace to `sink`
+    /// (e.g. a `FileSink` for traces too big for memory).
+    pub fn with_sink(preview: usize, sink: Box<dyn TraceSink>) -> TraceMonitor {
+        TraceMonitor {
+            lines: Rc::new(RefCell::new(Vec::new())),
+            count: Rc::new(RefCell::new(0)),
+            preview,
+            sink: Rc::new(RefCell::new(sink)),
+            memory: None,
+            sink_error: Rc::new(RefCell::new(None)),
+        }
+    }
+
+    /// The retained preview lines (at most the `preview` budget).
     pub fn lines(&self) -> Vec<String> {
         self.lines.borrow().clone()
     }
 
-    /// Total instructions traced.
+    /// Total instructions traced (always exact, independent of the
+    /// preview budget).
     pub fn count(&self) -> u64 {
         *self.count.borrow()
+    }
+
+    /// The complete streamed trace text, for monitors built with
+    /// [`TraceMonitor::new`] (external sinks return `None`).
+    pub fn streamed_text(&self) -> Option<String> {
+        self.memory.as_ref().map(|m| String::from_utf8_lossy(&m.data()).into_owned())
+    }
+
+    /// The first sink write error, if the stream failed mid-trace.
+    pub fn sink_error(&self) -> Option<String> {
+        self.sink_error.borrow().as_ref().map(io::Error::to_string)
     }
 }
 
@@ -53,25 +94,44 @@ impl Monitor for TraceMonitor {
     fn on_attach(&mut self, ctx: &mut InstrumentationCtx<'_>) -> Result<(), ProbeError> {
         let lines = Rc::clone(&self.lines);
         let count = Rc::clone(&self.count);
-        let max = self.max_lines;
+        let preview = self.preview;
+        let sink = Rc::clone(&self.sink);
+        let sink_error = Rc::clone(&self.sink_error);
         ctx.add_global_probe(ClosureProbe::shared(move |ctx| {
             *count.borrow_mut() += 1;
+            let loc = ctx.location();
+            let opcode = ctx.opcode();
+            let depth = ctx.depth();
+            let line = format!(
+                "{:indent$}func[{}]+{}: {}",
+                "",
+                loc.func,
+                loc.pc,
+                op::name(opcode),
+                indent = (depth as usize - 1) * 2,
+            );
+            let mut err = sink_error.borrow_mut();
+            if err.is_none() {
+                let mut sink = sink.borrow_mut();
+                if let Err(e) = sink.write(line.as_bytes()).and_then(|()| sink.write(b"\n")) {
+                    *err = Some(e);
+                }
+            }
             let mut lines = lines.borrow_mut();
-            if lines.len() < max {
-                let loc = ctx.location();
-                let opcode = ctx.opcode();
-                let depth = ctx.depth();
-                lines.push(format!(
-                    "{:indent$}func[{}]+{}: {}",
-                    "",
-                    loc.func,
-                    loc.pc,
-                    op::name(opcode),
-                    indent = (depth as usize - 1) * 2,
-                ));
+            if lines.len() < preview {
+                lines.push(line);
             }
         }))?;
         Ok(())
+    }
+
+    fn on_detach(&mut self, _process: &mut Process) {
+        let mut err = self.sink_error.borrow_mut();
+        if err.is_none() {
+            if let Err(e) = self.sink.borrow_mut().flush() {
+                *err = Some(e);
+            }
+        }
     }
 
     fn report(&self) -> Report {
@@ -80,7 +140,11 @@ impl Monitor for TraceMonitor {
         for (i, line) in self.lines.borrow().iter().enumerate() {
             trace.text(format!("{i:>6}"), line.clone());
         }
-        r.section("summary").count("instructions traced", self.count());
+        let summary = r.section("summary");
+        summary.count("instructions traced", self.count());
+        if let Some(e) = self.sink_error() {
+            summary.text("sink error", e);
+        }
         r
     }
 }
@@ -114,7 +178,7 @@ mod tests {
     }
 
     #[test]
-    fn line_cap_respected_but_count_exact() {
+    fn preview_capped_but_stream_and_count_complete() {
         let mut mb = ModuleBuilder::new();
         let mut f = FuncBuilder::new(&[I32], &[]);
         let i = f.local(I32);
@@ -126,8 +190,35 @@ mod tests {
             Process::new(mb.build().unwrap(), EngineConfig::interpreter(), &Linker::new()).unwrap();
         let t = p.attach_monitor(TraceMonitor::new(10)).unwrap();
         p.invoke_export("spin", &[Value::I32(100)]).unwrap();
-        assert_eq!(t.borrow().lines().len(), 10);
-        assert!(t.borrow().count() > 500);
+        let mon = t.borrow();
+        assert_eq!(mon.lines().len(), 10, "preview window is bounded");
+        assert!(mon.count() > 500);
+        // The sink got every line — nothing was truncated.
+        let text = mon.streamed_text().expect("default sink is in-memory");
+        assert_eq!(text.lines().count() as u64, mon.count());
+        assert_eq!(text.lines().take(10).map(str::to_owned).collect::<Vec<_>>(), mon.lines());
+        assert!(mon.sink_error().is_none());
+    }
+
+    #[test]
+    fn external_sink_receives_full_stream() {
+        let sink = MemorySink::new();
+        let handle = sink.handle();
+        let mut mb = ModuleBuilder::new();
+        let mut f = FuncBuilder::new(&[], &[]);
+        f.nop();
+        mb.add_func("noop", f);
+        let mut p =
+            Process::new(mb.build().unwrap(), EngineConfig::interpreter(), &Linker::new()).unwrap();
+        let t = p.attach_monitor(TraceMonitor::with_sink(1, Box::new(sink))).unwrap();
+        p.invoke_export("noop", &[]).unwrap();
+        p.detach_monitor(t.handle()).unwrap();
+        let mon = t.borrow();
+        assert_eq!(mon.lines().len(), 1, "preview keeps one line");
+        assert!(mon.streamed_text().is_none(), "external sinks are not readable here");
+        let text = String::from_utf8(handle.borrow().clone()).unwrap();
+        assert_eq!(text.lines().count() as u64, mon.count());
+        assert!(text.contains("nop"));
     }
 
     #[test]

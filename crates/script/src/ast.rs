@@ -109,6 +109,12 @@ pub enum Action {
         /// `true` for a per-site table counter.
         per_site: bool,
     },
+    /// `trace`: stream this site's branch outcome to the monitor's trace
+    /// sink in the compact `wizard-trace` binary format. Only valid on a
+    /// plain `match branch` rule (no `when`, no `once`), which keeps the
+    /// emitted stream byte-identical to the hand-written
+    /// `StreamingTraceMonitor`'s.
+    Trace,
 }
 
 /// Unary operators.

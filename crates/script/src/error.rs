@@ -43,6 +43,14 @@ pub enum ScriptError {
         /// Diagnostic detail, human-readable.
         detail: String,
     },
+    /// A `trace` action on a rule shape it does not support (anything but
+    /// a plain `match branch do trace`).
+    BadTrace {
+        /// The rule's source text.
+        rule: String,
+        /// What went wrong.
+        msg: String,
+    },
     /// A `func[N]+PC` selector names a function outside the module's
     /// locally-defined range.
     BadFunction {
@@ -70,6 +78,9 @@ impl core::fmt::Display for ScriptError {
             }
             ScriptError::NoMatch { rule, detail } => {
                 write!(f, "rule `{rule}` matched no sites; {detail}")
+            }
+            ScriptError::BadTrace { rule, msg } => {
+                write!(f, "rule `{rule}`: {msg}")
             }
             ScriptError::BadFunction { func, num_funcs } => {
                 write!(

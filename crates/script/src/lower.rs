@@ -429,11 +429,17 @@ fn consumes_operand(opcode: u8) -> bool {
 /// semantics).
 pub fn materialize_rule(rule: &Rule, sites: &[Site], bank: &mut CounterBank) {
     for site in sites {
-        for Action::Inc { counter, per_site } in &rule.actions {
-            if *per_site {
-                bank.table_cell(counter, site.loc);
-            } else {
-                bank.scalar(counter);
+        for action in &rule.actions {
+            match action {
+                Action::Inc { counter, per_site } => {
+                    if *per_site {
+                        bank.table_cell(counter, site.loc);
+                    } else {
+                        bank.scalar(counter);
+                    }
+                }
+                // `trace` streams events; it owns no counter cells.
+                Action::Trace => {}
             }
         }
     }
@@ -540,17 +546,20 @@ pub fn lower_rule_with_facts(
             }
         }
         let always = matches!(&simplified, None | Some(Expr::Const(_)));
-        let cells: Vec<Rc<Cell<u64>>> =
-            rule.actions
-                .iter()
-                .map(|Action::Inc { counter, per_site }| {
-                    if *per_site {
-                        bank.table_cell(counter, site.loc)
-                    } else {
-                        bank.scalar(counter)
-                    }
-                })
-                .collect();
+        let cells: Vec<Rc<Cell<u64>>> = rule
+            .actions
+            .iter()
+            .filter_map(|action| match action {
+                Action::Inc { counter, per_site } => Some(if *per_site {
+                    bank.table_cell(counter, site.loc)
+                } else {
+                    bank.scalar(counter)
+                }),
+                // `trace` is lowered separately (a dedicated branch probe
+                // in the monitor), not as a counter bump here.
+                Action::Trace => None,
+            })
+            .collect();
 
         if rule.once {
             let pred =

@@ -4,16 +4,22 @@
 //! zero-overhead baseline), and [`Monitor::report`] renders the script's
 //! `report` directives over its counter bank.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::io;
+use std::rc::Rc;
 
 use wizard_engine::{
-    InstrumentationCtx, Location, Monitor, ProbeBatch, ProbeError, ProbeKind, Report,
+    InstrumentationCtx, Location, Monitor, ProbeBatch, ProbeError, ProbeKind, Process, Report,
+};
+use wizard_trace::{
+    BranchTraceProbe, MemorySink, SiteDict, TraceCounters, TraceSink, TraceWriter, WriterRef,
 };
 use wizard_wasm::module::Module;
 
 use wizard_analysis::{ModuleFacts, TosFact};
 
-use crate::ast::{ReportKind, Script};
+use crate::ast::{Action, ReportKind, Script};
 use crate::error::ScriptError;
 use crate::lower::{lower_rule_with_facts, materialize_rule, CounterBank, LoweredProbe, SiteFacts};
 use crate::matcher::{match_rule_indexed, ModuleIndex, Site};
@@ -43,6 +49,15 @@ struct Attached {
     warnings: Vec<String>,
 }
 
+/// Live trace-capture state, present while a script with a `trace`
+/// action is attached (the writer moves out at detach).
+struct TraceState {
+    writer: Option<WriterRef>,
+    dict: SiteDict,
+    final_counters: TraceCounters,
+    error: Option<io::Error>,
+}
+
 /// A [`Monitor`] executing a wizard-script program.
 ///
 /// The script is compiled against the process's module during
@@ -54,6 +69,9 @@ pub struct ScriptMonitor {
     script: Script,
     attached: Option<Attached>,
     use_facts: bool,
+    trace_sink: Option<Box<dyn TraceSink>>,
+    trace_memory: Option<MemorySink>,
+    trace: Option<TraceState>,
 }
 
 impl ScriptMonitor {
@@ -64,7 +82,14 @@ impl ScriptMonitor {
     /// fold `tos` predicates and drop probes at statically-unreachable
     /// sites; disable with [`ScriptMonitor::without_facts`].
     pub fn new(script: Script) -> ScriptMonitor {
-        ScriptMonitor { script, attached: None, use_facts: true }
+        ScriptMonitor {
+            script,
+            attached: None,
+            use_facts: true,
+            trace_sink: None,
+            trace_memory: None,
+            trace: None,
+        }
     }
 
     /// Disables fact-driven lowering: every site compiles exactly as if
@@ -133,6 +158,47 @@ impl ScriptMonitor {
     pub fn warnings(&self) -> &[String] {
         self.attached.as_ref().map_or(&[], |a| &a.warnings)
     }
+
+    /// Streams `trace` actions to `sink` instead of the default internal
+    /// [`MemorySink`] (e.g. a `FileSink` for long captures). The sink is
+    /// consumed by the first attach; a re-attach falls back to a fresh
+    /// in-memory sink.
+    #[must_use]
+    pub fn with_trace_sink(mut self, sink: Box<dyn TraceSink>) -> ScriptMonitor {
+        self.trace_sink = Some(sink);
+        self
+    }
+
+    /// The captured trace stream for scripts with a `trace` action and
+    /// the default in-memory sink. Complete once detached; `None` when
+    /// nothing traced or an external sink was supplied.
+    pub fn trace_data(&self) -> Option<Vec<u8>> {
+        self.trace_memory.as_ref().map(MemorySink::data)
+    }
+
+    /// The trace site dictionary built at attach (`None` when the script
+    /// has no `trace` action or before the first attach).
+    pub fn trace_dict(&self) -> Option<&SiteDict> {
+        self.trace.as_ref().map(|t| &t.dict)
+    }
+
+    /// Trace writer counters (all zero when the script has no `trace`
+    /// action); final once detached.
+    pub fn trace_counters(&self) -> TraceCounters {
+        match &self.trace {
+            Some(t) => match &t.writer {
+                Some(w) => w.borrow().counters(),
+                None => t.final_counters,
+            },
+            None => TraceCounters::default(),
+        }
+    }
+
+    /// The first trace-sink error hit during the stream, if any (taken
+    /// at detach; probe fire paths cannot propagate errors).
+    pub fn trace_error(&self) -> Option<&io::Error> {
+        self.trace.as_ref().and_then(|t| t.error.as_ref())
+    }
 }
 
 /// Maps an analysis fact about the stack *before* a site to the
@@ -163,6 +229,7 @@ impl Monitor for ScriptMonitor {
         let mut dropped_sites = 0;
         let mut labels = HashMap::new();
         let mut warnings = Vec::new();
+        let mut trace_sites: Vec<Site> = Vec::new();
         {
             let module = ctx.module();
             let index = ModuleIndex::new(module);
@@ -178,6 +245,16 @@ impl Monitor for ScriptMonitor {
                     labels.entry(s.loc.func).or_insert_with(|| func_label(module, s.loc.func));
                 }
                 materialize_rule(rule, &sites, &mut bank);
+                if trace_sites.is_empty() && rule.actions.contains(&Action::Trace) {
+                    // Every `trace` rule is a plain `match branch`
+                    // (validation enforces it), so all of them match the
+                    // same code-order site list — identical to the one
+                    // `StreamingTraceMonitor` enumerates itself, which is
+                    // what keeps the two streams byte-identical. Taking
+                    // the first rule's sites also means several trace
+                    // rules install one probe per site, not duplicates.
+                    trace_sites = sites.clone();
+                }
                 matched.push(sites);
             }
             // Phase 2: classify and lower, consulting the per-site facts.
@@ -211,9 +288,41 @@ impl Monitor for ScriptMonitor {
         // up the self-removal ids of `once` probes.
         let mut batch = ProbeBatch::new();
         for p in &lowered {
-            batch.add_local(p.loc.func, p.loc.pc, std::rc::Rc::clone(&p.probe));
+            batch.add_local(p.loc.func, p.loc.pc, Rc::clone(&p.probe));
         }
-        let ids = ctx.apply_batch(batch)?;
+        // `trace` rules ride the same batch: a branch-outcome probe per
+        // matched site feeding one writer over the monitor's sink.
+        if !trace_sites.is_empty() {
+            let dict = SiteDict::from_locations(trace_sites.iter().map(|s| s.loc));
+            let sink = self.trace_sink.take().unwrap_or_else(|| {
+                let mem = MemorySink::new();
+                self.trace_memory = Some(mem.clone());
+                Box::new(mem)
+            });
+            let writer: WriterRef = Rc::new(RefCell::new(TraceWriter::new(&dict, sink)));
+            for (id, site) in trace_sites.iter().enumerate() {
+                batch.add_local_val(
+                    site.loc.func,
+                    site.loc.pc,
+                    BranchTraceProbe::new(site.opcode, id as u32, Rc::clone(&writer)),
+                );
+            }
+            self.trace = Some(TraceState {
+                writer: Some(writer),
+                dict,
+                final_counters: TraceCounters::default(),
+                error: None,
+            });
+        }
+        let ids = match ctx.apply_batch(batch) {
+            Ok(ids) => ids,
+            Err(e) => {
+                // The engine rolled the batch back; drop the half-built
+                // trace state so a later attach starts clean.
+                self.trace = None;
+                return Err(e);
+            }
+        };
         let mut lowering = Vec::with_capacity(lowered.len());
         for (p, id) in lowered.into_iter().zip(ids) {
             if let Some(cell) = &p.once_id {
@@ -229,6 +338,21 @@ impl Monitor for ScriptMonitor {
         self.attached =
             Some(Attached { bank, lowering, labels, matched_sites, dropped_sites, warnings });
         Ok(())
+    }
+
+    fn on_detach(&mut self, process: &mut Process) {
+        let Some(t) = &mut self.trace else { return };
+        if let Some(writer) = t.writer.take() {
+            let mut writer = writer.borrow_mut();
+            match writer.finish() {
+                Ok(counters) => t.final_counters = counters,
+                Err(e) => {
+                    t.final_counters = writer.counters();
+                    t.error = Some(e);
+                }
+            }
+            process.record_trace(t.final_counters.events, t.final_counters.bytes);
+        }
     }
 
     fn report(&self) -> Report {
@@ -309,6 +433,16 @@ impl Monitor for ScriptMonitor {
                         section.count(name, value);
                     }
                 }
+            }
+        }
+        if let Some(t) = &self.trace {
+            let c = self.trace_counters();
+            let s = r.section("trace");
+            s.count("sites", t.dict.len() as u64);
+            s.count("events", c.events);
+            s.count("bytes", c.bytes);
+            if let Some(e) = &t.error {
+                s.text("sink error", e.to_string());
             }
         }
         r

@@ -13,7 +13,7 @@
 //!           | "func" "[" NUM "]" "+" NUM
 //!           | MNEMONIC                      (e.g. i32.add, br, memory.grow)
 //! actions  := action ((";" | ",")? action)*
-//! action   := "inc" NAME ["[" "site" "]"]
+//! action   := "inc" NAME ["[" "site" "]"] | "trace"
 //! rkind    := "top" NUM NAME
 //!           | "total" STRING NAME ("+" NAME)*
 //!           | "ratio" STRING NAME "/" NAME
@@ -311,15 +311,20 @@ impl Parser {
     fn actions(&mut self) -> Result<Vec<Action>, ScriptError> {
         let mut out = Vec::new();
         loop {
-            let kw = self.expect_ident("an action (`inc <counter>`)")?;
-            if kw != "inc" {
-                return Err(self.error(format!("expected `inc`, found `{kw}`")));
+            let kw = self.expect_ident("an action (`inc <counter>` or `trace`)")?;
+            match kw.as_str() {
+                "inc" => {
+                    let counter = self.expect_ident("a counter name")?;
+                    let per_site = self.site_suffix()?;
+                    out.push(Action::Inc { counter, per_site });
+                }
+                "trace" => out.push(Action::Trace),
+                other => {
+                    return Err(self.error(format!("expected `inc` or `trace`, found `{other}`")))
+                }
             }
-            let counter = self.expect_ident("a counter name")?;
-            let per_site = self.site_suffix()?;
-            out.push(Action::Inc { counter, per_site });
             let _ = self.eat(&Tok::Semi) || self.eat(&Tok::Comma);
-            if !matches!(self.peek(), Tok::Ident(s) if s == "inc") {
+            if !matches!(self.peek(), Tok::Ident(s) if s == "inc" || s == "trace") {
                 return Ok(out);
             }
         }
@@ -419,9 +424,11 @@ impl Parser {
 pub fn counter_shapes(script: &Script) -> Vec<(String, bool)> {
     let mut order: Vec<(String, bool)> = Vec::new();
     for rule in &script.rules {
-        for Action::Inc { counter, per_site } in &rule.actions {
-            if !order.iter().any(|(n, _)| n == counter) {
-                order.push((counter.clone(), *per_site));
+        for action in &rule.actions {
+            if let Action::Inc { counter, per_site } = action {
+                if !order.iter().any(|(n, _)| n == counter) {
+                    order.push((counter.clone(), *per_site));
+                }
             }
         }
     }
@@ -451,9 +458,33 @@ fn validate(script: &Script) -> Result<(), ScriptError> {
     // a read-only counter is forever zero and reporting it is a bug.
     let mut incremented: std::collections::HashSet<&str> = std::collections::HashSet::new();
     for rule in &script.rules {
-        for Action::Inc { counter, per_site } in &rule.actions {
-            check(&mut shapes, counter, *per_site)?;
-            incremented.insert(counter);
+        for action in &rule.actions {
+            match action {
+                Action::Inc { counter, per_site } => {
+                    check(&mut shapes, counter, *per_site)?;
+                    incremented.insert(counter);
+                }
+                Action::Trace => {
+                    // `trace` lowers onto the streaming tracer's branch
+                    // probe, whose stream must stay byte-identical to the
+                    // hand-written monitor's: only a plain `match branch`
+                    // rule guarantees that (every branch site, no
+                    // predicate filtering, no self-removal).
+                    let bad = |msg: &str| ScriptError::BadTrace {
+                        rule: rule.text.clone(),
+                        msg: msg.to_string(),
+                    };
+                    if rule.selector != Selector::Branch {
+                        return Err(bad("`trace` requires the `branch` selector"));
+                    }
+                    if rule.when.is_some() {
+                        return Err(bad("`trace` cannot be combined with `when`"));
+                    }
+                    if rule.once {
+                        return Err(bad("`trace` cannot be combined with `once`"));
+                    }
+                }
+            }
         }
         if let Some(w) = &rule.when {
             walk_counters(w, &mut |name, per_site| check(&mut shapes, name, per_site))?;

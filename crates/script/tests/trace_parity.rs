@@ -1,0 +1,79 @@
+//! The script-level `trace` action is sugar for the hand-written
+//! streaming tracer: on the same module and input, `match branch do
+//! trace` must produce a stream *byte-identical* to
+//! [`StreamingTraceMonitor`]'s — same dictionary, same site ids, same
+//! delta encoding, same block framing.
+
+use wizard_engine::store::Linker;
+use wizard_engine::{EngineConfig, Process, Value};
+use wizard_script::ScriptMonitor;
+use wizard_suites::richards;
+use wizard_trace::{decode_trace, StreamingTraceMonitor, TraceEvent};
+
+fn richards_process(config: EngineConfig) -> Process {
+    Process::new(richards::module(), config, &Linker::new()).expect("richards instantiates")
+}
+
+#[test]
+fn script_trace_is_byte_identical_to_streaming_monitor() {
+    let mut scripted = richards_process(EngineConfig::interpreter());
+    let sm = scripted
+        .attach_monitor(ScriptMonitor::from_source("match branch do trace").unwrap())
+        .expect("attach");
+    let out = scripted.invoke_export("run", &[Value::I32(2)]).expect("runs");
+    scripted.detach_monitor(sm.handle()).expect("detach");
+    let script_bytes = sm.borrow().trace_data().expect("default sink is in-memory");
+
+    let mut handwritten = richards_process(EngineConfig::interpreter());
+    let tm = handwritten.attach_monitor(StreamingTraceMonitor::in_memory()).expect("attach");
+    assert_eq!(handwritten.invoke_export("run", &[Value::I32(2)]).expect("runs"), out);
+    handwritten.detach_monitor(tm.handle()).expect("detach");
+    let monitor_bytes = tm.borrow().trace_data().expect("in-memory tracer");
+
+    assert!(!script_bytes.is_empty());
+    assert_eq!(script_bytes, monitor_bytes, "scripted and hand-attached streams diverge");
+
+    // And the shared stream decodes to real branch activity.
+    let (dict, events) = decode_trace(&script_bytes).expect("stream decodes");
+    assert!(!dict.is_empty());
+    assert!(events.iter().any(|e| matches!(e, TraceEvent::Branch { .. })));
+    let mon = sm.borrow();
+    let c = mon.trace_counters();
+    assert_eq!(c.events, events.len() as u64);
+    assert_eq!(c.bytes, script_bytes.len() as u64);
+    assert!(mon.trace_error().is_none());
+}
+
+#[test]
+fn trace_composes_with_counters_and_credits_stats() {
+    // A trace rule rides alongside ordinary counting rules in the same
+    // batch; detach credits the stream to `EngineStats` and restores the
+    // zero-probe baseline.
+    let src = "match branch do trace\n\
+               match branch do inc branches\n\
+               report \"summary\" total \"branches\" branches";
+    let mut p = richards_process(EngineConfig::interpreter());
+    assert_eq!(p.stats().trace_events, 0);
+    let m = p.attach_monitor(ScriptMonitor::from_source(src).unwrap()).expect("attach");
+    p.invoke_export("run", &[Value::I32(1)]).expect("runs");
+    p.detach_monitor(m.handle()).expect("detach");
+    assert_eq!(p.probed_location_count(), 0, "detach restores the baseline");
+
+    let mon = m.borrow();
+    let data = mon.trace_data().expect("in-memory trace");
+    let (_, events) = decode_trace(&data).expect("stream decodes");
+    let branches = events.iter().filter(|e| matches!(e, TraceEvent::Branch { .. })).count() as u64;
+    assert_eq!(branches, mon.counter("branches"), "stream and counter agree");
+    assert_eq!(p.stats().trace_events, mon.trace_counters().events);
+    assert_eq!(p.stats().trace_bytes, data.len() as u64);
+}
+
+#[test]
+fn trace_validation_rejects_bad_shapes() {
+    for bad in
+        ["match call do trace", "match branch when tos != 0 do trace", "match branch once do trace"]
+    {
+        let err = wizard_script::Script::parse(bad).unwrap_err();
+        assert!(err.to_string().contains("trace"), "{bad}: {err}");
+    }
+}

@@ -1,0 +1,89 @@
+//! SimPoint-style phase detection over a wizard trace.
+//!
+//! ```text
+//! detect_phases [WORKLOAD-OR-TRACE-FILE] [INTERVAL] [K]
+//! ```
+//!
+//! The first argument is either a `wizard_suites::corpus` workload name
+//! (traced in-process at test scale, with BBVs over `wizard-analysis`
+//! CFG blocks) or a path to a captured trace file (BBVs over raw branch
+//! sites, since no module is at hand). Default: `crc32`.
+
+use wizard_engine::EngineConfig;
+use wizard_trace::capture::{capture_corpus, corpus_names};
+use wizard_trace::format::decode_trace;
+use wizard_trace::phases::{analyze, BbvSpace, PhaseConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let arg = args.next().unwrap_or_else(|| "crc32".to_string());
+    let mut config = PhaseConfig { interval: 1000, ..PhaseConfig::default() };
+    if let Some(v) = args.next().and_then(|s| s.parse().ok()) {
+        config.interval = v;
+    }
+    if let Some(v) = args.next().and_then(|s| s.parse().ok()) {
+        config.k = v;
+    }
+
+    let (name, space, events, space_kind) = if std::path::Path::new(&arg).is_file() {
+        let bytes = std::fs::read(&arg).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {arg}: {e}");
+            std::process::exit(1);
+        });
+        let (dict, events) = decode_trace(&bytes).unwrap_or_else(|e| {
+            eprintln!("error: {arg}: {e}");
+            std::process::exit(1);
+        });
+        (arg.clone(), BbvSpace::per_site(&dict), events, "branch sites")
+    } else {
+        let cap = capture_corpus(&arg, EngineConfig::interpreter()).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: detect_phases [{}|TRACE-FILE] [INTERVAL] [K]",
+                corpus_names().join("|")
+            );
+            std::process::exit(1);
+        });
+        let space = BbvSpace::cfg_blocks(&cap.module, &cap.dict);
+        println!(
+            "captured {}: {} events, {} branches, {} bytes",
+            cap.name, cap.counters.events, cap.counters.branches, cap.counters.bytes
+        );
+        (cap.name, space, cap.events, "cfg blocks")
+    };
+
+    let r = analyze(&space, &events, config);
+    println!("== phase detection: {name} ==");
+    println!(
+        "windows: {} x {} branches, bbv dims: {} ({space_kind}), k: {}",
+        r.windows,
+        config.interval,
+        space.dims(),
+        config.k
+    );
+    for (i, p) in r.phases.iter().enumerate() {
+        println!(
+            "phase {i}: weight {:.3}, medoid window {}, {} windows",
+            p.weight,
+            p.medoid,
+            p.windows.len()
+        );
+    }
+    // Run-length render of the assignment timeline, e.g. "0x12 1x3 0x4".
+    let mut timeline = String::new();
+    let mut run: Option<(usize, usize)> = None;
+    for &a in r.assignments.iter().chain(std::iter::once(&usize::MAX)) {
+        match run {
+            Some((phase, len)) if phase == a => run = Some((phase, len + 1)),
+            Some((phase, len)) => {
+                if !timeline.is_empty() {
+                    timeline.push(' ');
+                }
+                timeline.push_str(&format!("{phase}x{len}"));
+                run = Some((a, 1));
+            }
+            None => run = Some((a, 1)),
+        }
+    }
+    println!("timeline: {timeline}");
+}

@@ -1,0 +1,73 @@
+//! Offline branch-predictor simulation over a wizard trace.
+//!
+//! ```text
+//! predict_branches [WORKLOAD-OR-TRACE-FILE]
+//! ```
+//!
+//! The argument is either a `wizard_suites::corpus` workload name (the
+//! trace is captured in-process, deterministically, at test scale) or a
+//! path to a previously captured trace file. Default: `crc32`.
+
+use wizard_engine::EngineConfig;
+use wizard_trace::capture::{capture_corpus, corpus_names};
+use wizard_trace::format::decode_trace;
+use wizard_trace::predictor::{simulate, PredictorConfig};
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "crc32".to_string());
+    let (name, dict, events) = if std::path::Path::new(&arg).is_file() {
+        let bytes = std::fs::read(&arg).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {arg}: {e}");
+            std::process::exit(1);
+        });
+        let (dict, events) = decode_trace(&bytes).unwrap_or_else(|e| {
+            eprintln!("error: {arg}: {e}");
+            std::process::exit(1);
+        });
+        (arg.clone(), dict, events)
+    } else {
+        let cap = capture_corpus(&arg, EngineConfig::interpreter()).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            eprintln!("usage: predict_branches [{}|TRACE-FILE]", corpus_names().join("|"));
+            std::process::exit(1);
+        });
+        println!(
+            "captured {}: {} events, {} branches, {} bytes ({:.3} bytes/branch)",
+            cap.name,
+            cap.counters.events,
+            cap.counters.branches,
+            cap.counters.bytes,
+            cap.counters.bytes as f64 / cap.counters.branches.max(1) as f64,
+        );
+        (cap.name, cap.dict, cap.events)
+    };
+
+    let config = PredictorConfig::default();
+    let r = simulate(&dict, &events, config);
+    println!("== branch prediction: {name} ==");
+    println!("sites: {} in dictionary, {} executed", dict.len(), r.sites.len());
+    println!("branches: {}", r.branches);
+    println!(
+        "bimodal ({} entries): {} mispredicts, rate {:.4}",
+        1u64 << config.table_bits,
+        r.bimodal_miss,
+        r.bimodal_rate()
+    );
+    println!(
+        "gshare  ({} entries, {}-bit history): {} mispredicts, rate {:.4}",
+        1u64 << config.table_bits,
+        config.history_bits,
+        r.gshare_miss,
+        r.gshare_rate()
+    );
+
+    let mut worst = r.sites.clone();
+    worst.sort_by(|a, b| b.gshare_miss.cmp(&a.gshare_miss).then(a.site.cmp(&b.site)));
+    println!("hardest sites (by gshare mispredicts):");
+    for s in worst.iter().take(10) {
+        println!(
+            "  site {:>4} {}  executed {:>9}  taken {:>9}  bimodal-miss {:>7}  gshare-miss {:>7}",
+            s.site, s.loc, s.executed, s.taken, s.bimodal_miss, s.gshare_miss
+        );
+    }
+}

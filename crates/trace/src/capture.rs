@@ -1,0 +1,76 @@
+//! Convenience capture: run a workload under the streaming tracer and
+//! hand back the decoded trace — the shared front half of the offline
+//! analyzer bins and the trace bench.
+
+use wizard_engine::{EngineConfig, Process, Shims, Value};
+use wizard_suites::corpus::corpus;
+use wizard_suites::Scale;
+use wizard_wasm::module::Module;
+
+use crate::format::{decode_trace, SiteDict, TraceEvent};
+use crate::monitor::StreamingTraceMonitor;
+use crate::writer::TraceCounters;
+
+/// A captured, decoded trace plus the module it came from.
+pub struct Capture {
+    /// Workload name.
+    pub name: String,
+    /// The traced module (for CFG-based analyses).
+    pub module: Module,
+    /// The trace's site dictionary.
+    pub dict: SiteDict,
+    /// The decoded event stream.
+    pub events: Vec<TraceEvent>,
+    /// Writer counters (events, branches, encoded bytes).
+    pub counters: TraceCounters,
+    /// The raw encoded stream.
+    pub bytes: Vec<u8>,
+}
+
+/// Traces one invocation of `module`'s `run(n)` export under `config`.
+///
+/// # Errors
+///
+/// Returns a message on instantiation, trap, or decode failure.
+pub fn capture_module(
+    name: &str,
+    module: Module,
+    n: i32,
+    config: EngineConfig,
+) -> Result<Capture, String> {
+    let shims = Shims::standard();
+    let linker = shims.linker_for(&module).map_err(|e| format!("{name}: {e}"))?;
+    let mut p =
+        Process::new(module.clone(), config, &linker).map_err(|e| format!("{name}: {e}"))?;
+    let mon = p
+        .attach_monitor(StreamingTraceMonitor::in_memory())
+        .map_err(|e| format!("{name}: attach: {e}"))?;
+    p.invoke_export("run", &[Value::I32(n)]).map_err(|e| format!("{name}: run: {e}"))?;
+    let handle = mon.handle();
+    p.detach_monitor(handle).map_err(|e| format!("{name}: detach: {e}"))?;
+    let bytes = mon.borrow().trace_data().expect("in-memory tracer");
+    let counters = mon.borrow().counters();
+    let (dict, events) = decode_trace(&bytes).map_err(|e| format!("{name}: decode: {e}"))?;
+    Ok(Capture { name: name.to_string(), module, dict, events, counters, bytes })
+}
+
+/// Traces the named `wizard_suites::corpus` workload at test scale
+/// (deterministic input, so the captured trace is reproducible).
+///
+/// # Errors
+///
+/// Returns a message naming the available workloads if `name` is
+/// unknown, or a capture failure.
+pub fn capture_corpus(name: &str, config: EngineConfig) -> Result<Capture, String> {
+    let entries = corpus(Scale::Test);
+    let names: Vec<&str> = entries.iter().map(|e| e.name).collect();
+    let entry = entries.into_iter().find(|e| e.name == name).ok_or_else(|| {
+        format!("unknown corpus module {name:?}; available: {}", names.join(", "))
+    })?;
+    capture_module(entry.name, entry.module, entry.n, config)
+}
+
+/// The corpus workload names, for CLI help text.
+pub fn corpus_names() -> Vec<&'static str> {
+    corpus(Scale::Test).iter().map(|e| e.name).collect()
+}

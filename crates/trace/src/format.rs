@@ -1,0 +1,594 @@
+//! The compact binary trace format.
+//!
+//! A trace is a byte stream carrying branch outcomes (and optionally
+//! call/return and function enter/exit events) at production rates — the
+//! wizard equivalent of the cbp-experiments tracers, whose 2-byte branch
+//! `Entry` (taken-bit + branch-site index) reaches fractional
+//! bits-per-branch once the stream is compressed. The format here stays
+//! uncompressed but gets most of the win structurally:
+//!
+//! * a **site dictionary** up front maps dense site ids to `(func, pc)`
+//!   locations, built from the *static match pass* over the module — the
+//!   hot stream never repeats a 64-bit location;
+//! * branch entries carry **delta-encoded site ids**: consecutive fires
+//!   of nearby sites (the loop-dominated common case) fit a 1-byte
+//!   entry, anything within ±4096 a 2-byte entry, the rest an escape;
+//! * the stream is **block-framed with varint lengths**, and the
+//!   delta state resets at each block boundary, so every block decodes
+//!   independently — sinks can rotate files or ship blocks over a
+//!   channel mid-stream without coordinating with the writer.
+//!
+//! ## Layout
+//!
+//! ```text
+//! file   := magic version dict block*
+//! magic  := "WZTR"            version := 0x01
+//! dict   := varint(n) site^n  site    := varint(func_delta) varint(pc)
+//! block  := varint(len > 0) payload[len]
+//! ```
+//!
+//! Dictionary sites are in code order, so `func_delta` (from the previous
+//! site's function index) is non-negative; `pc` is the absolute byte
+//! offset within the body. Within a block payload, events are
+//! byte-aligned; the first byte's low bits select the shape:
+//!
+//! ```text
+//! b & 0b11 == 0b11  short branch (1 byte):
+//!                     taken = b>>2 & 1, delta = zigzag⁻¹(b>>3)      (±16)
+//! b & 0b11 == 0b01  branch (2 bytes, u16 LE):
+//!                     taken = u>>2 & 1, delta = zigzag⁻¹(u>>3)    (±4096)
+//! b & 0b11 == 0b00  tagged record, tag = b >> 2:
+//!                     0 ext-branch   taken-byte varint(site)   (absolute)
+//!                     1 func-enter   varint(func)
+//!                     2 func-exit    varint(func)
+//!                     3 call         varint(callee)   (!0 = indirect)
+//!                     4 return       varint(func)
+//! b & 0b11 == 0b10  invalid (reserved)
+//! ```
+//!
+//! `site = prev + delta` with `prev` starting at 0 in every block and
+//! updated by every branch event (all three spellings). The writer picks
+//! the shortest spelling that fits; the decoder accepts any.
+
+use std::collections::HashMap;
+
+use wizard_engine::Location;
+use wizard_wasm::instr::InstrIter;
+use wizard_wasm::leb128;
+use wizard_wasm::module::Module;
+use wizard_wasm::opcodes as op;
+
+/// The 4-byte stream magic.
+pub const MAGIC: &[u8; 4] = b"WZTR";
+/// Current format version.
+pub const VERSION: u8 = 1;
+
+/// The callee value of a [`TraceEvent::Call`] record whose target is not
+/// statically known (`call_indirect`).
+pub const INDIRECT_CALLEE: u32 = u32::MAX;
+
+/// One decoded trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A conditional branch fired at dictionary site `site`; `taken`
+    /// follows the engine's branch-profile convention (`br_table` is
+    /// always taken).
+    Branch {
+        /// Dense site id into the trace's [`SiteDict`].
+        site: u32,
+        /// Whether the branch was taken.
+        taken: bool,
+    },
+    /// Control entered a function body.
+    FuncEnter {
+        /// Function index.
+        func: u32,
+    },
+    /// Control left a function body (`return` or the final `end`).
+    FuncExit {
+        /// Function index.
+        func: u32,
+    },
+    /// A call instruction fired.
+    Call {
+        /// Static callee function index, or [`INDIRECT_CALLEE`] for
+        /// `call_indirect` (the target is dynamic).
+        callee: u32,
+    },
+    /// A function returned to its caller.
+    Return {
+        /// The returning function's index.
+        func: u32,
+    },
+}
+
+/// A malformed trace stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceFormatError {
+    /// The stream does not begin with [`MAGIC`] + [`VERSION`].
+    BadHeader,
+    /// The stream ends mid-structure; the payload names what was cut.
+    Truncated(&'static str),
+    /// A reserved event shape byte was encountered at this block offset.
+    BadEvent(usize),
+    /// A branch entry resolved to a site id outside the dictionary.
+    BadSite(u32),
+    /// A block frame declared a length past the end of the stream.
+    BadBlockLength,
+}
+
+impl core::fmt::Display for TraceFormatError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TraceFormatError::BadHeader => f.write_str("not a wizard trace (bad magic/version)"),
+            TraceFormatError::Truncated(what) => write!(f, "truncated trace: {what}"),
+            TraceFormatError::BadEvent(off) => {
+                write!(f, "invalid event byte at block offset {off}")
+            }
+            TraceFormatError::BadSite(id) => write!(f, "site id {id} outside the dictionary"),
+            TraceFormatError::BadBlockLength => f.write_str("block length overruns the stream"),
+        }
+    }
+}
+
+impl std::error::Error for TraceFormatError {}
+
+// ---- the site dictionary ----
+
+/// The per-module site dictionary: dense site id ↔ [`Location`], built
+/// once from the static match pass and serialized at the head of every
+/// trace so offline consumers resolve ids without the module.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SiteDict {
+    sites: Vec<Location>,
+    index: HashMap<Location, u32>,
+}
+
+impl SiteDict {
+    /// Builds a dictionary from locations in code order.
+    pub fn from_locations(locs: impl IntoIterator<Item = Location>) -> SiteDict {
+        let sites: Vec<Location> = locs.into_iter().collect();
+        let index = sites.iter().enumerate().map(|(i, l)| (*l, i as u32)).collect();
+        SiteDict { sites, index }
+    }
+
+    /// The branch-site dictionary of a module: every `if`, `br_if` and
+    /// `br_table` of every locally-defined function, in code order —
+    /// exactly the sites the branch monitors instrument.
+    pub fn branches(module: &Module) -> SiteDict {
+        let n_imp = module.num_imported_funcs();
+        let mut locs = Vec::new();
+        for (i, f) in module.funcs.iter().enumerate() {
+            let func = n_imp + i as u32;
+            for item in InstrIter::new(&f.body.code) {
+                let instr = item.expect("module was validated");
+                if matches!(instr.op, op::IF | op::BR_IF | op::BR_TABLE) {
+                    locs.push(Location { func, pc: instr.pc });
+                }
+            }
+        }
+        SiteDict::from_locations(locs)
+    }
+
+    /// The dense id of a location, if it is in the dictionary.
+    pub fn id_of(&self, loc: Location) -> Option<u32> {
+        self.index.get(&loc).copied()
+    }
+
+    /// The location of a dense id.
+    pub fn location(&self, id: u32) -> Option<Location> {
+        self.sites.get(id as usize).copied()
+    }
+
+    /// All locations, in id order.
+    pub fn locations(&self) -> &[Location] {
+        &self.sites
+    }
+
+    /// Number of sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// `true` if the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        leb128::write_u32(out, self.sites.len() as u32);
+        let mut prev_func = 0u32;
+        for loc in &self.sites {
+            leb128::write_u32(out, loc.func - prev_func);
+            leb128::write_u32(out, loc.pc);
+            prev_func = loc.func;
+        }
+    }
+
+    fn decode_from(buf: &[u8], mut pos: usize) -> Result<(SiteDict, usize), TraceFormatError> {
+        let trunc = |_| TraceFormatError::Truncated("site dictionary");
+        let (n, p) = leb128::read_u32(buf, pos).map_err(trunc)?;
+        pos = p;
+        let mut locs = Vec::with_capacity(n as usize);
+        let mut func = 0u32;
+        for _ in 0..n {
+            let (fd, p) = leb128::read_u32(buf, pos).map_err(trunc)?;
+            let (pc, p) = leb128::read_u32(buf, p).map_err(trunc)?;
+            pos = p;
+            func += fd;
+            locs.push(Location { func, pc });
+        }
+        Ok((SiteDict::from_locations(locs), pos))
+    }
+}
+
+// ---- encoding ----
+
+fn zigzag(v: i32) -> u32 {
+    ((v << 1) ^ (v >> 31)) as u32
+}
+
+fn unzigzag(z: u32) -> i32 {
+    ((z >> 1) as i32) ^ -((z & 1) as i32)
+}
+
+/// Encodes the stream header (magic, version, dictionary) into `out`.
+pub fn encode_header(dict: &SiteDict, out: &mut Vec<u8>) {
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    dict.encode_into(out);
+}
+
+/// Appends one event to a block payload. `prev` is the block's running
+/// branch-site id, updated in place by branch events.
+pub fn encode_event(e: &TraceEvent, prev: &mut u32, out: &mut Vec<u8>) {
+    match *e {
+        TraceEvent::Branch { site, taken } => {
+            let delta = site.wrapping_sub(*prev) as i32;
+            let zz = zigzag(delta);
+            let t = u32::from(taken);
+            if zz < 1 << 5 {
+                out.push((0b11 | (t << 2) | (zz << 3)) as u8);
+            } else if zz < 1 << 13 {
+                let u = (0b01 | (t << 2) | (zz << 3)) as u16;
+                out.extend_from_slice(&u.to_le_bytes());
+            } else {
+                out.push(0b00);
+                out.push(taken as u8);
+                leb128::write_u32(out, site);
+            }
+            *prev = site;
+        }
+        TraceEvent::FuncEnter { func } => {
+            out.push(1 << 2);
+            leb128::write_u32(out, func);
+        }
+        TraceEvent::FuncExit { func } => {
+            out.push(2 << 2);
+            leb128::write_u32(out, func);
+        }
+        TraceEvent::Call { callee } => {
+            out.push(3 << 2);
+            leb128::write_u32(out, callee);
+        }
+        TraceEvent::Return { func } => {
+            out.push(4 << 2);
+            leb128::write_u32(out, func);
+        }
+    }
+}
+
+/// Decodes one block payload (delta state starts fresh at 0).
+pub fn decode_block(
+    payload: &[u8],
+    dict: &SiteDict,
+    out: &mut Vec<TraceEvent>,
+) -> Result<(), TraceFormatError> {
+    let mut pos = 0usize;
+    let mut prev = 0u32;
+    let trunc = |_| TraceFormatError::Truncated("event immediate");
+    while pos < payload.len() {
+        let b = payload[pos];
+        match b & 0b11 {
+            0b11 => {
+                let taken = (b >> 2) & 1 == 1;
+                let site = prev.wrapping_add_signed(unzigzag(u32::from(b >> 3)));
+                push_branch(site, taken, dict, &mut prev, out)?;
+                pos += 1;
+            }
+            0b01 => {
+                let lo = b;
+                let hi = *payload
+                    .get(pos + 1)
+                    .ok_or(TraceFormatError::Truncated("2-byte branch entry"))?;
+                let u = u16::from_le_bytes([lo, hi]);
+                let taken = (u >> 2) & 1 == 1;
+                let site = prev.wrapping_add_signed(unzigzag(u32::from(u >> 3)));
+                push_branch(site, taken, dict, &mut prev, out)?;
+                pos += 2;
+            }
+            0b00 => {
+                let tag = b >> 2;
+                pos += 1;
+                match tag {
+                    0 => {
+                        let taken = *payload
+                            .get(pos)
+                            .ok_or(TraceFormatError::Truncated("extended branch taken byte"))?
+                            != 0;
+                        let (site, p) = leb128::read_u32(payload, pos + 1).map_err(trunc)?;
+                        pos = p;
+                        push_branch(site, taken, dict, &mut prev, out)?;
+                    }
+                    1..=4 => {
+                        let (v, p) = leb128::read_u32(payload, pos).map_err(trunc)?;
+                        pos = p;
+                        out.push(match tag {
+                            1 => TraceEvent::FuncEnter { func: v },
+                            2 => TraceEvent::FuncExit { func: v },
+                            3 => TraceEvent::Call { callee: v },
+                            _ => TraceEvent::Return { func: v },
+                        });
+                    }
+                    _ => return Err(TraceFormatError::BadEvent(pos - 1)),
+                }
+            }
+            _ => return Err(TraceFormatError::BadEvent(pos)),
+        }
+    }
+    Ok(())
+}
+
+fn push_branch(
+    site: u32,
+    taken: bool,
+    dict: &SiteDict,
+    prev: &mut u32,
+    out: &mut Vec<TraceEvent>,
+) -> Result<(), TraceFormatError> {
+    if site as usize >= dict.len() {
+        return Err(TraceFormatError::BadSite(site));
+    }
+    *prev = site;
+    out.push(TraceEvent::Branch { site, taken });
+    Ok(())
+}
+
+/// Decodes a complete trace stream: header, dictionary, and every block.
+///
+/// # Errors
+///
+/// Returns [`TraceFormatError`] on a bad header, a truncated dictionary,
+/// block, or event, a reserved event byte, or a site id outside the
+/// dictionary — decoding never panics on hostile bytes.
+pub fn decode_trace(bytes: &[u8]) -> Result<(SiteDict, Vec<TraceEvent>), TraceFormatError> {
+    if bytes.len() < 5 || &bytes[..4] != MAGIC || bytes[4] != VERSION {
+        return Err(TraceFormatError::BadHeader);
+    }
+    let (dict, mut pos) = SiteDict::decode_from(bytes, 5)?;
+    let mut events = Vec::new();
+    while pos < bytes.len() {
+        let (len, p) = leb128::read_u32(bytes, pos)
+            .map_err(|_| TraceFormatError::Truncated("block length"))?;
+        pos = p;
+        let end = pos.checked_add(len as usize).ok_or(TraceFormatError::BadBlockLength)?;
+        if len == 0 || end > bytes.len() {
+            return Err(TraceFormatError::BadBlockLength);
+        }
+        decode_block(&bytes[pos..end], &dict, &mut events)?;
+        pos = end;
+    }
+    Ok((dict, events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dict(n: u32) -> SiteDict {
+        SiteDict::from_locations((0..n).map(|i| Location { func: i / 7, pc: (i % 7) * 3 }))
+    }
+
+    fn round_trip(dict: &SiteDict, events: &[TraceEvent]) -> Vec<TraceEvent> {
+        let mut bytes = Vec::new();
+        encode_header(dict, &mut bytes);
+        let mut payload = Vec::new();
+        let mut prev = 0u32;
+        for e in events {
+            encode_event(e, &mut prev, &mut payload);
+        }
+        if !payload.is_empty() {
+            leb128::write_u32(&mut bytes, payload.len() as u32);
+            bytes.extend_from_slice(&payload);
+        }
+        let (d, got) = decode_trace(&bytes).expect("round trip decodes");
+        assert_eq!(&d, dict);
+        got
+    }
+
+    #[test]
+    fn zigzag_inverts() {
+        for v in [0i32, 1, -1, 16, -16, 4095, -4096, i32::MAX, i32::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn entry_width_matches_delta_magnitude() {
+        let enc = |site: u32, prev: &mut u32| {
+            let mut out = Vec::new();
+            encode_event(&TraceEvent::Branch { site, taken: true }, prev, &mut out);
+            out.len()
+        };
+        // Same site re-fires (a loop back-edge): 1 byte.
+        let mut prev = 5;
+        assert_eq!(enc(5, &mut prev), 1);
+        // Nearby interleavings stay at 1 byte up to ±16 ...
+        assert_eq!(enc(5 + 15, &mut prev), 1);
+        assert_eq!(enc(5 + 15 - 16, &mut prev), 1);
+        // ... medium hops take 2 (delta range is [-4096, 4095]) ...
+        assert_eq!(enc(4 + 4095, &mut prev), 2);
+        prev = 4100;
+        assert_eq!(enc(4100 - 4096, &mut prev), 2);
+        // ... and a far jump escapes to the tagged form.
+        assert!(enc(19_000, &mut prev) > 2);
+    }
+
+    #[test]
+    fn mixed_events_round_trip() {
+        let d = dict(100);
+        let events = vec![
+            TraceEvent::FuncEnter { func: 3 },
+            TraceEvent::Branch { site: 0, taken: true },
+            TraceEvent::Branch { site: 0, taken: false },
+            TraceEvent::Call { callee: 9 },
+            TraceEvent::Branch { site: 42, taken: true },
+            TraceEvent::Return { func: 9 },
+            TraceEvent::Branch { site: 41, taken: false },
+            TraceEvent::Call { callee: INDIRECT_CALLEE },
+            TraceEvent::FuncExit { func: 3 },
+        ];
+        assert_eq!(round_trip(&d, &events), events);
+    }
+
+    #[test]
+    fn deterministic_pseudorandom_round_trip() {
+        // A seeded LCG sweep over delta edge cases: dense loops, ±16/±4096
+        // boundary hops, and absolute escapes, with every event kind mixed
+        // in. No external proptest crate — the workspace is dependency-free
+        // — but the sweep is wide and fully reproducible.
+        let d = dict(12_000);
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut rng = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        let mut prev_site = 0u32;
+        for case in 0..200 {
+            let mut events = Vec::new();
+            for _ in 0..((case % 37) + 1) * 7 {
+                let e = match rng() % 10 {
+                    // Branch-heavy mix: mostly small deltas, some wild.
+                    0..=5 => {
+                        let step = match rng() % 4 {
+                            0 => 0,
+                            1 => (rng() % 33) as i64 - 16,
+                            2 => (rng() % 8193) as i64 - 4096,
+                            _ => i64::from(rng() % 12_000) - i64::from(prev_site),
+                        };
+                        let site = (i64::from(prev_site) + step)
+                            .clamp(0, i64::from(d.len() as u32) - 1)
+                            as u32;
+                        prev_site = site;
+                        TraceEvent::Branch { site, taken: rng() % 2 == 0 }
+                    }
+                    6 => TraceEvent::FuncEnter { func: rng() % 500 },
+                    7 => TraceEvent::FuncExit { func: rng() % 500 },
+                    8 => TraceEvent::Call {
+                        callee: if rng() % 5 == 0 { INDIRECT_CALLEE } else { rng() % 500 },
+                    },
+                    _ => TraceEvent::Return { func: rng() % 500 },
+                };
+                events.push(e);
+            }
+            assert_eq!(round_trip(&d, &events), events, "case {case}");
+        }
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let d = dict(64);
+        let mut bytes = Vec::new();
+        encode_header(&d, &mut bytes);
+        let mut payload = Vec::new();
+        let mut prev = 0;
+        for i in 0..50u32 {
+            encode_event(
+                &TraceEvent::Branch { site: i, taken: i % 2 == 0 },
+                &mut prev,
+                &mut payload,
+            );
+            encode_event(&TraceEvent::Call { callee: i }, &mut prev, &mut payload);
+        }
+        leb128::write_u32(&mut bytes, payload.len() as u32);
+        bytes.extend_from_slice(&payload);
+        assert!(decode_trace(&bytes).is_ok());
+        // Every strict prefix errors cleanly — except the one landing
+        // exactly on the header/block boundary, which is a valid empty
+        // trace (that boundary is what makes mid-stream rotation legal).
+        let mut header = Vec::new();
+        encode_header(&d, &mut header);
+        for cut in 0..bytes.len() {
+            if let Ok((_, events)) = decode_trace(&bytes[..cut]) {
+                assert_eq!(cut, header.len(), "unexpected valid prefix at {cut}");
+                assert!(events.is_empty());
+            }
+        }
+        // Corrupting the frame length to overrun the stream is caught.
+        let mut huge = Vec::new();
+        encode_header(&d, &mut huge);
+        leb128::write_u32(&mut huge, 1_000_000);
+        huge.push(0b11);
+        assert_eq!(decode_trace(&huge), Err(TraceFormatError::BadBlockLength));
+        // Reserved shape byte.
+        let mut bad = Vec::new();
+        encode_header(&d, &mut bad);
+        leb128::write_u32(&mut bad, 1);
+        bad.push(0b10);
+        assert!(matches!(decode_trace(&bad), Err(TraceFormatError::BadEvent(_))));
+        // Site id past the dictionary.
+        let mut oob = Vec::new();
+        encode_header(&d, &mut oob);
+        let mut payload = Vec::new();
+        let mut prev = 0;
+        encode_event(&TraceEvent::Branch { site: 64, taken: true }, &mut prev, &mut payload);
+        leb128::write_u32(&mut oob, payload.len() as u32);
+        oob.extend_from_slice(&payload);
+        assert_eq!(decode_trace(&oob), Err(TraceFormatError::BadSite(64)));
+    }
+
+    #[test]
+    fn blocks_decode_independently() {
+        // The delta state resets per block: splitting one event sequence
+        // across two frames decodes to the same events as one frame.
+        let d = dict(5000);
+        let a = [
+            TraceEvent::Branch { site: 4000, taken: true },
+            TraceEvent::Branch { site: 4001, taken: false },
+        ];
+        let b = [
+            TraceEvent::Branch { site: 4002, taken: true },
+            TraceEvent::Branch { site: 10, taken: true },
+        ];
+        let mut split = Vec::new();
+        encode_header(&d, &mut split);
+        for half in [&a[..], &b[..]] {
+            let mut payload = Vec::new();
+            let mut prev = 0;
+            for e in half {
+                encode_event(e, &mut prev, &mut payload);
+            }
+            leb128::write_u32(&mut split, payload.len() as u32);
+            split.extend_from_slice(&payload);
+        }
+        let (_, got) = decode_trace(&split).unwrap();
+        let all: Vec<TraceEvent> = a.iter().chain(&b).copied().collect();
+        assert_eq!(got, all);
+    }
+
+    #[test]
+    fn dict_round_trips_and_indexes() {
+        let d = dict(300);
+        let mut bytes = Vec::new();
+        encode_header(&d, &mut bytes);
+        let (d2, events) = decode_trace(&bytes).unwrap();
+        assert_eq!(d2, d);
+        assert!(events.is_empty());
+        for (i, loc) in d.locations().iter().enumerate() {
+            assert_eq!(d.id_of(*loc), Some(i as u32));
+            assert_eq!(d.location(i as u32), Some(*loc));
+        }
+        assert_eq!(d.location(300), None);
+        assert_eq!(d.id_of(Location { func: 999, pc: 999 }), None);
+    }
+}

@@ -1,0 +1,41 @@
+//! **wizard-trace** — compact streaming trace capture and offline
+//! analysis.
+//!
+//! The engine-integrated monitors observe execution in process; this
+//! crate gets the event stream *out* at production rates and analyzes
+//! it offline, turning the engine into a trace-driven research
+//! platform:
+//!
+//! * [`mod@format`] — the compact binary trace format: per-module site
+//!   dictionary, delta-encoded branch entries (1–2 bytes in the common
+//!   case), call/return and function-boundary records, independent
+//!   block frames.
+//! * [`sink`] — where encoded blocks go: memory, buffered file, or a
+//!   bounded channel for cross-thread consumption (e.g. draining
+//!   wizard-pool shards).
+//! * [`writer`] / [`monitor`] — the streaming side:
+//!   [`StreamingTraceMonitor`] lowers branch sites onto intrinsifiable
+//!   operand probes through the standard monitor lifecycle (one
+//!   [`ProbeBatch`](wizard_engine::ProbeBatch) at attach, baseline
+//!   restored at detach, counters credited to
+//!   [`EngineStats`](wizard_engine::EngineStats)).
+//! * [`predictor`] — offline branch-predictor simulation (2-bit
+//!   bimodal + gshare) over captured traces.
+//! * [`phases`] — SimPoint-style phase detection: BBV windows over the
+//!   branch stream (optionally collapsed onto `wizard-analysis` CFG
+//!   blocks), clustered with deterministic k-medoids.
+
+#![warn(missing_docs)]
+
+pub mod capture;
+pub mod format;
+pub mod monitor;
+pub mod phases;
+pub mod predictor;
+pub mod sink;
+pub mod writer;
+
+pub use format::{decode_trace, SiteDict, TraceEvent, TraceFormatError, INDIRECT_CALLEE};
+pub use monitor::{BranchTraceProbe, StreamingTraceMonitor, TraceConfig, WriterRef};
+pub use sink::{ChannelSink, FileSink, MemorySink, TraceSink};
+pub use writer::{TraceCounters, TraceWriter};

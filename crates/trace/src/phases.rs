@@ -1,0 +1,313 @@
+//! SimPoint-style phase detection over captured traces.
+//!
+//! The trace's branch stream is sliced into fixed-size execution
+//! **windows** (the trace-side analogue of fuel slices); each window is
+//! summarized as a **basic-block vector** (BBV) — how often each CFG
+//! block (or raw branch site) executed in the window — and the windows
+//! are clustered with a deterministic k-medoids pass. Each resulting
+//! cluster is a program *phase*; its medoid window is the
+//! representative simulation point.
+
+use std::collections::HashMap;
+
+use wizard_analysis::cfg::Cfg;
+use wizard_wasm::module::Module;
+use wizard_wasm::validate::validate;
+
+use crate::format::{SiteDict, TraceEvent};
+
+/// Phase-detection parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseConfig {
+    /// Branch events per window.
+    pub interval: usize,
+    /// Number of phases (clusters) to find; clamped to the window count.
+    pub k: usize,
+    /// k-medoids refinement iteration cap.
+    pub max_iters: usize,
+}
+
+impl Default for PhaseConfig {
+    fn default() -> PhaseConfig {
+        PhaseConfig { interval: 10_000, k: 4, max_iters: 20 }
+    }
+}
+
+/// One detected phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    /// Index of the medoid (representative) window.
+    pub medoid: usize,
+    /// Indices of all windows assigned to this phase.
+    pub windows: Vec<usize>,
+    /// Fraction of all windows in this phase.
+    pub weight: f64,
+}
+
+/// The phase-detection result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseReport {
+    /// Number of windows the trace sliced into.
+    pub windows: usize,
+    /// BBV dimensionality (CFG blocks or sites).
+    pub dims: usize,
+    /// Phase assignment per window.
+    pub assignments: Vec<usize>,
+    /// The phases, ordered by descending weight.
+    pub phases: Vec<Phase>,
+}
+
+/// Maps every dictionary site to a BBV dimension.
+///
+/// With a module, sites collapse onto the CFG basic block that contains
+/// them (via `wizard-analysis`), so the vectors measure *block*
+/// execution like classic SimPoint BBVs; without one, each site is its
+/// own dimension.
+#[derive(Debug, Clone)]
+pub struct BbvSpace {
+    site_dim: Vec<u32>,
+    dims: usize,
+}
+
+impl BbvSpace {
+    /// One dimension per dictionary site.
+    pub fn per_site(dict: &SiteDict) -> BbvSpace {
+        BbvSpace { site_dim: (0..dict.len() as u32).collect(), dims: dict.len() }
+    }
+
+    /// One dimension per `(function, CFG block)` pair containing at
+    /// least one dictionary site, recovered from the module with
+    /// `wizard-analysis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the module does not validate or the dictionary names a
+    /// site outside it — analyzers hold the module the trace came from.
+    pub fn cfg_blocks(module: &Module, dict: &SiteDict) -> BbvSpace {
+        let meta = validate(module).expect("module was validated");
+        let n_imp = module.num_imported_funcs();
+        // (func, block) → dense dimension, assigned in site order.
+        let mut block_dim: HashMap<(u32, usize), u32> = HashMap::new();
+        let mut pc_block: HashMap<u32, HashMap<u32, usize>> = HashMap::new();
+        let mut site_dim = Vec::with_capacity(dict.len());
+        for loc in dict.locations() {
+            let by_pc = pc_block.entry(loc.func).or_insert_with(|| {
+                let local = (loc.func - n_imp) as usize;
+                let cfg = Cfg::build(&module.funcs[local].body.code, &meta.funcs[local]);
+                (0..cfg.instrs.len()).map(|i| (cfg.instrs[i].pc, cfg.block_of_instr(i))).collect()
+            });
+            let block = *by_pc.get(&loc.pc).expect("dictionary site exists in module");
+            let next = block_dim.len() as u32;
+            let dim = *block_dim.entry((loc.func, block)).or_insert(next);
+            site_dim.push(dim);
+        }
+        let dims = block_dim.len();
+        BbvSpace { site_dim, dims }
+    }
+
+    /// BBV dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+}
+
+/// Slices the branch stream into windows of `interval` events and
+/// accumulates each into a normalized BBV (a trailing partial window is
+/// kept — it is a phase sample like any other).
+pub fn bbv_windows(space: &BbvSpace, events: &[TraceEvent], interval: usize) -> Vec<Vec<f64>> {
+    let interval = interval.max(1);
+    let mut windows = Vec::new();
+    let mut current = vec![0u64; space.dims];
+    let mut count = 0usize;
+    for e in events {
+        let TraceEvent::Branch { site, .. } = *e else { continue };
+        current[space.site_dim[site as usize] as usize] += 1;
+        count += 1;
+        if count == interval {
+            windows.push(normalize(&current));
+            current.iter_mut().for_each(|c| *c = 0);
+            count = 0;
+        }
+    }
+    if count > 0 {
+        windows.push(normalize(&current));
+    }
+    windows
+}
+
+fn normalize(counts: &[u64]) -> Vec<f64> {
+    let total: u64 = counts.iter().sum();
+    let total = total.max(1) as f64;
+    counts.iter().map(|&c| c as f64 / total).collect()
+}
+
+fn l1(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Clusters BBV windows with deterministic k-medoids: greedy k-center
+/// seeding (first window, then repeatedly the window farthest from its
+/// nearest seed, lowest index on ties) followed by alternating
+/// assign/update passes until stable.
+pub fn detect_phases(windows: &[Vec<f64>], config: PhaseConfig) -> PhaseReport {
+    let n = windows.len();
+    let dims = windows.first().map_or(0, Vec::len);
+    let k = config.k.clamp(1, n.max(1));
+    if n == 0 {
+        return PhaseReport { windows: 0, dims, assignments: Vec::new(), phases: Vec::new() };
+    }
+
+    // Greedy k-center seeding.
+    let mut medoids = vec![0usize];
+    while medoids.len() < k {
+        let mut best = (0usize, -1.0f64);
+        for (i, w) in windows.iter().enumerate() {
+            let d = medoids.iter().map(|&m| l1(w, &windows[m])).fold(f64::MAX, f64::min);
+            if d > best.1 {
+                best = (i, d);
+            }
+        }
+        if best.1 <= 0.0 {
+            break; // fewer distinct windows than k
+        }
+        medoids.push(best.0);
+    }
+
+    let assign = |medoids: &[usize]| -> Vec<usize> {
+        windows
+            .iter()
+            .map(|w| {
+                let mut best = (0usize, f64::MAX);
+                for (c, &m) in medoids.iter().enumerate() {
+                    let d = l1(w, &windows[m]);
+                    if d < best.1 {
+                        best = (c, d);
+                    }
+                }
+                best.0
+            })
+            .collect()
+    };
+
+    let mut assignments = assign(&medoids);
+    for _ in 0..config.max_iters {
+        // Update: each cluster's new medoid is its member minimizing the
+        // total distance to the rest of the cluster (lowest index ties).
+        let mut next = medoids.clone();
+        for (c, slot) in next.iter_mut().enumerate() {
+            let members: Vec<usize> = (0..n).filter(|&i| assignments[i] == c).collect();
+            if members.is_empty() {
+                continue;
+            }
+            let mut best = (*slot, f64::MAX);
+            for &cand in &members {
+                let cost: f64 = members.iter().map(|&m| l1(&windows[cand], &windows[m])).sum();
+                if cost < best.1 {
+                    best = (cand, cost);
+                }
+            }
+            *slot = best.0;
+        }
+        if next == medoids {
+            break;
+        }
+        medoids = next;
+        assignments = assign(&medoids);
+    }
+
+    let mut phases: Vec<Phase> = medoids
+        .iter()
+        .enumerate()
+        .map(|(c, &m)| {
+            let members: Vec<usize> = (0..n).filter(|&i| assignments[i] == c).collect();
+            let weight = members.len() as f64 / n as f64;
+            Phase { medoid: m, windows: members, weight }
+        })
+        .filter(|p| !p.windows.is_empty())
+        .collect();
+    // Order by weight (descending), medoid index breaking ties, then
+    // renumber assignments to match.
+    phases.sort_by(|a, b| {
+        b.weight.partial_cmp(&a.weight).expect("weights are finite").then(a.medoid.cmp(&b.medoid))
+    });
+    let mut renumbered = vec![0usize; n];
+    for (c, p) in phases.iter().enumerate() {
+        for &w in &p.windows {
+            renumbered[w] = c;
+        }
+    }
+
+    PhaseReport { windows: n, dims, assignments: renumbered, phases }
+}
+
+/// Convenience: windows + clustering in one call.
+pub fn analyze(space: &BbvSpace, events: &[TraceEvent], config: PhaseConfig) -> PhaseReport {
+    detect_phases(&bbv_windows(space, events, config.interval), config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wizard_engine::Location;
+
+    fn dict(n: u32) -> SiteDict {
+        SiteDict::from_locations((0..n).map(|pc| Location { func: 0, pc }))
+    }
+
+    fn phase_events(site: u32, n: usize) -> Vec<TraceEvent> {
+        (0..n).map(|i| TraceEvent::Branch { site, taken: i % 2 == 0 }).collect()
+    }
+
+    #[test]
+    fn two_alternating_phases_are_separated() {
+        // 4 windows hammering site 0, then 4 hammering site 5, twice over.
+        let d = dict(6);
+        let space = BbvSpace::per_site(&d);
+        let mut events = Vec::new();
+        for _ in 0..2 {
+            events.extend(phase_events(0, 400));
+            events.extend(phase_events(5, 400));
+        }
+        let r = analyze(&space, &events, PhaseConfig { interval: 100, k: 2, max_iters: 20 });
+        assert_eq!(r.windows, 16);
+        assert_eq!(r.phases.len(), 2);
+        // Windows 0-3 and 8-11 share a phase; 4-7 and 12-15 the other.
+        assert_eq!(r.assignments[0], r.assignments[8]);
+        assert_eq!(r.assignments[4], r.assignments[12]);
+        assert_ne!(r.assignments[0], r.assignments[4]);
+        let total: f64 = r.phases.iter().map(|p| p.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clustering_is_deterministic() {
+        let d = dict(10);
+        let space = BbvSpace::per_site(&d);
+        let mut events = Vec::new();
+        for i in 0..3000u32 {
+            events.push(TraceEvent::Branch { site: (i * 7 + i / 100) % 10, taken: i % 3 == 0 });
+        }
+        let cfg = PhaseConfig { interval: 250, k: 3, max_iters: 20 };
+        let a = analyze(&space, &events, cfg);
+        let b = analyze(&space, &events, cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_panic() {
+        let d = dict(1);
+        let space = BbvSpace::per_site(&d);
+        let r = analyze(&space, &[], PhaseConfig::default());
+        assert_eq!(r.windows, 0);
+        assert!(r.phases.is_empty());
+        // One uniform window, k larger than the window count.
+        let r = analyze(
+            &space,
+            &phase_events(0, 10),
+            PhaseConfig { interval: 100, k: 5, max_iters: 5 },
+        );
+        assert_eq!(r.windows, 1);
+        assert_eq!(r.phases.len(), 1);
+        assert_eq!(r.phases[0].weight, 1.0);
+    }
+}

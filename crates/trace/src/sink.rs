@@ -1,0 +1,165 @@
+//! Trace sinks: where encoded blocks go.
+//!
+//! The writer hands sinks whole framed chunks (header, then
+//! length-prefixed blocks), never partial events, so any sink can rotate
+//! or ship mid-stream at a chunk boundary and the receiving side still
+//! holds a decodable prefix.
+
+use std::cell::RefCell;
+use std::fs::File;
+use std::io::{self, BufWriter, Write as _};
+use std::path::Path;
+use std::rc::Rc;
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+
+/// A destination for encoded trace chunks.
+pub trait TraceSink {
+    /// Receives one framed chunk (the header or a complete block).
+    fn write(&mut self, chunk: &[u8]) -> io::Result<()>;
+
+    /// Flushes any sink-side buffering; called when the writer finishes.
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// An in-memory sink accumulating the whole stream in a shared buffer.
+///
+/// The buffer handle survives the monitor that owns the sink: clone
+/// [`MemorySink::handle`] before attaching, read it after detach.
+#[derive(Debug, Default, Clone)]
+pub struct MemorySink {
+    buf: Rc<RefCell<Vec<u8>>>,
+}
+
+impl MemorySink {
+    /// A fresh, empty sink.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// A shared handle onto the accumulated bytes.
+    pub fn handle(&self) -> Rc<RefCell<Vec<u8>>> {
+        Rc::clone(&self.buf)
+    }
+
+    /// Copies the accumulated bytes out.
+    pub fn data(&self) -> Vec<u8> {
+        self.buf.borrow().clone()
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn write(&mut self, chunk: &[u8]) -> io::Result<()> {
+        self.buf.borrow_mut().extend_from_slice(chunk);
+        Ok(())
+    }
+}
+
+/// A buffered file sink.
+#[derive(Debug)]
+pub struct FileSink {
+    out: BufWriter<File>,
+}
+
+impl FileSink {
+    /// Creates (truncating) the file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<FileSink> {
+        Ok(FileSink { out: BufWriter::new(File::create(path)?) })
+    }
+}
+
+impl TraceSink for FileSink {
+    fn write(&mut self, chunk: &[u8]) -> io::Result<()> {
+        self.out.write_all(chunk)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+/// A bounded-channel sink for cross-thread consumption: each chunk is
+/// sent as one `Vec<u8>` message, so a consumer thread (for example, one
+/// draining a wizard-pool shard's tracer) can decode or persist blocks
+/// while the traced program keeps running.
+///
+/// A full channel applies backpressure by blocking the tracing thread; a
+/// disconnected receiver surfaces as a [`io::ErrorKind::BrokenPipe`]
+/// write error, which the writer records and reports at finish.
+#[derive(Debug)]
+pub struct ChannelSink {
+    tx: SyncSender<Vec<u8>>,
+}
+
+impl ChannelSink {
+    /// A sink/receiver pair with room for `bound` in-flight chunks.
+    pub fn bounded(bound: usize) -> (ChannelSink, Receiver<Vec<u8>>) {
+        let (tx, rx) = std::sync::mpsc::sync_channel(bound);
+        (ChannelSink { tx }, rx)
+    }
+}
+
+impl TraceSink for ChannelSink {
+    fn write(&mut self, chunk: &[u8]) -> io::Result<()> {
+        // Try the non-blocking path first so a healthy consumer costs one
+        // enqueue; only block (backpressure) when the channel is full.
+        match self.tx.try_send(chunk.to_vec()) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(chunk)) => self
+                .tx
+                .send(chunk)
+                .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "trace receiver dropped")),
+            Err(TrySendError::Disconnected(_)) => {
+                Err(io::Error::new(io::ErrorKind::BrokenPipe, "trace receiver dropped"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sink_accumulates_across_handles() {
+        let sink = MemorySink::new();
+        let handle = sink.handle();
+        let mut s = sink.clone();
+        s.write(b"abc").unwrap();
+        s.write(b"def").unwrap();
+        assert_eq!(&*handle.borrow(), b"abcdef");
+        assert_eq!(sink.data(), b"abcdef");
+    }
+
+    #[test]
+    fn channel_sink_delivers_chunks_in_order() {
+        let (mut sink, rx) = ChannelSink::bounded(4);
+        sink.write(b"one").unwrap();
+        sink.write(b"two").unwrap();
+        drop(sink);
+        let got: Vec<Vec<u8>> = rx.iter().collect();
+        assert_eq!(got, vec![b"one".to_vec(), b"two".to_vec()]);
+    }
+
+    #[test]
+    fn channel_sink_reports_dropped_receiver() {
+        let (mut sink, rx) = ChannelSink::bounded(1);
+        drop(rx);
+        let err = sink.write(b"x").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+    }
+
+    #[test]
+    fn file_sink_round_trips_bytes() {
+        let path = std::env::temp_dir().join("wizard_trace_file_sink_test.bin");
+        {
+            let mut sink = FileSink::create(&path).unwrap();
+            sink.write(b"hello ").unwrap();
+            sink.write(b"trace").unwrap();
+            sink.flush().unwrap();
+        }
+        assert_eq!(std::fs::read(&path).unwrap(), b"hello trace");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,210 @@
+//! The streaming trace writer: encodes events into block frames and
+//! hands completed frames to a [`TraceSink`].
+
+use std::io;
+
+use wizard_wasm::leb128;
+
+use crate::format::{encode_event, encode_header, SiteDict, TraceEvent};
+use crate::sink::TraceSink;
+
+/// Default block payload size before a frame is cut (64 KiB).
+pub const DEFAULT_BLOCK_LIMIT: usize = 64 * 1024;
+
+/// Counters accumulated by a [`TraceWriter`] over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceCounters {
+    /// Total events encoded (branches + calls + func enter/exit).
+    pub events: u64,
+    /// Branch events encoded (subset of `events`).
+    pub branches: u64,
+    /// Bytes handed to the sink, including stream header and block
+    /// framing.
+    pub bytes: u64,
+}
+
+/// Encodes [`TraceEvent`]s into the compact format, cutting a block
+/// frame whenever the payload reaches the block limit (or at finish).
+///
+/// Probe fire paths cannot propagate errors, so sink failures are
+/// latched: the first error is stored, subsequent events are dropped,
+/// and [`TraceWriter::finish`] surfaces it.
+pub struct TraceWriter {
+    sink: Box<dyn TraceSink>,
+    block: Vec<u8>,
+    block_limit: usize,
+    prev: u32,
+    counters: TraceCounters,
+    error: Option<io::Error>,
+}
+
+impl core::fmt::Debug for TraceWriter {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("TraceWriter")
+            .field("block_limit", &self.block_limit)
+            .field("counters", &self.counters)
+            .field("error", &self.error)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TraceWriter {
+    /// Creates a writer over `sink`, immediately emitting the stream
+    /// header (magic, version, site dictionary).
+    pub fn new(dict: &SiteDict, sink: Box<dyn TraceSink>) -> TraceWriter {
+        TraceWriter::with_block_limit(dict, sink, DEFAULT_BLOCK_LIMIT)
+    }
+
+    /// Like [`TraceWriter::new`] with an explicit block payload limit.
+    pub fn with_block_limit(
+        dict: &SiteDict,
+        sink: Box<dyn TraceSink>,
+        block_limit: usize,
+    ) -> TraceWriter {
+        let mut w = TraceWriter {
+            sink,
+            block: Vec::with_capacity(block_limit.min(DEFAULT_BLOCK_LIMIT) + 16),
+            block_limit: block_limit.max(1),
+            prev: 0,
+            counters: TraceCounters::default(),
+            error: None,
+        };
+        let mut header = Vec::new();
+        encode_header(dict, &mut header);
+        w.send(&header);
+        w
+    }
+
+    /// Records a branch outcome at dictionary site `site`.
+    #[inline]
+    pub fn branch(&mut self, site: u32, taken: bool) {
+        self.counters.branches += 1;
+        self.emit(&TraceEvent::Branch { site, taken });
+    }
+
+    /// Records a function entry.
+    pub fn func_enter(&mut self, func: u32) {
+        self.emit(&TraceEvent::FuncEnter { func });
+    }
+
+    /// Records a function exit.
+    pub fn func_exit(&mut self, func: u32) {
+        self.emit(&TraceEvent::FuncExit { func });
+    }
+
+    /// Records a direct or indirect call.
+    pub fn call(&mut self, callee: u32) {
+        self.emit(&TraceEvent::Call { callee });
+    }
+
+    /// Records a return.
+    pub fn ret(&mut self, func: u32) {
+        self.emit(&TraceEvent::Return { func });
+    }
+
+    /// Encodes one event into the current block.
+    #[inline]
+    pub fn emit(&mut self, e: &TraceEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        self.counters.events += 1;
+        encode_event(e, &mut self.prev, &mut self.block);
+        if self.block.len() >= self.block_limit {
+            self.cut_block();
+        }
+    }
+
+    /// Counters so far (bytes counts only what reached the sink; the
+    /// open block is added at [`TraceWriter::finish`]).
+    pub fn counters(&self) -> TraceCounters {
+        self.counters
+    }
+
+    /// Flushes the open block (if any) and the sink, returning the final
+    /// counters or the first sink error encountered during the stream.
+    pub fn finish(&mut self) -> io::Result<TraceCounters> {
+        if !self.block.is_empty() {
+            self.cut_block();
+        }
+        if self.error.is_none() {
+            if let Err(e) = self.sink.flush() {
+                self.error = Some(e);
+            }
+        }
+        match self.error.take() {
+            Some(e) => Err(e),
+            None => Ok(self.counters),
+        }
+    }
+
+    fn cut_block(&mut self) {
+        let mut frame = Vec::with_capacity(self.block.len() + 5);
+        leb128::write_u32(&mut frame, self.block.len() as u32);
+        frame.extend_from_slice(&self.block);
+        self.block.clear();
+        // Delta state restarts per block so frames decode independently.
+        self.prev = 0;
+        self.send(&frame);
+    }
+
+    fn send(&mut self, chunk: &[u8]) {
+        if self.error.is_some() {
+            return;
+        }
+        match self.sink.write(chunk) {
+            Ok(()) => self.counters.bytes += chunk.len() as u64,
+            Err(e) => self.error = Some(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::decode_trace;
+    use crate::sink::MemorySink;
+    use wizard_engine::Location;
+
+    fn dict(n: u32) -> SiteDict {
+        SiteDict::from_locations((0..n).map(|pc| Location { func: 0, pc }))
+    }
+
+    #[test]
+    fn writer_output_decodes_across_block_cuts() {
+        let sink = MemorySink::new();
+        let handle = sink.handle();
+        // A tiny block limit forces many frames mid-stream.
+        let mut w = TraceWriter::with_block_limit(&dict(600), Box::new(sink), 7);
+        let mut expect = Vec::new();
+        for i in 0..500u32 {
+            let (site, taken) = (i % 600, i % 3 == 0);
+            w.branch(site, taken);
+            expect.push(TraceEvent::Branch { site, taken });
+        }
+        w.call(42);
+        expect.push(TraceEvent::Call { callee: 42 });
+        let c = w.finish().unwrap();
+        let bytes = handle.borrow().clone();
+        assert_eq!(c.events, 501);
+        assert_eq!(c.branches, 500);
+        assert_eq!(c.bytes, bytes.len() as u64);
+        let (_, events) = decode_trace(&bytes).unwrap();
+        assert_eq!(events, expect);
+    }
+
+    #[test]
+    fn sink_error_is_latched_and_surfaced_at_finish() {
+        struct Failing;
+        impl TraceSink for Failing {
+            fn write(&mut self, _chunk: &[u8]) -> io::Result<()> {
+                Err(io::Error::other("boom"))
+            }
+        }
+        let mut w = TraceWriter::with_block_limit(&dict(4), Box::new(Failing), 4);
+        for _ in 0..100 {
+            w.branch(1, true);
+        }
+        assert!(w.finish().is_err());
+    }
+}

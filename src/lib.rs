@@ -14,6 +14,9 @@
 //!   scheduling of instrumented processes across worker threads);
 //! * [`script`] — wizard-script, the declarative match-rule
 //!   instrumentation language compiled onto the probe engine;
+//! * [`trace`] — compact streaming trace capture (binary branch/call
+//!   trace format, pluggable sinks) and offline analyzers
+//!   (branch-predictor simulation, SimPoint-style phase detection);
 //! * [`rewriter`] — static bytecode rewriting (intrusive baseline);
 //! * [`baselines`] — Wasabi-style, DynamoRIO-style and JVMTI-style
 //!   comparison systems;
@@ -33,4 +36,5 @@ pub use wizard_pool as pool;
 pub use wizard_rewriter as rewriter;
 pub use wizard_script as script;
 pub use wizard_suites as suites;
+pub use wizard_trace as trace;
 pub use wizard_wasm as wasm;
