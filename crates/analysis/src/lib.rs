@@ -13,6 +13,11 @@
 //!   pre-decoded `LInstr` stream equivalent to the bytecode it was
 //!   lowered from — effect equality per slot (fused superinstructions
 //!   decomposed independently), pc↔slot bijectivity, fusion legality.
+//!   [`regvalidator`] extends the proof to the register tier:
+//!   [`validate_register_lowering`] runs the byte form and the
+//!   register form symbolically in lockstep per basic block and
+//!   requires equal observable effects plus the park-point flush
+//!   invariant at every label, loop header, call, and taken branch.
 //! - Consumers: [`facts::ModuleFacts`] packages per-site constancy /
 //!   reachability for wizard-script's probe lowering, and [`lint`]
 //!   reports dead code, foldable ops, and redundant get/set pairs.
@@ -23,17 +28,24 @@ pub mod cfg;
 pub mod dataflow;
 pub mod facts;
 pub mod lint;
+pub mod regvalidator;
 pub mod validator;
 
 pub use facts::{FuncFacts, ModuleFacts, TosFact};
 pub use lint::{lint_module, LintFinding, LintKind};
+pub use regvalidator::{validate_func_register, validate_register_lowering, RegisterMismatch};
 pub use validator::{validate_func_lowering, validate_lowering, LoweringMismatch};
 
 /// Registers [`validate_lowering`] as the engine's lowering validator,
 /// enabling `EngineConfig::builder().validate_lowering(true)` to check
-/// every instantiation. Idempotent; safe to call from tests and mains.
+/// every instantiation. When the module's register form has been built
+/// (register-dispatch processes build it eagerly, before this hook
+/// runs), [`validate_register_lowering`] rides along and proves the
+/// byte ≡ register translation too. Idempotent; safe to call from
+/// tests and mains.
 pub fn install_engine_validator() {
     wizard_engine::register_lowering_validator(|artifact| {
-        validate_lowering(artifact).map_err(|e| e.to_string())
+        validate_lowering(artifact).map_err(|e| e.to_string())?;
+        validate_register_lowering(artifact).map_err(|e| e.to_string())
     });
 }

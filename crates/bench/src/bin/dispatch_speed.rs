@@ -1,17 +1,27 @@
-//! Dispatch speed: the lowered code pipeline vs classic byte-walking
-//! dispatch, on richards + PolyBench, interpreter-only and tiered.
+//! Dispatch speed: classic byte-walking dispatch vs the lowered code
+//! pipeline vs the register tier, on richards + PolyBench,
+//! interpreter-only and tiered.
 //!
-//! The lowered pipeline pays the decode tax (LEB128 immediates, side-table
-//! `HashMap` branch resolution) once per function instead of once per
-//! executed instruction; this benchmark measures what that buys in the
-//! interpreter hot loop. The classic dispatcher is the engine's
-//! pre-lowering implementation, kept selectable precisely so this
-//! comparison stays measurable ([`wizard_engine::Dispatch::Bytecode`]).
+//! Three dispatchers, selectable via [`wizard_engine::Dispatch`] and kept
+//! comparable on purpose:
 //!
-//! Emits `BENCH_dispatch.json` (schema in `EXPERIMENTS.md`) with the
-//! shared metadata block and per-benchmark times plus geomean speedups.
-//! Outside smoke mode the interpreter geomean is asserted ≥ 1.25×, the
-//! acceptance bar for the lowering refactor.
+//! * `Bytecode` — the engine's pre-lowering implementation: LEB128
+//!   immediates and side-table branch resolution paid per executed
+//!   instruction.
+//! * `Lowered` — pre-decoded fixed-width instructions, decode tax paid
+//!   once per function; the operand stack is still pushed and popped per
+//!   instruction.
+//! * `Register` — the register IR: locals and stack slots are numbered
+//!   registers, `local.get`/consts fold into inline operands, and the
+//!   stack traffic disappears from the hot loop entirely.
+//!
+//! Emits `BENCH_dispatch.json` (series schema v2, see `EXPERIMENTS.md`)
+//! with the shared metadata block, per-benchmark times for all
+//! dispatcher × mode cells, and geomean speedups. Outside smoke mode the
+//! lowered interpreter geomean must stay ≥ 1.25× over bytecode and the
+//! register interpreter geomean must reach ≥ 2.0× over bytecode while
+//! not regressing (≥ 1.0×) against lowered — the acceptance bars for the
+//! lowering and register-tier refactors respectively.
 //!
 //! Environment: `WIZARD_SCALE`, `WIZARD_RUNS`, `WIZARD_SMOKE`.
 
@@ -28,7 +38,7 @@ use wizard_suites::Benchmark;
 ///
 /// Unlike the figure benches (which follow §5.1 and time the entire
 /// program), this measures *execution only*: instantiation — module
-/// clone, validation, linking — is identical under both dispatchers and
+/// clone, validation, linking — is identical under all dispatchers and
 /// would only dilute the dispatch ratio being measured. One warmup
 /// invocation per process absorbs lazy lowering/compilation, and the
 /// *minimum* over `WIZARD_RUNS` repetitions is reported — the standard
@@ -49,6 +59,22 @@ fn time_config(b: &Benchmark, config: &EngineConfig) -> (Duration, u64) {
     (best, checksum)
 }
 
+/// One mode's dispatcher triple (bytecode / lowered / register).
+struct Cells {
+    label: &'static str,
+    bytecode: EngineConfig,
+    lowered: EngineConfig,
+    register: EngineConfig,
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn ratio(base: Duration, x: Duration) -> f64 {
+    base.as_secs_f64() / x.as_secs_f64().max(1e-9)
+}
+
 fn main() {
     let scale = wizard_bench::scale();
     let mut suite = vec![wizard_suites::richards_benchmark(match scale {
@@ -58,82 +84,127 @@ fn main() {
     })];
     suite.extend(wizard_suites::polybench_suite(scale));
 
-    let interp_lowered = EngineConfig::interpreter();
-    let interp_bytes = EngineConfig::interpreter_bytecode();
-    let tiered_lowered = EngineConfig::tiered();
-    let tiered_bytes =
-        EngineConfig::builder().mode(ExecMode::Tiered).dispatch(Dispatch::Bytecode).build();
+    let tiered = |d: Dispatch| EngineConfig::builder().mode(ExecMode::Tiered).dispatch(d).build();
+    let modes = [
+        Cells {
+            label: "interp",
+            bytecode: EngineConfig::interpreter_bytecode(),
+            lowered: EngineConfig::interpreter(),
+            register: EngineConfig::interpreter_register(),
+        },
+        Cells {
+            label: "tiered",
+            bytecode: tiered(Dispatch::Bytecode),
+            lowered: tiered(Dispatch::Lowered),
+            register: tiered(Dispatch::Register),
+        },
+    ];
 
-    println!("=== dispatch speed: lowered pipeline vs classic byte dispatch ===");
+    println!("=== dispatch speed: bytecode vs lowered vs register dispatch ===");
     println!(
-        "{:<16} {:>12} {:>12} {:>9} {:>12} {:>12} {:>9}",
+        "{:<16} {:<7} {:>12} {:>12} {:>12} {:>9} {:>9} {:>11}",
         "benchmark",
-        "interp(byte)",
-        "interp(low)",
-        "speedup",
-        "tiered(byte)",
-        "tiered(low)",
-        "speedup"
+        "mode",
+        "bytecode",
+        "lowered",
+        "register",
+        "low/byte",
+        "reg/byte",
+        "reg/lowered"
     );
 
     let mut series = Vec::new();
-    let mut interp_speedups = Vec::new();
-    let mut tiered_speedups = Vec::new();
+    // [mode][dispatcher-pair] speedup series for geomeans.
+    let mut speedups: [[Vec<f64>; 3]; 2] = Default::default();
     for b in &suite {
-        let (ib, cs_ib) = time_config(b, &interp_bytes);
-        let (il, cs_il) = time_config(b, &interp_lowered);
-        let (tb, cs_tb) = time_config(b, &tiered_bytes);
-        let (tl, cs_tl) = time_config(b, &tiered_lowered);
-        assert_eq!(cs_il, cs_ib, "{}: lowering changed the interpreter result", b.name);
-        assert_eq!(cs_tl, cs_tb, "{}: lowering changed the tiered result", b.name);
-        let si = ib.as_secs_f64() / il.as_secs_f64().max(1e-9);
-        let st = tb.as_secs_f64() / tl.as_secs_f64().max(1e-9);
-        interp_speedups.push(si);
-        tiered_speedups.push(st);
-        println!(
-            "{:<16} {:>10.2}ms {:>10.2}ms {:>8.2}x {:>10.2}ms {:>10.2}ms {:>8.2}x",
-            b.name,
-            ib.as_secs_f64() * 1e3,
-            il.as_secs_f64() * 1e3,
-            si,
-            tb.as_secs_f64() * 1e3,
-            tl.as_secs_f64() * 1e3,
-            st
-        );
-        series.push(Json::object([
-            ("benchmark", Json::str(b.name)),
-            ("interp_bytecode_ms", Json::num(ib.as_secs_f64() * 1e3)),
-            ("interp_lowered_ms", Json::num(il.as_secs_f64() * 1e3)),
-            ("interp_speedup", Json::num(si)),
-            ("tiered_bytecode_ms", Json::num(tb.as_secs_f64() * 1e3)),
-            ("tiered_lowered_ms", Json::num(tl.as_secs_f64() * 1e3)),
-            ("tiered_speedup", Json::num(st)),
-        ]));
+        let mut fields = vec![("benchmark".to_string(), Json::str(b.name))];
+        for (mi, m) in modes.iter().enumerate() {
+            let (tb, cs_b) = time_config(b, &m.bytecode);
+            let (tl, cs_l) = time_config(b, &m.lowered);
+            let (tr, cs_r) = time_config(b, &m.register);
+            assert_eq!(cs_l, cs_b, "{}/{}: lowering changed the result", b.name, m.label);
+            assert_eq!(cs_r, cs_b, "{}/{}: register tier changed the result", b.name, m.label);
+            let (sl, sr, srl) = (ratio(tb, tl), ratio(tb, tr), ratio(tl, tr));
+            speedups[mi][0].push(sl);
+            speedups[mi][1].push(sr);
+            speedups[mi][2].push(srl);
+            println!(
+                "{:<16} {:<7} {:>10.2}ms {:>10.2}ms {:>10.2}ms {:>8.2}x {:>8.2}x {:>10.2}x",
+                b.name,
+                m.label,
+                ms(tb),
+                ms(tl),
+                ms(tr),
+                sl,
+                sr,
+                srl
+            );
+            fields.push((
+                format!("{}_ms", m.label),
+                Json::object([
+                    ("bytecode", Json::num(ms(tb))),
+                    ("lowered", Json::num(ms(tl))),
+                    ("register", Json::num(ms(tr))),
+                ]),
+            ));
+            fields.push((
+                format!("{}_speedup", m.label),
+                Json::object([
+                    ("lowered", Json::num(sl)),
+                    ("register", Json::num(sr)),
+                    ("register_vs_lowered", Json::num(srl)),
+                ]),
+            ));
+        }
+        series.push(Json::Obj(fields));
     }
 
-    let gi = geomean(&interp_speedups);
-    let gt = geomean(&tiered_speedups);
-    println!("\ngeomean interpreter speedup (lowered vs bytecode): {gi:.2}x");
-    println!("geomean tiered speedup (lowered vs bytecode):      {gt:.2}x");
+    let g = |mi: usize, di: usize| geomean(&speedups[mi][di]);
+    println!(
+        "\ngeomean interpreter speedups vs bytecode: lowered {:.2}x, register {:.2}x",
+        g(0, 0),
+        g(0, 1)
+    );
+    println!("geomean interpreter register vs lowered:  {:.2}x", g(0, 2));
+    println!(
+        "geomean tiered speedups vs bytecode:      lowered {:.2}x, register {:.2}x",
+        g(1, 0),
+        g(1, 1)
+    );
 
     // Assert before writing (matching script_overhead): a regression run
     // must not leave a failing row for trajectory tooling to ingest.
     if wizard_bench::smoke() {
-        println!("(smoke mode: skipping the >=1.25x interpreter geomean assertion)");
+        println!("(smoke mode: skipping the geomean assertions)");
     } else {
+        let (gl, gr, grl) = (g(0, 0), g(0, 1), g(0, 2));
         assert!(
-            gi >= 1.25,
-            "lowered interpreter dispatch must be >=1.25x over byte dispatch (got {gi:.2}x)"
+            gl >= 1.25,
+            "lowered interpreter dispatch must be >=1.25x over byte dispatch (got {gl:.2}x)"
         );
+        assert!(
+            gr >= 2.0,
+            "register interpreter dispatch must be >=2.0x over byte dispatch (got {gr:.2}x)"
+        );
+        assert!(grl >= 1.0, "register dispatch must not regress against lowered (got {grl:.2}x)");
     }
 
-    let mut fields = metadata("dispatch_speed", &["richards", "polybench"], &interp_lowered);
+    let mut fields = metadata(
+        "dispatch_speed",
+        &["richards", "polybench"],
+        &EngineConfig::interpreter_register(),
+    );
+    fields.push(("series_schema".to_string(), Json::num(2.0)));
     fields.push(("series".to_string(), Json::array(series)));
     fields.push((
         "summary".to_string(),
         Json::object([
-            ("interp_geomean_speedup", Json::num(gi)),
-            ("tiered_geomean_speedup", Json::num(gt)),
+            ("interp_geomean_lowered", Json::num(g(0, 0))),
+            ("interp_geomean_register", Json::num(g(0, 1))),
+            ("interp_geomean_register_vs_lowered", Json::num(g(0, 2))),
+            ("tiered_geomean_lowered", Json::num(g(1, 0))),
+            ("tiered_geomean_register", Json::num(g(1, 1))),
+            ("tiered_geomean_register_vs_lowered", Json::num(g(1, 2))),
         ]),
     ));
     let doc = Json::Obj(fields);

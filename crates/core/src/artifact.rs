@@ -51,6 +51,7 @@ use wizard_wasm::validate::{validate, FuncMeta, ValidateError};
 
 use crate::jit::CompiledCode;
 use crate::lowered::Lowered;
+use crate::regir::RegModule;
 
 /// The immutable, shared per-function half of the code pipeline: pristine
 /// bytecode, validation metadata, and the lazily-built-once lowered form
@@ -80,6 +81,10 @@ pub struct FuncArtifact {
     /// across processes until a probe lands; see
     /// [`FuncArtifact::baseline_compiled`].
     baseline: OnceLock<Arc<CompiledCode>>,
+    /// Probe-free compiled code built from the **register form** (see
+    /// [`crate::regir`]); used instead of `baseline` when the engine runs
+    /// with the register dispatch selector.
+    baseline_reg: OnceLock<Arc<CompiledCode>>,
 }
 
 impl FuncArtifact {
@@ -119,6 +124,22 @@ impl FuncArtifact {
         (code, compiled_now)
     }
 
+    /// As [`FuncArtifact::baseline_compiled`], but compiling from the
+    /// function's register form; probe-free, so equally shareable. The
+    /// caller supplies the register form (it lives on the module-level
+    /// [`RegModule`], not on this per-function artifact).
+    pub(crate) fn baseline_reg_compiled(
+        &self,
+        rf: &Arc<crate::regir::RegFunc>,
+    ) -> (&Arc<CompiledCode>, bool) {
+        let mut compiled_now = false;
+        let code = self.baseline_reg.get_or_init(|| {
+            compiled_now = true;
+            Arc::new(crate::jit::compile_baseline_reg(self.func, Arc::clone(rf)))
+        });
+        (code, compiled_now)
+    }
+
     /// `true` once the shared lowered form has been built.
     pub fn is_lowered(&self) -> bool {
         self.lowered.get().is_some()
@@ -149,6 +170,9 @@ pub struct ModuleArtifact {
     funcs: Vec<Arc<FuncArtifact>>,
     /// Function types across the whole index space (imports first).
     func_types: Arc<[FuncType]>,
+    /// The module's register form ([`crate::regir`]), built on first
+    /// demand by a register-dispatch process and then shared by all.
+    reg: OnceLock<Arc<RegModule>>,
 }
 
 impl ModuleArtifact {
@@ -180,9 +204,15 @@ impl ModuleArtifact {
                 num_results: ty.results.len() as u32,
                 lowered: OnceLock::new(),
                 baseline: OnceLock::new(),
+                baseline_reg: OnceLock::new(),
             }));
         }
-        Ok(ModuleArtifact { module: Arc::new(module), funcs, func_types: func_types.into() })
+        Ok(ModuleArtifact {
+            module: Arc::new(module),
+            funcs,
+            func_types: func_types.into(),
+            reg: OnceLock::new(),
+        })
     }
 
     /// The validated module.
@@ -191,7 +221,7 @@ impl ModuleArtifact {
     }
 
     /// Function types across the whole index space (imports first).
-    pub(crate) fn func_types(&self) -> &Arc<[FuncType]> {
+    pub fn func_types(&self) -> &Arc<[FuncType]> {
         &self.func_types
     }
 
@@ -203,6 +233,30 @@ impl ModuleArtifact {
     /// Number of locally-defined functions.
     pub fn num_local_funcs(&self) -> usize {
         self.funcs.len()
+    }
+
+    /// The module's register form, lowering every function now if no
+    /// register-dispatch process has demanded it yet.
+    pub fn reg_module(&self) -> &Arc<RegModule> {
+        self.reg_module_init().0
+    }
+
+    /// As [`ModuleArtifact::reg_module`], additionally reporting whether
+    /// *this* call performed the lowering (for the engine's stats).
+    pub(crate) fn reg_module_init(&self) -> (&Arc<RegModule>, bool) {
+        let mut built_now = false;
+        let reg = self.reg.get_or_init(|| {
+            built_now = true;
+            Arc::new(crate::regir::build_module(self))
+        });
+        (reg, built_now)
+    }
+
+    /// The register form if some process already demanded it, without
+    /// building it — lets validators and stats stay free for engines that
+    /// never select register dispatch.
+    pub fn reg_module_built(&self) -> Option<&Arc<RegModule>> {
+        self.reg.get()
     }
 
     /// Forces every function's lowered form to be built now. Optional —

@@ -20,6 +20,7 @@ use crate::jit;
 use crate::lowered::LoweredView;
 use crate::monitor::MonitorRegistry;
 use crate::probe::{BatchOp, Pending, Probe, ProbeBatch, ProbeId, ProbeRef, ProbeRegistry, Site};
+use crate::regint;
 use crate::store::{HostFn, Linker, Memory, Table};
 use crate::trap::Trap;
 use crate::value::{Slot, Value};
@@ -54,6 +55,19 @@ pub enum Dispatch {
     /// function on demand (the `pc ↔ slot` map is the shared boundary
     /// oracle, and it is what keeps the tandem slot patching sound).
     Bytecode,
+    /// Register-machine dispatch: function bodies are lowered past the
+    /// fixed-width stack form into a register IR ([`crate::regir`]) whose
+    /// instructions name their operands directly — `local.get`/`local.set`
+    /// and operand push/pop traffic are allocated away, so the hot
+    /// dispatch loop never moves values it does not have to. Probes, fuel
+    /// suspension, OSR and deoptimization keep the byte-offset location
+    /// contract through a bidirectional byte-pc ↔ register-instruction
+    /// map. Instrumented (overlaid) functions, global-probe mode and
+    /// fuel-metered slices demote to the lowered stack interpreter, which
+    /// remains the instrumentation-capable tier; the rare function the
+    /// register allocator cannot lower falls back the same way
+    /// ([`EngineStats::reg_fallbacks`]).
+    Register,
 }
 
 /// Engine configuration.
@@ -139,6 +153,16 @@ impl EngineConfig {
         EngineConfig {
             mode: ExecMode::InterpOnly,
             dispatch: Dispatch::Bytecode,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// Interpreter-only configuration with register-machine dispatch
+    /// ([`Dispatch::Register`]): the stack-traffic-free interpreter tier.
+    pub fn interpreter_register() -> EngineConfig {
+        EngineConfig {
+            mode: ExecMode::InterpOnly,
+            dispatch: Dispatch::Register,
             ..EngineConfig::default()
         }
     }
@@ -289,6 +313,20 @@ pub struct EngineStats {
     /// form ([`EngineConfig::validate_lowering`]); one per instantiation
     /// that ran the registered validator.
     pub lowering_validations: u64,
+    /// Functions lowered to the register form ([`crate::regir`]) when a
+    /// register-dispatch process built the shared register module. Like
+    /// [`EngineStats::functions_lowered`], the work happens once per
+    /// artifact: warm instantiations report 0.
+    pub functions_reg_lowered: u64,
+    /// Functions the register allocator declined to lower (they execute
+    /// in the stack-form tiers under [`Dispatch::Register`]). Counted
+    /// with [`EngineStats::functions_reg_lowered`] by whichever process
+    /// built the register module.
+    pub reg_fallbacks: u64,
+    /// Register-tier frames demoted to the stack interpreter because the
+    /// function acquired a probe overlay or the process entered
+    /// global-probe mode while they were live.
+    pub reg_demotions: u64,
     /// Trace events captured by streaming trace monitors attached to this
     /// process. Contributed at detach time via [`Process::record_trace`]
     /// (intrinsified operand fires bypass the runtime, so the engine
@@ -322,6 +360,9 @@ impl EngineStats {
             artifact_cache_misses,
             overlay_copies,
             lowering_validations,
+            functions_reg_lowered,
+            reg_fallbacks,
+            reg_demotions,
             trace_events,
             trace_bytes,
         } = *other;
@@ -339,6 +380,9 @@ impl EngineStats {
         self.artifact_cache_misses += artifact_cache_misses;
         self.overlay_copies += overlay_copies;
         self.lowering_validations += lowering_validations;
+        self.functions_reg_lowered += functions_reg_lowered;
+        self.reg_fallbacks += reg_fallbacks;
+        self.reg_demotions += reg_demotions;
         self.trace_events += trace_events;
         self.trace_bytes += trace_bytes;
     }
@@ -678,6 +722,16 @@ impl Process {
             stats: EngineStats::default(),
             suspended: None,
         };
+        if p.config.dispatch == Dispatch::Register {
+            // Build the shared register module eagerly: instantiation is
+            // the natural cold point, and a fleet instantiating from the
+            // same artifact pays the register lowering exactly once.
+            let (reg, built_now) = p.artifact.reg_module_init();
+            if built_now {
+                p.stats.functions_reg_lowered += reg.lowered_count;
+                p.stats.reg_fallbacks += reg.fallback_count;
+            }
+        }
         if p.config.validate_lowering {
             let Some(validator) = LOWERING_VALIDATOR.get() else {
                 return Err(LinkError::LoweringInvalid(
@@ -827,9 +881,7 @@ impl Process {
             "a bounded run is already suspended; resume or cancel it first"
         );
         let ty = self.func_types[func as usize].clone();
-        let mut ex = start_call(self, func, &ty, args)?;
-        ex.metered = true;
-        ex.fuel = fuel;
+        let ex = start_call_metered(self, func, &ty, args, fuel)?;
         match drive_bounded(ex, fuel, &ty.results)? {
             BoundedExit::Done(v) => Ok(RunOutcome::Done(v)),
             BoundedExit::Suspended(state) => {
@@ -1141,6 +1193,22 @@ impl Process {
         self.code[lf].lowered_view()
     }
 
+    /// The register form of local function `lf`, if the allocator could
+    /// lower it. Builds the shared register module on first demand (cold
+    /// only when the process was not instantiated with
+    /// [`Dispatch::Register`], which builds it eagerly), attributing the
+    /// build to this process's counters like
+    /// [`Process::lowered_view_for`] does for the stack form.
+    pub(crate) fn reg_func_for(&mut self, lf: usize) -> Option<Arc<crate::regir::RegFunc>> {
+        let (reg, built_now) = self.artifact.reg_module_init();
+        let reg = Arc::clone(reg);
+        if built_now {
+            self.stats.functions_reg_lowered += reg.lowered_count;
+            self.stats.reg_fallbacks += reg.fallback_count;
+        }
+        reg.func(lf).cloned()
+    }
+
     /// Rebuilds `func`'s process-local overlay from the shared artifact,
     /// re-applying the currently-installed probe patches, and invalidates
     /// its compiled code. Counted in [`EngineStats::relower_passes`]. A
@@ -1183,6 +1251,27 @@ impl Process {
             return;
         }
         if !self.code[lf].has_overlay() {
+            if self.config.dispatch == Dispatch::Register {
+                if let Some(rf) = self.reg_func_for(lf) {
+                    // Register dispatch compiles probe-free functions to
+                    // the register form: the "compiled code" is the
+                    // register stream itself plus the loop-header OSR
+                    // entry map, shared fleet-wide like the stack
+                    // baseline.
+                    let (code, compiled_now) = self.code[lf].artifact().baseline_reg_compiled(&rf);
+                    if compiled_now {
+                        self.stats.compiles += 1;
+                    }
+                    let compiled = jit::Compiled {
+                        code: Arc::clone(code),
+                        version: self.code[lf].version.get(),
+                        cells: Vec::new(),
+                        operands: Vec::new(),
+                    };
+                    *self.code[lf].compiled.borrow_mut() = Some(Rc::new(compiled));
+                    return;
+                }
+            }
             // Route through lowered_view_for so the (possible) first
             // lowering is stat-attributed in exactly one place.
             let _ = self.lowered_view_for(lf);
@@ -1350,12 +1439,38 @@ fn start_call<'p>(
     ty: &FuncType,
     args: &[Value],
 ) -> Result<Exec<'p>, Trap> {
+    start_call_inner(proc, func, ty, args, false, 0)
+}
+
+/// As [`start_call`] for a bounded run: metering is set *before* the
+/// entry call so its tier decision already sees a metered execution
+/// (register dispatch pins bounded runs to the stack interpreter).
+fn start_call_metered<'p>(
+    proc: &'p mut Process,
+    func: FuncIdx,
+    ty: &FuncType,
+    args: &[Value],
+    fuel: u64,
+) -> Result<Exec<'p>, Trap> {
+    start_call_inner(proc, func, ty, args, true, fuel)
+}
+
+fn start_call_inner<'p>(
+    proc: &'p mut Process,
+    func: FuncIdx,
+    ty: &FuncType,
+    args: &[Value],
+    metered: bool,
+    fuel: u64,
+) -> Result<Exec<'p>, Trap> {
     assert_eq!(
         args.iter().map(Value::ty).collect::<Vec<_>>(),
         ty.params,
         "argument types must match the function signature"
     );
     let mut ex = Exec::new(proc);
+    ex.metered = metered;
+    ex.fuel = fuel;
     for a in args {
         ex.values.push(a.to_slot().0);
     }
@@ -1374,6 +1489,7 @@ fn drive(ex: &mut Exec<'_>) -> Result<Exit, Trap> {
         let r = match tier {
             Tier::Interp if ex.classic => classic::run_frame(ex),
             Tier::Interp => interp::run_frame(ex),
+            Tier::Reg => regint::run_frame(ex),
             Tier::Jit => jit::run_frame(ex),
         };
         match r? {

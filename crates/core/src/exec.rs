@@ -115,6 +115,10 @@ pub(crate) struct Exec<'p> {
     /// the artifact's shared op stream until this process instruments the
     /// function, then its copy-on-write overlay.
     pub low: LoweredView,
+    /// Current function's register form ([`Dispatch::Register`] only,
+    /// while the top frame runs in [`Tier::Reg`] or register-form JIT).
+    /// Held by value like [`Exec::low`]; shared module-wide.
+    pub reg: Arc<crate::regir::RegFunc>,
     /// Current function's metadata.
     pub meta: Arc<FuncMeta>,
     /// `true` when the engine is configured for classic byte dispatch
@@ -164,6 +168,8 @@ thread_local! {
     /// resume slice) starts with a few refcount bumps instead of fresh
     /// allocations. Classic-dispatch runs never replace it.
     static EMPTY_LOWERED: LoweredView = LoweredView::empty();
+    /// Shared placeholder for `Exec::reg`, by the same logic.
+    static EMPTY_REG: Arc<crate::regir::RegFunc> = Arc::new(crate::regir::RegFunc::empty());
 }
 
 impl<'p> Exec<'p> {
@@ -184,6 +190,7 @@ impl<'p> Exec<'p> {
             results: 0,
             code: CodeBytes::new(&[]),
             low: EMPTY_LOWERED.with(Clone::clone),
+            reg: EMPTY_REG.with(Arc::clone),
             meta: Arc::new(FuncMeta::default()),
             classic,
             table,
@@ -254,15 +261,29 @@ impl<'p> Exec<'p> {
         !self.classic && self.frames.last().is_some_and(|f| f.tier == Tier::Interp)
     }
 
+    /// `true` while `self.pc` holds a register-instruction index (the
+    /// register interpreter is the running tier).
+    #[inline]
+    fn pc_is_reg_idx(&self) -> bool {
+        !self.classic && self.frames.last().is_some_and(|f| f.tier == Tier::Reg)
+    }
+
     /// Writes the live pc back into the current frame — converted to a
-    /// *byte* pc if the cursor is currently a lowered slot — before probes
-    /// fire or state is otherwise observed.
+    /// *byte* pc if the cursor is currently a lowered slot or a register
+    /// instruction index — before probes fire or state is otherwise
+    /// observed.
     #[inline]
     pub fn sync_pc(&mut self) {
         if self.frames.is_empty() {
             return;
         }
-        let pc = if self.pc_is_slot() { self.low.pc_of(self.pc) as usize } else { self.pc };
+        let pc = if self.pc_is_slot() {
+            self.low.pc_of(self.pc) as usize
+        } else if self.pc_is_reg_idx() {
+            self.reg.pc_of(self.pc) as usize
+        } else {
+            self.pc
+        };
         self.frames.last_mut().expect("non-empty").pc = pc;
     }
 
@@ -270,7 +291,7 @@ impl<'p> Exec<'p> {
     /// lowering the function on first touch (lowered dispatch only) and
     /// converting the parked byte pc back to a slot index.
     pub fn load_cur(&mut self) {
-        let (pc, tier, lf) = {
+        let (pc, mut tier, lf) = {
             let f = self.frames.last().expect("at least one frame");
             self.func = f.func;
             self.lf = f.lf;
@@ -284,13 +305,47 @@ impl<'p> Exec<'p> {
         };
         if self.classic {
             self.pc = pc;
-        } else {
-            self.low = self.proc.lowered_view_for(lf);
-            self.pc = if tier == Tier::Interp {
-                self.low.slot_of(pc as u32).expect("frame pc is an instruction boundary") as usize
-            } else {
-                pc
-            };
+            return;
+        }
+        if tier == Tier::Reg && (self.proc.global_mode || self.proc.code[lf].has_overlay()) {
+            // The function can no longer run in register form: global
+            // probes need the instrumented stack dispatch table, and probe
+            // overlays exist only in the stack representations. Demote the
+            // frame — register frames park at byte pcs with every deferred
+            // operand flushed to its canonical stack position, so the
+            // stack interpreter resumes them exactly.
+            self.frames.last_mut().expect("at least one frame").tier = Tier::Interp;
+            self.proc.stats.reg_demotions += 1;
+            tier = Tier::Interp;
+        }
+        match tier {
+            Tier::Reg => {
+                self.reg = self.proc.reg_func_for(lf).expect("register frames have register code");
+                self.pc = self.reg.idx_of(pc);
+            }
+            Tier::Interp => {
+                self.low = self.proc.lowered_view_for(lf);
+                self.pc = self.low.slot_of(pc as u32).expect("frame pc is an instruction boundary")
+                    as usize;
+            }
+            Tier::Jit => {
+                self.low = self.proc.lowered_view_for(lf);
+                self.pc = pc;
+            }
+        }
+    }
+
+    /// Grows the value stack to the current register frame's full window
+    /// (`opbase + num_temps`), so every temp register is addressable.
+    /// Slots beyond the live operand height are dead until written; the
+    /// register tiers truncate back to exact heights at every park point
+    /// (calls, returns), which is what keeps parked frames observable at
+    /// their canonical stack shape.
+    #[inline]
+    pub(crate) fn reg_extend(&mut self) {
+        let need = self.opbase + self.reg.num_temps() as usize;
+        if self.values.len() < need {
+            self.values.resize(need, 0);
         }
     }
 
@@ -327,14 +382,35 @@ impl<'p> Exec<'p> {
 
     // ---- calls and returns ----
 
+    /// `true` when a new activation of `lf` may run in the register tier:
+    /// the process dispatches registers, the function is uninstrumented
+    /// (no probe overlay) and the allocator lowered it.
+    fn reg_eligible(&mut self, lf: usize) -> bool {
+        !self.proc.code[lf].has_overlay() && self.proc.reg_func_for(lf).is_some()
+    }
+
     /// Decides which tier a new activation of `lf` should start in, compiling
     /// if warranted. Never returns `Jit` in global-probe mode (paper §4.1).
     fn tier_for_call(&mut self, lf: usize) -> Tier {
         if self.proc.global_mode {
             return Tier::Interp;
         }
+        let register = self.proc.config.dispatch == Dispatch::Register;
+        if register && self.metered {
+            // Bounded runs charge fuel per bytecode instruction in the
+            // stack interpreters. The register tier has no metered loop —
+            // its whole point is not touching per-instruction state — so
+            // fuel-bounded slices run entirely in stack form, keeping the
+            // one-unit-per-instruction suspension contract exact.
+            return Tier::Interp;
+        }
         match self.proc.config.mode {
-            ExecMode::InterpOnly => Tier::Interp,
+            ExecMode::InterpOnly => {
+                if register && self.reg_eligible(lf) {
+                    return Tier::Reg;
+                }
+                Tier::Interp
+            }
             ExecMode::JitOnly => {
                 self.proc.ensure_compiled(lf);
                 Tier::Jit
@@ -350,6 +426,8 @@ impl<'p> Exec<'p> {
                     self.proc.ensure_compiled(lf);
                     self.proc.stats.tier_ups += 1;
                     Tier::Jit
+                } else if register && self.reg_eligible(lf) {
+                    Tier::Reg
                 } else {
                     Tier::Interp
                 }

@@ -20,6 +20,9 @@ use wizard_wasm::module::FuncIdx;
 pub enum Tier {
     /// The in-place interpreter.
     Interp,
+    /// The register-form interpreter ([`crate::regir`]): stack traffic
+    /// eliminated, but frames still park byte pcs at every sync point.
+    Reg,
     /// The JIT (micro-op) tier.
     Jit,
 }

@@ -214,6 +214,16 @@ pub struct CompiledCode {
     /// OSR entry points: loop-header pc → op index *after* that pc's probe
     /// ops (so tier-up does not re-fire probes the interpreter already ran).
     pub osr_entry: HashMap<u32, u32>,
+    /// When set, this "compiled" code is the function's **register form**
+    /// ([`crate::regir`]) and `ops`/`ip_to_pc` are empty: the JIT tier
+    /// executes register instructions directly (the micro-op compiler's
+    /// structural role — pre-decoded, pre-resolved, fixed-width — is
+    /// already fulfilled by the register lowering, so recompiling it to
+    /// stack-shaped micro-ops would only reintroduce the stack traffic
+    /// the register tier exists to eliminate). Probed functions always
+    /// compile the stack-shaped form instead, so probe sites keep their
+    /// Figure-2 compilation strategies.
+    pub reg: Option<Arc<crate::regir::RegFunc>>,
 }
 
 /// Compiled code bound to one process: the shareable op stream plus the
@@ -411,7 +421,22 @@ fn compile_inner(
         }
     }
 
-    (CompiledCode { version, ops, ip_to_pc, osr_entry }, cells, operands)
+    (CompiledCode { version, ops, ip_to_pc, osr_entry, reg: None }, cells, operands)
+}
+
+/// Compiles the probe-free baseline of `func` from its **register form**:
+/// the register instructions are executed directly by the JIT tier, so
+/// "compilation" is only the OSR-entry metadata (loop-header byte pc →
+/// register instruction index, for tier-up from the interpreters).
+pub(crate) fn compile_baseline_reg(func: FuncIdx, rf: Arc<crate::regir::RegFunc>) -> CompiledCode {
+    let _ = func;
+    let mut osr_entry: HashMap<u32, u32> = HashMap::new();
+    for (idx, ri) in rf.ops().iter().enumerate() {
+        if ri.op == crate::regir::R_LOOP {
+            osr_entry.insert(ri.x, idx as u32);
+        }
+    }
+    CompiledCode { version: 0, ops: Vec::new(), ip_to_pc: Vec::new(), osr_entry, reg: Some(rf) }
 }
 
 /// Runs the current (JIT-tier) frame until the invocation finishes, the
@@ -432,6 +457,12 @@ pub(crate) fn run_frame(ex: &mut Exec) -> Result<Exit, Trap> {
         if compiled.version() != expect_version {
             deopt_here(ex);
             return Ok(Exit::Redispatch);
+        }
+        // Register-form code: the register executor runs it directly.
+        // Frame-stack changes (calls/returns) surface as `Redispatch`, so
+        // the drive loop re-resolves the new top frame's code.
+        if compiled.code.reg.is_some() {
+            return crate::regint::run_jit(ex, &compiled);
         }
         let func = ex.func;
         let code = &compiled.code;

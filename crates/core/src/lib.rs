@@ -170,6 +170,8 @@ pub mod lowered;
 pub mod monitor;
 pub mod numeric;
 pub mod probe;
+mod regint;
+pub mod regir;
 pub mod shims;
 pub mod store;
 pub mod trap;
