@@ -1,13 +1,20 @@
-//! Pool throughput: a richards/polybench fleet executed by `wizard-pool`
-//! across 1, 2 and 4 shards.
+//! Pool throughput: a richards/polybench fleet executed at 1, 2 and 4
+//! workers by both of `wizard-pool`'s schedulers —
+//!
+//! * **round-robin** — the batch [`Pool`]: static job→shard assignment,
+//!   fuel-sliced round-robin within each shard (the engine this bench
+//!   originally measured, kept as the baseline arm);
+//! * **work-stealing** — the [`ServeEngine`]: per-worker deques with
+//!   randomized stealing, so a shard that drew the short jobs steals
+//!   from one stuck behind a long richards run.
 //!
 //! This is the multi-tenant experiment the paper's single-process engine
 //! cannot express: N instrumented processes time-sliced over M worker
-//! threads (round-robin fuel slices within a worker), every process
-//! carrying a hotness monitor whose per-job reports are merged fleet-wide.
-//! Aggregate throughput (jobs/s) should improve from 1 → 4 shards on a
-//! multi-core host while the merged instruction counts stay *identical* —
-//! slicing and sharding are transparent to instrumentation.
+//! threads, every process carrying a hotness monitor whose per-job
+//! reports are merged fleet-wide. Aggregate throughput (jobs/s) should
+//! improve from 1 → 4 workers on a multi-core host while the merged
+//! instruction counts stay *identical* across every arm — slicing,
+//! sharding and stealing are transparent to instrumentation.
 //!
 //! Emits `BENCH_pool.json` (schema documented in `EXPERIMENTS.md`) and
 //! prints the same series as a table.
@@ -19,88 +26,136 @@
 use std::time::Instant;
 
 use wizard_bench::json::Json;
-use wizard_engine::{EngineConfig, Value};
+use wizard_engine::{EngineConfig, EngineStats, Value};
 use wizard_monitors::HotnessMonitor;
-use wizard_pool::{Job, Pool, PoolConfig};
+use wizard_pool::{Job, Pool, PoolConfig, ServeConfig, ServeEngine};
+use wizard_suites::Benchmark;
 
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn make_job(b: &Benchmark, k: usize) -> Job {
+    Job::new(format!("{}-{k}", b.name), b.module.clone(), "run", vec![Value::I32(b.n)])
+        .with_monitor(HotnessMonitor::new)
+}
+
+fn instructions(report: Option<&wizard_engine::Report>) -> u64 {
+    report
+        .and_then(|r| r.get("summary"))
+        .and_then(|s| s.count_of("total instruction executions"))
+        .unwrap_or(0)
+}
+
+/// One arm's measurement: wall time plus the merged fleet counters.
+struct Arm {
+    wall_s: f64,
+    stats: EngineStats,
+    instrs: u64,
+}
+
+fn run_round_robin(fleet: &[Benchmark], shards: usize, engine: &EngineConfig) -> Arm {
+    let mut pool = Pool::new(PoolConfig { shards, engine: engine.clone() });
+    for (k, b) in fleet.iter().enumerate() {
+        pool.submit(make_job(b, k));
+    }
+    let start = Instant::now();
+    let outcome = pool.run();
+    let wall_s = start.elapsed().as_secs_f64();
+    assert!(outcome.all_ok(), "fleet job failed: {:?}", outcome.jobs);
+    let instrs = instructions(outcome.merged_report("hotness"));
+    Arm { wall_s, stats: outcome.stats, instrs }
+}
+
+fn run_work_stealing(fleet: &[Benchmark], workers: usize, engine: &EngineConfig) -> Arm {
+    let serve =
+        ServeEngine::new(ServeConfig { workers, engine: engine.clone(), ..ServeConfig::default() });
+    let start = Instant::now();
+    let handles: Vec<_> = fleet
+        .iter()
+        .enumerate()
+        .map(|(k, b)| serve.try_submit(make_job(b, k)).handle().expect("queue has space"))
+        .collect();
+    for h in &handles {
+        let out = h.wait();
+        assert!(out.status.is_ok(), "serve job {} failed: {:?}", out.name, out.status);
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    let summary = serve.shutdown();
+    let instrs = instructions(summary.merged_report("hotness"));
+    Arm { wall_s, stats: summary.stats, instrs }
 }
 
 fn main() {
     let scale = wizard_bench::scale();
     let jobs = env_u64("WIZARD_POOL_JOBS", 12).max(8) as usize;
     let slice = env_u64("WIZARD_POOL_SLICE", 20_000);
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cores = wizard_bench::host_parallelism();
+    let engine = EngineConfig::builder().fuel_slice(slice).build();
     let fleet = wizard_suites::fleet(scale, jobs);
     let names: Vec<String> = fleet.iter().map(|b| b.name.to_string()).collect();
 
     println!("=== pool throughput: {jobs}-process fleet, fuel slice {slice}, {cores} core(s) ===");
     if cores < 4 {
-        println!("note: only {cores} core(s) available — shard scaling needs ≥4 cores to show");
+        println!("note: only {cores} core(s) available — worker scaling needs ≥4 cores to show");
     }
     println!(
-        "{:<7} {:>10} {:>14} {:>16} {:>13} {:>12}",
-        "shards", "wall ms", "jobs/s", "instrs counted", "suspensions", "speedup"
+        "{:<14} {:<8} {:>10} {:>12} {:>16} {:>12} {:>8}",
+        "scheduler", "workers", "wall ms", "jobs/s", "instrs counted", "suspensions", "steals"
     );
 
     let mut series = Vec::new();
-    let mut base_jobs_per_s = 0.0;
-    for shards in [1usize, 2, 4] {
-        let config =
-            PoolConfig { shards, engine: EngineConfig::builder().fuel_slice(slice).build() };
-        let mut pool = Pool::new(config);
-        for (k, b) in fleet.iter().enumerate() {
-            pool.submit(
-                Job::new(format!("{}-{k}", b.name), b.module.clone(), "run", vec![Value::I32(b.n)])
-                    .with_monitor(HotnessMonitor::new),
+    let mut reference_instrs = None;
+    for workers in [1usize, 2, 4] {
+        for ws in [false, true] {
+            let arm = if ws {
+                run_work_stealing(&fleet, workers, &engine)
+            } else {
+                run_round_robin(&fleet, workers, &engine)
+            };
+            let scheduler = if ws { "work_stealing" } else { "round_robin" };
+            let jobs_per_s = jobs as f64 / arm.wall_s.max(1e-9);
+            // The transparency invariant: every arm, at every worker
+            // count, under either scheduler, counts the same instructions.
+            match reference_instrs {
+                None => reference_instrs = Some(arm.instrs),
+                Some(r) => assert_eq!(
+                    arm.instrs, r,
+                    "instruction counts diverged: {scheduler} at {workers} workers"
+                ),
+            }
+            println!(
+                "{:<14} {:<8} {:>10.1} {:>12.2} {:>16} {:>12} {:>8}",
+                scheduler,
+                workers,
+                arm.wall_s * 1e3,
+                jobs_per_s,
+                arm.instrs,
+                arm.stats.suspensions,
+                arm.stats.steals,
             );
+            series.push(Json::object([
+                ("scheduler", Json::str(scheduler)),
+                ("workers", Json::num(workers as f64)),
+                ("wall_ms", Json::num(arm.wall_s * 1e3)),
+                ("jobs", Json::num(jobs as f64)),
+                ("throughput_jobs_per_s", Json::num(jobs_per_s)),
+                ("fuel_consumed", Json::num(arm.stats.fuel_consumed as f64)),
+                ("suspensions", Json::num(arm.stats.suspensions as f64)),
+                ("steals", Json::num(arm.stats.steals as f64)),
+                ("slices_executed", Json::num(arm.stats.slices_executed as f64)),
+                ("instructions_counted", Json::num(arm.instrs as f64)),
+            ]));
         }
-        let start = Instant::now();
-        let outcome = pool.run();
-        let wall = start.elapsed();
-        assert!(outcome.all_ok(), "fleet job failed: {:?}", outcome.jobs);
-
-        let instrs = outcome
-            .merged_report("hotness")
-            .and_then(|r| r.get("summary"))
-            .and_then(|s| s.count_of("total instruction executions"))
-            .unwrap_or(0);
-        let jobs_per_s = jobs as f64 / wall.as_secs_f64().max(1e-9);
-        if shards == 1 {
-            base_jobs_per_s = jobs_per_s;
-        }
-        println!(
-            "{:<7} {:>10.1} {:>14.2} {:>16} {:>13} {:>11.2}x",
-            shards,
-            wall.as_secs_f64() * 1e3,
-            jobs_per_s,
-            instrs,
-            outcome.stats.suspensions,
-            jobs_per_s / base_jobs_per_s.max(1e-9),
-        );
-        series.push(Json::object([
-            ("shards", Json::num(shards as f64)),
-            ("wall_ms", Json::num(wall.as_secs_f64() * 1e3)),
-            ("jobs", Json::num(jobs as f64)),
-            ("throughput_jobs_per_s", Json::num(jobs_per_s)),
-            ("fuel_consumed", Json::num(outcome.stats.fuel_consumed as f64)),
-            ("suspensions", Json::num(outcome.stats.suspensions as f64)),
-            ("instructions_counted", Json::num(instrs as f64)),
-        ]));
     }
 
     let suite_names: Vec<&str> = names.iter().map(String::as_str).collect();
-    let mut fields = wizard_bench::metadata(
-        "pool_throughput",
-        &suite_names,
-        &EngineConfig::builder().fuel_slice(slice).build(),
-    );
+    let mut fields = wizard_bench::metadata("pool_throughput", &suite_names, &engine);
     fields.push(("series".to_string(), Json::array(series)));
     let doc = Json::Obj(fields);
     let path = "BENCH_pool.json";
     std::fs::write(path, format!("{doc}\n")).expect("write BENCH_pool.json");
     println!("\nwrote {path}");
-    println!("(merged instruction counts must be identical across shard counts: slicing");
-    println!(" and sharding are transparent to instrumentation)");
+    println!("(merged instruction counts must be identical across schedulers and worker");
+    println!(" counts: slicing, sharding and stealing are transparent to instrumentation)");
 }

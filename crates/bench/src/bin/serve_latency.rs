@@ -1,0 +1,352 @@
+//! Serve latency: the work-stealing serving engine (`wizard-pool`'s
+//! `ServeEngine`) against the static round-robin `Pool` on a mixed
+//! multi-tenant fleet, measuring throughput *and* tail latency.
+//!
+//! Three tenants with distinct traffic shapes
+//! (`wizard_suites::tenant_fleet`): `interactive` submits short
+//! high-priority ingestion-corpus requests, `batch` runs PolyBench at
+//! normal priority, and `background` runs long Richards / cubic kernels
+//! at low priority. Every job carries a hotness monitor — this is an
+//! *instrumentation* server, and both arms pay the same monitoring cost.
+//!
+//! Per worker count the bench runs three arms:
+//!
+//! 1. **unloaded** — only the interactive jobs, through the serving
+//!    engine: the baseline p50 an interactive burst sees with the server
+//!    to itself;
+//! 2. **work-stealing** — the full mixed fleet through `ServeEngine`:
+//!    jobs/s plus p50/p99/p999 latency split by priority;
+//! 3. **round-robin** — the same fleet through the batch `Pool` at
+//!    `shards = workers`: the static-assignment baseline (jobs/s only —
+//!    the batch pool has no per-job admission timestamps).
+//!
+//! Outside smoke mode the bench asserts the serving engine's contract:
+//! high-priority p99 under full mixed load stays within 5× the unloaded
+//! p50 (strict priorities + slice-boundary preemption protect the
+//! interactive tenant), and on hosts with ≥2 cores the work-stealing
+//! arm's throughput beats round-robin by ≥1.3× at ≥2 workers (stealing
+//! keeps workers busy where static assignment strands them behind the
+//! background tenant's long jobs).
+//!
+//! Emits `BENCH_serve.json` (schema documented in `EXPERIMENTS.md`).
+//!
+//! Environment: `WIZARD_SCALE`, `WIZARD_RUNS`, `WIZARD_SMOKE`,
+//! `WIZARD_SERVE_JOBS` (fleet size, default 24, min 12),
+//! `WIZARD_SERVE_SLICE` (fuel slice, default 10000).
+
+use std::time::{Duration, Instant};
+
+use wizard_bench::json::Json;
+use wizard_engine::{EngineConfig, Shims, Value};
+use wizard_monitors::HotnessMonitor;
+use wizard_pool::{Job, Pool, PoolConfig, Priority, ServeConfig, ServeEngine};
+use wizard_suites::TenantJob;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn class_priority(class: u8) -> Priority {
+    match class {
+        0 => Priority::High,
+        1 => Priority::Normal,
+        _ => Priority::Low,
+    }
+}
+
+fn make_job(spec: &TenantJob, k: usize) -> Job {
+    let mut job = Job::new(
+        format!("{}-{k}", spec.name),
+        spec.module.clone(),
+        "run",
+        vec![Value::I32(spec.n)],
+    )
+    .for_tenant(spec.tenant)
+    .at_priority(class_priority(spec.class))
+    .with_monitor(HotnessMonitor::new);
+    if spec.uses_imports {
+        let module = spec.module.clone();
+        job = job.with_linker(move || {
+            Shims::standard().linker_for(&module).expect("corpus module links against shims")
+        });
+    }
+    job
+}
+
+/// Percentile of a sorted sample (nearest-rank); `q` in [0, 1].
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+struct Percentiles {
+    p50: Duration,
+    p99: Duration,
+    p999: Duration,
+}
+
+fn percentiles(mut xs: Vec<Duration>) -> Percentiles {
+    xs.sort();
+    Percentiles {
+        p50: percentile(&xs, 0.50),
+        p99: percentile(&xs, 0.99),
+        p999: percentile(&xs, 0.999),
+    }
+}
+
+fn latency_json(p: &Percentiles) -> Json {
+    Json::object([
+        ("p50_ms", Json::num(ms(p.p50))),
+        ("p99_ms", Json::num(ms(p.p99))),
+        ("p999_ms", Json::num(ms(p.p999))),
+    ])
+}
+
+/// One work-stealing run: submit the fleet as one burst, wait for every
+/// job, return (wall, per-job (priority, latency), engine summary).
+fn serve_run(
+    fleet: &[TenantJob],
+    workers: usize,
+    engine_config: &EngineConfig,
+) -> (Duration, Vec<(Priority, Duration)>, wizard_pool::ServeSummary) {
+    let engine = ServeEngine::new(ServeConfig {
+        workers,
+        engine: engine_config.clone(),
+        ..ServeConfig::default()
+    });
+    let start = Instant::now();
+    let handles: Vec<_> = fleet
+        .iter()
+        .enumerate()
+        .map(|(k, spec)| {
+            engine
+                .submit_blocking(make_job(spec, k))
+                .handle()
+                .expect("bench fleet fits the default admission queue")
+        })
+        .collect();
+    let mut latencies = Vec::with_capacity(handles.len());
+    for h in handles {
+        let out = h.wait();
+        assert!(out.status.is_ok(), "serve job {} failed: {:?}", out.name, out.status);
+        latencies.push((out.priority, out.latency));
+    }
+    let wall = start.elapsed();
+    (wall, latencies, engine.shutdown())
+}
+
+/// One round-robin baseline run through the batch `Pool`.
+fn pool_run(fleet: &[TenantJob], shards: usize, engine_config: &EngineConfig) -> (Duration, u64) {
+    let mut pool = Pool::new(PoolConfig { shards, engine: engine_config.clone() });
+    for (k, spec) in fleet.iter().enumerate() {
+        pool.submit(make_job(spec, k));
+    }
+    let start = Instant::now();
+    let outcome = pool.run();
+    let wall = start.elapsed();
+    assert!(outcome.all_ok(), "pool fleet job failed: {:?}", outcome.jobs);
+    let instrs = outcome
+        .merged_report("hotness")
+        .and_then(|r| r.get("summary"))
+        .and_then(|s| s.count_of("total instruction executions"))
+        .unwrap_or(0);
+    (wall, instrs)
+}
+
+fn main() {
+    let scale = wizard_bench::scale();
+    let smoke = wizard_bench::smoke();
+    let runs = wizard_bench::runs();
+    let cores = wizard_bench::host_parallelism();
+    let jobs = env_u64("WIZARD_SERVE_JOBS", 24).max(12) as usize;
+    let slice = env_u64("WIZARD_SERVE_SLICE", 10_000);
+    let engine_config = EngineConfig::builder().fuel_slice(slice).build();
+
+    let fleet = wizard_suites::tenant_fleet(scale, jobs);
+    let interactive: Vec<TenantJob> =
+        fleet.iter().filter(|j| j.tenant == "interactive").cloned().collect();
+    let names: Vec<String> = fleet.iter().map(|j| j.name.to_string()).collect();
+
+    let worker_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4] };
+    println!(
+        "=== serve latency: {jobs}-job tenant fleet, fuel slice {slice}, {cores} core(s), \
+         {runs} run(s) ==="
+    );
+    if cores < 2 {
+        println!("note: 1 core — work-stealing vs round-robin throughput gap will not show");
+    }
+    println!(
+        "{:<8} {:>12} {:>12} {:>8} {:>12} {:>12} {:>12} {:>10}",
+        "workers",
+        "ws jobs/s",
+        "rr jobs/s",
+        "ws/rr",
+        "hi p50 ms",
+        "hi p99 ms",
+        "unload p50",
+        "steals"
+    );
+
+    let mut series = Vec::new();
+    let mut tenants_json: Option<Json> = None;
+    for &w in worker_counts {
+        // Arm 1: unloaded interactive burst — the latency baseline.
+        let mut unloaded_lat: Vec<Duration> = Vec::new();
+        for _ in 0..runs {
+            let (_, lats, _) = serve_run(&interactive, w, &engine_config);
+            unloaded_lat.extend(lats.into_iter().map(|(_, d)| d));
+        }
+        let unloaded = percentiles(unloaded_lat);
+
+        // Arm 2: the full mixed fleet under work stealing. Latencies are
+        // pooled across runs; throughput is the best run.
+        let mut ws_wall = Duration::MAX;
+        let mut by_priority: [Vec<Duration>; 3] = Default::default();
+        let mut last_summary = None;
+        for _ in 0..runs {
+            let (wall, lats, summary) = serve_run(&fleet, w, &engine_config);
+            ws_wall = ws_wall.min(wall);
+            for (p, d) in lats {
+                by_priority[p.index()].push(d);
+            }
+            last_summary = Some(summary);
+        }
+        let summary = last_summary.expect("at least one run");
+        let ws_jobs_per_s = jobs as f64 / ws_wall.as_secs_f64().max(1e-9);
+        let [high, normal, low] = by_priority;
+        let (high, normal, low) = (percentiles(high), percentiles(normal), percentiles(low));
+
+        // Arm 3: the same fleet under static round-robin sharding.
+        let mut rr_wall = Duration::MAX;
+        let mut rr_instrs = 0;
+        for _ in 0..runs {
+            let (wall, instrs) = pool_run(&fleet, w, &engine_config);
+            rr_wall = rr_wall.min(wall);
+            rr_instrs = instrs;
+        }
+        let rr_jobs_per_s = jobs as f64 / rr_wall.as_secs_f64().max(1e-9);
+        let ws_over_rr = ws_jobs_per_s / rr_jobs_per_s.max(1e-9);
+
+        // Transparency: both schedulers execute the same instructions and
+        // the monitors count every one of them.
+        let ws_instrs = summary
+            .merged_report("hotness")
+            .and_then(|r| r.get("summary"))
+            .and_then(|s| s.count_of("total instruction executions"))
+            .unwrap_or(0);
+        assert_eq!(
+            ws_instrs, rr_instrs,
+            "instruction counts diverged between schedulers at {w} workers"
+        );
+
+        println!(
+            "{:<8} {:>12.2} {:>12.2} {:>7.2}x {:>12.3} {:>12.3} {:>12.3} {:>10}",
+            w,
+            ws_jobs_per_s,
+            rr_jobs_per_s,
+            ws_over_rr,
+            ms(high.p50),
+            ms(high.p99),
+            ms(unloaded.p50),
+            summary.stats.steals,
+        );
+
+        // The serving engine's latency contract: mixed background load may
+        // not blow up the interactive tenant's tail.
+        if !smoke {
+            let bound = unloaded.p50.mul_f64(5.0).max(Duration::from_millis(1));
+            assert!(
+                high.p99 <= bound,
+                "high-priority p99 {:?} exceeds 5x unloaded p50 {:?} at {w} workers",
+                high.p99,
+                unloaded.p50
+            );
+        }
+        // The throughput contract needs real parallelism to show: with one
+        // hardware thread every scheduler serializes on the same core.
+        if !smoke && w >= 2 && cores >= 2 {
+            assert!(
+                ws_over_rr >= 1.3,
+                "work stealing only {ws_over_rr:.2}x round robin at {w} workers ({cores} cores)"
+            );
+        }
+
+        if tenants_json.is_none() {
+            tenants_json = Some(Json::array(
+                summary
+                    .tenants
+                    .iter()
+                    .map(|t| {
+                        Json::object([
+                            ("tenant", Json::str(&t.tenant)),
+                            ("fuel_spent", Json::num(t.fuel_spent as f64)),
+                            ("throttles", Json::num(t.throttles as f64)),
+                            ("jobs", Json::num(t.jobs as f64)),
+                        ])
+                    })
+                    .collect(),
+            ));
+        }
+        series.push(Json::object([
+            ("workers", Json::num(w as f64)),
+            ("jobs", Json::num(jobs as f64)),
+            (
+                "unloaded",
+                Json::object([
+                    ("p50_ms", Json::num(ms(unloaded.p50))),
+                    ("p99_ms", Json::num(ms(unloaded.p99))),
+                ]),
+            ),
+            (
+                "work_stealing",
+                Json::object([
+                    ("wall_ms", Json::num(ms(ws_wall))),
+                    ("jobs_per_s", Json::num(ws_jobs_per_s)),
+                    (
+                        "latency",
+                        Json::object([
+                            ("high", latency_json(&high)),
+                            ("normal", latency_json(&normal)),
+                            ("low", latency_json(&low)),
+                        ]),
+                    ),
+                    ("steals", Json::num(summary.stats.steals as f64)),
+                    ("slices_executed", Json::num(summary.stats.slices_executed as f64)),
+                    ("queue_depth_max", Json::num(summary.stats.queue_depth_max as f64)),
+                    ("budget_throttles", Json::num(summary.stats.budget_throttles as f64)),
+                    ("suspensions", Json::num(summary.stats.suspensions as f64)),
+                    ("instructions_counted", Json::num(ws_instrs as f64)),
+                ]),
+            ),
+            (
+                "round_robin",
+                Json::object([
+                    ("wall_ms", Json::num(ms(rr_wall))),
+                    ("jobs_per_s", Json::num(rr_jobs_per_s)),
+                    ("instructions_counted", Json::num(rr_instrs as f64)),
+                ]),
+            ),
+            ("ws_over_rr", Json::num(ws_over_rr)),
+        ]));
+    }
+
+    let suite_names: Vec<&str> = names.iter().map(String::as_str).collect();
+    let mut fields = wizard_bench::metadata("serve_latency", &suite_names, &engine_config);
+    fields.push(("series".to_string(), Json::array(series)));
+    if let Some(t) = tenants_json {
+        fields.push(("tenants".to_string(), t));
+    }
+    let doc = Json::Obj(fields);
+    let path = "BENCH_serve.json";
+    std::fs::write(path, format!("{doc}\n")).expect("write BENCH_serve.json");
+    println!("\nwrote {path}");
+    println!("(instruction counts are asserted identical across both schedulers and all");
+    println!(" worker counts: stealing and migration are transparent to instrumentation)");
+}

@@ -1,0 +1,262 @@
+//! `wizard_serve`: a long-running multi-tenant instrumentation server on
+//! top of `wizard-pool`'s work-stealing [`ServeEngine`].
+//!
+//! Every submitted job runs under a hotness monitor; reports merge
+//! fleet-wide and scheduler counters (steals, queue depth, throttles)
+//! are queryable while the server runs.
+//!
+//! ```sh
+//! cargo run --release --bin wizard_serve -- --demo 12   # demo fleet, exit
+//! cargo run --release --bin wizard_serve                # line protocol
+//! ```
+//!
+//! The line protocol (stdin → stdout, one command per line):
+//!
+//! * `SUBMIT <tenant> <priority> <kernel> <n>` — admit a job; `priority`
+//!   is `high` / `normal` / `low`, `kernel` is any suite kernel name
+//!   (`gemm`, `richards`, `crc32`, ...; see `LIST`). Prints
+//!   `ok <job>` / `rejected` / `err <why>`.
+//! * `LIST` — the kernel registry.
+//! * `STATS` — fleet-wide engine + scheduler counters so far.
+//! * `TENANTS` — per-tenant fuel/throttle/job accounting.
+//! * `DRAIN` (or EOF) — close admission, wait for every job, print each
+//!   outcome and the merged summary, exit.
+//!
+//! With `--demo N` (or under `WIZARD_SMOKE=1`, so CI's bench smoke loop
+//! exercises the binary without a driver) the server submits an
+//! `N`-job `wizard_suites::tenant_fleet` to itself and drains.
+//!
+//! Environment: `WIZARD_SCALE` (kernel problem sizes),
+//! `WIZARD_SERVE_WORKERS` (0 = auto), `WIZARD_SERVE_SLICE` (fuel slice,
+//! default 10000).
+
+use std::collections::HashMap;
+use std::io::BufRead;
+use std::time::Instant;
+
+use wizard_engine::{EngineConfig, Shims, Value};
+use wizard_monitors::HotnessMonitor;
+use wizard_pool::{Job, JobHandle, Priority, ServeConfig, ServeEngine, Submit};
+use wizard_suites::{corpus, Scale};
+use wizard_wasm::module::Module;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+/// Kernel registry: every suite kernel by name, plus whether it needs a
+/// shim linker (ingestion-corpus modules importing host functions).
+struct Registry {
+    kernels: HashMap<&'static str, (Module, i32, bool)>,
+    names: Vec<&'static str>,
+}
+
+impl Registry {
+    fn new(scale: Scale) -> Registry {
+        let mut kernels = HashMap::new();
+        for b in wizard_suites::all_suites(scale) {
+            kernels.insert(b.name, (b.module, b.n, false));
+        }
+        let r = wizard_suites::richards_benchmark(match scale {
+            Scale::Test => 20,
+            Scale::Small => 100,
+            Scale::Medium => 300,
+        });
+        kernels.insert(r.name, (r.module, r.n, false));
+        for e in corpus::corpus(scale) {
+            kernels.entry(e.name).or_insert((e.module, e.n, e.uses_imports));
+        }
+        let mut names: Vec<&'static str> = kernels.keys().copied().collect();
+        names.sort_unstable();
+        Registry { kernels, names }
+    }
+
+    /// Builds a monitored job; `n` overrides the scale default if `Some`.
+    fn job(&self, name: &str, tenant: &str, priority: Priority, n: Option<i32>) -> Option<Job> {
+        let (module, default_n, uses_imports) = self.kernels.get(name)?;
+        let mut job = Job::new(
+            format!("{name}@{tenant}"),
+            module.clone(),
+            "run",
+            vec![Value::I32(n.unwrap_or(*default_n))],
+        )
+        .for_tenant(tenant)
+        .at_priority(priority)
+        .with_monitor(HotnessMonitor::new);
+        if *uses_imports {
+            let module = module.clone();
+            job = job.with_linker(move || {
+                Shims::standard().linker_for(&module).expect("registry module links against shims")
+            });
+        }
+        Some(job)
+    }
+}
+
+fn parse_priority(s: &str) -> Option<Priority> {
+    match s.to_ascii_lowercase().as_str() {
+        "high" | "0" => Some(Priority::High),
+        "normal" | "1" => Some(Priority::Normal),
+        "low" | "2" => Some(Priority::Low),
+        _ => None,
+    }
+}
+
+fn print_stats(engine: &ServeEngine) {
+    let s = engine.stats();
+    println!(
+        "stats in_flight={} completed={} queue_depth={} slices={} steals={} \
+         queue_depth_max={} throttles={} fuel={} probe_fires={}",
+        engine.in_flight(),
+        engine.completed(),
+        engine.queue_depth(),
+        s.slices_executed,
+        s.steals,
+        s.queue_depth_max,
+        s.budget_throttles,
+        s.fuel_consumed,
+        s.probe_fires,
+    );
+}
+
+fn print_tenants(engine: &ServeEngine) {
+    for t in engine.tenant_stats() {
+        println!(
+            "tenant {} fuel={} throttles={} jobs={}",
+            t.tenant, t.fuel_spent, t.throttles, t.jobs
+        );
+    }
+}
+
+fn drain_and_report(engine: ServeEngine, handles: Vec<JobHandle>, started: Instant) {
+    engine.drain();
+    println!(
+        "{:<24} {:<12} {:<7} {:>7} {:>7} {:>7} {:>10}  status",
+        "job", "tenant", "prio", "worker", "slices", "moves", "lat ms"
+    );
+    for h in &handles {
+        let o = h.wait();
+        println!(
+            "{:<24} {:<12} {:<7} {:>7} {:>7} {:>7} {:>10.3}  {:?}",
+            o.name,
+            o.tenant,
+            o.priority.name(),
+            o.worker,
+            o.slices,
+            o.migrations,
+            o.latency.as_secs_f64() * 1e3,
+            o.status,
+        );
+    }
+    let summary = engine.shutdown();
+    println!(
+        "\nserved {} job(s) in {:.1} ms — slices={} steals={} queue_depth_max={} throttles={}",
+        summary.completed,
+        started.elapsed().as_secs_f64() * 1e3,
+        summary.stats.slices_executed,
+        summary.stats.steals,
+        summary.stats.queue_depth_max,
+        summary.stats.budget_throttles,
+    );
+    for t in &summary.tenants {
+        println!(
+            "tenant {:<12} fuel={:<12} throttles={:<4} jobs={}",
+            t.tenant, t.fuel_spent, t.throttles, t.jobs
+        );
+    }
+    if let Some(r) = summary.merged_report("hotness") {
+        println!("\nmerged across all tenants:\n{r}");
+    }
+}
+
+fn demo(registry: &Registry, engine: ServeEngine, scale: Scale, jobs: usize) {
+    println!("demo: serving a {jobs}-job tenant fleet on {} worker(s)", engine.workers());
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for (k, spec) in wizard_suites::tenant_fleet(scale, jobs).iter().enumerate() {
+        let priority = match spec.class {
+            0 => Priority::High,
+            1 => Priority::Normal,
+            _ => Priority::Low,
+        };
+        let mut job = registry
+            .job(spec.name, spec.tenant, priority, Some(spec.n))
+            .expect("fleet kernels are registered");
+        job.name = format!("{}-{k}@{}", spec.name, spec.tenant);
+        match engine.submit_blocking(job) {
+            Submit::Accepted(h) => handles.push(h),
+            other => panic!("demo submission failed: {other:?}"),
+        }
+    }
+    drain_and_report(engine, handles, started);
+}
+
+fn main() {
+    let scale = wizard_bench::scale();
+    let workers = env_u64("WIZARD_SERVE_WORKERS", 0) as usize;
+    let slice = env_u64("WIZARD_SERVE_SLICE", 10_000);
+    let registry = Registry::new(scale);
+    let engine = ServeEngine::new(ServeConfig {
+        workers,
+        engine: EngineConfig::builder().fuel_slice(slice).build(),
+        ..ServeConfig::default()
+    });
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let demo_n = match args.first().map(String::as_str) {
+        Some("--demo") => Some(args.get(1).and_then(|s| s.parse().ok()).unwrap_or(12)),
+        // CI's bench smoke loop runs every binary with no stdin driver.
+        None if wizard_bench::smoke() => Some(12),
+        None => None,
+        Some(other) => {
+            eprintln!("unknown argument {other:?} (expected --demo [N])");
+            std::process::exit(2);
+        }
+    };
+    if let Some(n) = demo_n {
+        demo(&registry, engine, scale, n);
+        return;
+    }
+
+    println!(
+        "wizard-serve: {} worker(s), fuel slice {slice}, {} kernel(s); \
+         SUBMIT <tenant> <priority> <kernel> [n] | LIST | STATS | TENANTS | DRAIN",
+        engine.workers(),
+        registry.names.len(),
+    );
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.expect("read stdin");
+        let words: Vec<&str> = line.split_whitespace().collect();
+        match words.as_slice() {
+            [] => {}
+            ["SUBMIT" | "submit", tenant, priority, kernel, rest @ ..] => {
+                let Some(priority) = parse_priority(priority) else {
+                    println!("err bad priority {priority:?} (high/normal/low)");
+                    continue;
+                };
+                let n = rest.first().and_then(|s| s.parse().ok());
+                match registry.job(kernel, tenant, priority, n) {
+                    None => println!("err unknown kernel {kernel:?} (try LIST)"),
+                    Some(job) => match engine.try_submit(job) {
+                        Submit::Accepted(h) => {
+                            println!("ok {}", h.name());
+                            handles.push(h);
+                        }
+                        Submit::Rejected(_) => println!("rejected (queue full)"),
+                        Submit::Invalid { error, .. } => println!("err invalid module: {error}"),
+                        Submit::Closed(_) => println!("err admission closed"),
+                    },
+                }
+            }
+            ["LIST" | "list"] => println!("kernels: {}", registry.names.join(" ")),
+            ["STATS" | "stats"] => print_stats(&engine),
+            ["TENANTS" | "tenants"] => print_tenants(&engine),
+            ["DRAIN" | "drain" | "EXIT" | "exit" | "QUIT" | "quit"] => break,
+            other => println!("err unknown command {other:?}"),
+        }
+    }
+    drain_and_report(engine, handles, started);
+}

@@ -336,6 +336,23 @@ pub struct EngineStats {
     /// header and block framing. Contributed like
     /// [`EngineStats::trace_events`].
     pub trace_bytes: u64,
+    /// Tasks a scheduler worker stole from another worker's deque.
+    /// Contributed by multi-worker schedulers (`wizard-pool`'s serving
+    /// engine) when fleet stats are merged; processes themselves never
+    /// increment it.
+    pub steals: u64,
+    /// High-water mark of a scheduler's admission queue depth. Merged
+    /// with `max` (a high-water mark, not a volume), contributed by
+    /// schedulers like [`EngineStats::steals`].
+    pub queue_depth_max: u64,
+    /// Fuel slices a scheduler executed across its fleet (every
+    /// `run_export_bounded`/`resume` turn, whether it suspended or
+    /// finished). Contributed by schedulers like [`EngineStats::steals`].
+    pub slices_executed: u64,
+    /// Times a scheduler parked a runnable task because its tenant's
+    /// fuel budget for the current round was exhausted. Contributed by
+    /// schedulers like [`EngineStats::steals`].
+    pub budget_throttles: u64,
 }
 
 impl EngineStats {
@@ -365,6 +382,10 @@ impl EngineStats {
             reg_demotions,
             trace_events,
             trace_bytes,
+            steals,
+            queue_depth_max,
+            slices_executed,
+            budget_throttles,
         } = *other;
         self.probe_fires += probe_fires;
         self.global_fires += global_fires;
@@ -385,6 +406,11 @@ impl EngineStats {
         self.reg_demotions += reg_demotions;
         self.trace_events += trace_events;
         self.trace_bytes += trace_bytes;
+        self.steals += steals;
+        // A high-water mark: the fleet-wide maximum, not a sum.
+        self.queue_depth_max = self.queue_depth_max.max(queue_depth_max);
+        self.slices_executed += slices_executed;
+        self.budget_throttles += budget_throttles;
     }
 }
 

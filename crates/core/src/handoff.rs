@@ -1,0 +1,128 @@
+//! Cross-thread *hand-off* of single-threaded engine state.
+//!
+//! The engine is deliberately single-threaded: probes, monitors, host
+//! functions and the FrameAccessor machinery are `Rc`/`RefCell`-based, as
+//! in the paper, so [`Process`](crate::Process) is `!Send`. That is the
+//! right default — it makes data races unrepresentable *within* a running
+//! process — but it also forbids a perfectly sound pattern that
+//! multi-worker schedulers need: a process that is **parked** (suspended
+//! at a fuel-slice boundary, with no borrows live and no aliases outside
+//! the object graph rooted at the process itself) being *handed off* to a
+//! different worker thread, which becomes its new single owner.
+//!
+//! [`Handoff`] is the narrow, explicitly-unsafe gate for that pattern. It
+//! wraps a value and unconditionally implements `Send`; the safety
+//! argument lives at construction ([`Handoff::new`] is `unsafe`) and rests
+//! on the **confined object graph** invariant:
+//!
+//! 1. every non-`Send` ingredient reachable from the value (`Rc`s,
+//!    `RefCell`s, raw pointers) was created on the thread currently owning
+//!    the wrapper, *from `Send` ingredients* (e.g. a `Send + Sync` monitor
+//!    factory whose product never leaves the worker), and
+//! 2. no clone or borrow of any of those ingredients exists outside the
+//!    wrapped value — the graph is *confined*: moving the wrapper moves
+//!    every reference to every `Rc` cell in it, and
+//! 3. the wrapper only changes threads through a synchronizing hand-off
+//!    (a `Mutex`-protected queue, a channel, a joined thread…), so the
+//!    receiving thread *happens-after* the sender's last use.
+//!
+//! Under (1)–(3) the usual `Rc` hazard — two threads mutating one
+//! non-atomic refcount — cannot occur: at any instant exactly one thread
+//! can reach the graph, and every transfer is an ownership transfer with a
+//! happens-before edge. This is the same argument that makes `Box<T>`
+//! of a `!Sync` type sound to send; `Rc` only loses `Send` because the
+//! *type system* cannot see confinement, not because confined hand-off is
+//! unsound.
+//!
+//! `wizard-pool`'s serving engine uses this to migrate jobs between
+//! workers: a process parks on
+//! [`RunOutcome::OutOfFuel`](crate::RunOutcome), its task (process +
+//! worker-built monitor) is wrapped and pushed onto a `Mutex`-guarded
+//! deque, and whichever worker pops (or steals) it resumes the suspended
+//! [`exec::ExecState`](crate::exec) as the new owner.
+
+/// A `Send` wrapper for a *confined* single-threaded object graph being
+/// handed off between threads. See the [module docs](self) for the
+/// invariant that makes this sound.
+#[derive(Debug)]
+pub struct Handoff<T> {
+    value: T,
+}
+
+// SAFETY: deferred to `Handoff::new`'s contract — the wrapped graph is
+// confined (exactly one thread can reach it at a time) and only changes
+// threads through synchronizing hand-offs, so non-atomic refcounts inside
+// it are never touched concurrently.
+unsafe impl<T> Send for Handoff<T> {}
+
+impl<T> Handoff<T> {
+    /// Wraps `value` for cross-thread hand-off.
+    ///
+    /// # Safety
+    ///
+    /// The caller asserts the confined-object-graph invariant for
+    /// `value`, for the wrapper's whole lifetime:
+    ///
+    /// * all non-`Send` state reachable from `value` was created on the
+    ///   current thread and is reachable *only* through `value` (no
+    ///   outside `Rc` clones, no leaked raw pointers, no thread-local
+    ///   registration that outlives the hand-off);
+    /// * the wrapper is only moved between threads via operations that
+    ///   establish happens-before (mutexes, channels, `thread::spawn`/
+    ///   `join`);
+    /// * after [`Handoff::into_inner`], the unwrapped value is treated as
+    ///   `!Send` again — it stays on the thread that unwrapped it.
+    pub unsafe fn new(value: T) -> Handoff<T> {
+        Handoff { value }
+    }
+
+    /// Shared access on the currently-owning thread.
+    pub fn get(&self) -> &T {
+        &self.value
+    }
+
+    /// Exclusive access on the currently-owning thread.
+    pub fn get_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+
+    /// Unwraps the value on the currently-owning thread, which becomes
+    /// its final owner (the value is `!Send` again from here on).
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn confined_rc_graph_survives_a_mutex_handoff() {
+        // A little Rc/RefCell graph, entirely confined: both `shared`
+        // handles live inside the struct we wrap.
+        struct Graph {
+            a: Rc<RefCell<u64>>,
+            b: Rc<RefCell<u64>>,
+        }
+        let cell = Rc::new(RefCell::new(1u64));
+        let graph = Graph { a: Rc::clone(&cell), b: cell };
+
+        // SAFETY: `graph` owns the only handles to its Rc cells, created
+        // on this thread; transfer goes through a Mutex.
+        let slot = Arc::new(Mutex::new(Some(unsafe { Handoff::new(graph) })));
+        let slot2 = Arc::clone(&slot);
+        let t = std::thread::spawn(move || {
+            let h = slot2.lock().unwrap().take().expect("handed off");
+            let g = h.into_inner();
+            *g.a.borrow_mut() += 41;
+            assert_eq!(Rc::strong_count(&g.a), 2);
+            let v = *g.b.borrow();
+            v
+        });
+        assert_eq!(t.join().unwrap(), 42);
+    }
+}

@@ -164,6 +164,7 @@ pub mod code;
 mod engine;
 pub mod exec;
 pub mod frame;
+pub mod handoff;
 mod interp;
 pub mod jit;
 pub mod lowered;
@@ -184,6 +185,7 @@ pub use engine::{
 };
 pub use exec::{FrameModError, FrameView, ProbeCtx};
 pub use frame::{FrameAccessor, Tier};
+pub use handoff::Handoff;
 pub use monitor::{
     InstrumentationCtx, MetricValue, Monitor, MonitorHandle, MonitorRef, Report, Row, Section,
 };

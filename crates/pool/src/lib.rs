@@ -74,11 +74,18 @@
 
 #![warn(missing_docs)]
 
+pub mod serve;
+
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+pub use serve::{
+    JobHandle, JobStatus, ServeConfig, ServeEngine, ServeOutcome, ServeSummary, Submit, TenantStats,
+};
 
 use wizard_engine::store::Linker;
 use wizard_engine::{
@@ -120,6 +127,52 @@ impl PoolConfig {
 /// Builds a monitor on the worker thread that will own it. The factory
 /// crosses threads; the `Rc`-based monitor it creates never does.
 pub type MonitorFactory = Arc<dyn Fn() -> Rc<RefCell<dyn Monitor>> + Send + Sync>;
+
+/// Builds a [`Linker`] on the worker thread that instantiates the job.
+/// Like [`MonitorFactory`], the factory crosses threads but the
+/// `Rc`-based linker it creates never does — this is how jobs whose
+/// modules import host functions (e.g. the ingestion corpus under
+/// [`wizard_engine::Shims`]) run in a multi-threaded fleet.
+pub type LinkerFactory = Arc<dyn Fn() -> Linker + Send + Sync>;
+
+/// Scheduling priority of a [`Job`] in the serving engine
+/// ([`ServeEngine`]). Lower values are more urgent; the round-robin
+/// [`Pool`] ignores priorities.
+///
+/// Priorities are *strict* among runnable work — a worker never picks a
+/// `Low` task while a `High` task is queued — but starvation-freedom for
+/// low-priority tenants comes from per-tenant fuel budgets: saturating
+/// high-priority tenants run out of deficit and are throttled, letting
+/// lower-priority work through (see the [`serve`] module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Latency-sensitive; always scheduled first.
+    High,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Batch/background work; runs when nothing more urgent is queued.
+    Low,
+}
+
+impl Priority {
+    /// All priorities, most urgent first.
+    pub const ALL: [Priority; 3] = [Priority::High, Priority::Normal, Priority::Low];
+
+    /// Dense index (0 = most urgent), for per-priority queue arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Human-readable class name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        }
+    }
+}
 
 /// A thread-safe cache of built [`ModuleArtifact`]s keyed by **module
 /// identity** — the module's canonical binary encoding, so byte-identical
@@ -253,6 +306,18 @@ pub struct Job {
     /// Monitor factory; the monitor is attached before the first slice and
     /// detached (restoring the zero-overhead baseline) before reporting.
     pub monitor: Option<MonitorFactory>,
+    /// Linker factory; built on the worker thread at instantiation. Jobs
+    /// without one link against an empty [`Linker`].
+    pub linker: Option<LinkerFactory>,
+    /// Tenant this job bills its fuel to (serving engine only; the
+    /// round-robin [`Pool`] ignores it).
+    pub tenant: String,
+    /// Scheduling class (serving engine only).
+    pub priority: Priority,
+    /// Relative deadline, measured from admission: a job still running
+    /// (or still queued) this long after being accepted is cancelled with
+    /// [`JobStatus::DeadlineExceeded`]. Serving engine only.
+    pub deadline: Option<Duration>,
 }
 
 impl Job {
@@ -263,7 +328,44 @@ impl Job {
         entry: impl Into<String>,
         args: Vec<Value>,
     ) -> Job {
-        Job { name: name.into(), module, entry: entry.into(), args, monitor: None }
+        Job {
+            name: name.into(),
+            module,
+            entry: entry.into(),
+            args,
+            monitor: None,
+            linker: None,
+            tenant: "default".into(),
+            priority: Priority::Normal,
+            deadline: None,
+        }
+    }
+
+    /// Bills the job's fuel to `tenant` (defaults to `"default"`).
+    pub fn for_tenant(mut self, tenant: impl Into<String>) -> Job {
+        self.tenant = tenant.into();
+        self
+    }
+
+    /// Sets the scheduling class (defaults to [`Priority::Normal`]).
+    pub fn at_priority(mut self, priority: Priority) -> Job {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets a relative deadline from admission; see [`Job::deadline`].
+    pub fn with_deadline(mut self, deadline: Duration) -> Job {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a linker factory: `make` runs on the worker thread once,
+    /// when the job's process is instantiated — e.g.
+    /// `move || Shims::standard().linker_for(&module).unwrap()` for
+    /// corpus modules that import host functions.
+    pub fn with_linker(mut self, make: impl Fn() -> Linker + Send + Sync + 'static) -> Job {
+        self.linker = Some(Arc::new(make));
+        self
     }
 
     /// Attaches a monitor factory: `make` runs on the worker thread once,
@@ -294,6 +396,8 @@ impl core::fmt::Debug for Job {
             .field("name", &self.name)
             .field("entry", &self.entry)
             .field("monitored", &self.monitor.is_some())
+            .field("tenant", &self.tenant)
+            .field("priority", &self.priority)
             .finish()
     }
 }
@@ -513,7 +617,10 @@ fn run_shard(
                 } else {
                     cache_stats.artifact_cache_misses += 1;
                 }
-                Process::instantiate(art, engine.clone(), &Linker::new())
+                // The linker is built on this worker thread; its Rc-based
+                // host functions never cross threads.
+                let linker = job.linker.as_ref().map_or_else(Linker::new, |make| make());
+                Process::instantiate(art, engine.clone(), &linker)
             });
         match instantiated {
             Ok(mut process) => {

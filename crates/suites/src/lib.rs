@@ -127,6 +127,107 @@ pub fn fleet(scale: Scale, size: usize) -> Vec<Benchmark> {
         .collect()
 }
 
+/// One job spec of a multi-tenant serving fleet
+/// ([`tenant_fleet`]): a kernel plus the tenant and scheduling class it
+/// should be served under. The class is a plain dense integer (0 = most
+/// urgent) so this crate does not depend on the pool's `Priority` type.
+#[derive(Debug, Clone)]
+pub struct TenantJob {
+    /// Tenant the job bills to.
+    pub tenant: &'static str,
+    /// Scheduling class: 0 = high, 1 = normal, 2 = low.
+    pub class: u8,
+    /// Suite the kernel came from.
+    pub suite: &'static str,
+    /// Kernel name.
+    pub name: &'static str,
+    /// The module; exports `run(n) -> checksum`.
+    pub module: Module,
+    /// The `run` argument.
+    pub n: i32,
+    /// Whether the module imports host functions/globals and needs a
+    /// shim-built linker (ingestion-corpus kernels).
+    pub uses_imports: bool,
+}
+
+/// A mixed multi-tenant fleet for serving experiments: three tenants
+/// with distinct traffic shapes, interleaved deterministically —
+///
+/// * `interactive` (class 0, high): short ingestion-corpus requests
+///   (crc32, base64, hashtable) — the latency-sensitive traffic whose
+///   p99 the serving engine must protect;
+/// * `batch` (class 1, normal): the PolyBench kernels in rotation;
+/// * `background` (class 2, low): Richards scheduler runs and cubic
+///   PolyBench kernels — the long jobs that would head-of-line-block a
+///   round-robin shard.
+pub fn tenant_fleet(scale: Scale, size: usize) -> Vec<TenantJob> {
+    let richards_loops = match scale {
+        Scale::Test => 20,
+        Scale::Small => 100,
+        Scale::Medium => 300,
+    };
+    let light: Vec<corpus::CorpusEntry> = corpus::corpus(scale)
+        .into_iter()
+        .filter(|e| matches!(e.name, "crc32" | "base64" | "hashtable"))
+        .collect();
+    let pb = polybench_suite(scale);
+    let heavy: Vec<Benchmark> =
+        pb.iter().filter(|b| polybench::is_cubic(b.name)).cloned().collect();
+    (0..size)
+        .map(|k| match k % 3 {
+            0 => {
+                let e = &light[(k / 3) % light.len()];
+                TenantJob {
+                    tenant: "interactive",
+                    class: 0,
+                    suite: "corpus",
+                    name: e.name,
+                    module: e.module.clone(),
+                    n: e.n,
+                    uses_imports: e.uses_imports,
+                }
+            }
+            1 => {
+                let b = &pb[(k / 3) % pb.len()];
+                TenantJob {
+                    tenant: "batch",
+                    class: 1,
+                    suite: b.suite,
+                    name: b.name,
+                    module: b.module.clone(),
+                    n: b.n,
+                    uses_imports: false,
+                }
+            }
+            _ => {
+                if (k / 3) % 2 == 0 {
+                    let r = richards_benchmark(richards_loops);
+                    TenantJob {
+                        tenant: "background",
+                        class: 2,
+                        suite: r.suite,
+                        name: r.name,
+                        module: r.module,
+                        n: r.n,
+                        uses_imports: false,
+                    }
+                } else {
+                    let b = &heavy[(k / 3) % heavy.len()];
+                    TenantJob {
+                        tenant: "background",
+                        class: 2,
+                        suite: b.suite,
+                        name: b.name,
+                        module: b.module.clone(),
+                        n: b.n,
+                        uses_imports: false,
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +250,27 @@ mod tests {
         assert_eq!(f.len(), 8);
         assert_eq!(f.iter().filter(|b| b.suite == "richards").count(), 2);
         assert!(f.iter().any(|b| b.suite == "polybench"));
+    }
+
+    #[test]
+    fn tenant_fleet_covers_all_tenants_and_classes() {
+        let f = tenant_fleet(Scale::Test, 12);
+        assert_eq!(f.len(), 12);
+        for tenant in ["interactive", "batch", "background"] {
+            assert!(f.iter().any(|j| j.tenant == tenant), "missing {tenant}");
+        }
+        // Classes are dense and tied to tenants.
+        assert!(f.iter().all(|j| match j.tenant {
+            "interactive" => j.class == 0,
+            "batch" => j.class == 1,
+            _ => j.class == 2,
+        }));
+        // Interactive traffic comes from the ingestion corpus, including
+        // at least one import-using module (needs a shim linker).
+        assert!(f.iter().filter(|j| j.tenant == "interactive").all(|j| j.suite == "corpus"));
+        assert!(f.iter().any(|j| j.uses_imports));
+        // Background includes the long richards jobs.
+        assert!(f.iter().any(|j| j.name == "richards"));
     }
 
     #[test]

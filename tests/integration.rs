@@ -287,6 +287,129 @@ fn pool_fleet_reports_match_dedicated_runs() {
     }
 }
 
+/// The serving-engine transparency criterion: a mixed multi-tenant fleet
+/// — corpus modules behind shim linkers, polybench, richards; scripted
+/// *and* zoo monitors; mixed priorities — served by the work-stealing
+/// engine produces, job for job, exactly the results and reports of
+/// dedicated single-process runs, while jobs are being sliced, stolen,
+/// migrated across workers, and cancelled around them.
+#[test]
+fn serve_fleet_reports_match_dedicated_runs_under_stealing_and_cancellation() {
+    use wizard::engine::Shims;
+    use wizard::pool::{Job, JobStatus, Priority, ServeConfig, ServeEngine};
+    use wizard::script::ScriptMonitor;
+    use wizard::suites::tenant_fleet;
+
+    const SRC: &str = "monitor \"hotness\"\n\
+                       match * do inc exec[site]\n\
+                       report \"top locations\" top 20 exec\n\
+                       report \"summary\" total \"total instruction executions\" exec";
+
+    let fleet = tenant_fleet(Scale::Test, 12);
+
+    // Dedicated reference runs: even jobs carry the zoo hotness monitor,
+    // odd jobs the scripted one (they agree anyway, but this pins both
+    // attach paths).
+    let mut expected = Vec::new();
+    for (k, j) in fleet.iter().enumerate() {
+        let linker = if j.uses_imports {
+            Shims::standard().linker_for(&j.module).expect("corpus shims resolve")
+        } else {
+            Linker::new()
+        };
+        let mut p = Process::new(j.module.clone(), EngineConfig::tiered(), &linker).unwrap();
+        let report = if k % 2 == 0 {
+            let m = p.attach_monitor(HotnessMonitor::new()).unwrap();
+            let r = p.invoke_export("run", &[Value::I32(j.n)]).unwrap();
+            let rep = m.report();
+            p.detach_monitor(m.handle()).unwrap();
+            (r[0].to_slot().0, rep)
+        } else {
+            let m = p.attach_monitor(ScriptMonitor::from_source(SRC).unwrap()).unwrap();
+            let r = p.invoke_export("run", &[Value::I32(j.n)]).unwrap();
+            let rep = m.report();
+            p.detach_monitor(m.handle()).unwrap();
+            (r[0].to_slot().0, rep)
+        };
+        expected.push((k, report));
+    }
+
+    let engine = ServeEngine::new(ServeConfig {
+        workers: 2,
+        engine: EngineConfig::builder().fuel_slice(1_000).build(),
+        stride: 1, // rotate aggressively: maximize interleave + stealing
+        ..ServeConfig::default()
+    });
+    let script_factory = wizard::script::monitor_factory(SRC).unwrap();
+    let mut handles = Vec::new();
+    let mut victims = Vec::new();
+    for (k, j) in fleet.iter().enumerate() {
+        let mut job =
+            Job::new(format!("{}-{k}", j.name), j.module.clone(), "run", vec![Value::I32(j.n)])
+                .for_tenant(j.tenant)
+                .at_priority(match j.class {
+                    0 => Priority::High,
+                    1 => Priority::Normal,
+                    _ => Priority::Low,
+                });
+        job = if k % 2 == 0 {
+            job.with_monitor(HotnessMonitor::new)
+        } else {
+            job.with_monitor_factory(script_factory.clone())
+        };
+        if j.uses_imports {
+            let module = j.module.clone();
+            job = job.with_linker(move || {
+                Shims::standard().linker_for(&module).expect("corpus shims resolve")
+            });
+        }
+        handles.push(engine.try_submit(job).handle().unwrap());
+        // Interleave doomed richards jobs that get cancelled mid-fleet:
+        // their teardown (monitor detach, process drop) must not perturb
+        // any sibling's report.
+        if k % 4 == 0 {
+            let doomed = Job::new(
+                format!("victim-{k}"),
+                wizard::suites::richards_benchmark(1_000_000).module,
+                "run",
+                vec![Value::I32(1_000_000)],
+            )
+            .with_monitor(HotnessMonitor::new);
+            victims.push(engine.try_submit(doomed).handle().unwrap());
+        }
+    }
+    for v in &victims {
+        v.cancel();
+    }
+
+    for (h, (k, (expected_result, expected_report))) in handles.iter().zip(&expected) {
+        let out = h.wait();
+        assert_eq!(
+            out.status.values().map(|v| v[0].to_slot().0),
+            Some(*expected_result),
+            "{}: wrong result",
+            out.name
+        );
+        assert_eq!(
+            out.report.as_ref().unwrap(),
+            expected_report,
+            "job {k} ({}): served report differs from dedicated run \
+             (slices={}, migrations={})",
+            out.name,
+            out.slices,
+            out.migrations
+        );
+    }
+    for v in &victims {
+        assert_eq!(v.wait().status, JobStatus::Cancelled);
+    }
+    let summary = engine.shutdown();
+    assert!(summary.stats.suspensions > 0, "the fleet really was time-sliced");
+    assert_eq!(summary.completed, (handles.len() + victims.len()) as u64);
+    // The fleet merges one report per analysis title across all jobs.
+    assert!(summary.merged_report("hotness").is_some());
+}
+
 /// Scripts are monitors all the way down: a wizard-script program
 /// composes with hand-written monitors on one process without
 /// interference, and a fuel-sliced (bounded) scripted run reports
